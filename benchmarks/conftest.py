@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section.  The expensive inputs — the 47-task effort simulation
+and the user-study traces — are computed once per session here and shared
+across modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import benchmark_suite, explainability_quizzes, explainability_tasks
+from repro.simulation.comprehension import run_comprehension_study
+from repro.simulation.lazy_user import simulate_all
+from repro.simulation.userstudy import run_explainability_study, run_scalability_study
+
+
+@pytest.fixture(scope="session")
+def suite_tasks():
+    """The 47 benchmark tasks."""
+    return benchmark_suite()
+
+
+@pytest.fixture(scope="session")
+def suite_runs(suite_tasks):
+    """Effort-simulation results: {task_id: {system: SystemRun}}."""
+    return {task.task_id: simulate_all(task) for task in suite_tasks}
+
+
+@pytest.fixture(scope="session")
+def scalability_traces():
+    """User-study traces for the 10(2)/100(4)/300(6) phone cases."""
+    return run_scalability_study()
+
+
+@pytest.fixture(scope="session")
+def explainability_traces():
+    """Completion-time traces for the three explainability tasks."""
+    return run_explainability_study(explainability_tasks())
+
+
+@pytest.fixture(scope="session")
+def comprehension_results():
+    """Comprehension-model results for the three explainability quizzes."""
+    return run_comprehension_study(explainability_quizzes())

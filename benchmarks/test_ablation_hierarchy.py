@@ -1,0 +1,80 @@
+"""Ablation A2 — how much does the pattern hierarchy buy?
+
+Two effects of the agglomerative refinement (Section 4.2) are measured on
+the 300(6) phone case and on a name-heavy task:
+
+* *comprehension load*: how many patterns the user must read at each
+  hierarchy level (leaves vs. after each refinement round);
+* *program size*: how many Switch branches the synthesizer emits when it
+  may use generalized parents versus when it is restricted to leaf
+  patterns only.
+"""
+
+from __future__ import annotations
+
+from repro.bench.generators import human_names
+from repro.bench.phone import phone_dataset
+from repro.clustering.profiler import PatternProfiler
+from repro.patterns.generalize import GENERALIZATION_STRATEGIES
+from repro.patterns.parse import parse_pattern
+from repro.synthesis.synthesizer import Synthesizer
+from repro.util.text import format_table
+
+
+def _layer_sizes(values):
+    hierarchy = PatternProfiler().profile(values)
+    return [len(layer) for layer in hierarchy.layers]
+
+
+def test_ablation_hierarchy_depth(benchmark):
+    raw_phone, _ = phone_dataset(count=300, format_count=6, seed=331)
+    raw_names, _ = human_names(120, seed=17)
+
+    sizes_phone = benchmark.pedantic(_layer_sizes, args=(raw_phone,), rounds=1, iterations=1)
+    sizes_names = _layer_sizes(raw_names)
+
+    rows = [
+        ("phone 300(6)", *sizes_phone),
+        ("names 120", *sizes_names),
+    ]
+    print("\nAblation — number of pattern clusters per hierarchy layer")
+    print(format_table(["dataset", "leaves", "round 1", "round 2", "round 3"], rows))
+
+    # Refinement must never increase the number of clusters and should
+    # shrink the name clusters substantially (widths differ per name).
+    assert sizes_phone == sorted(sizes_phone, reverse=True)
+    assert sizes_names == sorted(sizes_names, reverse=True)
+    assert sizes_names[1] < sizes_names[0]
+
+    # Program size: names with a generalized target need far fewer
+    # branches than one-per-leaf because a single <U>+<L>+' '<U>+<L>+
+    # parent covers every first-last width.
+    target = parse_pattern("<U>+<L>+','' '<U>+'.'")
+    hierarchy = PatternProfiler().profile(raw_names)
+    with_hierarchy = Synthesizer().synthesize(hierarchy, target)
+    leaf_only = PatternProfiler(strategies=[]).profile(raw_names)
+    without_hierarchy = Synthesizer().synthesize(leaf_only, target)
+    print(
+        f"branches with hierarchy: {len(with_hierarchy.program)}, "
+        f"leaf-only: {len(without_hierarchy.program)}"
+    )
+    assert len(with_hierarchy.program) <= len(without_hierarchy.program)
+    assert len(with_hierarchy.program) < sizes_names[0]
+
+
+def test_ablation_refinement_round_contribution(benchmark):
+    """Per-round reduction in cluster count for the 300(6) phone case."""
+    raw_phone, _ = phone_dataset(count=300, format_count=6, seed=331)
+
+    def run():
+        reductions = []
+        for rounds in range(len(GENERALIZATION_STRATEGIES) + 1):
+            profiler = PatternProfiler(strategies=GENERALIZATION_STRATEGIES[:rounds])
+            hierarchy = profiler.profile(raw_phone)
+            reductions.append(len(hierarchy.roots))
+        return reductions
+
+    reductions = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation — top-layer cluster count after 0..3 refinement rounds")
+    print(format_table(["rounds", "clusters"], list(enumerate(reductions))))
+    assert reductions == sorted(reductions, reverse=True)

@@ -1,0 +1,79 @@
+"""Figure 11 — scalability of system usability as data grows (E1–E3).
+
+Regenerates the three panels of the paper's Figure 11 for the phone-number
+user study (cases 10(2), 100(4), 300(6)):
+
+* 11a — overall completion time per system,
+* 11b — rounds of interaction per system,
+* 11c — interaction timestamps for the 300(6) case.
+
+The paper's claim being checked: CLX's completion time grows only
+marginally (1.1×/1.2× in the paper) while FlashFill's grows by an order
+of magnitude (2.4×/9.1×); RegexReplace costs the most on small data.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.userstudy import run_scalability_study
+from repro.util.text import format_table
+
+SYSTEMS = ("RegexReplace", "FlashFill", "CLX")
+CASES = ("10(2)", "100(4)", "300(6)")
+
+
+def test_fig11_overall_completion_time(benchmark, scalability_traces):
+    """Figure 11a: overall completion time (seconds) per case and system."""
+    benchmark.pedantic(run_scalability_study, rounds=1, iterations=1)
+    traces = scalability_traces
+
+    rows = [
+        [case] + [round(traces[case][system].total_seconds, 1) for system in SYSTEMS]
+        for case in CASES
+    ]
+    print("\nFigure 11a — overall completion time (s)")
+    print(format_table(["case", *SYSTEMS], rows))
+
+    clx_growth = traces["300(6)"]["CLX"].total_seconds / traces["10(2)"]["CLX"].total_seconds
+    ff_growth = (
+        traces["300(6)"]["FlashFill"].total_seconds
+        / traces["10(2)"]["FlashFill"].total_seconds
+    )
+    print(f"growth 10(2)->300(6): CLX {clx_growth:.1f}x (paper 1.2x), "
+          f"FlashFill {ff_growth:.1f}x (paper 9.1x)")
+    assert clx_growth < 2.5
+    assert ff_growth > 4.0
+    assert clx_growth < ff_growth
+
+
+def test_fig11_rounds_of_interaction(scalability_traces, benchmark):
+    """Figure 11b: number of interactions per case and system."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [case] + [scalability_traces[case][system].interactions for system in SYSTEMS]
+        for case in CASES
+    ]
+    print("\nFigure 11b — rounds of interaction")
+    print(format_table(["case", *SYSTEMS], rows))
+    for case in CASES:
+        for system in SYSTEMS:
+            assert 1 <= scalability_traces[case][system].interactions <= 10
+
+
+def test_fig11_interaction_timestamps_300_6(scalability_traces, benchmark):
+    """Figure 11c: cumulative timestamp of each interaction, 300(6) case."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nFigure 11c — interaction timestamps for 300(6) (s)")
+    for system in SYSTEMS:
+        stamps = [round(t, 1) for t in scalability_traces["300(6)"][system].timestamps]
+        print(f"  {system:13s} {stamps}")
+
+    # FlashFill's gaps between interactions grow as the remaining failures
+    # get rarer; CLX's stay roughly constant.
+    ff = scalability_traces["300(6)"]["FlashFill"].timestamps
+    ff_gaps = [b - a for a, b in zip(ff, ff[1:])]
+    if len(ff_gaps) >= 2:
+        assert ff_gaps[-1] >= ff_gaps[0]
+    clx = scalability_traces["300(6)"]["CLX"].timestamps
+    clx_gaps = [b - a for a, b in zip(clx, clx[1:])]
+    if clx_gaps and ff_gaps:
+        assert max(clx_gaps) <= max(ff_gaps)

@@ -1,0 +1,41 @@
+"""Figure 12 — verification time per case and system (E4).
+
+The paper's headline numbers: going from 10(2) to 300(6) rows, CLX's
+verification time grows 1.3× while FlashFill's grows 11.4×.  The
+reproduction checks the same *shape*: CLX stays nearly flat, FlashFill
+grows by roughly an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.util.text import format_table
+
+SYSTEMS = ("RegexReplace", "FlashFill", "CLX")
+CASES = ("10(2)", "100(4)", "300(6)")
+
+
+def test_fig12_verification_time(scalability_traces, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    traces = scalability_traces
+
+    rows = [
+        [case] + [round(traces[case][system].verification_seconds, 1) for system in SYSTEMS]
+        for case in CASES
+    ]
+    print("\nFigure 12 — verification time (s)")
+    print(format_table(["case", *SYSTEMS], rows))
+
+    clx_growth = (
+        traces["300(6)"]["CLX"].verification_seconds
+        / traces["10(2)"]["CLX"].verification_seconds
+    )
+    ff_growth = (
+        traces["300(6)"]["FlashFill"].verification_seconds
+        / traces["10(2)"]["FlashFill"].verification_seconds
+    )
+    print(f"verification growth 10(2)->300(6): CLX {clx_growth:.1f}x (paper 1.3x), "
+          f"FlashFill {ff_growth:.1f}x (paper 11.4x)")
+
+    assert clx_growth < 3.0, "CLX verification should stay nearly flat"
+    assert ff_growth > 8.0, "FlashFill verification should grow by ~an order of magnitude"
+    assert clx_growth < ff_growth

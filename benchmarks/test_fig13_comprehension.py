@@ -1,0 +1,39 @@
+"""Figure 13 — user comprehension test (E5).
+
+Per-task correct-answer rate of the "given input x, what is the output?"
+quiz for each system.  Paper claim: CLX users answer almost perfectly,
+FlashFill users get less than half right (CLX ≈ 2× FlashFill);
+RegexReplace is comparable to CLX.
+"""
+
+from __future__ import annotations
+
+from repro.util.text import format_table
+
+SYSTEMS = ("RegexReplace", "FlashFill", "CLX")
+
+
+def test_fig13_comprehension_correct_rate(comprehension_results, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = [
+        [result.task_id]
+        + [round(result.correct_rate[system], 2) for system in SYSTEMS]
+        for result in comprehension_results
+    ]
+    print("\nFigure 13 — comprehension correct rate")
+    print(format_table(["task", *SYSTEMS], rows))
+
+    clx_avg = sum(r.correct_rate["CLX"] for r in comprehension_results) / len(comprehension_results)
+    ff_avg = sum(r.correct_rate["FlashFill"] for r in comprehension_results) / len(
+        comprehension_results
+    )
+    rr_avg = sum(r.correct_rate["RegexReplace"] for r in comprehension_results) / len(
+        comprehension_results
+    )
+    print(f"averages: CLX {clx_avg:.2f}, FlashFill {ff_avg:.2f}, RegexReplace {rr_avg:.2f} "
+          "(paper: ~0.95, ~0.45, ~0.9)")
+
+    assert clx_avg >= 0.85
+    assert clx_avg >= 1.5 * ff_avg, "CLX should roughly double FlashFill's success rate"
+    assert rr_avg >= 0.75

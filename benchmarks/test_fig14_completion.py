@@ -1,0 +1,47 @@
+"""Figure 14 — completion time for the three explainability tasks (E6).
+
+Paper observations reproduced as shape checks:
+
+* CLX is much faster than FlashFill on task 3 (100 phone rows) because
+  verification dominates there;
+* task 2 (small, heterogeneous addresses) is the one place CLX can lose;
+* RegexReplace costs the most overall because regexes are slow to write.
+"""
+
+from __future__ import annotations
+
+from repro.util.text import format_table
+
+SYSTEMS = ("RegexReplace", "FlashFill", "CLX")
+
+
+def test_fig14_completion_time(explainability_traces, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    traces = explainability_traces
+
+    rows = [
+        [task_id] + [round(per_system[system].total_seconds, 1) for system in SYSTEMS]
+        for task_id, per_system in traces.items()
+    ]
+    print("\nFigure 14 — completion time (s) per explainability task")
+    print(format_table(["task", *SYSTEMS], rows))
+
+    task_ids = list(traces)
+    task1, task2, task3 = task_ids
+
+    # Task 3 (100 phone rows): CLX beats FlashFill clearly.
+    assert traces[task3]["CLX"].total_seconds < traces[task3]["FlashFill"].total_seconds
+
+    # RegexReplace is the most expensive system on every task.
+    for task_id in task_ids:
+        assert traces[task_id]["RegexReplace"].total_seconds >= max(
+            traces[task_id]["CLX"].total_seconds,
+            traces[task_id]["FlashFill"].total_seconds,
+        )
+
+    # Averaged over the three tasks CLX does not cost more than FlashFill.
+    clx_avg = sum(traces[t]["CLX"].total_seconds for t in task_ids) / 3
+    ff_avg = sum(traces[t]["FlashFill"].total_seconds for t in task_ids) / 3
+    print(f"average completion: CLX {clx_avg:.1f}s, FlashFill {ff_avg:.1f}s "
+          "(paper: CLX ~30% lower)")
+    assert clx_avg <= ff_avg * 1.1

@@ -1,0 +1,68 @@
+"""Figure 16 and Appendix E — breakdown of CLX user effort (E12, E14).
+
+Figure 16 plots, for the 47 tasks, the fraction of test cases whose CLX
+Step count (split into Selection and Adjust/Repair) stays below a given
+budget.  The paper's observations:
+
+* ~79% of tasks need at most two Steps in total,
+* ~79% of tasks need exactly one target-pattern selection,
+* ~50% of tasks need no repair at all and ~85% need at most one,
+* when the initial program is imperfect, 75% of the time a single repair
+  fixes it (Section 6.4).
+"""
+
+from __future__ import annotations
+
+from repro.util.text import format_table
+
+
+def test_fig16_clx_step_breakdown(suite_runs, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    clx_runs = [runs["CLX"] for runs in suite_runs.values()]
+    total = len(clx_runs)
+
+    def fraction(predicate):
+        return sum(1 for run in clx_runs if predicate(run)) / total
+
+    budgets = list(range(0, 6))
+    rows = []
+    for budget in budgets:
+        rows.append(
+            (
+                budget,
+                round(fraction(lambda r: r.steps.selections <= budget), 2),
+                round(fraction(lambda r: r.steps.repairs <= budget), 2),
+                round(fraction(lambda r: r.steps.total <= budget), 2),
+            )
+        )
+    print("\nFigure 16 — fraction of tasks needing <= Y Steps")
+    print(format_table(["steps", "Selection", "Adjust", "Total"], rows))
+
+    one_selection = fraction(lambda r: r.steps.selections == 1)
+    no_repair = fraction(lambda r: r.steps.repairs == 0)
+    at_most_one_repair = fraction(lambda r: r.steps.repairs <= 1)
+    within_two_steps = fraction(lambda r: r.steps.total <= 2)
+    print(
+        f"one selection: {one_selection:.2f} (paper ~0.79)   "
+        f"no repair: {no_repair:.2f} (paper ~0.50)   "
+        f"<=1 repair: {at_most_one_repair:.2f} (paper ~0.85)   "
+        f"<=2 total steps: {within_two_steps:.2f} (paper ~0.79)"
+    )
+
+    assert one_selection >= 0.9          # a single labelled target almost always suffices
+    assert no_repair >= 0.4
+    assert at_most_one_repair >= 0.6
+    assert within_two_steps >= 0.5
+
+    # Appendix E / Section 6.4: among tasks whose initial program needed
+    # fixing, a single repair usually sufficed in the paper (~75%).  Our
+    # synthetic suite is heavier on multi-format name tasks where every
+    # ambiguous source pattern needs its own repair, so the fraction is
+    # lower; EXPERIMENTS.md discusses the deviation.
+    imperfect_initially = [run for run in clx_runs if run.steps.repairs > 0]
+    if imperfect_initially:
+        single_repair = sum(1 for run in imperfect_initially if run.steps.repairs == 1)
+        print(f"single repair among repaired tasks: {single_repair}/{len(imperfect_initially)} "
+              "(paper ~75%)")
+        assert single_repair / len(imperfect_initially) >= 0.15

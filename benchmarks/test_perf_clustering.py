@@ -1,0 +1,45 @@
+"""Performance A3 — clustering throughput versus data size.
+
+Section 4 argues the profiler must be fast enough for interactive use.
+This benchmark measures wall-clock profiling time for growing synthetic
+phone columns and checks that scaling stays roughly linear in the row
+count (the per-row work is tokenization plus a dictionary update).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.phone import phone_dataset
+from repro.clustering.profiler import PatternProfiler
+from repro.util.text import format_table
+
+SIZES = (100, 1_000, 10_000)
+
+
+def test_perf_clustering_scales_with_rows(benchmark):
+    datasets = {size: phone_dataset(count=size, format_count=6, seed=331)[0] for size in SIZES}
+    profiler = PatternProfiler()
+
+    # The official timing sample (reported by pytest-benchmark) profiles
+    # the largest column once.
+    benchmark.pedantic(profiler.profile, args=(datasets[SIZES[-1]],), rounds=1, iterations=1)
+
+    timings = {}
+    for size, values in datasets.items():
+        start = time.perf_counter()
+        hierarchy = profiler.profile(values)
+        timings[size] = time.perf_counter() - start
+        assert hierarchy.total_rows == size
+
+    rows = [
+        (size, f"{timings[size] * 1000:.1f} ms", f"{size / max(timings[size], 1e-9):,.0f} rows/s")
+        for size in SIZES
+    ]
+    print("\nClustering throughput")
+    print(format_table(["rows", "time", "throughput"], rows))
+
+    # 10k rows must stay comfortably interactive.
+    assert timings[10_000] < 5.0
+    # Scaling is sub-quadratic: 100x more rows costs well under 1000x time.
+    assert timings[10_000] / max(timings[100], 1e-9) < 500

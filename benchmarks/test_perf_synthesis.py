@@ -1,0 +1,44 @@
+"""Performance A4 — end-to-end synthesis latency per benchmark task.
+
+Measures how long the full CLX pipeline (profile, synthesize, transform)
+takes per task of the 47-task suite.  The paper positions CLX as an
+interactive tool, so the latency per task should stay well under a second
+on laptop-class hardware for the benchmark-sized inputs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.clustering.profiler import PatternProfiler
+from repro.core.transformer import transform_column
+from repro.synthesis.synthesizer import Synthesizer
+from repro.util.text import format_table
+
+
+def _run_task(task):
+    hierarchy = PatternProfiler().profile(task.inputs)
+    result = Synthesizer().synthesize(hierarchy, task.target_pattern())
+    transform_column(result.program, task.inputs, result.target)
+
+
+def test_perf_synthesis_latency(suite_tasks, benchmark):
+    # Official timing sample: one representative mid-sized task.
+    representative = next(t for t in suite_tasks if t.task_id == "sygus-phone-2")
+    benchmark.pedantic(_run_task, args=(representative,), rounds=1, iterations=1)
+
+    timings = []
+    for task in suite_tasks:
+        start = time.perf_counter()
+        _run_task(task)
+        timings.append((task.task_id, time.perf_counter() - start))
+
+    slowest = sorted(timings, key=lambda item: -item[1])[:5]
+    rows = [(task_id, f"{seconds * 1000:.1f} ms") for task_id, seconds in slowest]
+    print("\nSlowest five tasks (profile + synthesize + transform)")
+    print(format_table(["task", "latency"], rows))
+    total = sum(seconds for _tid, seconds in timings)
+    print(f"total for 47 tasks: {total:.2f}s, mean {total / len(timings) * 1000:.1f} ms")
+
+    assert max(seconds for _tid, seconds in timings) < 5.0
+    assert total / len(timings) < 1.0

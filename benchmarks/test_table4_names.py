@@ -1,0 +1,62 @@
+"""Table 4 / Example 6 — normalizing messy employee names (E8).
+
+Regenerates the paper's Table 4.  Name tasks are the canonical
+semantic-ambiguity case (Section 6.4): the MDL-minimal default plan may
+pick the wrong capitalized word, and the user fixes it by choosing an
+alternative plan — so this harness runs the full repair loop and reports
+how many repairs were needed.
+"""
+
+from __future__ import annotations
+
+from repro import CLXSession
+from repro.dsl.interpreter import apply_plan
+from repro.patterns.matching import match_pattern
+from repro.util.text import format_table
+
+RAW = ["Dr. Eran Yahav", "Fisher, K.", "Bill Gates, Sr.", "Oege de Moor"]
+DESIRED = {
+    "Dr. Eran Yahav": "Yahav, E.",
+    "Fisher, K.": "Fisher, K.",
+    "Bill Gates, Sr.": "Gates, B.",
+    "Oege de Moor": "Moor, O.",
+}
+
+
+def _run():
+    session = CLXSession(RAW)
+    session.label_target_from_string("Fisher, K.", generalize=1)
+    repairs = 0
+    for branch in list(session.program):
+        rows = [r for r in RAW if match_pattern(r, branch.pattern) is not None]
+        if all(
+            apply_plan(branch.plan, match_pattern(r, branch.pattern)) == DESIRED[r]
+            for r in rows
+        ):
+            continue
+        for candidate in session.repair_candidates(branch.pattern).alternatives:
+            if all(
+                apply_plan(candidate, match_pattern(r, branch.pattern)) == DESIRED[r]
+                for r in rows
+            ):
+                session.apply_repair(branch.pattern, candidate)
+                repairs += 1
+                break
+    return session, session.transform(), repairs
+
+
+def test_table4_employee_names(benchmark):
+    session, report, repairs = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\nTable 4 — normalizing messy employee names")
+    print(format_table(["Raw data", "Transformed data"], report.pairs()))
+    print(f"repairs performed: {repairs}")
+
+    outputs = dict(report.pairs())
+    assert outputs["Fisher, K."] == "Fisher, K."
+    assert outputs["Dr. Eran Yahav"] == "Yahav, E."
+    assert outputs["Bill Gates, Sr."] == "Gates, B."
+    # "Oege de Moor" contains a lowercase particle with no analogue in the
+    # target pattern; like the paper's hard cases it may stay unresolved.
+    correct = sum(1 for raw, out in outputs.items() if out == DESIRED[raw])
+    assert correct >= 3

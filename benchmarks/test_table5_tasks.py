@@ -1,0 +1,34 @@
+"""Table 5 — explainability test case details (E9).
+
+Prints the size / average length / max length / data type of the three
+Section 7.3 tasks, mirroring the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+from repro.bench.suite import explainability_tasks
+from repro.util.text import format_table
+
+
+def test_table5_explainability_task_statistics(benchmark):
+    tasks = benchmark.pedantic(explainability_tasks, rounds=1, iterations=1)
+
+    rows = [
+        (
+            f"Task{i + 1}",
+            task.size,
+            round(task.average_length, 1),
+            task.max_length,
+            task.data_type,
+        )
+        for i, task in enumerate(tasks)
+    ]
+    print("\nTable 5 — explainability test cases")
+    print(format_table(["Task ID", "Size", "AvgLen", "MaxLen", "DataType"], rows))
+
+    # Paper: sizes 10 / 10 / 100; data types name / address / phone.
+    assert [task.size for task in tasks] == [10, 10, 100]
+    assert [task.data_type for task in tasks] == ["human name", "address", "phone number"]
+    # String lengths are in the same ballpark as the paper (11.8/20.3/16.6).
+    for task, paper_avg in zip(tasks, (11.8, 20.3, 16.6)):
+        assert 0.4 * paper_avg <= task.average_length <= 2.5 * paper_avg

@@ -1,0 +1,49 @@
+"""Table 6 — benchmark test case details (E10).
+
+Prints the per-source statistics of the 47-task suite (number of tests,
+average size, average/max string length, data types) next to the numbers
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.bench.suite import suite_statistics
+from repro.util.text import format_table
+
+#: Paper's Table 6 reference values: (tests, avg size, avg len, max len).
+PAPER = {
+    "SyGuS": (27, 63.3, 11.8, 63),
+    "FlashFill": (10, 10.3, 15.8, 57),
+    "BlinkFill": (4, 10.8, 14.9, 37),
+    "PredProg": (3, 10.0, 12.7, 38),
+    "PROSE": (3, 39.3, 10.2, 44),
+    "Overall": (47, 43.6, 13.0, 63),
+}
+
+
+def test_table6_suite_statistics(suite_tasks, benchmark):
+    stats = benchmark.pedantic(suite_statistics, args=(suite_tasks,), rounds=1, iterations=1)
+
+    rows = []
+    for row in stats:
+        paper = PAPER[row.source]
+        rows.append(
+            (
+                row.source,
+                f"{row.test_count} (paper {paper[0]})",
+                f"{row.average_size:.1f} (paper {paper[1]})",
+                f"{row.average_length:.1f} (paper {paper[2]})",
+                f"{row.max_length} (paper {paper[3]})",
+                ", ".join(row.data_types),
+            )
+        )
+    print("\nTable 6 — benchmark test cases")
+    print(format_table(["Sources", "# tests", "AvgSize", "AvgLen", "MaxLen", "DataType"], rows))
+
+    by_source = {row.source: row for row in stats}
+    # Task counts per source match the paper exactly.
+    for source, (tests, _size, _len, _max) in PAPER.items():
+        assert by_source[source].test_count == tests
+    # Sizes and lengths are in the same ballpark (synthetic regeneration).
+    assert 30 <= by_source["Overall"].average_size <= 60
+    assert 10 <= by_source["Overall"].average_length <= 25

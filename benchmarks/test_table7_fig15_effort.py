@@ -1,0 +1,88 @@
+"""Table 7 and Figure 15 — user-effort simulation over the 47 tasks (E11).
+
+For every benchmark task the three simulated lazy users are run and the
+Step counts compared:
+
+* Table 7 — how often CLX needs fewer / equal / more Steps than each
+  baseline (paper: vs FlashFill 17/17/13, vs RegexReplace 33/12/2);
+* Figure 15 — the per-task Step ratio (speedup) of CLX over each baseline.
+
+The reproduction checks the paper's qualitative claims: CLX requires less
+or equal effort than FlashFill for a clear majority of tasks, and almost
+always no more effort than RegexReplace.
+"""
+
+from __future__ import annotations
+
+from repro.util.text import format_table
+
+SYSTEMS = ("CLX", "FlashFill", "RegexReplace")
+
+
+def _compare(suite_runs, left, right):
+    wins = ties = losses = 0
+    for runs in suite_runs.values():
+        a, b = runs[left].steps.total, runs[right].steps.total
+        if a < b:
+            wins += 1
+        elif a == b:
+            ties += 1
+        else:
+            losses += 1
+    return wins, ties, losses
+
+
+def test_table7_user_effort_comparison(suite_runs, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    vs_ff = _compare(suite_runs, "CLX", "FlashFill")
+    vs_rr = _compare(suite_runs, "CLX", "RegexReplace")
+
+    print("\nTable 7 — user effort simulation comparison")
+    print(
+        format_table(
+            ["Baseline", "CLX Wins", "Tie", "CLX Loses"],
+            [
+                ("vs. FlashFill   (paper 17/17/13)", *vs_ff),
+                ("vs. RegexReplace (paper 33/12/2)", *vs_rr),
+            ],
+        )
+    )
+
+    total = len(suite_runs)
+    # CLX needs <= effort than FlashFill on a clear majority of tasks.
+    assert (vs_ff[0] + vs_ff[1]) / total >= 0.6
+    # CLX almost always needs <= effort than RegexReplace.
+    assert (vs_rr[0] + vs_rr[1]) / total >= 0.85
+    assert vs_rr[2] <= 6
+
+
+def test_fig15_step_speedups(suite_runs, benchmark):
+    """Figure 15: per-task Step ratio of the baselines over CLX."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    for task_id, runs in suite_runs.items():
+        clx = max(1, runs["CLX"].steps.total)
+        rows.append(
+            (
+                task_id,
+                runs["CLX"].steps.total,
+                runs["FlashFill"].steps.total,
+                runs["RegexReplace"].steps.total,
+                round(runs["FlashFill"].steps.total / clx, 2),
+                round(runs["RegexReplace"].steps.total / clx, 2),
+            )
+        )
+    print("\nFigure 15 — Steps per task and speedup of CLX over the baselines")
+    print(
+        format_table(
+            ["task", "CLX", "FlashFill", "RegexReplace", "FF/CLX", "RR/CLX"], rows
+        )
+    )
+
+    ff_speedups = [row[4] for row in rows]
+    rr_speedups = [row[5] for row in rows]
+    # Median speedups are >= 1 (CLX no worse than the baselines overall).
+    assert sorted(ff_speedups)[len(ff_speedups) // 2] >= 1.0
+    assert sorted(rr_speedups)[len(rr_speedups) // 2] >= 1.0

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Compare user effort across CLX, FlashFill and RegexReplace.
+
+Runs the paper's three simulated "lazy users" (Section 7.4) on a few
+benchmark tasks and prints the Step counts side by side — a miniature
+version of the Table 7 / Figure 15 experiment that the full benchmark
+harness (``benchmarks/test_table7_fig15_effort.py``) runs over all 47
+tasks.
+
+Run with::
+
+    python examples/compare_systems.py
+"""
+
+from repro.bench.suite import benchmark_suite
+from repro.simulation.lazy_user import simulate_all
+from repro.util.text import format_table
+
+
+def main() -> None:
+    suite = {task.task_id: task for task in benchmark_suite()}
+    selected = [
+        "sygus-phone-2",
+        "sygus-name-1",
+        "flashfill-dates",
+        "blinkfill-medical-codes",
+        "prose-email-login",
+    ]
+
+    rows = []
+    for task_id in selected:
+        task = suite[task_id]
+        runs = simulate_all(task)
+        rows.append(
+            (
+                task_id,
+                task.size,
+                runs["CLX"].steps.total,
+                runs["FlashFill"].steps.total,
+                runs["RegexReplace"].steps.total,
+                "yes" if runs["CLX"].perfect else "no",
+            )
+        )
+
+    print(
+        format_table(
+            ["task", "rows", "CLX steps", "FlashFill steps", "RegexReplace steps", "CLX perfect"],
+            rows,
+        )
+    )
+    print(
+        "\nSteps: CLX = selections + repairs, FlashFill = examples, "
+        "RegexReplace = 2 × rules; plus one step per row left wrong."
+    )
+
+
+if __name__ == "__main__":
+    main()

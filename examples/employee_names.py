@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Normalizing employee names with program repair (paper Example 6 / Table 4).
+
+Name tasks are the classic case of *semantic ambiguity* (Section 6.4):
+``Dr. Eran Yahav`` and ``Bill Gates, Sr.`` contain several capitalized
+words that are all syntactically similar to the target's last-name slot,
+so the MDL-minimal plan is sometimes the wrong one.  CLX's answer is
+program repair: because token alignment is complete, the correct plan is
+always among the ranked candidates, and the user only has to pick it.
+
+This example shows the repair loop explicitly: inspect the default plan,
+check it on the data, swap in a better candidate where needed.
+
+Run with::
+
+    python examples/employee_names.py
+"""
+
+from repro import CLXSession
+from repro.dsl.interpreter import apply_plan
+from repro.patterns.matching import match_pattern
+
+
+RAW_NAMES = [
+    "Dr. Eran Yahav",
+    "Fisher, K.",
+    "Bill Gates, Sr.",
+    "Oege de Moor",
+    "Yahav, E.",
+    "Gulwani, S.",
+]
+
+#: What each raw name should become ("Last, F." format).
+DESIRED = {
+    "Dr. Eran Yahav": "Yahav, E.",
+    "Fisher, K.": "Fisher, K.",
+    "Bill Gates, Sr.": "Gates, B.",
+    "Oege de Moor": "Moor, O.",
+    "Yahav, E.": "Yahav, E.",
+    "Gulwani, S.": "Gulwani, S.",
+}
+
+
+def main() -> None:
+    session = CLXSession(RAW_NAMES)
+    session.label_target_from_string("Fisher, K.", generalize=1)
+
+    print("Default program:")
+    print(session.program)
+
+    # Verify each branch against the rows it matches and repair if wrong.
+    repairs = 0
+    for branch in list(session.program):
+        rows = [raw for raw in RAW_NAMES if match_pattern(raw, branch.pattern) is not None]
+        wrong = [
+            raw for raw in rows
+            if apply_plan(branch.plan, match_pattern(raw, branch.pattern)) != DESIRED[raw]
+        ]
+        if not wrong:
+            continue
+        print(f"\nDefault plan for {branch.pattern.notation()} is wrong on {wrong!r}; repairing…")
+        candidates = session.repair_candidates(branch.pattern)
+        for candidate in candidates.alternatives:
+            if all(
+                apply_plan(candidate, match_pattern(raw, branch.pattern)) == DESIRED[raw]
+                for raw in rows
+            ):
+                session.apply_repair(branch.pattern, candidate)
+                repairs += 1
+                print(f"  repaired with: {candidate}")
+                break
+
+    print(f"\nRepairs performed: {repairs}")
+    report = session.transform()
+    print("\nRaw data                 Transformed data")
+    for raw, out in report.pairs():
+        marker = "" if out == DESIRED[raw] else "   <-- still wrong"
+        print(f"{raw:<24} {out}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Normalizing messy medical billing codes (paper Example 5 / Table 3).
+
+The goal is to bring every CPT billing code into the form ``[CPT-XXXXX]``.
+The raw data mixes four formats::
+
+    CPT-00350      ->  [CPT-00350]
+    [CPT-00340     ->  [CPT-00340]
+    [CPT-11536]    ->  [CPT-11536]   (already correct)
+    CPT115         ->  [CPT-115]
+
+The target is labelled at the *generalized* level (``'['<U>+'-'<D>+']'``)
+— the user clicks the parent pattern in the hierarchy — which is what
+lets a single program cover codes of different widths, exactly as in the
+paper's Example 5 UniFi program.
+
+Run with::
+
+    python examples/medical_codes.py
+"""
+
+from repro import CLXSession
+
+
+RAW_CODES = [
+    "CPT-00350",
+    "[CPT-00340",
+    "[CPT-11536]",
+    "CPT115",
+    "CPT-21210",
+    "[CPT-00561",
+    "CPT984",
+    "[CPT-40012]",
+]
+
+
+def main() -> None:
+    session = CLXSession(RAW_CODES)
+
+    print("Pattern clusters discovered in the raw data:")
+    for summary in session.pattern_summary():
+        print(f"  {summary.pattern.notation():<28} {summary.count} rows   e.g. {summary.samples[0]}")
+
+    # Label the generalized pattern of an already-correct value, i.e. the
+    # parent cluster "'['<U>+'-'<D>+']'".
+    target = session.label_target_from_string("[CPT-11536]", generalize=1)
+    print(f"\nTarget pattern: {target.notation()}")
+
+    print("\nSynthesized UniFi program:")
+    print(session.program)
+
+    print("\nExplained as Replace operations:")
+    for operation in session.explain():
+        print(f"  {operation}")
+
+    report = session.transform()
+    print("\nRaw data                 Transformed data")
+    for raw, out in report.pairs():
+        print(f"{raw:<24} {out}")
+
+    assert report.is_perfect, "every code should now match [CPT-XXXXX]"
+    print("\nAll codes normalized.")
+
+
+if __name__ == "__main__":
+    main()

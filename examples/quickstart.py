@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: normalize a messy phone-number column with CLX.
+
+This walks through the paper's motivating example (Section 2): Bob has a
+column of phone numbers in half a dozen formats and wants them all as
+``XXX-XXX-XXXX``.  With CLX he
+
+1. sees the column summarized as a handful of *pattern clusters* instead
+   of thousands of rows,
+2. labels the desired pattern,
+3. reviews the suggested regexp Replace operations, and
+4. applies them — verifying at the pattern level throughout.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CLXSession
+from repro.bench.phone import phone_dataset
+from repro.core.preview import preview_table, render_preview
+
+
+def main() -> None:
+    # A synthetic stand-in for the paper's 331-row NYC phone column:
+    # 300 rows across six formats.
+    raw, _expected = phone_dataset(count=300, format_count=6, seed=331)
+
+    session = CLXSession(raw)
+
+    print("=== Step 1: cluster — the column as pattern clusters ===")
+    for summary in session.pattern_summary():
+        print(f"  {summary.pattern.notation():<40} {summary.count:>4} rows   e.g. {summary.samples[0]}")
+
+    print("\n=== Step 2: label — choose the desired pattern ===")
+    target = session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    print(f"  target: {target.notation()}")
+
+    print("\n=== Step 3: transform — suggested Replace operations ===")
+    for operation in session.explain():
+        print(f"  {operation}")
+
+    report = session.transform()
+    print("\n=== Step 4: verify — post-transformation pattern clusters ===")
+    for summary in session.transformed_summary():
+        print(f"  {summary.pattern.notation():<40} {summary.count:>4} rows")
+
+    print("\nPreview (a few rows per source pattern):")
+    print(render_preview(preview_table(report, per_pattern=2)))
+
+    print(f"\n{report.conforming_count}/{report.row_count} rows now match the target "
+          f"({report.flagged_count} flagged for review).")
+
+
+if __name__ == "__main__":
+    main()

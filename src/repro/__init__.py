@@ -1,0 +1,84 @@
+"""repro — a reproduction of "CLX: Towards verifiable PBE data transformation".
+
+The package implements the CLX Cluster–Label–Transform paradigm (Jin et
+al., 2019) together with every substrate its evaluation depends on:
+
+* ``repro.tokens`` / ``repro.patterns`` — the token & pattern model;
+* ``repro.clustering`` — hierarchical pattern profiling (Section 4);
+* ``repro.dsl`` — the UniFi DSL, its interpreter, MDL scoring and the
+  explanation into regexp Replace operations (Section 5);
+* ``repro.synthesis`` — source validation, token alignment, plan
+  enumeration/ranking and program repair (Section 6);
+* ``repro.core`` — the :class:`CLXSession` end-to-end API;
+* ``repro.baselines`` — the FlashFill-style PBE baseline and the
+  RegexReplace baseline used in the evaluation (Section 7);
+* ``repro.simulation`` — simulated users, the Step effort metric, and the
+  verification/comprehension cost models behind the user studies;
+* ``repro.bench`` — synthetic dataset generators and the 47-task
+  benchmark suite.
+
+Quickstart:
+    >>> from repro import CLXSession
+    >>> session = CLXSession(["(734) 645-8397", "734-422-8073", "734.236.3466"])
+    >>> _ = session.label_target_from_string("(734) 645-8397")
+    >>> report = session.transform()
+    >>> report.outputs
+    ['(734) 645-8397', '(734) 422-8073', '(734) 236-3466']
+"""
+
+from repro.clustering import PatternHierarchy, PatternProfiler, profile
+from repro.core import CLXSession, TransformReport, transform_column
+from repro.dsl import (
+    AtomicPlan,
+    Branch,
+    ConstStr,
+    Extract,
+    ReplaceOperation,
+    UniFiProgram,
+    apply_program,
+    explain_program,
+)
+from repro.patterns import Pattern, parse_pattern, pattern_of_string
+from repro.synthesis import SynthesisResult, Synthesizer, synthesize
+from repro.tokens import Token, TokenClass, tokenize
+from repro.util.errors import (
+    CLXError,
+    PatternParseError,
+    SynthesisError,
+    TransformError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicPlan",
+    "Branch",
+    "CLXError",
+    "CLXSession",
+    "ConstStr",
+    "Extract",
+    "Pattern",
+    "PatternHierarchy",
+    "PatternParseError",
+    "PatternProfiler",
+    "ReplaceOperation",
+    "SynthesisError",
+    "SynthesisResult",
+    "Synthesizer",
+    "Token",
+    "TokenClass",
+    "TransformError",
+    "TransformReport",
+    "UniFiProgram",
+    "ValidationError",
+    "__version__",
+    "apply_program",
+    "explain_program",
+    "parse_pattern",
+    "pattern_of_string",
+    "profile",
+    "synthesize",
+    "tokenize",
+    "transform_column",
+]

@@ -1,0 +1,22 @@
+"""Baseline systems used by the paper's evaluation (Section 7).
+
+* :mod:`repro.baselines.flashfill` — a from-scratch example-driven
+  string-transformation synthesizer in the FlashFill/BlinkFill family:
+  the user provides input→output examples, the system generalizes them
+  into a program conditional on input patterns, and verification happens
+  at the *instance* level.
+* :mod:`repro.baselines.regex_replace` — the non-PBE "RegexReplace"
+  baseline (Trifacta Wrangler's manual regexp replace feature): the user
+  writes ordered regexp replace operations by hand.
+"""
+
+from repro.baselines.flashfill import FlashFillProgram, FlashFillSession, FlashFillSynthesizer
+from repro.baselines.regex_replace import RegexReplaceSession, RegexRule
+
+__all__ = [
+    "FlashFillProgram",
+    "FlashFillSession",
+    "FlashFillSynthesizer",
+    "RegexReplaceSession",
+    "RegexRule",
+]

@@ -1,0 +1,22 @@
+"""A FlashFill-style Programming-By-Example baseline.
+
+This is a from-scratch re-implementation of the *interaction model and
+synthesis granularity* of FlashFill/BlinkFill as needed by the paper's
+comparison: the user supplies input→output examples, the system learns a
+program made of conditional cases (one per input format) whose
+transformation is a concatenation of token extractions and constants,
+and applies it to the whole column.  Crucially — and this is the property
+the CLX paper contrasts against — the program is *not* surfaced to the
+user: verification happens by reading the transformed rows one by one.
+"""
+
+from repro.baselines.flashfill.language import ConditionalCase, FlashFillProgram
+from repro.baselines.flashfill.synthesizer import FlashFillSynthesizer
+from repro.baselines.flashfill.session import FlashFillSession
+
+__all__ = [
+    "ConditionalCase",
+    "FlashFillProgram",
+    "FlashFillSession",
+    "FlashFillSynthesizer",
+]

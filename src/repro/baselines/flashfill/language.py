@@ -1,0 +1,104 @@
+"""Program representation for the FlashFill-style baseline.
+
+A :class:`FlashFillProgram` is a list of :class:`ConditionalCase`s.  Each
+case guards an atomic transformation plan (the same ``Concat`` of
+``Extract``/``ConstStr`` expressions UniFi uses — both FlashFill and
+BlinkFill build their traces out of substring extractions and constants)
+with the leaf pattern of the example inputs it was learned from.  A case
+can optionally also match on the quantifier-generalized form of its
+pattern, which is how FlashFill generalizes one example to inputs of the
+same shape but different field widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dsl.ast import AtomicPlan
+from repro.dsl.interpreter import apply_plan
+from repro.patterns.generalize import generalize_quantifier
+from repro.patterns.matching import match_pattern
+from repro.patterns.pattern import Pattern
+from repro.util.errors import TransformError
+
+
+@dataclass(frozen=True)
+class ConditionalCase:
+    """One learned case: an input pattern guard and its transformation plan.
+
+    Attributes:
+        pattern: Exact leaf pattern of the inputs this case was learned
+            from.
+        plan: The transformation plan applied to matching inputs.
+        generalized: The quantifier-generalized form of ``pattern``; used
+            as a secondary guard so the case also fires on inputs of the
+            same shape with different field widths.
+    """
+
+    pattern: Pattern
+    plan: AtomicPlan
+    generalized: Pattern
+
+    def try_apply(self, value: str, allow_generalized: bool = True) -> Optional[str]:
+        """Apply this case to ``value`` if it matches, else return ``None``."""
+        token_texts = match_pattern(value, self.pattern)
+        if token_texts is None and allow_generalized:
+            token_texts = match_pattern(value, self.generalized)
+            if token_texts is not None and len(self.generalized) != len(self.pattern):
+                # Token indices in the plan refer to the exact pattern; a
+                # generalized pattern with merged tokens would misalign
+                # them, so only use it when the token count is unchanged.
+                token_texts = None
+        if token_texts is None:
+            return None
+        try:
+            return apply_plan(self.plan, token_texts)
+        except TransformError:
+            return None
+
+
+@dataclass(frozen=True)
+class FlashFillProgram:
+    """An ordered list of conditional cases (first match wins).
+
+    Attributes:
+        cases: Learned cases, most recently learned formats last.
+    """
+
+    cases: Tuple[ConditionalCase, ...]
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def apply(self, value: str) -> Optional[str]:
+        """Transform ``value``; ``None`` when no case applies.
+
+        Exact-pattern matches are preferred over generalized matches so a
+        precisely learned format never loses to a looser case.
+        """
+        for case in self.cases:
+            result = case.try_apply(value, allow_generalized=False)
+            if result is not None:
+                return result
+        for case in self.cases:
+            result = case.try_apply(value, allow_generalized=True)
+            if result is not None:
+                return result
+        return None
+
+    def apply_all(self, values: Sequence[str]) -> List[Optional[str]]:
+        """Transform every value of a column."""
+        return [self.apply(value) for value in values]
+
+
+def make_case(pattern: Pattern, plan: AtomicPlan) -> ConditionalCase:
+    """Build a :class:`ConditionalCase` computing its generalized guard."""
+    return ConditionalCase(
+        pattern=pattern,
+        plan=plan,
+        generalized=generalize_quantifier(pattern),
+    )

@@ -1,0 +1,119 @@
+"""The FlashFill interaction loop: provide an example, re-synthesize, verify.
+
+:class:`FlashFillSession` models how an end user drives FlashFill on one
+column: every :meth:`~FlashFillSession.add_example` re-synthesizes the
+program from all examples given so far and re-transforms the whole
+column.  The crucial difference from CLX — and the source of the paper's
+verification-cost gap — is that the only artefact the user can inspect is
+the transformed column itself, so finding the rows that are still wrong
+means reading rows (:meth:`~FlashFillSession.failing_rows` models the
+oracle the *simulated* user has; a human has to scan).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.flashfill.language import FlashFillProgram
+from repro.baselines.flashfill.synthesizer import FlashFillSynthesizer
+from repro.patterns.matching import matches
+from repro.patterns.pattern import Pattern
+from repro.util.errors import ValidationError
+
+
+class FlashFillSession:
+    """One FlashFill run over a column of raw values.
+
+    Args:
+        values: The raw column (must be non-empty).
+        synthesizer: Optional custom synthesizer.
+
+    Raises:
+        ValidationError: If ``values`` is empty.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[str],
+        synthesizer: Optional[FlashFillSynthesizer] = None,
+    ) -> None:
+        self._values: List[str] = [str(value) for value in values]
+        if not self._values:
+            raise ValidationError("FlashFillSession requires at least one value")
+        self._synthesizer = synthesizer or FlashFillSynthesizer()
+        self._examples: List[Tuple[str, str]] = []
+        self._program: FlashFillProgram = FlashFillProgram(())
+
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> List[str]:
+        """The raw column values."""
+        return list(self._values)
+
+    @property
+    def examples(self) -> List[Tuple[str, str]]:
+        """Examples provided so far, in order."""
+        return list(self._examples)
+
+    @property
+    def example_count(self) -> int:
+        """Number of examples provided so far."""
+        return len(self._examples)
+
+    @property
+    def program(self) -> FlashFillProgram:
+        """The currently learned program."""
+        return self._program
+
+    # ------------------------------------------------------------------
+    def add_example(self, raw: str, desired: str) -> FlashFillProgram:
+        """Provide one input→output example and re-synthesize.
+
+        Returns the updated program (also stored on the session).
+        """
+        self._examples.append((raw, desired))
+        self._program = self._synthesizer.learn(self._examples)
+        return self._program
+
+    def outputs(self) -> List[Optional[str]]:
+        """Transformed column under the current program.
+
+        Rows the program cannot handle come back as ``None`` — in real
+        FlashFill they would show up as blank or wrong cells the user has
+        to spot.
+        """
+        return self._program.apply_all(self._values)
+
+    def outputs_or_input(self) -> List[str]:
+        """Transformed column with unhandled rows passed through unchanged."""
+        return [
+            output if output is not None else raw
+            for raw, output in zip(self._values, self.outputs())
+        ]
+
+    # ------------------------------------------------------------------
+    def failing_rows(self, expected: Dict[str, str]) -> List[str]:
+        """Raw rows whose current output differs from ``expected``.
+
+        Args:
+            expected: Oracle mapping from raw value to the desired output
+                (what a human user knows implicitly when scanning rows).
+        """
+        failing = []
+        for raw, output in zip(self._values, self.outputs()):
+            desired = expected.get(raw, raw)
+            if output != desired:
+                failing.append(raw)
+        return failing
+
+    def failing_rows_against_pattern(self, target: Pattern) -> List[str]:
+        """Raw rows whose current output does not match ``target``."""
+        failing = []
+        for raw, output in zip(self._values, self.outputs()):
+            if output is None or not matches(output, target):
+                failing.append(raw)
+        return failing
+
+    def is_complete(self, expected: Dict[str, str]) -> bool:
+        """Whether every row currently transforms to its expected output."""
+        return not self.failing_rows(expected)

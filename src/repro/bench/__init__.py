@@ -1,0 +1,20 @@
+"""Benchmark workloads: synthetic datasets and the 47-task suite.
+
+The paper evaluates on datasets that are not redistributable (a NYC open
+data phone column, SyGuS/FlashFill/BlinkFill/PredProg/PROSE test cases).
+This package regenerates synthetic equivalents: the same format mixes,
+sizes and heterogeneity, produced deterministically from fixed seeds, so
+every experiment in ``benchmarks/`` is reproducible offline.
+"""
+
+from repro.bench.task import TransformationTask
+from repro.bench.phone import phone_dataset, phone_user_study_cases
+from repro.bench.suite import benchmark_suite, suite_statistics
+
+__all__ = [
+    "TransformationTask",
+    "benchmark_suite",
+    "phone_dataset",
+    "phone_user_study_cases",
+    "suite_statistics",
+]

@@ -1,0 +1,478 @@
+"""Synthetic data generators for the benchmark scenarios.
+
+Each generator produces raw strings in a controlled mixture of formats
+together with the desired normalized form, deterministically from a
+seed.  They stand in for the paper's non-redistributable datasets (the
+NYC phone column and the SyGuS / FlashFill / BlinkFill / PredProg /
+PROSE test inputs); what matters for the reproduction is the *format
+mix*, size and heterogeneity, which these generators preserve.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.util.rand import digits, letters, make_rng
+
+# A pool of plausible name fragments used by the name/address generators.
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Eran",
+    "Oege", "Rishabh", "Sumit", "Kathleen", "Zhongjun",
+]
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Yahav", "Fisher", "Gates", "Moor", "Gulwani", "Singh", "Walker",
+]
+STREET_NAMES = [
+    "Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Washington", "Lake",
+    "Hill", "Park", "Michigan", "State", "Liberty", "Huron", "Packard",
+]
+STREET_TYPES = ["St", "Ave", "Rd", "Blvd", "Dr", "Ln", "Way", "Ct"]
+CITIES = [
+    "Ann Arbor", "Chicago", "Seattle", "Redmond", "Austin", "Boston",
+    "Denver", "Portland", "Madison", "Berkeley", "Columbus", "Atlanta",
+]
+STATES = ["MI", "IL", "WA", "TX", "MA", "CO", "OR", "WI", "CA", "OH", "GA", "NY"]
+UNIVERSITIES = [
+    "University of Michigan", "Stanford University", "MIT",
+    "University of Washington", "UC Berkeley", "Carnegie Mellon University",
+    "University of Texas", "Cornell University", "Princeton University",
+]
+COMPANIES = ["Trifacta", "Microsoft", "Google", "Amazon", "Apple", "IBM", "Intel"]
+PRODUCTS = ["Widget", "Gadget", "Sprocket", "Gizmo", "Module", "Adapter"]
+MONTH_NAMES = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+
+# ----------------------------------------------------------------------
+# Phone numbers
+# ----------------------------------------------------------------------
+#: The phone formats observed in the paper's Figure 1/3 and their
+#: relative weights (mirroring the skew of the Times Square column).
+PHONE_FORMATS: Sequence[Tuple[str, float]] = (
+    ("paren_space", 0.30),   # (734) 645-8397
+    ("paren_tight", 0.20),   # (734)586-7252
+    ("dashes", 0.22),        # 734-422-8073
+    ("dots", 0.12),          # 734.236.3466
+    ("spaces", 0.08),        # 734 422 8073
+    ("plus_one", 0.05),      # +1 734-285-5210
+    ("plain", 0.03),         # 7342363466 (not splittable at token level)
+)
+
+
+def _phone_parts(rng: random.Random) -> Tuple[str, str, str]:
+    """Random (area, prefix, line) phone number components."""
+    area = str(rng.randrange(200, 990))
+    prefix = str(rng.randrange(200, 990))
+    line = digits(rng, 4)
+    return area, prefix, line
+
+
+def _render_phone(fmt: str, area: str, prefix: str, line: str) -> str:
+    if fmt == "paren_space":
+        return f"({area}) {prefix}-{line}"
+    if fmt == "paren_tight":
+        return f"({area}){prefix}-{line}"
+    if fmt == "dashes":
+        return f"{area}-{prefix}-{line}"
+    if fmt == "dots":
+        return f"{area}.{prefix}.{line}"
+    if fmt == "spaces":
+        return f"{area} {prefix} {line}"
+    if fmt == "plain":
+        return f"{area}{prefix}{line}"
+    if fmt == "plus_one":
+        return f"+1 {area}-{prefix}-{line}"
+    raise ValueError(f"unknown phone format {fmt!r}")
+
+
+def phone_numbers(
+    count: int,
+    formats: Sequence[str],
+    seed: int = 1,
+    desired: str = "dashes",
+) -> Tuple[List[str], Dict[str, str]]:
+    """Generate ``count`` phone numbers across ``formats``.
+
+    Args:
+        count: Number of rows.
+        formats: Which of :data:`PHONE_FORMATS` names to use; every format
+            is guaranteed at least one row (as long as ``count`` allows).
+        seed: RNG seed.
+        desired: The format every number should be normalized to.
+
+    Returns:
+        ``(raw_values, expected)`` where ``expected`` maps each raw value
+        to its desired form.
+    """
+    if count < len(formats):
+        raise ValueError("count must be at least the number of formats")
+    rng = make_rng(seed)
+    weights = {name: weight for name, weight in PHONE_FORMATS}
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    # One guaranteed row per format, then weighted sampling.
+    assignments = list(formats)
+    remaining = count - len(assignments)
+    format_weights = [weights.get(name, 0.1) for name in formats]
+    assignments.extend(rng.choices(list(formats), weights=format_weights, k=remaining))
+    rng.shuffle(assignments)
+    for fmt in assignments:
+        area, prefix, line = _phone_parts(rng)
+        value = _render_phone(fmt, area, prefix, line)
+        raw.append(value)
+        expected[value] = _render_phone(desired, area, prefix, line)
+    return raw, expected
+
+
+# ----------------------------------------------------------------------
+# Human names
+# ----------------------------------------------------------------------
+def human_names(
+    count: int,
+    seed: int = 2,
+    with_titles: bool = True,
+) -> Tuple[List[str], Dict[str, str]]:
+    """Names in mixed formats normalized to ``"Last, F."``.
+
+    Formats generated: ``First Last``, ``Dr. First Last``, ``Last, F.``
+    (already correct) and ``First M. Last``.
+    """
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    forms = ["first_last", "title", "correct", "middle"] if with_titles else [
+        "first_last", "correct", "middle"
+    ]
+    for index in range(count):
+        first = rng.choice(FIRST_NAMES)
+        last = rng.choice(LAST_NAMES)
+        form = forms[index % len(forms)]
+        desired = f"{last}, {first[0]}."
+        if form == "first_last":
+            value = f"{first} {last}"
+        elif form == "title":
+            value = f"Dr. {first} {last}"
+        elif form == "middle":
+            middle = rng.choice(FIRST_NAMES)
+            value = f"{first} {middle[0]}. {last}"
+        else:
+            value = desired
+        raw.append(value)
+        expected[value] = desired
+    return raw, expected
+
+
+# ----------------------------------------------------------------------
+# Dates
+# ----------------------------------------------------------------------
+def dates(
+    count: int,
+    seed: int = 3,
+) -> Tuple[List[str], Dict[str, str]]:
+    """Dates in mixed formats normalized to ``MM/DD/YYYY``."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    forms = ["slash", "dash", "dots", "correct"]
+    for index in range(count):
+        month = rng.randrange(1, 13)
+        day = rng.randrange(1, 29)
+        year = rng.randrange(1980, 2020)
+        desired = f"{month:02d}/{day:02d}/{year}"
+        form = forms[index % len(forms)]
+        if form == "slash":
+            value = f"{year}/{month:02d}/{day:02d}"
+        elif form == "dash":
+            value = f"{month:02d}-{day:02d}-{year}"
+        elif form == "dots":
+            value = f"{day:02d}.{month:02d}.{year}"
+        else:
+            value = desired
+        raw.append(value)
+        expected[value] = desired
+    return raw, expected
+
+
+# ----------------------------------------------------------------------
+# Addresses
+# ----------------------------------------------------------------------
+def addresses(
+    count: int,
+    seed: int = 4,
+) -> Tuple[List[str], Dict[str, str]]:
+    """US street addresses; the goal is extracting the city name."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    for index in range(count):
+        number = rng.randrange(10, 9999)
+        street = rng.choice(STREET_NAMES)
+        street_type = rng.choice(STREET_TYPES)
+        city = rng.choice(CITIES)
+        state = rng.choice(STATES)
+        zipcode = digits(rng, 5)
+        if index % 3 == 0:
+            value = f"{number} {street} {street_type}, {city}, {state} {zipcode}"
+        elif index % 3 == 1:
+            value = f"{number} {street} {street_type}, {city}"
+        else:
+            value = f"{city}"
+        raw.append(value)
+        expected[value] = city
+    return raw, expected
+
+
+# ----------------------------------------------------------------------
+# Product / medical / id codes
+# ----------------------------------------------------------------------
+def medical_codes(count: int, seed: int = 5) -> Tuple[List[str], Dict[str, str]]:
+    """CPT billing codes normalized to ``[CPT-XXXXX]`` (paper Example 5)."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    forms = ["bare", "open", "correct", "tight"]
+    for index in range(count):
+        code = digits(rng, 5)
+        desired = f"[CPT-{code}]"
+        form = forms[index % len(forms)]
+        if form == "bare":
+            value = f"CPT-{code}"
+        elif form == "open":
+            value = f"[CPT-{code}"
+        elif form == "tight":
+            value = f"CPT{code}"
+            desired = f"[CPT-{code}]"
+        else:
+            value = desired
+        raw.append(value)
+        expected[value] = desired
+    return raw, expected
+
+
+def product_ids(count: int, seed: int = 6) -> Tuple[List[str], Dict[str, str]]:
+    """Product identifiers normalized to ``ABC-1234`` style."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    forms = ["tight", "space", "lower", "correct"]
+    for index in range(count):
+        prefix = letters(rng, 3, upper=True)
+        code = digits(rng, 4)
+        desired = f"{prefix}-{code}"
+        form = forms[index % len(forms)]
+        if form == "tight":
+            value = f"{prefix}{code}"
+        elif form == "space":
+            value = f"{prefix} {code}"
+        elif form == "lower":
+            # Lowercase prefixes would need a case conversion, which is a
+            # semantic transformation UniFi does not support; their
+            # desired form keeps the original letters.
+            value = f"{prefix.lower()}-{code}"
+            desired = value
+        else:
+            value = desired
+        raw.append(value)
+        expected[value] = desired
+    return raw, expected
+
+
+def log_entries(count: int, seed: int = 7) -> Tuple[List[str], Dict[str, str]]:
+    """Web-log-like entries; the goal is extracting the status code."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    methods = ["GET", "POST", "PUT"]
+    for _ in range(count):
+        ip = ".".join(str(rng.randrange(1, 255)) for _ in range(4))
+        method = rng.choice(methods)
+        path = "/" + letters(rng, rng.randrange(3, 8))
+        status = rng.choice(["200", "404", "500", "302"])
+        value = f"{ip} {method} {path} {status}"
+        raw.append(value)
+        expected[value] = status
+    return raw, expected
+
+
+def urls(count: int, seed: int = 8) -> Tuple[List[str], Dict[str, str]]:
+    """URLs; the goal is extracting the host name."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    domains = ["example", "umich", "trifacta", "github", "wikipedia", "acm"]
+    tlds = ["com", "edu", "org", "net"]
+    for index in range(count):
+        domain = rng.choice(domains)
+        tld = rng.choice(tlds)
+        host = f"{domain}.{tld}"
+        path = "/" + letters(rng, rng.randrange(3, 8))
+        if index % 3 == 0:
+            value = f"https://{host}{path}"
+        elif index % 3 == 1:
+            value = f"http://{host}{path}"
+        else:
+            value = f"{host}"
+        raw.append(value)
+        expected[value] = host
+    return raw, expected
+
+
+def emails(count: int, seed: int = 9) -> Tuple[List[str], Dict[str, str]]:
+    """Email addresses; the goal is extracting the login (local part)."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    hosts = ["gmail.com", "umich.edu", "outlook.com", "yahoo.com"]
+    for _ in range(count):
+        login = letters(rng, rng.randrange(4, 9))
+        host = rng.choice(hosts)
+        value = f"{login}@{host}"
+        raw.append(value)
+        expected[value] = login
+    return raw, expected
+
+
+def university_names(count: int, seed: int = 10) -> Tuple[List[str], Dict[str, str]]:
+    """University names with city/state suffixes; goal: drop the suffix."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    for index in range(count):
+        university = rng.choice(UNIVERSITIES)
+        city = rng.choice(CITIES)
+        state = rng.choice(STATES)
+        if index % 2 == 0:
+            value = f"{university}, {city}, {state}"
+        else:
+            value = f"{university}"
+        raw.append(value)
+        expected[value] = university
+    return raw, expected
+
+
+def car_model_ids(count: int, seed: int = 11) -> Tuple[List[str], Dict[str, str]]:
+    """Car model identifiers normalized to ``AA-00-aa`` style groups."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    forms = ["spaced", "tight", "correct"]
+    for index in range(count):
+        make = letters(rng, 2, upper=True)
+        number = digits(rng, 2)
+        trim = letters(rng, 2)
+        desired = f"{make}-{number}-{trim}"
+        form = forms[index % len(forms)]
+        if form == "spaced":
+            value = f"{make} {number} {trim}"
+        elif form == "tight":
+            value = f"{make}{number}{trim}"
+        else:
+            value = desired
+        raw.append(value)
+        expected[value] = desired
+    return raw, expected
+
+
+def currency_amounts(count: int, seed: int = 12) -> Tuple[List[str], Dict[str, str]]:
+    """Prices in mixed formats normalized to ``$X.YY``."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    forms = ["bare", "usd", "correct"]
+    for index in range(count):
+        dollars = rng.randrange(1, 999)
+        cents = digits(rng, 2)
+        desired = f"${dollars}.{cents}"
+        form = forms[index % len(forms)]
+        if form == "bare":
+            value = f"{dollars}.{cents}"
+        elif form == "usd":
+            value = f"{dollars}.{cents} USD"
+        else:
+            value = desired
+        raw.append(value)
+        expected[value] = desired
+    return raw, expected
+
+
+def file_paths(count: int, seed: int = 13) -> Tuple[List[str], Dict[str, str]]:
+    """File paths; the goal is extracting the file name."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    for _ in range(count):
+        depth = rng.randrange(1, 3)
+        directories = "/".join(letters(rng, rng.randrange(3, 7)) for _ in range(depth))
+        name = letters(rng, rng.randrange(3, 8))
+        extension = rng.choice(["txt", "csv", "json"])
+        value = f"/{directories}/{name}.{extension}"
+        raw.append(value)
+        expected[value] = f"{name}.{extension}"
+    return raw, expected
+
+
+def name_position_pairs(count: int, seed: int = 14) -> Tuple[List[str], Dict[str, str]]:
+    """"Name (Position)" strings; the goal is extracting the position."""
+    rng = make_rng(seed)
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    positions = ["Manager", "Engineer", "Director", "Analyst", "Designer"]
+    for _ in range(count):
+        first = rng.choice(FIRST_NAMES)
+        last = rng.choice(LAST_NAMES)
+        position = rng.choice(positions)
+        value = f"{first} {last} ({position})"
+        raw.append(value)
+        expected[value] = position
+    return raw, expected
+
+
+def country_numbers(count: int, seed: int = 15) -> Tuple[List[str], Dict[str, str]]:
+    """"Country 12345" rows normalized to just the number."""
+    rng = make_rng(seed)
+    countries = ["France", "Germany", "Japan", "Brazil", "Canada", "Kenya"]
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    for index in range(count):
+        country = rng.choice(countries)
+        number = digits(rng, rng.randrange(3, 6))
+        if index % 2 == 0:
+            value = f"{country} {number}"
+        else:
+            value = f"{country}: {number}"
+        raw.append(value)
+        expected[value] = number
+    return raw, expected
+
+
+def city_country_pairs(count: int, seed: int = 16) -> Tuple[List[str], Dict[str, str]]:
+    """"City, Country" rows normalized to ``City (Country)``."""
+    rng = make_rng(seed)
+    pairs = [
+        ("Paris", "France"), ("Berlin", "Germany"), ("Tokyo", "Japan"),
+        ("Toronto", "Canada"), ("Nairobi", "Kenya"), ("Austin", "USA"),
+    ]
+    raw: List[str] = []
+    expected: Dict[str, str] = {}
+    forms = ["comma", "dash", "correct"]
+    for index in range(count):
+        city, country = rng.choice(pairs)
+        desired = f"{city} ({country})"
+        form = forms[index % len(forms)]
+        if form == "comma":
+            value = f"{city}, {country}"
+        elif form == "dash":
+            value = f"{city} - {country}"
+        else:
+            value = desired
+        raw.append(value)
+        expected[value] = desired
+    return raw, expected

@@ -1,0 +1,80 @@
+"""The phone-number user-study workload (paper Section 7.2).
+
+The paper's first user study uses a column of 331 messy phone numbers
+from the "Times Square Food & Beverage Locations" open data set, sampled
+into three cases of growing size and heterogeneity:
+
+* ``10(2)``  — 10 rows, 2 formats,
+* ``100(4)`` — 100 rows, 4 formats,
+* ``300(6)`` — 300 rows, 6 formats,
+
+with the goal of normalizing everything to ``<D>3-<D>3-<D>4``.  The
+original column is not redistributable, so :func:`phone_dataset`
+regenerates an equivalent synthetic column with the same format mix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.generators import PHONE_FORMATS, phone_numbers
+from repro.bench.task import TransformationTask
+
+#: The format subsets used by the three user-study cases.  The first two
+#: formats are the most common ones; each larger case adds formats, which
+#: is what "heterogeneity" means in the paper's case names.
+CASE_DEFINITIONS: Sequence[Tuple[str, int, int]] = (
+    ("10(2)", 10, 2),
+    ("100(4)", 100, 4),
+    ("300(6)", 300, 6),
+)
+
+#: Formats used by the user-study cases, in the order new formats are
+#: introduced as the cases grow.  The bare 10-digit "plain" format is
+#: excluded: no token-level system (CLX, the FlashFill baseline or a
+#: pattern-level Replace) can split an unseparated digit run, and the
+#: paper's study data contained only separable formats.
+_FORMAT_ORDER = [name for name, _weight in PHONE_FORMATS if name != "plain"]
+
+
+def phone_dataset(
+    count: int,
+    format_count: int,
+    seed: int = 331,
+) -> Tuple[List[str], Dict[str, str]]:
+    """Generate a phone column with ``count`` rows across ``format_count`` formats.
+
+    The desired form is ``XXX-XXX-XXXX`` (the paper's target pattern
+    ``<D>3-<D>3-<D>4``).
+
+    Raises:
+        ValueError: If ``format_count`` exceeds the number of known formats.
+    """
+    if format_count > len(_FORMAT_ORDER):
+        raise ValueError(
+            f"at most {len(_FORMAT_ORDER)} phone formats are available"
+        )
+    formats = _FORMAT_ORDER[:format_count]
+    return phone_numbers(count, formats, seed=seed, desired="dashes")
+
+
+def phone_user_study_cases(seed: int = 331) -> List[TransformationTask]:
+    """The three user-study cases as :class:`~repro.bench.task.TransformationTask`s."""
+    tasks: List[TransformationTask] = []
+    for name, count, format_count in CASE_DEFINITIONS:
+        raw, expected = phone_dataset(count, format_count, seed=seed)
+        tasks.append(
+            TransformationTask(
+                task_id=f"userstudy-phone-{name}",
+                source="UserStudy",
+                data_type="phone number",
+                inputs=raw,
+                expected=expected,
+                target_notation="<D>3'-'<D>3'-'<D>4",
+                description=(
+                    f"Normalize {count} phone numbers in {format_count} formats "
+                    "to XXX-XXX-XXXX"
+                ),
+            )
+        )
+    return tasks

@@ -1,0 +1,141 @@
+"""Assembly of the 47-task benchmark suite and its summary statistics.
+
+:func:`benchmark_suite` returns the full suite; :func:`suite_statistics`
+computes the per-source rows of the paper's Table 6 (number of tests,
+average size, average/max string length, data types);
+:func:`explainability_tasks` returns the three tasks of the Section 7.3
+user study (Table 5) together with their comprehension quizzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench import scenarios
+from repro.bench.generators import phone_numbers
+from repro.bench.task import TransformationTask
+
+
+def benchmark_suite() -> List[TransformationTask]:
+    """All 47 benchmark tasks, grouped by source family in a stable order."""
+    return (
+        scenarios.sygus_tasks()
+        + scenarios.flashfill_tasks()
+        + scenarios.blinkfill_tasks()
+        + scenarios.predprog_tasks()
+        + scenarios.prose_tasks()
+    )
+
+
+@dataclass(frozen=True)
+class SourceStatistics:
+    """One row of Table 6.
+
+    Attributes:
+        source: Benchmark family name.
+        test_count: Number of tasks from this family.
+        average_size: Mean number of rows per task.
+        average_length: Mean raw string length across the family's rows.
+        max_length: Maximum raw string length across the family's rows.
+        data_types: Distinct data types covered, alphabetical.
+    """
+
+    source: str
+    test_count: int
+    average_size: float
+    average_length: float
+    max_length: int
+    data_types: Tuple[str, ...]
+
+
+def suite_statistics(tasks: Sequence[TransformationTask] | None = None) -> List[SourceStatistics]:
+    """Per-source statistics of the suite (Table 6), plus an "Overall" row."""
+    tasks = list(tasks) if tasks is not None else benchmark_suite()
+    by_source: Dict[str, List[TransformationTask]] = {}
+    for task in tasks:
+        by_source.setdefault(task.source, []).append(task)
+
+    rows: List[SourceStatistics] = []
+    for source in ("SyGuS", "FlashFill", "BlinkFill", "PredProg", "PROSE"):
+        members = by_source.get(source, [])
+        if not members:
+            continue
+        rows.append(_statistics_for(source, members))
+    rows.append(_statistics_for("Overall", tasks))
+    return rows
+
+
+def _statistics_for(source: str, tasks: Sequence[TransformationTask]) -> SourceStatistics:
+    lengths = [len(value) for task in tasks for value in task.inputs]
+    return SourceStatistics(
+        source=source,
+        test_count=len(tasks),
+        average_size=sum(task.size for task in tasks) / len(tasks),
+        average_length=sum(lengths) / len(lengths),
+        max_length=max(lengths),
+        data_types=tuple(sorted({task.data_type for task in tasks})),
+    )
+
+
+# ----------------------------------------------------------------------
+# Explainability study tasks (Table 5) and quizzes (Appendix C)
+# ----------------------------------------------------------------------
+def explainability_tasks() -> List[TransformationTask]:
+    """The three tasks of the Section 7.3 study (Table 5).
+
+    * task 1 — human names, 10 rows (FlashFill "Example 11" family);
+    * task 2 — addresses, 10 rows (PredProg "Example 3" family);
+    * task 3 — phone numbers, 100 rows (SyGuS "phone-10-long" family).
+    """
+    flashfill = {task.task_id: task for task in scenarios.flashfill_tasks()}
+    predprog = {task.task_id: task for task in scenarios.predprog_tasks()}
+
+    task1 = flashfill["flashfill-names"]
+    task2 = predprog["predprog-address"]
+
+    raw, expected = phone_numbers(
+        100, ["paren_space", "dashes", "dots", "plus_one"], seed=999, desired="dashes"
+    )
+    task3 = TransformationTask(
+        task_id="sygus-phone-10-long",
+        source="SyGuS",
+        data_type="phone number",
+        inputs=raw,
+        expected=expected,
+        target_notation="<D>3'-'<D>3'-'<D>4",
+        description="Normalize 100 phone numbers to XXX-XXX-XXXX (explainability task 3)",
+    )
+    return [task1, task2, task3]
+
+
+def explainability_quizzes() -> List[Tuple[TransformationTask, List["QuizQuestion"]]]:
+    """The three tasks paired with their Appendix-C-style quizzes."""
+    # Imported here to keep repro.bench importable without pulling in the
+    # simulation package (which itself depends on repro.bench).
+    from repro.simulation.comprehension import build_quiz
+
+    task1, task2, task3 = explainability_tasks()
+
+    quiz1 = build_quiz(
+        task1,
+        seen_format_input="Barack Obama",
+        seen_format_output="Obama, B.",
+        novel_format_input="Obama, Barack Hussein",
+        novel_format_output="Obama, Barack Hussein",
+    )
+    quiz2 = build_quiz(
+        task2,
+        seen_format_input="155 Main St, Denver, CO 92173",
+        seen_format_output="Denver",
+        novel_format_input="12 South Michigan Ave, Chicago",
+        novel_format_output="12 South Michigan Ave, Chicago",
+    )
+    quiz3 = build_quiz(
+        task3,
+        seen_format_input="(844) 332-2820",
+        seen_format_output="844-332-2820",
+        novel_format_input="+1 (844) 332-282 ext57",
+        novel_format_output="+1 (844) 332-282 ext57",
+    )
+    return [(task1, quiz1), (task2, quiz2), (task3, quiz3)]

@@ -1,0 +1,113 @@
+"""The benchmark task abstraction used by the effort simulation.
+
+A :class:`TransformationTask` bundles everything a simulated user (or an
+example script) needs to run one data-pattern-transformation scenario on
+any of the three systems: the raw column, the desired output for every
+row, and how the target pattern is labelled in CLX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.patterns.generalize import GENERALIZATION_STRATEGIES
+from repro.patterns.matching import pattern_of_string
+from repro.patterns.parse import parse_pattern
+from repro.patterns.pattern import Pattern
+
+
+@dataclass
+class TransformationTask:
+    """One data pattern transformation scenario.
+
+    Attributes:
+        task_id: Unique identifier (e.g. ``"sygus-phone-1"``).
+        source: Which benchmark family the scenario imitates
+            ("SyGuS", "FlashFill", "BlinkFill", "PredProg", "PROSE",
+            "UserStudy").
+        data_type: Short description of the data ("phone number",
+            "human name", …) — reported in the Table 5/6 statistics.
+        inputs: The raw column values.
+        expected: Desired output for every raw value (the oracle the
+            simulated user consults when verifying).
+        target_example: A value already in the desired format, used to
+            label the CLX target (``None`` when ``target_notation`` is
+            given instead).
+        target_generalize: Number of refinement rounds applied to the
+            target example's pattern when labelling (0 = exact leaf).
+        target_notation: Explicit target pattern notation, for scenarios
+            where the desired format does not appear in the data.
+        description: One-line description of the transformation goal.
+    """
+
+    task_id: str
+    source: str
+    data_type: str
+    inputs: List[str]
+    expected: Dict[str, str]
+    target_example: Optional[str] = None
+    target_generalize: int = 0
+    target_notation: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError(f"task {self.task_id} has no input data")
+        missing = [value for value in self.inputs if value not in self.expected]
+        if missing:
+            raise ValueError(
+                f"task {self.task_id} lacks expected outputs for {len(missing)} inputs"
+            )
+        if self.target_example is None and self.target_notation is None:
+            raise ValueError(f"task {self.task_id} needs a target example or notation")
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of rows in the task."""
+        return len(self.inputs)
+
+    @property
+    def average_length(self) -> float:
+        """Average raw string length (Table 5/6 statistic)."""
+        return sum(len(value) for value in self.inputs) / len(self.inputs)
+
+    @property
+    def max_length(self) -> int:
+        """Maximum raw string length (Table 5/6 statistic)."""
+        return max(len(value) for value in self.inputs)
+
+    @property
+    def min_length(self) -> int:
+        """Minimum raw string length."""
+        return min(len(value) for value in self.inputs)
+
+    def target_pattern(self) -> Pattern:
+        """The CLX target pattern implied by the task definition."""
+        if self.target_notation is not None:
+            return parse_pattern(self.target_notation)
+        assert self.target_example is not None
+        pattern = pattern_of_string(self.target_example)
+        for strategy in GENERALIZATION_STRATEGIES[: max(0, self.target_generalize)]:
+            pattern = strategy(pattern)
+        return pattern
+
+    def distinct_leaf_patterns(self) -> List[Pattern]:
+        """Distinct leaf patterns present in the raw data (heterogeneity)."""
+        seen: List[Pattern] = []
+        seen_set = set()
+        for value in self.inputs:
+            pattern = pattern_of_string(value)
+            if pattern not in seen_set:
+                seen_set.add(pattern)
+                seen.append(pattern)
+        return seen
+
+    def desired_output(self, raw: str) -> str:
+        """The expected output for ``raw`` (the raw value itself if absent)."""
+        return self.expected.get(raw, raw)
+
+    def already_correct(self, raw: str) -> bool:
+        """Whether ``raw`` is already in the desired form."""
+        return self.expected.get(raw, raw) == raw

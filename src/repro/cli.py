@@ -1,0 +1,177 @@
+"""Command-line interface for the CLX reproduction.
+
+The CLI exposes the cluster–label–transform loop over CSV files so the
+library can be used without writing Python:
+
+``repro-clx profile data.csv --column phone``
+    Print the pattern clusters of a column (the Figure 3 view).
+
+``repro-clx transform data.csv --column phone --target-example "734-422-8073"``
+    Synthesize a program for the column, print the explained Replace
+    operations, and write the transformed CSV (stdout or ``--output``).
+
+``repro-clx suite``
+    Print the statistics of the bundled 47-task benchmark suite (Table 6).
+
+Every command is also callable programmatically via :func:`main`, which
+takes an ``argv`` list and returns a process exit code — that is how the
+test suite drives it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.session import CLXSession
+from repro.util.errors import CLXError
+from repro.util.text import format_table
+
+
+def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], List[str], str]:
+    """Read a CSV file and return (rows, header, resolved column name)."""
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise CLXError(f"{path} has no header row")
+        header = list(reader.fieldnames)
+        rows = list(reader)
+    if column in header:
+        resolved = column
+    elif column.isdigit() and int(column) < len(header):
+        resolved = header[int(column)]
+    else:
+        raise CLXError(f"column {column!r} not found; available: {', '.join(header)}")
+    return rows, header, resolved
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    rows, _header, column = _read_column(Path(args.csv), args.column, args.delimiter)
+    values = [row[column] or "" for row in rows]
+    session = CLXSession(values)
+    table = [
+        (summary.pattern.notation(), summary.count, ", ".join(summary.samples))
+        for summary in session.pattern_summary(max_samples=args.samples)
+    ]
+    print(format_table(["pattern", "rows", "examples"], table))
+    return 0
+
+
+def _command_transform(args: argparse.Namespace) -> int:
+    rows, header, column = _read_column(Path(args.csv), args.column, args.delimiter)
+    values = [row[column] or "" for row in rows]
+    session = CLXSession(values)
+
+    if args.target_pattern:
+        session.label_target_from_notation(args.target_pattern)
+    elif args.target_example:
+        session.label_target_from_string(args.target_example, generalize=args.generalize)
+    else:
+        print("error: provide --target-pattern or --target-example", file=sys.stderr)
+        return 2
+
+    report = session.transform()
+    print("Synthesized Replace operations:", file=sys.stderr)
+    for operation in session.explain():
+        print(f"  {operation}", file=sys.stderr)
+    print(
+        f"{report.conforming_count}/{report.row_count} rows match the target; "
+        f"{report.flagged_count} flagged for review",
+        file=sys.stderr,
+    )
+
+    output_column = args.output_column or f"{column}_transformed"
+    out_header = header + [output_column]
+    destination = Path(args.output) if args.output else None
+    handle = destination.open("w", newline="", encoding="utf-8") if destination else sys.stdout
+    try:
+        writer = csv.DictWriter(handle, fieldnames=out_header, delimiter=args.delimiter)
+        writer.writeheader()
+        for row, output in zip(rows, report.outputs):
+            row = dict(row)
+            row[output_column] = output
+            writer.writerow(row)
+    finally:
+        if destination:
+            handle.close()
+    return 0 if report.flagged_count == 0 else 1
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    from repro.bench.suite import suite_statistics
+
+    stats = suite_statistics()
+    table = [
+        (
+            row.source,
+            row.test_count,
+            f"{row.average_size:.1f}",
+            f"{row.average_length:.1f}",
+            row.max_length,
+            ", ".join(row.data_types) if args.verbose else f"{len(row.data_types)} types",
+        )
+        for row in stats
+    ]
+    print(format_table(["source", "# tests", "avg size", "avg len", "max len", "data types"], table))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-clx",
+        description="CLX pattern profiling and verifiable data transformation",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    profile = subparsers.add_parser("profile", help="print the pattern clusters of a CSV column")
+    profile.add_argument("csv", help="input CSV file (with a header row)")
+    profile.add_argument("--column", required=True, help="column name or zero-based index")
+    profile.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    profile.add_argument("--samples", type=int, default=3, help="sample values per pattern")
+    profile.set_defaults(handler=_command_profile)
+
+    transform = subparsers.add_parser("transform", help="normalize a CSV column to a target pattern")
+    transform.add_argument("csv", help="input CSV file (with a header row)")
+    transform.add_argument("--column", required=True, help="column name or zero-based index")
+    transform.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    transform.add_argument("--target-example", help="a value already in the desired format")
+    transform.add_argument(
+        "--target-pattern", help="explicit target pattern notation, e.g. \"<D>3'-'<D>4\""
+    )
+    transform.add_argument(
+        "--generalize",
+        type=int,
+        default=0,
+        help="refinement rounds applied to the target example's pattern (0-3)",
+    )
+    transform.add_argument("--output", help="write the transformed CSV here instead of stdout")
+    transform.add_argument("--output-column", help="name of the added column (default <column>_transformed)")
+    transform.set_defaults(handler=_command_transform)
+
+    suite = subparsers.add_parser("suite", help="print the 47-task benchmark suite statistics")
+    suite.add_argument("--verbose", action="store_true", help="list every data type")
+    suite.set_defaults(handler=_command_suite)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except CLXError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

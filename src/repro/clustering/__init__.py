@@ -1,0 +1,22 @@
+"""Pattern profiling: clustering raw data by pattern (paper Section 4).
+
+The entry point is :class:`~repro.clustering.profiler.PatternProfiler`,
+which performs the two-phase profiling the paper describes — initial
+clustering through tokenization followed by agglomerative refinement —
+and returns a :class:`~repro.clustering.hierarchy.PatternHierarchy`.
+"""
+
+from repro.clustering.cluster import PatternCluster, initial_clusters
+from repro.clustering.hierarchy import HierarchyNode, PatternHierarchy
+from repro.clustering.refine import refine_layer
+from repro.clustering.profiler import PatternProfiler, profile
+
+__all__ = [
+    "HierarchyNode",
+    "PatternCluster",
+    "PatternHierarchy",
+    "PatternProfiler",
+    "initial_clusters",
+    "profile",
+    "refine_layer",
+]

@@ -1,0 +1,122 @@
+"""Leaf pattern clusters produced by the tokenization phase (Section 4.1).
+
+A :class:`PatternCluster` groups the raw strings that share the same leaf
+pattern.  Constant-token discovery runs per cluster and may rewrite the
+cluster's pattern so that positions holding one dominant value become
+literal tokens (e.g. a ``Dr.`` prefix).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.patterns.pattern import Pattern
+from repro.tokens.constants import discover_constant_tokens, promote_constants
+from repro.tokens.tokenizer import tokenize
+
+
+@dataclass
+class PatternCluster:
+    """A set of raw strings sharing one pattern.
+
+    Attributes:
+        pattern: The cluster's pattern.  At the leaf level this is the
+            exact tokenization (possibly with constants promoted); at
+            higher levels of the hierarchy it is a generalized pattern.
+        values: The raw strings assigned to the cluster, in first-seen
+            order with duplicates preserved (cluster size mirrors row
+            counts, as in Figure 3 of the paper).
+    """
+
+    pattern: Pattern
+    values: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of rows (strings, duplicates included) in the cluster."""
+        return len(self.values)
+
+    def sample(self, count: int = 3) -> List[str]:
+        """First ``count`` distinct values, for display in previews."""
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for value in self.values:
+            if value not in seen:
+                seen[value] = None
+            if len(seen) >= count:
+                break
+        return list(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PatternCluster({self.pattern.notation()!r}, size={self.size})"
+
+
+def initial_clusters(
+    values: Iterable[str],
+    discover_constants: bool = True,
+    constant_threshold: float = 1.0,
+) -> List[PatternCluster]:
+    """Build the leaf-level clusters for ``values`` (tokenization phase).
+
+    Args:
+        values: Raw strings (one column of data).
+        discover_constants: Whether to run constant-token promotion on
+            each cluster (the "Find Constant Tokens" step).
+        constant_threshold: Dominance threshold for constant promotion.
+            The default of 1.0 promotes a position only when *every*
+            member of the cluster shares the value, which preserves the
+            invariant that each value matches its cluster's pattern.
+
+    Returns:
+        Clusters ordered by size, largest first (ties broken by pattern
+        notation for determinism), matching the presentation order of
+        Figure 3.
+    """
+    by_pattern: Dict[Pattern, PatternCluster] = {}
+    tokenizations: Dict[Pattern, List[List]] = {}
+    for value in values:
+        tokens = tokenize(value)
+        pattern = Pattern(tokens)
+        cluster = by_pattern.get(pattern)
+        if cluster is None:
+            cluster = PatternCluster(pattern=pattern)
+            by_pattern[pattern] = cluster
+            tokenizations[pattern] = []
+        cluster.values.append(value)
+        tokenizations[pattern].append(tokens)
+
+    clusters = list(by_pattern.values())
+    if discover_constants:
+        clusters = [
+            _promote_cluster_constants(cluster, tokenizations[cluster.pattern], constant_threshold)
+            for cluster in clusters
+        ]
+        clusters = _remerge_equal_patterns(clusters)
+    clusters.sort(key=lambda c: (-c.size, c.pattern.notation()))
+    return clusters
+
+
+def _promote_cluster_constants(
+    cluster: PatternCluster,
+    tokenizations: Sequence[Sequence],
+    threshold: float,
+) -> PatternCluster:
+    """Return a cluster whose dominant constant positions are literal."""
+    constants = discover_constant_tokens(cluster.values, tokenizations, threshold=threshold)
+    if not constants:
+        return cluster
+    promoted = promote_constants(cluster.pattern.tokens, constants)
+    return PatternCluster(pattern=Pattern(promoted), values=list(cluster.values))
+
+
+def _remerge_equal_patterns(clusters: Sequence[PatternCluster]) -> List[PatternCluster]:
+    """Merge clusters whose patterns became identical after promotion."""
+    merged: Dict[Pattern, PatternCluster] = {}
+    for cluster in clusters:
+        existing = merged.get(cluster.pattern)
+        if existing is None:
+            merged[cluster.pattern] = cluster
+        else:
+            existing.values.extend(cluster.values)
+    return list(merged.values())

@@ -1,0 +1,146 @@
+"""The pattern cluster hierarchy (paper Section 4.2, Figure 6).
+
+The hierarchy is a forest: leaf nodes are the clusters produced by
+tokenization, and each refinement round adds one more layer of parent
+patterns above the previous layer.  Every node keeps a pointer to its
+children so Algorithm 2 can traverse top-down, and to the raw values it
+covers so the transformer can apply per-pattern programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.clustering.cluster import PatternCluster
+from repro.patterns.pattern import Pattern
+
+
+@dataclass
+class HierarchyNode:
+    """One node of the pattern cluster hierarchy.
+
+    Attributes:
+        pattern: The (possibly generalized) pattern of this node.
+        children: Child nodes from the previous (more specific) layer;
+            empty for leaf nodes.
+        cluster: The leaf cluster, present only on leaf nodes.
+        level: 0 for leaves, incrementing by one per refinement round.
+    """
+
+    pattern: Pattern
+    children: List["HierarchyNode"] = field(default_factory=list)
+    cluster: Optional[PatternCluster] = None
+    level: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node is a leaf (has an attached cluster)."""
+        return self.cluster is not None
+
+    @property
+    def size(self) -> int:
+        """Total number of rows covered by this node's subtree."""
+        if self.cluster is not None:
+            return self.cluster.size
+        return sum(child.size for child in self.children)
+
+    def values(self) -> List[str]:
+        """All raw values covered by this node, leaves left to right."""
+        if self.cluster is not None:
+            return list(self.cluster.values)
+        collected: List[str] = []
+        for child in self.children:
+            collected.extend(child.values())
+        return collected
+
+    def leaves(self) -> List["HierarchyNode"]:
+        """All leaf nodes under (and including) this node."""
+        if self.is_leaf:
+            return [self]
+        result: List[HierarchyNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def walk(self) -> Iterator["HierarchyNode"]:
+        """Depth-first pre-order traversal of the subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} children"
+        return f"HierarchyNode({self.pattern.notation()!r}, level={self.level}, {kind})"
+
+
+@dataclass
+class PatternHierarchy:
+    """The full hierarchy: a list of layers from leaves to the most generic.
+
+    Attributes:
+        layers: ``layers[0]`` are the leaf nodes; each subsequent entry is
+            the parent layer produced by one refinement round.
+    """
+
+    layers: List[List[HierarchyNode]] = field(default_factory=list)
+
+    @property
+    def leaf_nodes(self) -> List[HierarchyNode]:
+        """The leaf layer (empty list if the hierarchy is empty)."""
+        return self.layers[0] if self.layers else []
+
+    @property
+    def roots(self) -> List[HierarchyNode]:
+        """Top layer of the hierarchy."""
+        return self.layers[-1] if self.layers else []
+
+    @property
+    def depth(self) -> int:
+        """Number of layers (leaf layer counts as 1)."""
+        return len(self.layers)
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows covered by the hierarchy."""
+        return sum(node.size for node in self.leaf_nodes)
+
+    def leaf_patterns(self) -> List[Pattern]:
+        """Patterns of the leaf layer, largest cluster first."""
+        return [node.pattern for node in self.leaf_nodes]
+
+    def all_patterns(self) -> List[Pattern]:
+        """Every distinct pattern anywhere in the hierarchy."""
+        seen: List[Pattern] = []
+        seen_set = set()
+        for layer in self.layers:
+            for node in layer:
+                if node.pattern not in seen_set:
+                    seen_set.add(node.pattern)
+                    seen.append(node.pattern)
+        return seen
+
+    def find_leaf(self, pattern: Pattern) -> Optional[HierarchyNode]:
+        """Return the leaf node whose pattern equals ``pattern``, if any."""
+        for node in self.leaf_nodes:
+            if node.pattern == pattern:
+                return node
+        return None
+
+    def walk(self) -> Iterator[HierarchyNode]:
+        """Traverse every root's subtree depth-first."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def describe(self, max_samples: int = 2) -> str:
+        """Multi-line description of the leaf clusters (largest first).
+
+        This is the view the user sees first in the CLX interaction
+        (Figure 3 of the paper): one line per pattern with its row count
+        and sample values.
+        """
+        lines = []
+        for node in sorted(self.leaf_nodes, key=lambda n: -n.size):
+            samples = ", ".join(node.cluster.sample(max_samples)) if node.cluster else ""
+            lines.append(f"{node.pattern.notation()}  ({node.size} rows)  e.g. {samples}")
+        return "\n".join(lines)

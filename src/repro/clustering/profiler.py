@@ -1,0 +1,90 @@
+"""Top-level pattern profiler: tokenization + three refinement rounds.
+
+:class:`PatternProfiler` is the public face of the clustering component
+of CLX.  It turns a column of raw strings into a
+:class:`~repro.clustering.hierarchy.PatternHierarchy` by
+
+1. clustering strings that share the same leaf tokenization (with
+   constant-token promotion), then
+2. running the three agglomerative refinement rounds of Section 4.2.
+
+The free function :func:`profile` is a convenience wrapper used by the
+examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.clustering.cluster import initial_clusters
+from repro.clustering.hierarchy import HierarchyNode, PatternHierarchy
+from repro.clustering.refine import refine_layer
+from repro.patterns.generalize import GENERALIZATION_STRATEGIES, GeneralizationStrategy
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class PatternProfiler:
+    """Configurable pattern profiler.
+
+    Attributes:
+        discover_constants: Run constant-token promotion on leaf clusters.
+        constant_threshold: Dominance threshold for promotion (1.0 keeps
+            the "every value matches its cluster pattern" invariant).
+        strategies: Generalization strategies, applied in order, one
+            refinement round each.  Defaults to the paper's three rounds.
+        allow_empty: When False (default), profiling an empty dataset
+            raises :class:`~repro.util.errors.ValidationError` rather
+            than returning an empty hierarchy.
+    """
+
+    discover_constants: bool = True
+    constant_threshold: float = 1.0
+    strategies: Sequence[GeneralizationStrategy] = field(
+        default_factory=lambda: GENERALIZATION_STRATEGIES
+    )
+    allow_empty: bool = False
+
+    def profile(self, values: Iterable[str]) -> PatternHierarchy:
+        """Profile ``values`` into a pattern cluster hierarchy.
+
+        Args:
+            values: Raw strings of one column.
+
+        Returns:
+            The hierarchy, with ``depth == 1 + len(strategies)`` layers
+            whenever the input is non-empty.
+
+        Raises:
+            ValidationError: If the input is empty and ``allow_empty`` is
+                False.
+        """
+        materialized = [str(value) for value in values]
+        if not materialized and not self.allow_empty:
+            raise ValidationError("cannot profile an empty dataset")
+
+        clusters = initial_clusters(
+            materialized,
+            discover_constants=self.discover_constants,
+            constant_threshold=self.constant_threshold,
+        )
+        leaf_layer: List[HierarchyNode] = [
+            HierarchyNode(pattern=cluster.pattern, cluster=cluster, level=0)
+            for cluster in clusters
+        ]
+        hierarchy = PatternHierarchy(layers=[leaf_layer])
+
+        current = leaf_layer
+        for round_index, strategy in enumerate(self.strategies, start=1):
+            current = refine_layer(current, strategy, level=round_index)
+            hierarchy.layers.append(current)
+        return hierarchy
+
+
+def profile(values: Iterable[str], **kwargs) -> PatternHierarchy:
+    """Profile ``values`` with a default-configured :class:`PatternProfiler`.
+
+    Keyword arguments are forwarded to the profiler constructor.
+    """
+    return PatternProfiler(**kwargs).profile(values)

@@ -1,0 +1,77 @@
+"""Agglomerative refinement — Algorithm 1 of the paper.
+
+Given the nodes of one layer and a generalization strategy, the
+refinement step computes the parent pattern of every node, counts how
+many children each distinct parent covers, and then greedily keeps the
+most-covering parents until every child is covered.  The result is the
+next layer of the hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.clustering.hierarchy import HierarchyNode
+from repro.patterns.generalize import GeneralizationStrategy
+from repro.patterns.pattern import Pattern
+
+
+def refine_layer(
+    nodes: Sequence[HierarchyNode],
+    strategy: GeneralizationStrategy,
+    level: int,
+) -> List[HierarchyNode]:
+    """Build the parent layer of ``nodes`` using ``strategy`` (Algorithm 1).
+
+    Args:
+        nodes: Nodes of the current layer.
+        strategy: Generalization function mapping a pattern to its parent
+            pattern under this round's strategy.
+        level: Level number to assign to the new parent nodes.
+
+    Returns:
+        The new layer.  Children whose parent pattern equals their own
+        pattern are carried upward unchanged (re-wrapped at the new
+        level) so that every layer still covers all of the data.
+    """
+    if not nodes:
+        return []
+
+    # Lines 3-6 of Algorithm 1: compute parents and count coverage.
+    parent_of: Dict[int, Pattern] = {}
+    counts: Counter = Counter()
+    for index, node in enumerate(nodes):
+        parent = strategy(node.pattern)
+        parent_of[index] = parent
+        counts[parent] += 1
+
+    # Lines 7-10: greedily keep parents by descending coverage until all
+    # children are claimed.  Ties are broken by notation for determinism.
+    remaining = set(range(len(nodes)))
+    new_layer: List[HierarchyNode] = []
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0].notation()))
+    for parent_pattern, _count in ranked:
+        claimed = [
+            index
+            for index in sorted(remaining)
+            if parent_of[index] == parent_pattern
+            or parent_pattern.subsumes(nodes[index].pattern)
+        ]
+        if not claimed:
+            continue
+        children = [nodes[index] for index in claimed]
+        remaining.difference_update(claimed)
+        new_layer.append(
+            HierarchyNode(pattern=parent_pattern, children=children, level=level)
+        )
+        if not remaining:
+            break
+
+    # Defensive: anything left unclaimed (should not happen) is carried up.
+    for index in sorted(remaining):
+        node = nodes[index]
+        new_layer.append(
+            HierarchyNode(pattern=node.pattern, children=[node], level=level)
+        )
+    return new_layer

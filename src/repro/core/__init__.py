@@ -1,0 +1,22 @@
+"""The CLX paradigm end-to-end: Cluster – Label – Transform (Section 3).
+
+:class:`~repro.core.session.CLXSession` is the main public entry point of
+the library.  It wraps the profiler, synthesizer, interpreter and
+explainer into the interaction loop the paper describes: profile the
+data, let the user label a target pattern, synthesize the program, show
+the explained Replace operations and the transformed pattern clusters,
+and let the user repair individual plans.
+"""
+
+from repro.core.result import TransformReport
+from repro.core.session import CLXSession
+from repro.core.transformer import transform_column
+from repro.core.preview import PreviewRow, preview_table
+
+__all__ = [
+    "CLXSession",
+    "PreviewRow",
+    "TransformReport",
+    "preview_table",
+    "transform_column",
+]

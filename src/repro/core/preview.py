@@ -1,0 +1,57 @@
+"""Preview table (paper Figure 8): sample input/output pairs per pattern.
+
+The preview is part of what makes CLX programs verifiable: for every
+suggested Replace operation the user sees a handful of concrete rows and
+what they will become, without reading the whole column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.result import TransformReport
+from repro.patterns.pattern import Pattern
+from repro.util.text import format_table, truncate
+
+
+@dataclass(frozen=True)
+class PreviewRow:
+    """One row of the preview table.
+
+    Attributes:
+        source_pattern: Notation of the source pattern handling the row
+            ("(flagged)" when no branch matched).
+        input_value: The raw value.
+        output_value: The transformed value.
+    """
+
+    source_pattern: str
+    input_value: str
+    output_value: str
+
+
+def preview_table(report: TransformReport, per_pattern: int = 3) -> List[PreviewRow]:
+    """Build preview rows: up to ``per_pattern`` examples per source pattern.
+
+    Args:
+        report: A transform report from :func:`repro.core.transformer.transform_column`.
+        per_pattern: Number of sample rows per pattern.
+    """
+    rows: List[PreviewRow] = []
+    for pattern, pairs in report.by_source_pattern().items():
+        label = pattern.notation() if isinstance(pattern, Pattern) else "(flagged)"
+        for raw, out in pairs[:per_pattern]:
+            rows.append(PreviewRow(source_pattern=label, input_value=raw, output_value=out))
+    return rows
+
+
+def render_preview(rows: Sequence[PreviewRow], width: int = 40) -> str:
+    """Render preview rows as an aligned plain-text table."""
+    return format_table(
+        ["source pattern", "input", "output"],
+        [
+            (row.source_pattern, truncate(row.input_value, width), truncate(row.output_value, width))
+            for row in rows
+        ],
+    )

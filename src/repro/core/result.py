@@ -1,0 +1,88 @@
+"""Result objects returned when a CLX program is applied to a column."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.patterns.matching import matches
+from repro.patterns.pattern import Pattern
+
+
+@dataclass
+class TransformReport:
+    """Outcome of transforming one column with a synthesized program.
+
+    Attributes:
+        inputs: The raw input values, in order.
+        outputs: The transformed values, parallel to ``inputs``; values
+            that matched no branch come through unchanged.
+        matched_pattern: The source pattern whose branch transformed each
+            value, or ``None`` for unmatched/flagged values.
+        target: The target pattern the transformation aims for.
+    """
+
+    inputs: List[str]
+    outputs: List[str]
+    matched_pattern: List[Optional[Pattern]]
+    target: Pattern
+
+    def __post_init__(self) -> None:
+        if not (len(self.inputs) == len(self.outputs) == len(self.matched_pattern)):
+            raise ValueError("inputs, outputs and matched_pattern must be parallel")
+
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        """Number of rows transformed."""
+        return len(self.inputs)
+
+    @property
+    def flagged(self) -> List[str]:
+        """Input values that matched no branch (left unchanged, flagged)."""
+        return [
+            value
+            for value, pattern in zip(self.inputs, self.matched_pattern)
+            if pattern is None
+        ]
+
+    @property
+    def flagged_count(self) -> int:
+        """Number of flagged rows."""
+        return len(self.flagged)
+
+    @property
+    def conforming_count(self) -> int:
+        """Number of output values that match the target pattern."""
+        return sum(1 for value in self.outputs if matches(value, self.target))
+
+    @property
+    def conforming_fraction(self) -> float:
+        """Fraction of outputs matching the target pattern (0.0 for empty input)."""
+        if not self.outputs:
+            return 0.0
+        return self.conforming_count / len(self.outputs)
+
+    @property
+    def is_perfect(self) -> bool:
+        """True when every output matches the target pattern."""
+        return self.row_count > 0 and self.conforming_count == self.row_count
+
+    def failures(self) -> List[Tuple[str, str]]:
+        """(input, output) pairs whose output does not match the target."""
+        return [
+            (raw, out)
+            for raw, out in zip(self.inputs, self.outputs)
+            if not matches(out, self.target)
+        ]
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All (input, output) pairs, in order."""
+        return list(zip(self.inputs, self.outputs))
+
+    def by_source_pattern(self) -> Dict[Optional[Pattern], List[Tuple[str, str]]]:
+        """Group (input, output) pairs by the source pattern that handled them."""
+        grouped: Dict[Optional[Pattern], List[Tuple[str, str]]] = {}
+        for raw, out, pattern in zip(self.inputs, self.outputs, self.matched_pattern):
+            grouped.setdefault(pattern, []).append((raw, out))
+        return grouped

@@ -1,0 +1,307 @@
+"""The CLX interactive session — Cluster, Label, Transform (Section 3.2).
+
+:class:`CLXSession` models the paper's interaction loop programmatically:
+
+1. construct the session with a column of raw strings — the data is
+   immediately profiled into a pattern cluster hierarchy (*Cluster*);
+2. inspect :meth:`CLXSession.pattern_summary` / :attr:`CLXSession.hierarchy`
+   and pick a target pattern with :meth:`CLXSession.label_target` (either
+   one of the discovered patterns or a manually specified one) (*Label*);
+3. :meth:`CLXSession.synthesize` produces the UniFi program,
+   :meth:`CLXSession.explain` the Replace operations shown to the user,
+   :meth:`CLXSession.transform` the transformed column together with the
+   post-transformation pattern clusters (*Transform*);
+4. if a suggested plan is wrong, :meth:`CLXSession.repair_candidates`
+   lists the alternatives and :meth:`CLXSession.apply_repair` swaps one in.
+
+Example:
+    >>> from repro import CLXSession
+    >>> session = CLXSession(["734-555-0199", "(734) 555-0123", "734.555.0111"])
+    >>> target = session.label_target_from_string("(734) 555-0123")
+    >>> report = session.transform()
+    >>> report.is_perfect
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.clustering.hierarchy import PatternHierarchy
+from repro.clustering.profiler import PatternProfiler
+from repro.core.preview import PreviewRow, preview_table
+from repro.core.result import TransformReport
+from repro.core.transformer import transform_column
+from repro.dsl.ast import AtomicPlan, UniFiProgram
+from repro.dsl.explain import explain_program
+from repro.dsl.replace import ReplaceOperation
+from repro.patterns.matching import pattern_of_string
+from repro.patterns.parse import parse_pattern
+from repro.patterns.pattern import Pattern
+from repro.synthesis.repair import RepairCandidates, repair_options
+from repro.synthesis.synthesizer import SynthesisResult, Synthesizer
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class PatternSummary:
+    """One line of the pattern list shown to the user after clustering.
+
+    Attributes:
+        pattern: The leaf pattern.
+        count: Number of rows in its cluster.
+        samples: A few example values from the cluster.
+    """
+
+    pattern: Pattern
+    count: int
+    samples: List[str]
+
+
+class CLXSession:
+    """Programmatic CLX session over one column of string data.
+
+    Args:
+        values: Raw column values (must be non-empty).
+        profiler: Optional custom :class:`~repro.clustering.profiler.PatternProfiler`.
+        synthesizer: Optional custom :class:`~repro.synthesis.synthesizer.Synthesizer`.
+
+    Raises:
+        ValidationError: If ``values`` is empty.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[str],
+        profiler: Optional[PatternProfiler] = None,
+        synthesizer: Optional[Synthesizer] = None,
+    ) -> None:
+        self._values: List[str] = [str(value) for value in values]
+        if not self._values:
+            raise ValidationError("CLXSession requires at least one value")
+        self._profiler = profiler or PatternProfiler()
+        self._synthesizer = synthesizer or Synthesizer()
+        self._hierarchy: PatternHierarchy = self._profiler.profile(self._values)
+        self._target: Optional[Pattern] = None
+        self._result: Optional[SynthesisResult] = None
+
+    # ------------------------------------------------------------------
+    # Cluster
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> List[str]:
+        """The raw column values the session was created with."""
+        return list(self._values)
+
+    @property
+    def hierarchy(self) -> PatternHierarchy:
+        """The pattern cluster hierarchy built at construction time."""
+        return self._hierarchy
+
+    def pattern_summary(self, max_samples: int = 3) -> List[PatternSummary]:
+        """Leaf patterns with row counts and samples, largest cluster first.
+
+        This is the list the user sees first (Figure 3 of the paper).
+        """
+        summaries = []
+        for node in sorted(self._hierarchy.leaf_nodes, key=lambda n: -n.size):
+            assert node.cluster is not None
+            summaries.append(
+                PatternSummary(
+                    pattern=node.pattern,
+                    count=node.size,
+                    samples=node.cluster.sample(max_samples),
+                )
+            )
+        return summaries
+
+    # ------------------------------------------------------------------
+    # Label
+    # ------------------------------------------------------------------
+    @property
+    def target(self) -> Optional[Pattern]:
+        """The labelled target pattern, if any."""
+        return self._target
+
+    def label_target(self, target: Pattern) -> Pattern:
+        """Label ``target`` as the desired pattern and reset any prior synthesis."""
+        self._target = target
+        self._result = None
+        return target
+
+    def label_target_from_string(self, example: str, generalize: int = 0) -> Pattern:
+        """Label the target by giving an example value already in the desired form.
+
+        The example's leaf pattern becomes the target — this mirrors the
+        common case where some of the raw data already exists in the
+        desired format and the user simply clicks that cluster.
+
+        Args:
+            example: A value in the desired format.
+            generalize: Number of refinement rounds to apply to the
+                example's pattern before labelling it (0 = the exact leaf
+                pattern, 1 = quantifiers generalized to ``+``, …).  This
+                corresponds to the user clicking a *parent* pattern in
+                the hierarchy instead of a leaf, which is how the paper's
+                Example 5/6 targets (``<U>+``, ``<L>+`` …) arise.
+        """
+        from repro.patterns.generalize import GENERALIZATION_STRATEGIES
+
+        pattern = pattern_of_string(example)
+        for strategy in GENERALIZATION_STRATEGIES[: max(0, generalize)]:
+            pattern = strategy(pattern)
+        return self.label_target(pattern)
+
+    def label_target_from_notation(self, notation: str) -> Pattern:
+        """Label the target by pattern notation, e.g. ``"<D>3'-'<D>3'-'<D>4"``.
+
+        Used when no input data matches the desired pattern and the user
+        specifies the target form manually.
+        """
+        return self.label_target(parse_pattern(notation))
+
+    # ------------------------------------------------------------------
+    # Transform
+    # ------------------------------------------------------------------
+    def synthesize(self) -> SynthesisResult:
+        """Synthesize (or return the cached) UniFi program for the labelled target.
+
+        Raises:
+            ValidationError: If no target has been labelled yet.
+        """
+        if self._target is None:
+            raise ValidationError("label a target pattern before synthesizing")
+        if self._result is None:
+            self._result = self._synthesizer.synthesize(self._hierarchy, self._target)
+        return self._result
+
+    @property
+    def program(self) -> UniFiProgram:
+        """The synthesized UniFi program (synthesizing on first access)."""
+        return self.synthesize().program
+
+    def explain(self) -> List[ReplaceOperation]:
+        """The program explained as regexp Replace operations (Figure 4)."""
+        return explain_program(self.program)
+
+    def transform(self) -> TransformReport:
+        """Apply the synthesized program to the session's data."""
+        result = self.synthesize()
+        return transform_column(result.program, self._values, result.target)
+
+    def transformed_summary(self, max_samples: int = 3) -> List[PatternSummary]:
+        """Pattern clusters of the *transformed* data (Figure 2 of the paper)."""
+        report = self.transform()
+        hierarchy = self._profiler.profile(report.outputs)
+        summaries = []
+        for node in sorted(hierarchy.leaf_nodes, key=lambda n: -n.size):
+            assert node.cluster is not None
+            summaries.append(
+                PatternSummary(
+                    pattern=node.pattern,
+                    count=node.size,
+                    samples=node.cluster.sample(max_samples),
+                )
+            )
+        return summaries
+
+    def preview(self, per_pattern: int = 3) -> List[PreviewRow]:
+        """Preview table rows (Figure 8): sample input/output pairs per pattern."""
+        return preview_table(self.transform(), per_pattern=per_pattern)
+
+    # ------------------------------------------------------------------
+    # Repair
+    # ------------------------------------------------------------------
+    def repair_candidates(self, source: Pattern) -> RepairCandidates:
+        """Candidate plans for ``source`` (default first), for manual repair."""
+        return repair_options(self.synthesize(), source)
+
+    def apply_repair(self, source: Pattern, plan: AtomicPlan) -> UniFiProgram:
+        """Replace the plan used for ``source`` and return the updated program."""
+        result = self.synthesize()
+        self._result = result.repaired(source, plan)
+        return self._result.program
+
+    def apply_conditional_repair(
+        self,
+        source: Pattern,
+        guarded_plans: Sequence[tuple],
+        default_plan: Optional[AtomicPlan] = None,
+    ) -> UniFiProgram:
+        """Split one branch into content-guarded branches (conditional repair).
+
+        This is the "advanced conditionals" extension (paper §7.4 /
+        Example 13): rows that share a *pattern* but need different
+        treatments depending on their *content* get one guarded branch
+        per case plus an optional unguarded fallback.
+
+        Args:
+            source: The source pattern whose branch is being split.
+            guarded_plans: Sequence of ``(ContainsGuard, AtomicPlan)``
+                pairs, checked in order.
+            default_plan: Plan for rows matching the pattern but no guard;
+                defaults to the branch's current plan.
+
+        Returns:
+            The updated program (also stored on the session).
+
+        Raises:
+            ValidationError: If ``source`` is not a branch of the current
+                program or no guarded plan is given.
+        """
+        from repro.dsl.ast import Branch
+
+        result = self.synthesize()
+        current = result.program.branch_for(source)
+        if current is None:
+            raise ValidationError(f"{source.notation()} is not a source pattern of the program")
+        if not guarded_plans:
+            raise ValidationError("conditional repair needs at least one guarded plan")
+
+        fallback = default_plan if default_plan is not None else current.plan
+        new_branches = []
+        for branch in result.program.branches:
+            if branch.pattern != source:
+                new_branches.append(branch)
+                continue
+            for guard, plan in guarded_plans:
+                new_branches.append(Branch(pattern=source, plan=plan, guard=guard))
+            new_branches.append(Branch(pattern=source, plan=fallback))
+        program = UniFiProgram(new_branches)
+        self._result = SynthesisResult(
+            target=result.target,
+            program=program,
+            candidates=dict(result.candidates),
+            uncovered=list(result.uncovered),
+            already_target=list(result.already_target),
+        )
+        return program
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line, human-readable description of the current session state."""
+        lines = ["CLX session", f"  rows: {len(self._values)}"]
+        lines.append(f"  leaf patterns: {len(self._hierarchy.leaf_nodes)}")
+        if self._target is not None:
+            lines.append(f"  target: {self._target.notation()}")
+        if self._result is not None:
+            lines.append(f"  branches: {len(self._result.program)}")
+            lines.append(f"  uncovered patterns: {len(self._result.uncovered)}")
+        return "\n".join(lines)
+
+    def interaction_counts(self) -> Dict[str, int]:
+        """Counts used by the user-effort metrics of Section 7.
+
+        Returns a mapping with ``patterns`` (leaf patterns the user must
+        glance at), ``branches`` (Replace operations to verify) and
+        ``uncovered`` (flagged patterns needing manual review).
+        """
+        result = self.synthesize() if self._target is not None else None
+        return {
+            "patterns": len(self._hierarchy.leaf_nodes),
+            "branches": len(result.program) if result else 0,
+            "uncovered": len(result.uncovered) if result else 0,
+        }

@@ -1,0 +1,48 @@
+"""Applying a synthesized program to a whole column."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.result import TransformReport
+from repro.dsl.ast import UniFiProgram
+from repro.dsl.interpreter import apply_program
+from repro.patterns.pattern import Pattern
+
+
+def transform_column(
+    program: UniFiProgram,
+    values: Sequence[str],
+    target: Pattern,
+) -> TransformReport:
+    """Apply ``program`` to every value of a column.
+
+    Values already matching the target pattern are passed through
+    unchanged (and recorded as matched-by-target) rather than being run
+    through a branch, mirroring CLX's behaviour of leaving well-formatted
+    data alone.
+
+    Args:
+        program: The synthesized UniFi program.
+        values: Raw column values.
+        target: Target pattern (used both for the pass-through check and
+            for the report's conformance statistics).
+    """
+    from repro.patterns.matching import matches  # local import avoids cycle at module load
+
+    outputs: List[str] = []
+    matched: List[Optional[Pattern]] = []
+    for value in values:
+        if matches(value, target):
+            outputs.append(value)
+            matched.append(target)
+            continue
+        outcome = apply_program(program, value)
+        outputs.append(outcome.output)
+        matched.append(outcome.pattern if outcome.matched else None)
+    return TransformReport(
+        inputs=list(values),
+        outputs=outputs,
+        matched_pattern=matched,
+        target=target,
+    )

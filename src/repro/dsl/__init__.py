@@ -1,0 +1,41 @@
+"""UniFi — the data pattern transformation DSL (paper Section 5).
+
+A UniFi program is a ``Switch`` over ``(Match(pattern), plan)`` branches
+where each plan (an *atomic transformation plan*) is a concatenation of
+``Extract`` and ``ConstStr`` string expressions.  Programs are executed
+by :mod:`repro.dsl.interpreter` and explained to users as regexp
+``Replace`` operations by :mod:`repro.dsl.explain`.
+"""
+
+from repro.dsl.ast import (
+    AtomicPlan,
+    Branch,
+    ConstStr,
+    Extract,
+    StringExpression,
+    UniFiProgram,
+)
+from repro.dsl.guards import ContainsGuard
+from repro.dsl.interpreter import apply_plan, apply_program
+from repro.dsl.mdl import description_length, plan_description_length
+from repro.dsl.replace import ReplaceOperation, apply_replace, apply_replacements
+from repro.dsl.explain import explain_branch, explain_program
+
+__all__ = [
+    "AtomicPlan",
+    "Branch",
+    "ConstStr",
+    "ContainsGuard",
+    "Extract",
+    "ReplaceOperation",
+    "StringExpression",
+    "UniFiProgram",
+    "apply_plan",
+    "apply_program",
+    "apply_replace",
+    "apply_replacements",
+    "description_length",
+    "explain_branch",
+    "explain_program",
+    "plan_description_length",
+]

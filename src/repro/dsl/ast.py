@@ -1,0 +1,202 @@
+"""Abstract syntax of UniFi programs (Figure 7 of the paper).
+
+Grammar::
+
+    Program L  := Switch((b1, E1), ..., (bn, En))
+    Predicate b := Match(s, p)
+    Expression E := Concat(f1, ..., fn)
+    String Expression f := ConstStr(s) | Extract(ti, tj)
+
+In this implementation a ``Branch`` pairs the match *pattern* with the
+atomic transformation plan, and the ``Concat`` node is represented by
+:class:`AtomicPlan` holding the ordered string expressions.  Token
+indices in ``Extract`` are **1-based**, as in the paper's examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.patterns.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class ConstStr:
+    """A constant string contributed verbatim to the output.
+
+    Attributes:
+        text: The constant text (non-empty).
+    """
+
+    text: str
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("ConstStr text must be non-empty")
+
+    def __str__(self) -> str:
+        return f"ConstStr({self.text!r})"
+
+
+@dataclass(frozen=True)
+class Extract:
+    """Extract source tokens ``start`` through ``end`` (inclusive, 1-based).
+
+    ``Extract(i)`` in the paper is shorthand for ``Extract(i, i)``.
+
+    Attributes:
+        start: 1-based index of the first extracted source token.
+        end: 1-based index of the last extracted source token.
+    """
+
+    start: int
+    end: int
+
+    def __init__(self, start: int, end: int | None = None) -> None:
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", start if end is None else end)
+        if self.start < 1 or self.end < self.start:
+            raise ValueError(
+                f"invalid Extract range ({self.start}, {self.end}); "
+                "indices are 1-based and end must be >= start"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of source tokens extracted."""
+        return self.end - self.start + 1
+
+    def __str__(self) -> str:
+        if self.start == self.end:
+            return f"Extract({self.start})"
+        return f"Extract({self.start},{self.end})"
+
+
+StringExpression = Union[ConstStr, Extract]
+
+
+@dataclass(frozen=True)
+class AtomicPlan:
+    """An atomic transformation plan: ``Concat(f1, ..., fn)``.
+
+    Attributes:
+        expressions: Ordered string expressions whose outputs concatenate
+            into the transformed string.
+    """
+
+    expressions: Tuple[StringExpression, ...]
+
+    def __init__(self, expressions) -> None:
+        object.__setattr__(self, "expressions", tuple(expressions))
+        for expression in self.expressions:
+            if not isinstance(expression, (ConstStr, Extract)):
+                raise TypeError(f"unsupported expression {expression!r}")
+
+    def __len__(self) -> int:
+        return len(self.expressions)
+
+    def __iter__(self):
+        return iter(self.expressions)
+
+    @property
+    def extract_count(self) -> int:
+        """Number of Extract expressions in the plan."""
+        return sum(1 for e in self.expressions if isinstance(e, Extract))
+
+    @property
+    def const_count(self) -> int:
+        """Number of ConstStr expressions in the plan."""
+        return sum(1 for e in self.expressions if isinstance(e, ConstStr))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(expression) for expression in self.expressions)
+        return f"Concat({inner})"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One ``(Match(pattern), plan)`` arm of a Switch.
+
+    Attributes:
+        pattern: Source pattern matched exactly against the input string.
+        plan: Atomic transformation plan applied when the pattern matches.
+        guard: Optional content guard (the "advanced conditionals"
+            extension, see :mod:`repro.dsl.guards`); when present the
+            branch fires only if the guard also holds for the raw value.
+    """
+
+    pattern: Pattern
+    plan: AtomicPlan
+    guard: "object | None" = None
+
+    def accepts(self, value: str) -> bool:
+        """Whether the guard (if any) accepts ``value``.
+
+        The pattern match itself is checked by the interpreter; this only
+        evaluates the content guard so unguarded branches stay zero-cost.
+        """
+        return self.guard is None or self.guard.holds(value)
+
+    def __str__(self) -> str:
+        if self.guard is None:
+            return f"(Match({self.pattern.notation()}), {self.plan})"
+        return f"(Match({self.pattern.notation()}) and {self.guard}, {self.plan})"
+
+
+@dataclass(frozen=True)
+class UniFiProgram:
+    """A complete UniFi program: an ordered Switch of branches.
+
+    Branch order matters only when patterns overlap; the synthesizer
+    produces disjoint leaf-or-validated patterns so in practice at most
+    one branch matches any given string.
+
+    Attributes:
+        branches: The Switch arms, evaluated first-match-wins.
+    """
+
+    branches: Tuple[Branch, ...]
+
+    def __init__(self, branches) -> None:
+        object.__setattr__(self, "branches", tuple(branches))
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+    def __iter__(self):
+        return iter(self.branches)
+
+    @property
+    def patterns(self) -> Tuple[Pattern, ...]:
+        """Source patterns of every branch, in order."""
+        return tuple(branch.pattern for branch in self.branches)
+
+    def branch_for(self, pattern: Pattern) -> Branch | None:
+        """Return the branch whose pattern equals ``pattern``, if any."""
+        for branch in self.branches:
+            if branch.pattern == pattern:
+                return branch
+        return None
+
+    def replacing_branch(self, pattern: Pattern, plan: AtomicPlan) -> "UniFiProgram":
+        """Return a new program with the plan for ``pattern`` replaced.
+
+        Used by program repair (Section 6.4): the user swaps the default
+        plan of one source pattern for another candidate.
+        """
+        new_branches = []
+        replaced = False
+        for branch in self.branches:
+            if branch.pattern == pattern:
+                new_branches.append(Branch(pattern=pattern, plan=plan))
+                replaced = True
+            else:
+                new_branches.append(branch)
+        if not replaced:
+            new_branches.append(Branch(pattern=pattern, plan=plan))
+        return UniFiProgram(new_branches)
+
+    def __str__(self) -> str:
+        inner = ",\n  ".join(str(branch) for branch in self.branches)
+        return f"Switch(\n  {inner}\n)"

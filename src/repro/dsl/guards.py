@@ -1,0 +1,60 @@
+"""Content guards — the "advanced conditionals" extension of UniFi.
+
+The paper's expressivity study fails exactly one benchmark because the
+transformation needs a conditional on *content* rather than on pattern
+("Example 13 requires the inference of advanced conditionals (Contains
+keyword 'picture') that UniFi cannot currently express, but adding
+support for these conditionals in UniFi is straightforward", §7.4).
+
+This module adds that support.  A :class:`ContainsGuard` refines a Switch
+branch: the branch fires only when the input both matches the branch's
+source pattern *and* satisfies the guard.  Guards are optional — every
+program the core synthesizer produces is guard-free — and are typically
+introduced during repair, when the user notices that rows of one pattern
+need two different treatments (see
+:meth:`repro.core.session.CLXSession.apply_conditional_repair`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ContainsGuard:
+    """Requires the raw value to contain a literal keyword.
+
+    Attributes:
+        keyword: The literal text that must occur somewhere in the value.
+        case_sensitive: Whether the containment check is case sensitive
+            (default True, matching how wrangling tools treat keywords).
+    """
+
+    keyword: str
+    case_sensitive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.keyword:
+            raise ValueError("ContainsGuard requires a non-empty keyword")
+
+    def holds(self, value: str) -> bool:
+        """Whether the guard accepts ``value``."""
+        if self.case_sensitive:
+            return self.keyword in value
+        return self.keyword.lower() in value.lower()
+
+    def regex_prefix(self) -> str:
+        """Lookahead fragment enforcing the guard inside an anchored regex."""
+        escaped = re.escape(self.keyword)
+        if self.case_sensitive:
+            return f"(?=.*{escaped})"
+        return f"(?=.*(?i:{escaped}))"
+
+    def describe(self) -> str:
+        """Human-readable rendering used when explaining a guarded branch."""
+        sensitivity = "" if self.case_sensitive else " (ignoring case)"
+        return f"contains '{self.keyword}'{sensitivity}"
+
+    def __str__(self) -> str:
+        return f"Contains({self.keyword!r})"

@@ -1,0 +1,56 @@
+"""Minimum Description Length scoring of atomic plans (Section 6.3).
+
+The paper ranks candidate atomic transformation plans by an MDL score::
+
+    L(E, T) = L(E) + L(T | E)
+    L(E)     = |E| * log(m)                       (m = number of operation types)
+    L(T | E) = sum over expressions f of log L(f)
+
+with per-expression costs ``L(Extract) = |Pcand| ** 2`` (an extract is a
+choice of two indices into the candidate source pattern) and
+``L(ConstStr(s)) = c ** |s|`` with ``c = 95`` printable characters.  All
+logarithms are base 2; the base does not affect the ranking.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dsl.ast import AtomicPlan, ConstStr, Extract
+from repro.util.text import PRINTABLE_SIZE
+
+#: Number of distinct operation types in UniFi plans (Extract, ConstStr).
+OPERATION_TYPES = 2
+
+
+def expression_cost(expression, source_length: int) -> float:
+    """``log L(f)`` for a single string expression.
+
+    Args:
+        expression: ``Extract`` or ``ConstStr``.
+        source_length: Number of tokens in the candidate source pattern
+            (``|Pcand|``); must be positive for Extract costs.
+    """
+    if isinstance(expression, Extract):
+        if source_length < 1:
+            raise ValueError("source_length must be positive for Extract costs")
+        return 2.0 * math.log2(max(source_length, 2))
+    if isinstance(expression, ConstStr):
+        return len(expression.text) * math.log2(PRINTABLE_SIZE)
+    raise TypeError(f"unsupported expression {expression!r}")
+
+
+def plan_description_length(plan: AtomicPlan, source_length: int) -> float:
+    """Full description length ``L(E) + L(T|E)`` of a plan.
+
+    Args:
+        plan: The atomic transformation plan.
+        source_length: Number of tokens in the candidate source pattern.
+    """
+    model_cost = len(plan) * math.log2(OPERATION_TYPES)
+    data_cost = sum(expression_cost(expression, source_length) for expression in plan)
+    return model_cost + data_cost
+
+
+# Alias used by the synthesis module and the public API.
+description_length = plan_description_length

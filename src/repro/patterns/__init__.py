@@ -1,0 +1,35 @@
+"""Data patterns: quantified token sequences (paper Section 3.1).
+
+A :class:`Pattern` is a sequence of tokens and is the unit of the
+clustering hierarchy, the predicate of UniFi ``Match`` expressions, and
+the left-hand side of explained ``Replace`` operations.
+"""
+
+from repro.patterns.pattern import Pattern
+from repro.patterns.parse import parse_pattern
+from repro.patterns.regex import pattern_to_regex, compile_pattern
+from repro.patterns.matching import match_pattern, pattern_of_string
+from repro.patterns.generalize import (
+    GENERALIZATION_STRATEGIES,
+    GeneralizationStrategy,
+    generalize_alpha,
+    generalize_alnum,
+    generalize_quantifier,
+)
+from repro.patterns.render import render_natural, render_wrangler
+
+__all__ = [
+    "GENERALIZATION_STRATEGIES",
+    "GeneralizationStrategy",
+    "Pattern",
+    "compile_pattern",
+    "generalize_alnum",
+    "generalize_alpha",
+    "generalize_quantifier",
+    "match_pattern",
+    "parse_pattern",
+    "pattern_of_string",
+    "pattern_to_regex",
+    "render_natural",
+    "render_wrangler",
+]

@@ -1,0 +1,112 @@
+"""Generalization strategies for agglomerative refinement (Section 4.2).
+
+The paper performs three rounds of refinement, each applying one
+generalization strategy to every pattern of the previous layer:
+
+1. natural-number quantifiers become ``+``;
+2. ``<L>`` and ``<U>`` tokens become ``<A>``;
+3. ``<A>``, ``<D>`` and the literals ``-`` / ``_`` become ``<AN>``, and
+   adjacent tokens that end up in the same class are merged.
+
+Each strategy is a pure function ``Pattern -> Pattern`` returning the
+parent pattern (which may equal the input when nothing generalizes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.patterns.pattern import Pattern
+from repro.tokens.classes import TokenClass
+from repro.tokens.token import PLUS, Token
+
+GeneralizationStrategy = Callable[[Pattern], Pattern]
+
+
+def generalize_quantifier(pattern: Pattern) -> Pattern:
+    """Strategy 1: replace every natural-number quantifier with ``+``.
+
+    Literal tokens are left untouched — their value, not their length, is
+    what identifies them.  Adjacent base tokens of the same class are
+    merged afterwards because ``<D>3<D>2`` and ``<D>5`` both become
+    ``<D>+``.
+    """
+    tokens = [
+        token if token.is_literal else Token.base(token.klass, PLUS)
+        for token in pattern.tokens
+    ]
+    return Pattern(_merge_adjacent(tokens))
+
+
+def generalize_alpha(pattern: Pattern) -> Pattern:
+    """Strategy 2: generalize ``<L>`` and ``<U>`` tokens to ``<A>``."""
+    tokens = []
+    for token in pattern.tokens:
+        if not token.is_literal and token.klass in (TokenClass.LOWER, TokenClass.UPPER):
+            tokens.append(Token.base(TokenClass.ALPHA, token.quantifier))
+        else:
+            tokens.append(token)
+    return Pattern(_merge_adjacent(tokens))
+
+
+#: Literal characters folded into ``<AN>`` by strategy 3 (paper lists '-'
+#: and '_', matching the ``[a-zA-Z0-9_-]`` character class of Table 2).
+_ALNUM_LITERALS = {"-", "_"}
+
+
+def generalize_alnum(pattern: Pattern) -> Pattern:
+    """Strategy 3: generalize ``<A>``/``<D>``/'-'/'_' tokens to ``<AN>``."""
+    tokens: List[Token] = []
+    for token in pattern.tokens:
+        if token.is_literal:
+            assert token.literal is not None
+            if token.literal in _ALNUM_LITERALS:
+                tokens.append(Token.base(TokenClass.ALNUM, PLUS))
+            else:
+                tokens.append(token)
+            continue
+        if token.klass in (
+            TokenClass.ALPHA,
+            TokenClass.DIGIT,
+            TokenClass.LOWER,
+            TokenClass.UPPER,
+            TokenClass.ALNUM,
+        ):
+            tokens.append(Token.base(TokenClass.ALNUM, token.quantifier))
+        else:
+            tokens.append(token)
+    return Pattern(_merge_adjacent(tokens))
+
+
+def _merge_adjacent(tokens: Sequence[Token]) -> List[Token]:
+    """Merge adjacent base tokens of the same class.
+
+    When both quantifiers are numeric the merged quantifier is their sum;
+    if either is ``+`` the result is ``+``.  Literal tokens never merge.
+    """
+    merged: List[Token] = []
+    for token in tokens:
+        if (
+            merged
+            and not token.is_literal
+            and not merged[-1].is_literal
+            and merged[-1].klass is token.klass
+        ):
+            previous = merged.pop()
+            if previous.is_plus or token.is_plus:
+                merged.append(Token.base(token.klass, PLUS))
+            else:
+                merged.append(
+                    Token.base(token.klass, int(previous.quantifier) + int(token.quantifier))
+                )
+        else:
+            merged.append(token)
+    return merged
+
+
+#: The three refinement rounds in the order the paper applies them.
+GENERALIZATION_STRATEGIES: Tuple[GeneralizationStrategy, ...] = (
+    generalize_quantifier,
+    generalize_alpha,
+    generalize_alnum,
+)

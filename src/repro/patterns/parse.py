@@ -1,0 +1,112 @@
+"""Parser for the compact pattern notation used in the paper and the tests.
+
+The notation is the one the paper prints, e.g.::
+
+    <D>3'-'<D>3'-'<D>4        three digits, dash, three digits, dash, four
+    <U><L>+'@'<L>+'.'<L>+     an email-like pattern
+    <AN>+                      one or more alphanumeric characters
+
+Grammar (informal)::
+
+    pattern   := element*
+    element   := base | literal
+    base      := '<' CLASS '>' quantifier?
+    quantifier:= NATURAL | '+'
+    literal   := "'" CHARS "'"          (single-quoted constant text)
+
+Whitespace between elements is ignored.  A backslash inside a literal
+escapes the next character, allowing ``'\\''`` for a single quote.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.patterns.pattern import Pattern
+from repro.tokens.classes import NOTATION_TO_CLASS
+from repro.tokens.token import PLUS, Token
+from repro.util.errors import PatternParseError
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse the compact notation into a :class:`~repro.patterns.pattern.Pattern`.
+
+    Args:
+        text: Pattern source such as ``"<D>3'-'<D>4"``.
+
+    Raises:
+        PatternParseError: On any syntax error; the message points at the
+            offending position.
+    """
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "<":
+            index = _parse_base(text, index, tokens)
+            continue
+        if char == "'":
+            index = _parse_literal(text, index, tokens)
+            continue
+        raise PatternParseError(
+            f"unexpected character {char!r} at position {index}", source=text
+        )
+    return Pattern(tokens)
+
+
+def _parse_base(text: str, start: int, out: List[Token]) -> int:
+    """Parse a ``<CLASS>quantifier`` element starting at ``start``."""
+    end = text.find(">", start)
+    if end == -1:
+        raise PatternParseError(
+            f"unterminated token class at position {start}", source=text
+        )
+    notation = text[start : end + 1]
+    klass = NOTATION_TO_CLASS.get(notation)
+    if klass is None:
+        raise PatternParseError(
+            f"unknown token class {notation!r} at position {start}", source=text
+        )
+    index = end + 1
+    if index < len(text) and text[index] == "+":
+        out.append(Token.base(klass, PLUS))
+        return index + 1
+    digits_start = index
+    while index < len(text) and text[index].isdigit():
+        index += 1
+    if index == digits_start:
+        out.append(Token.base(klass, 1))
+        return index
+    quantifier = int(text[digits_start:index])
+    if quantifier < 1:
+        raise PatternParseError(
+            f"quantifier must be positive at position {digits_start}", source=text
+        )
+    out.append(Token.base(klass, quantifier))
+    return index
+
+
+def _parse_literal(text: str, start: int, out: List[Token]) -> int:
+    """Parse a single-quoted literal starting at ``start``."""
+    index = start + 1
+    chars: List[str] = []
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 1 < len(text):
+            chars.append(text[index + 1])
+            index += 2
+            continue
+        if char == "'":
+            if not chars:
+                raise PatternParseError(
+                    f"empty literal at position {start}", source=text
+                )
+            out.append(Token.lit("".join(chars)))
+            return index + 1
+        chars.append(char)
+        index += 1
+    raise PatternParseError(f"unterminated literal at position {start}", source=text)

@@ -1,0 +1,155 @@
+"""The :class:`Pattern` value object — a sequence of tokens.
+
+Patterns are immutable and hashable so they can key cluster dictionaries
+and be compared structurally.  They expose the token-frequency statistic
+``Q`` used by source-candidate validation (Equation 1 of the paper) and
+the subsumption test used when building the cluster hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.tokens.classes import ALL_BASE_CLASSES, TokenClass
+from repro.tokens.token import PLUS, Token
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """An ordered, immutable sequence of tokens describing string structure.
+
+    Attributes:
+        tokens: The tokens, left to right.
+    """
+
+    tokens: Tuple[Token, ...]
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        object.__setattr__(self, "tokens", tuple(tokens))
+
+    # ------------------------------------------------------------------
+    # Basic container behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self.tokens)
+
+    def __getitem__(self, index: int) -> Token:
+        return self.tokens[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.tokens)
+
+    # ------------------------------------------------------------------
+    # Notation / display
+    # ------------------------------------------------------------------
+    def notation(self) -> str:
+        """Compact paper notation, e.g. ``<D>3'-'<D>3'-'<D>4``."""
+        return "".join(token.notation() for token in self.tokens)
+
+    def __str__(self) -> str:
+        return self.notation()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pattern({self.notation()!r})"
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @cached_property
+    def token_frequencies(self) -> Dict[TokenClass, int]:
+        """Token frequency Q per base class (Equation 1).
+
+        A ``+`` quantifier counts as 1, as specified in Section 6.1.
+        Literal tokens do not contribute.
+        """
+        counts: Dict[TokenClass, int] = {klass: 0 for klass in ALL_BASE_CLASSES}
+        for token in self.tokens:
+            if token.is_literal:
+                continue
+            amount = 1 if token.quantifier == PLUS else int(token.quantifier)
+            counts[token.klass] += amount
+        return counts
+
+    def frequency(self, klass: TokenClass) -> int:
+        """Q(<class>, self): summed quantifiers of base tokens of ``klass``."""
+        return self.token_frequencies.get(klass, 0)
+
+    @property
+    def base_token_count(self) -> int:
+        """Number of non-literal tokens in the pattern."""
+        return sum(1 for token in self.tokens if not token.is_literal)
+
+    @property
+    def literal_token_count(self) -> int:
+        """Number of literal tokens in the pattern."""
+        return sum(1 for token in self.tokens if token.is_literal)
+
+    @property
+    def has_plus(self) -> bool:
+        """True if any token uses the '+' quantifier."""
+        return any(token.is_plus for token in self.tokens)
+
+    @property
+    def fixed_length(self) -> int | None:
+        """Exact string length matched by the pattern, or ``None`` if variable."""
+        total = 0
+        for token in self.tokens:
+            fixed = token.fixed_length
+            if fixed is None:
+                return None
+            total += fixed
+        return total
+
+    # ------------------------------------------------------------------
+    # Structural relations
+    # ------------------------------------------------------------------
+    def subsumes(self, other: "Pattern") -> bool:
+        """Whether every string matching ``other`` also matches ``self``.
+
+        This is the ``isChild`` relation of Algorithm 1 read in the parent
+        direction: token-by-token, each of our tokens must be equal to or
+        a generalization of the corresponding token of ``other``.  The
+        comparison is positional — refinement never merges or splits
+        tokens, so parent and child patterns always have equal length
+        except at the final ``<AN>`` round, which is handled by the
+        refinement code itself.
+        """
+        if len(self.tokens) != len(other.tokens):
+            return False
+        return all(
+            _token_subsumes(mine, theirs)
+            for mine, theirs in zip(self.tokens, other.tokens)
+        )
+
+    def with_tokens(self, tokens: Sequence[Token]) -> "Pattern":
+        """Return a new pattern with the given token sequence."""
+        return Pattern(tokens)
+
+
+def _token_subsumes(parent: Token, child: Token) -> bool:
+    """Token-level generalization test used by :meth:`Pattern.subsumes`."""
+    if parent.is_literal or child.is_literal:
+        # A literal only subsumes the identical literal.  A base-class
+        # parent subsumes a literal child whose text it accepts.
+        if parent.is_literal and child.is_literal:
+            return parent.literal == child.literal
+        if parent.is_literal:
+            return False
+        assert child.literal is not None
+        if not all(parent.klass.accepts_char(c) for c in child.literal):
+            return False
+        if parent.is_plus:
+            return True
+        return int(parent.quantifier) == len(child.literal)
+    if not parent.klass.generalizes(child.klass):
+        return False
+    if parent.is_plus:
+        return True
+    if child.is_plus:
+        return False
+    return int(parent.quantifier) == int(child.quantifier)

@@ -1,0 +1,81 @@
+"""Compile patterns to anchored regular expressions.
+
+Patterns ultimately surface to the user as regexp ``Replace`` operations
+(Figure 4 of the paper); this module produces both the plain anchored
+regex for a pattern and the *grouped* regex in which extracted token
+ranges are wrapped in capture groups so the replacement string can refer
+to them as ``$1``, ``$2``, …
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Pattern as RePattern
+from typing import Sequence, Tuple
+
+from repro.patterns.pattern import Pattern
+
+
+def pattern_to_regex(pattern: Pattern, anchored: bool = True) -> str:
+    """Render ``pattern`` as a regular expression string.
+
+    Args:
+        pattern: The pattern to render.
+        anchored: If True (default) the regex is wrapped in ``^…$`` so it
+            matches whole strings only — the paper's ``Match`` predicate
+            is an exact match.
+    """
+    body = "".join(token.to_regex() for token in pattern.tokens)
+    return f"^{body}$" if anchored else body
+
+
+def grouped_regex(pattern: Pattern, groups: Sequence[Tuple[int, int]]) -> str:
+    """Render ``pattern`` with capture groups around token ranges.
+
+    Args:
+        pattern: Source pattern.
+        groups: Inclusive token-index ranges ``(start, end)`` (0-based)
+            to wrap in parentheses, in left-to-right, non-overlapping
+            order.
+
+    Returns:
+        An anchored regex string with one capture group per range.
+
+    Raises:
+        ValueError: If ranges are out of bounds, unordered, or overlap.
+    """
+    _check_ranges(len(pattern), groups)
+    pieces = []
+    cursor = 0
+    for start, end in groups:
+        for index in range(cursor, start):
+            pieces.append(pattern[index].to_regex())
+        inner = "".join(pattern[index].to_regex() for index in range(start, end + 1))
+        pieces.append(f"({inner})")
+        cursor = end + 1
+    for index in range(cursor, len(pattern)):
+        pieces.append(pattern[index].to_regex())
+    return "^" + "".join(pieces) + "$"
+
+
+def _check_ranges(length: int, groups: Sequence[Tuple[int, int]]) -> None:
+    previous_end = -1
+    for start, end in groups:
+        if start < 0 or end >= length:
+            raise ValueError(f"group range ({start}, {end}) out of bounds for {length} tokens")
+        if start > end:
+            raise ValueError(f"group range ({start}, {end}) is reversed")
+        if start <= previous_end:
+            raise ValueError("group ranges must be ordered and non-overlapping")
+        previous_end = end
+
+
+@lru_cache(maxsize=4096)
+def _compile_cached(regex: str) -> RePattern[str]:
+    return re.compile(regex)
+
+
+def compile_pattern(pattern: Pattern, anchored: bool = True) -> RePattern[str]:
+    """Compile ``pattern`` into a cached :class:`re.Pattern` object."""
+    return _compile_cached(pattern_to_regex(pattern, anchored=anchored))

@@ -1,0 +1,77 @@
+"""Human-facing rendering of patterns.
+
+The paper presents patterns to end users as "natural-language-like"
+regular expressions in the style of Wrangler/Trifacta (Figure 4), e.g.::
+
+    \\({digit}3\\)\\ {digit}3\\-{digit}4
+
+This module renders both that Wrangler style and a plainer natural-
+language description ("3 digits, '-', 3 digits, '-', 4 digits") used by
+the examples and the preview table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.patterns.pattern import Pattern
+from repro.tokens.classes import TokenClass
+from repro.tokens.token import Token
+
+_WRANGLER_NAMES = {
+    TokenClass.DIGIT: "{digit}",
+    TokenClass.LOWER: "{lower}",
+    TokenClass.UPPER: "{upper}",
+    TokenClass.ALPHA: "{alpha}",
+    TokenClass.ALNUM: "{alphanum}",
+}
+
+_NATURAL_NAMES = {
+    TokenClass.DIGIT: "digit",
+    TokenClass.LOWER: "lowercase letter",
+    TokenClass.UPPER: "uppercase letter",
+    TokenClass.ALPHA: "letter",
+    TokenClass.ALNUM: "alphanumeric character",
+}
+
+#: Characters that must be escaped in the Wrangler-style rendering.
+_ESCAPE_CHARS = set("\\^$.|?*+()[]{} -/")
+
+
+def _escape_literal(text: str) -> str:
+    return "".join(f"\\{c}" if c in _ESCAPE_CHARS else c for c in text)
+
+
+def render_wrangler(pattern: Pattern) -> str:
+    """Render in the Wrangler/Trifacta style used by the paper's figures."""
+    parts: List[str] = []
+    for token in pattern.tokens:
+        parts.append(_render_wrangler_token(token))
+    return "".join(parts)
+
+
+def _render_wrangler_token(token: Token) -> str:
+    if token.is_literal:
+        assert token.literal is not None
+        return _escape_literal(token.literal)
+    name = _WRANGLER_NAMES[token.klass]
+    if token.is_plus:
+        return f"{name}+"
+    count = int(token.quantifier)
+    return name if count == 1 else f"{name}{count}"
+
+
+def render_natural(pattern: Pattern) -> str:
+    """Render a plain English description of the pattern."""
+    parts: List[str] = []
+    for token in pattern.tokens:
+        if token.is_literal:
+            parts.append(f"'{token.literal}'")
+            continue
+        name = _NATURAL_NAMES[token.klass]
+        if token.is_plus:
+            parts.append(f"one or more {name}s")
+        else:
+            count = int(token.quantifier)
+            parts.append(f"{count} {name}{'s' if count != 1 else ''}")
+    return ", ".join(parts) if parts else "(empty string)"

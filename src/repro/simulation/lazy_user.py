@@ -1,0 +1,230 @@
+"""Scripted "lazy" users driving the three systems (paper Section 7.4).
+
+The simulation protocol follows Gulwani et al.'s lazy-user approach, as
+the paper describes it:
+
+* **CLX** — the user selects the target pattern(s), then repairs the
+  default atomic transformation plan of any source pattern that is wrong
+  by picking a better candidate from the ranked list;
+* **FlashFill** — the user gives an example for the first record in a
+  non-standard format, then keeps giving examples for the first record
+  the current program still gets wrong;
+* **RegexReplace** — the user writes a Replace operation (two regexes)
+  for the first still-ill-formatted record's format, repeating until the
+  column is clean.
+
+All three simulated users consult the task's expected-output oracle when
+"verifying" — the cost of that verification is what the user-study models
+in :mod:`repro.simulation.verification` account for.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.baselines.flashfill.session import FlashFillSession
+from repro.baselines.regex_replace import RegexReplaceSession
+from repro.bench.task import TransformationTask
+from repro.core.transformer import transform_column
+from repro.dsl.ast import Branch
+from repro.dsl.explain import explain_branch
+from repro.dsl.interpreter import apply_plan
+from repro.dsl.replace import ReplaceOperation
+from repro.patterns.matching import match_pattern, pattern_of_string
+from repro.simulation.steps import StepBreakdown, SystemRun
+from repro.synthesis.alignment import align_tokens
+from repro.synthesis.plans import enumerate_plans, rank_plans
+from repro.synthesis.repair import oracle_repair
+from repro.synthesis.synthesizer import Synthesizer
+
+
+# ----------------------------------------------------------------------
+# CLX
+# ----------------------------------------------------------------------
+def simulate_clx(task: TransformationTask, synthesizer: Optional[Synthesizer] = None) -> SystemRun:
+    """Run the lazy CLX user on ``task``.
+
+    Steps = one Selection for the target pattern + one Repair per source
+    pattern whose default plan had to be replaced, plus the punishment
+    term for rows that still end up wrong.
+    """
+    from repro.clustering.profiler import PatternProfiler
+
+    synthesizer = synthesizer or Synthesizer()
+    hierarchy = PatternProfiler().profile(task.inputs)
+    target = task.target_pattern()
+    result = synthesizer.synthesize(hierarchy, target)
+    repaired, repairs = oracle_repair(result, task.expected)
+    report = transform_column(repaired.program, task.inputs, target)
+
+    wrong = sum(
+        1
+        for raw, output in zip(report.inputs, report.outputs)
+        if output != task.desired_output(raw)
+    )
+    steps = StepBreakdown(selections=1, repairs=repairs, punishment=wrong)
+    return SystemRun(
+        system="CLX",
+        task_id=task.task_id,
+        steps=steps,
+        perfect=wrong == 0,
+        interactions=1 + len(repaired.program),
+        outputs=list(report.outputs),
+    )
+
+
+# ----------------------------------------------------------------------
+# FlashFill
+# ----------------------------------------------------------------------
+def simulate_flashfill(task: TransformationTask, max_examples: Optional[int] = None) -> SystemRun:
+    """Run the lazy FlashFill user on ``task``.
+
+    Steps = number of examples provided, plus the punishment term for
+    rows the final program still gets wrong.
+    """
+    session = FlashFillSession(task.inputs)
+    limit = max_examples if max_examples is not None else len(task.inputs)
+    given: set = set()
+    while session.example_count < limit:
+        failing = session.failing_rows(task.expected)
+        if not failing:
+            break
+        raw = failing[0]
+        if raw in given:
+            # Giving the same example again cannot help; the row is
+            # beyond the system's expressive power.
+            break
+        given.add(raw)
+        session.add_example(raw, task.desired_output(raw))
+
+    failing = session.failing_rows(task.expected)
+    steps = StepBreakdown(examples=session.example_count, punishment=len(failing))
+    return SystemRun(
+        system="FlashFill",
+        task_id=task.task_id,
+        steps=steps,
+        perfect=not failing,
+        interactions=session.example_count,
+        outputs=session.outputs_or_input(),
+    )
+
+
+# ----------------------------------------------------------------------
+# RegexReplace
+# ----------------------------------------------------------------------
+def _write_rule_for(
+    raw: str,
+    desired: str,
+    current_column: Optional[List[str]] = None,
+    desired_column: Optional[List[str]] = None,
+) -> ReplaceOperation:
+    """The Replace operation a regex-literate user would write for ``raw``.
+
+    A Wrangler user writes *parameterized* regexes ("{digit}+" rather
+    than "{digit}3"), so the rule is first attempted over the
+    quantifier-generalized pattern of the record, then over its exact
+    leaf pattern, and finally — for one-off oddballs no pattern-level
+    rule can fix — as an exact string replacement.
+
+    When ``current_column``/``desired_column`` are given, a candidate rule
+    is rejected if it would corrupt a row that is currently correct (the
+    user checks their regex against the preview before committing, which
+    is how a careful Wrangler user avoids over-general patterns).
+    """
+    from repro.patterns.generalize import generalize_quantifier
+
+    leaf = pattern_of_string(raw)
+    candidates = []
+    for source in (generalize_quantifier(leaf), leaf):
+        target = pattern_of_string(desired)
+        dag = align_tokens(source, target)
+        if not dag.has_path():
+            continue
+        token_texts = match_pattern(raw, source)
+        if token_texts is None:
+            continue
+        plans = enumerate_plans(dag)
+        for plan in rank_plans(plans, source):
+            try:
+                if apply_plan(plan, token_texts) == desired:
+                    candidates.append(explain_branch(Branch(pattern=source, plan=plan)))
+                    break
+            except Exception:
+                continue
+    candidates.append(
+        ReplaceOperation(
+            regex=f"^{re.escape(raw)}$",
+            replacement=desired.replace("$", "$$"),
+            description="exact replacement",
+        )
+    )
+    for operation in candidates:
+        if _rule_is_safe(operation, current_column, desired_column):
+            return operation
+    return candidates[-1]
+
+
+def _rule_is_safe(
+    operation: ReplaceOperation,
+    current_column: Optional[List[str]],
+    desired_column: Optional[List[str]],
+) -> bool:
+    """Whether ``operation`` leaves every currently-correct row correct."""
+    if current_column is None or desired_column is None:
+        return True
+    for current, desired in zip(current_column, desired_column):
+        if current != desired:
+            continue
+        if operation.matches(current) and operation.apply(current) != current:
+            return False
+    return True
+
+
+def simulate_regex_replace(task: TransformationTask, max_rules: Optional[int] = None) -> SystemRun:
+    """Run the simulated RegexReplace user on ``task``.
+
+    Steps = two per Replace operation written, plus the punishment term.
+    """
+    session = RegexReplaceSession(task.inputs)
+    limit = max_rules if max_rules is not None else len(task.inputs)
+    handled: set = set()
+    desired_column = [task.desired_output(value) for value in task.inputs]
+    while session.rule_count < limit:
+        failing = session.failing_rows(task.expected)
+        if not failing:
+            break
+        raw = failing[0]
+        if raw in handled:
+            break
+        handled.add(raw)
+        operation = _write_rule_for(
+            raw,
+            task.desired_output(raw),
+            current_column=session.outputs(),
+            desired_column=desired_column,
+        )
+        session.add_operation(operation)
+
+    failing = session.failing_rows(task.expected)
+    steps = StepBreakdown(rules=session.rule_count, punishment=len(failing))
+    return SystemRun(
+        system="RegexReplace",
+        task_id=task.task_id,
+        steps=steps,
+        perfect=not failing,
+        interactions=session.rule_count,
+        outputs=session.outputs(),
+    )
+
+
+# ----------------------------------------------------------------------
+# All three at once
+# ----------------------------------------------------------------------
+def simulate_all(task: TransformationTask) -> Dict[str, SystemRun]:
+    """Run all three simulated users on ``task``."""
+    return {
+        "CLX": simulate_clx(task),
+        "FlashFill": simulate_flashfill(task),
+        "RegexReplace": simulate_regex_replace(task),
+    }

@@ -1,0 +1,82 @@
+"""The *Step* user-effort metric (paper Section 7.4).
+
+The paper quantifies user effort with system-specific Step counts:
+
+* **CLX** — one step per target pattern selected plus one step per
+  repaired source plan;
+* **FlashFill** — one step per input example provided;
+* **RegexReplace** — two steps per Replace operation written (two regexes
+  each);
+* every system — plus, as a *punishment*, one step per data record it
+  ultimately fails to transform correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class StepBreakdown:
+    """Step counts for one system on one task.
+
+    Attributes:
+        selections: Target patterns selected (CLX only).
+        repairs: Source-plan repairs performed (CLX only).
+        examples: Input→output examples provided (FlashFill only).
+        rules: Replace operations written (RegexReplace only; each counts
+            twice in the total).
+        punishment: Rows left incorrectly transformed at the end.
+    """
+
+    selections: int = 0
+    repairs: int = 0
+    examples: int = 0
+    rules: int = 0
+    punishment: int = 0
+
+    @property
+    def specification(self) -> int:
+        """Steps spent specifying (everything except punishment)."""
+        return self.selections + self.repairs + self.examples + 2 * self.rules
+
+    @property
+    def total(self) -> int:
+        """Total Steps including the punishment term."""
+        return self.specification + self.punishment
+
+
+@dataclass
+class SystemRun:
+    """Outcome of one simulated run of one system on one task.
+
+    Attributes:
+        system: "CLX", "FlashFill" or "RegexReplace".
+        task_id: The benchmark task identifier.
+        steps: The step breakdown.
+        perfect: Whether every row ended up correctly transformed.
+        interactions: Number of verify-and-specify rounds, per the
+            definition of Section 7.2 (CLX: 1 labeling + plan
+            verifications; FlashFill: examples; RegexReplace: rules).
+        outputs: Final transformed column (for debugging and tests).
+    """
+
+    system: str
+    task_id: str
+    steps: StepBreakdown
+    perfect: bool
+    interactions: int
+    outputs: List[str] = field(default_factory=list)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a dict suitable for tabular reporting."""
+        return {
+            "system": self.system,
+            "task": self.task_id,
+            "steps": self.steps.total,
+            "specification": self.steps.specification,
+            "punishment": self.steps.punishment,
+            "perfect": self.perfect,
+            "interactions": self.interactions,
+        }

@@ -1,0 +1,261 @@
+"""Simulated user studies (paper Sections 7.2 and 7.3, Figures 11–14).
+
+Real participants are replaced by the cost model of
+:mod:`repro.simulation.verification` attached to the *traces* of the
+scripted lazy users: for every interaction a participant would make, the
+trace records how long the model says they spent verifying (scanning rows
+or reading patterns) and specifying (typing an example, picking a plan,
+writing regexes).  The quantities that drive the model — rows scanned,
+failures remaining, patterns and branches shown — are measured from the
+actual systems running on the actual (synthetic) data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.flashfill.session import FlashFillSession
+from repro.baselines.regex_replace import RegexReplaceSession
+from repro.bench.phone import phone_user_study_cases
+from repro.bench.task import TransformationTask
+from repro.clustering.profiler import PatternProfiler
+from repro.core.transformer import transform_column
+from repro.simulation.lazy_user import _write_rule_for
+from repro.simulation.verification import UserCostModel
+from repro.synthesis.repair import oracle_repair
+from repro.synthesis.synthesizer import Synthesizer
+
+
+@dataclass
+class InteractionTrace:
+    """Timed trace of one simulated participant on one task and system.
+
+    Attributes:
+        system: "CLX", "FlashFill" or "RegexReplace".
+        task_id: The task the participant worked on.
+        verification_seconds: Total modelled verification time.
+        specification_seconds: Total modelled specification (input) time.
+        setup_seconds: Fixed per-task overhead.
+        timestamps: Cumulative completion time after each interaction
+            (the data behind Figure 11c).
+        perfect: Whether the final column was fully correct.
+    """
+
+    system: str
+    task_id: str
+    verification_seconds: float
+    specification_seconds: float
+    setup_seconds: float
+    timestamps: List[float] = field(default_factory=list)
+    perfect: bool = True
+
+    @property
+    def interactions(self) -> int:
+        """Number of verify-and-specify rounds."""
+        return len(self.timestamps)
+
+    @property
+    def total_seconds(self) -> float:
+        """Overall completion time (Figure 11a / Figure 14)."""
+        return self.verification_seconds + self.specification_seconds + self.setup_seconds
+
+
+# ----------------------------------------------------------------------
+# Per-system traced runs
+# ----------------------------------------------------------------------
+def trace_clx(task: TransformationTask, model: UserCostModel) -> InteractionTrace:
+    """Trace a CLX participant: label, then verify/repair each suggested plan."""
+    hierarchy = PatternProfiler().profile(task.inputs)
+    target = task.target_pattern()
+    result = Synthesizer().synthesize(hierarchy, target)
+    repaired, repairs = oracle_repair(result, task.expected)
+    report = transform_column(repaired.program, task.inputs, target)
+    perfect = all(
+        output == task.desired_output(raw)
+        for raw, output in zip(report.inputs, report.outputs)
+    )
+
+    pattern_count = len(hierarchy.leaf_nodes)
+    branch_count = len(repaired.program)
+
+    timestamps: List[float] = []
+    clock = model.setup_seconds
+    verification = 0.0
+    specification = 0.0
+
+    # Interaction 1: read the pattern list, select the target.
+    read = pattern_count * model.pattern_read_seconds
+    verification += read
+    specification += model.select_seconds
+    clock += read + model.select_seconds
+    timestamps.append(clock)
+
+    # One interaction per suggested plan: read the Replace operation and
+    # the post-transformation pattern list; repair when needed.
+    repairs_left = repairs
+    for _branch in range(branch_count):
+        read = model.replace_read_seconds + pattern_count * model.pattern_read_seconds / max(1, branch_count)
+        verification += read
+        clock += read
+        if repairs_left > 0:
+            specification += model.repair_seconds
+            clock += model.repair_seconds
+            repairs_left -= 1
+        timestamps.append(clock)
+
+    # Final confirmation: read the post-transformation pattern list and
+    # the preview table once; its cost does not depend on the row count.
+    verification += model.preview_confirm_seconds
+    clock += model.preview_confirm_seconds
+    timestamps[-1] = clock
+
+    return InteractionTrace(
+        system="CLX",
+        task_id=task.task_id,
+        verification_seconds=verification,
+        specification_seconds=specification,
+        setup_seconds=model.setup_seconds,
+        timestamps=timestamps,
+        perfect=perfect,
+    )
+
+
+def trace_flashfill(task: TransformationTask, model: UserCostModel) -> InteractionTrace:
+    """Trace a FlashFill participant: scan for a failing row, give an example, repeat."""
+    session = FlashFillSession(task.inputs)
+    rows = len(task.inputs)
+    timestamps: List[float] = []
+    clock = model.setup_seconds
+    verification = 0.0
+    specification = 0.0
+    given: set = set()
+
+    while True:
+        failing = session.failing_rows(task.expected)
+        scan = model.flashfill_scan(rows, len(failing))
+        verification += scan
+        clock += scan
+        if not failing:
+            timestamps.append(clock)
+            break
+        raw = failing[0]
+        if raw in given:
+            timestamps.append(clock)
+            break
+        given.add(raw)
+        specification += model.flashfill_specification()
+        clock += model.flashfill_specification()
+        session.add_example(raw, task.desired_output(raw))
+        timestamps.append(clock)
+
+    failing = session.failing_rows(task.expected)
+    return InteractionTrace(
+        system="FlashFill",
+        task_id=task.task_id,
+        verification_seconds=verification,
+        specification_seconds=specification,
+        setup_seconds=model.setup_seconds,
+        timestamps=timestamps,
+        perfect=not failing,
+    )
+
+
+def trace_regex_replace(task: TransformationTask, model: UserCostModel) -> InteractionTrace:
+    """Trace a RegexReplace participant: scan, write a Replace, repeat."""
+    session = RegexReplaceSession(task.inputs)
+    rows = len(task.inputs)
+    timestamps: List[float] = []
+    clock = model.setup_seconds
+    verification = 0.0
+    specification = 0.0
+    handled: set = set()
+    desired_column = [task.desired_output(value) for value in task.inputs]
+
+    while True:
+        failing = session.failing_rows(task.expected)
+        scan = model.regex_scan(rows, len(failing))
+        verification += scan
+        clock += scan
+        if not failing:
+            timestamps.append(clock)
+            break
+        raw = failing[0]
+        if raw in handled:
+            timestamps.append(clock)
+            break
+        handled.add(raw)
+        specification += model.regex_specification()
+        clock += model.regex_specification()
+        session.add_operation(
+            _write_rule_for(
+                raw,
+                task.desired_output(raw),
+                current_column=session.outputs(),
+                desired_column=desired_column,
+            )
+        )
+        timestamps.append(clock)
+
+    failing = session.failing_rows(task.expected)
+    return InteractionTrace(
+        system="RegexReplace",
+        task_id=task.task_id,
+        verification_seconds=verification,
+        specification_seconds=specification,
+        setup_seconds=model.setup_seconds,
+        timestamps=timestamps,
+        perfect=not failing,
+    )
+
+
+_TRACERS = {
+    "CLX": trace_clx,
+    "FlashFill": trace_flashfill,
+    "RegexReplace": trace_regex_replace,
+}
+
+
+def trace_task(task: TransformationTask, model: Optional[UserCostModel] = None) -> Dict[str, InteractionTrace]:
+    """Trace all three systems on ``task``."""
+    model = model or UserCostModel()
+    return {system: tracer(task, model) for system, tracer in _TRACERS.items()}
+
+
+# ----------------------------------------------------------------------
+# The two studies
+# ----------------------------------------------------------------------
+def run_scalability_study(
+    model: Optional[UserCostModel] = None,
+    seed: int = 331,
+) -> Dict[str, Dict[str, InteractionTrace]]:
+    """The verification-effort user study of Section 7.2 (Figures 11–12).
+
+    Returns ``{case_name: {system: trace}}`` for the three phone-number
+    cases 10(2), 100(4) and 300(6).
+    """
+    model = model or UserCostModel()
+    cases = phone_user_study_cases(seed=seed)
+    results: Dict[str, Dict[str, InteractionTrace]] = {}
+    for task in cases:
+        case_name = task.task_id.replace("userstudy-phone-", "")
+        results[case_name] = trace_task(task, model)
+    return results
+
+
+def run_explainability_study(
+    tasks: Sequence[TransformationTask],
+    model: Optional[UserCostModel] = None,
+) -> Dict[str, Dict[str, InteractionTrace]]:
+    """Completion-time part of the explainability study (Figure 14).
+
+    Args:
+        tasks: The three explainability tasks (see
+            :func:`repro.bench.suite.explainability_tasks`).
+        model: Cost model; defaults to the calibrated one.
+
+    Returns:
+        ``{task_id: {system: trace}}``.
+    """
+    model = model or UserCostModel()
+    return {task.task_id: trace_task(task, model) for task in tasks}

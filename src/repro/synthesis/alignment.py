@@ -1,0 +1,73 @@
+"""Token alignment — Algorithm 3 of the paper.
+
+Given a candidate source pattern and the target pattern, the alignment
+discovers every way each target token can be produced:
+
+* an ``Extract`` of any syntactically-similar source token
+  (Definition 6.1), and
+* a ``ConstStr`` for literal target tokens (punctuation or constant
+  strings can always be invented without external knowledge).
+
+Individual extracts that touch consecutive source tokens and produce
+consecutive target tokens are then combined into multi-token
+``Extract(i, j)`` edges ("Combine Sequential Extracts"), which is what
+makes the alignment complete (Appendix A) and lets MDL prefer the simple
+one-extract plans.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast import ConstStr, Extract
+from repro.patterns.pattern import Pattern
+from repro.synthesis.dag import AlignmentDAG
+
+
+def align_tokens(source: Pattern, target: Pattern) -> AlignmentDAG:
+    """Build the alignment DAG between ``source`` and ``target``.
+
+    Args:
+        source: Candidate source pattern (already validated).
+        target: Target pattern selected by the user.
+
+    Returns:
+        The :class:`~repro.synthesis.dag.AlignmentDAG`; a path from node 0
+        to node ``len(target)`` exists iff an atomic transformation plan
+        exists in UniFi for this pair.
+    """
+    dag = AlignmentDAG(target_length=len(target))
+
+    # Lines 2-9: align individual target tokens to sources.
+    for target_index, target_token in enumerate(target.tokens, start=1):
+        for source_index, source_token in enumerate(source.tokens, start=1):
+            if target_token.syntactically_similar(source_token):
+                dag.add_edge(target_index - 1, target_index, Extract(source_index))
+        if target_token.is_literal:
+            assert target_token.literal is not None
+            dag.add_edge(target_index - 1, target_index, ConstStr(target_token.literal))
+
+    # Lines 10-17: combine sequential extracts.  Processing the nodes left
+    # to right lets previously combined edges participate in further
+    # combinations, which yields Extract(p, q) for arbitrarily long runs
+    # (see the completeness proof in Appendix A).
+    for node in range(1, dag.target_length):
+        incoming = [
+            (start, expression)
+            for start, expressions in dag.incoming(node)
+            for expression in expressions
+            if isinstance(expression, Extract)
+        ]
+        outgoing = [
+            (end, expression)
+            for end, expressions in dag.outgoing(node)
+            for expression in expressions
+            if isinstance(expression, Extract)
+        ]
+        for start, incoming_extract in incoming:
+            for end, outgoing_extract in outgoing:
+                if incoming_extract.end + 1 == outgoing_extract.start:
+                    dag.add_edge(
+                        start,
+                        end,
+                        Extract(incoming_extract.start, outgoing_extract.end),
+                    )
+    return dag

@@ -1,0 +1,118 @@
+"""The token-alignment DAG (paper Section 6.2).
+
+Nodes ``0 … len(target)`` are positions *between* target tokens; an edge
+``(i, j)`` carries string expressions (``Extract`` or ``ConstStr``) that
+produce target tokens ``i+1 … j``.  A path from the source node 0 to the
+target node ``len(target)`` therefore spells out an atomic transformation
+plan.  The DAG is the same representation FlashFill-style synthesizers
+use for their version spaces, specialized here to whole-token moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.dsl.ast import StringExpression
+
+
+@dataclass
+class AlignmentDAG:
+    """Directed acyclic graph of token matches for one (source, target) pair.
+
+    Attributes:
+        target_length: Number of tokens in the target pattern; the DAG has
+            ``target_length + 1`` nodes, 0 being the source node and
+            ``target_length`` the sink.
+        edges: Mapping ``(start, end) -> list of expressions`` generating
+            target tokens ``start+1 … end``.
+    """
+
+    target_length: int
+    edges: Dict[Tuple[int, int], List[StringExpression]] = field(default_factory=dict)
+
+    @property
+    def source_node(self) -> int:
+        """Index of the source node (always 0)."""
+        return 0
+
+    @property
+    def sink_node(self) -> int:
+        """Index of the sink node (``target_length``)."""
+        return self.target_length
+
+    def add_edge(self, start: int, end: int, expression: StringExpression) -> None:
+        """Add ``expression`` to the edge ``(start, end)``.
+
+        Duplicate expressions on the same edge are ignored so repeated
+        combination passes stay idempotent.
+
+        Raises:
+            ValueError: If the edge is out of bounds or not forward.
+        """
+        if not (0 <= start < end <= self.target_length):
+            raise ValueError(
+                f"edge ({start}, {end}) out of bounds for target length {self.target_length}"
+            )
+        bucket = self.edges.setdefault((start, end), [])
+        if expression not in bucket:
+            bucket.append(expression)
+
+    def outgoing(self, node: int) -> Iterator[Tuple[int, List[StringExpression]]]:
+        """Yield ``(end, expressions)`` for every edge leaving ``node``."""
+        for (start, end), expressions in self.edges.items():
+            if start == node:
+                yield end, expressions
+
+    def incoming(self, node: int) -> Iterator[Tuple[int, List[StringExpression]]]:
+        """Yield ``(start, expressions)`` for every edge entering ``node``."""
+        for (start, end), expressions in self.edges.items():
+            if end == node:
+                yield start, expressions
+
+    def expressions_on(self, start: int, end: int) -> List[StringExpression]:
+        """Expressions stored on edge ``(start, end)`` (empty if absent)."""
+        return list(self.edges.get((start, end), []))
+
+    @property
+    def edge_count(self) -> int:
+        """Number of distinct (start, end) edges."""
+        return len(self.edges)
+
+    @property
+    def expression_count(self) -> int:
+        """Total number of expressions across all edges."""
+        return sum(len(expressions) for expressions in self.edges.values())
+
+    def has_path(self) -> bool:
+        """Whether any path connects the source node to the sink node."""
+        if self.target_length == 0:
+            return True
+        reachable = {self.source_node}
+        frontier = [self.source_node]
+        while frontier:
+            node = frontier.pop()
+            for end, _expressions in self.outgoing(node):
+                if end not in reachable:
+                    reachable.add(end)
+                    frontier.append(end)
+        return self.sink_node in reachable
+
+    def path_count(self, limit: int = 1_000_000) -> int:
+        """Number of distinct source→sink paths, capped at ``limit``.
+
+        Counts paths (not plans — an edge holding several expressions
+        multiplies the plan count).  Used by tests and by the ablation
+        benchmarks to report search-space size.
+        """
+        counts = [0] * (self.target_length + 1)
+        counts[self.sink_node] = 1
+        for node in range(self.target_length - 1, -1, -1):
+            total = 0
+            for end, expressions in self.outgoing(node):
+                total += counts[end] * max(1, len(expressions))
+                if total >= limit:
+                    total = limit
+                    break
+            counts[node] = total
+        return counts[self.source_node]

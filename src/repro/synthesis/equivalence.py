@@ -1,0 +1,85 @@
+"""Equivalent-plan detection and deduplication (paper Appendix B).
+
+Two plans are *equivalent* when, for the same source pattern, they always
+produce the same output for any matching string — e.g. extracting a
+constant '/' from the source versus emitting it as a ``ConstStr``.
+Showing equivalent plans as separate repair options only wastes user
+effort, so only the simplest representative of each equivalence class is
+kept.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dsl.ast import AtomicPlan, ConstStr, Extract, StringExpression
+from repro.patterns.pattern import Pattern
+
+
+def _split_extracts(plan: AtomicPlan) -> List[StringExpression]:
+    """Step 1 of Appendix B: split ``Extract(m, n)`` into single extracts."""
+    flattened: List[StringExpression] = []
+    for expression in plan.expressions:
+        if isinstance(expression, Extract):
+            flattened.extend(Extract(index) for index in range(expression.start, expression.end + 1))
+        else:
+            flattened.append(expression)
+    return flattened
+
+
+def _operations_interchangeable(
+    left: StringExpression, right: StringExpression, source: Pattern
+) -> bool:
+    """Step 2(b): one op extracts a constant whose text equals the other's ConstStr."""
+    if isinstance(left, Extract) and isinstance(right, ConstStr):
+        extract, const = left, right
+    elif isinstance(left, ConstStr) and isinstance(right, Extract):
+        extract, const = right, left
+    else:
+        return False
+    if extract.start != extract.end:
+        return False
+    if extract.start > len(source):
+        return False
+    token = source[extract.start - 1]
+    return token.is_literal and token.literal == const.text
+
+
+def plans_equivalent(first: AtomicPlan, second: AtomicPlan, source: Pattern) -> bool:
+    """Whether two plans always yield the same output for ``source`` strings.
+
+    Implements the pairwise check of Appendix B: after splitting
+    multi-token extracts, the plans must have equal length and each pair
+    of aligned operations must be identical or interchangeable (an
+    extract of a constant source token versus the same text as ConstStr).
+    """
+    left = _split_extracts(first)
+    right = _split_extracts(second)
+    if len(left) != len(right):
+        return False
+    for left_op, right_op in zip(left, right):
+        if left_op == right_op:
+            continue
+        if _operations_interchangeable(left_op, right_op, source):
+            continue
+        return False
+    return True
+
+
+def deduplicate_plans(plans: Sequence[AtomicPlan], source: Pattern) -> List[AtomicPlan]:
+    """Keep only the first (i.e. simplest, given MDL-ranked input) plan per class.
+
+    Args:
+        plans: Plans already ranked by description length (ascending).
+        source: Source pattern the plans apply to.
+
+    Returns:
+        The ranked plans with equivalent duplicates removed, preserving
+        order.
+    """
+    kept: List[AtomicPlan] = []
+    for plan in plans:
+        if any(plans_equivalent(plan, existing, source) for existing in kept):
+            continue
+        kept.append(plan)
+    return kept

@@ -1,0 +1,136 @@
+"""Program repair (paper Section 6.4).
+
+When the default (MDL-minimal) plan for a source pattern is wrong — for
+example the date-ambiguity case where ``DD`` is matched to ``MM`` — the
+user repairs it by picking one of the other candidate plans.  Because
+token alignment is complete, the correct plan is guaranteed to be among
+the candidates; equivalence deduplication keeps the choice list short.
+
+This module packages the repair options for one source pattern and the
+"oracle repair" helper the simulated user of Section 7.4 relies on: pick
+the highest-ranked candidate whose output matches the expected value on
+the provided examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dsl.ast import AtomicPlan
+from repro.dsl.interpreter import apply_plan
+from repro.patterns.matching import match_pattern
+from repro.patterns.pattern import Pattern
+from repro.synthesis.synthesizer import SynthesisResult
+
+
+@dataclass(frozen=True)
+class RepairCandidates:
+    """Candidate plans for one source pattern, default first.
+
+    Attributes:
+        source: The source pattern being repaired.
+        plans: Ranked, deduplicated candidate plans (``plans[0]`` is the
+            current default).
+    """
+
+    source: Pattern
+    plans: Tuple[AtomicPlan, ...]
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    @property
+    def default(self) -> AtomicPlan:
+        """The current default plan."""
+        return self.plans[0]
+
+    @property
+    def alternatives(self) -> Tuple[AtomicPlan, ...]:
+        """Every candidate except the default."""
+        return self.plans[1:]
+
+
+def repair_options(result: SynthesisResult, source: Pattern) -> RepairCandidates:
+    """Package the repair options for ``source`` out of a synthesis result.
+
+    Raises:
+        KeyError: If ``source`` is not a solved source pattern of
+            ``result``.
+    """
+    plans = result.candidates.get(source)
+    if not plans:
+        raise KeyError(f"no candidate plans recorded for {source.notation()}")
+    return RepairCandidates(source=source, plans=tuple(plans))
+
+
+def oracle_repair(
+    result: SynthesisResult,
+    expected: Dict[str, str],
+) -> Tuple[SynthesisResult, int]:
+    """Repair every source whose default plan disagrees with ``expected``.
+
+    This is the simulated user's "lazy" repair of Section 7.4: for each
+    source pattern whose default plan produces a wrong output on any
+    example it matches, switch to the highest-ranked candidate that gets
+    all of its matching examples right.
+
+    Args:
+        result: The initial synthesis result.
+        expected: Mapping from raw input string to its desired output.
+
+    Returns:
+        ``(repaired_result, repairs_made)`` where ``repairs_made`` counts
+        how many source patterns had their plan replaced.  Sources for
+        which no candidate is correct are left on their default plan.
+    """
+    repaired = result
+    repairs = 0
+    for source, plans in result.candidates.items():
+        examples = _examples_matching(source, expected)
+        if not examples:
+            continue
+        if _plan_correct(plans[0], source, examples):
+            continue
+        replacement = _first_correct_plan(plans[1:], source, examples)
+        if replacement is not None:
+            repaired = repaired.repaired(source, replacement)
+            repairs += 1
+    return repaired, repairs
+
+
+def _examples_matching(
+    source: Pattern, expected: Dict[str, str]
+) -> List[Tuple[List[str], str]]:
+    """Token texts and expected outputs of examples matching ``source``."""
+    collected = []
+    for raw, desired in expected.items():
+        token_texts = match_pattern(raw, source)
+        if token_texts is not None:
+            collected.append((token_texts, desired))
+    return collected
+
+
+def _plan_correct(
+    plan: AtomicPlan, source: Pattern, examples: Sequence[Tuple[List[str], str]]
+) -> bool:
+    """Whether ``plan`` reproduces every expected output among ``examples``."""
+    for token_texts, desired in examples:
+        try:
+            if apply_plan(plan, token_texts) != desired:
+                return False
+        except Exception:
+            return False
+    return True
+
+
+def _first_correct_plan(
+    plans: Sequence[AtomicPlan],
+    source: Pattern,
+    examples: Sequence[Tuple[List[str], str]],
+) -> Optional[AtomicPlan]:
+    """First plan in ranked order that is correct on all examples, if any."""
+    for plan in plans:
+        if _plan_correct(plan, source, examples):
+            return plan
+    return None

@@ -1,0 +1,172 @@
+"""The UniFi synthesizer — Algorithm 2 of the paper.
+
+Given the pattern cluster hierarchy and the user-selected target pattern,
+the synthesizer traverses the hierarchy top-down.  A node is
+
+* **skipped** when its pattern is the target pattern (or is subsumed by
+  it) — its data are already in the desired form;
+* **solved** when it passes source-candidate validation *and* token
+  alignment finds at least one plan — the node's whole subtree is covered
+  by a single branch, which is what keeps programs small;
+* **expanded** otherwise — its children are pushed for consideration;
+  leaves that can never be solved are reported as *uncovered* (the data
+  they describe is left unchanged and flagged, per Section 6.1).
+
+The result carries, for every solved source pattern, the full ranked and
+deduplicated list of candidate plans so that program repair (Section 6.4)
+can swap the default plan without re-running synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.clustering.hierarchy import HierarchyNode, PatternHierarchy
+from repro.dsl.ast import AtomicPlan, Branch, UniFiProgram
+from repro.patterns.pattern import Pattern
+from repro.synthesis.alignment import align_tokens
+from repro.synthesis.equivalence import deduplicate_plans
+from repro.synthesis.plans import enumerate_plans, rank_plans
+from repro.synthesis.validate import validate_source
+from repro.util.errors import SynthesisError
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of synthesizing a UniFi program for one target pattern.
+
+    Attributes:
+        target: The target pattern.
+        program: The synthesized program (default plan per source).
+        candidates: Ranked, deduplicated candidate plans per solved source
+            pattern; ``candidates[p][0]`` is the default plan used in
+            ``program``.
+        uncovered: Leaf patterns for which no plan could be synthesized;
+            their data is left unchanged and flagged.
+        already_target: Patterns whose data already matches the target.
+    """
+
+    target: Pattern
+    program: UniFiProgram
+    candidates: Dict[Pattern, List[AtomicPlan]] = field(default_factory=dict)
+    uncovered: List[Pattern] = field(default_factory=list)
+    already_target: List[Pattern] = field(default_factory=list)
+
+    @property
+    def source_patterns(self) -> List[Pattern]:
+        """Solved source patterns, in branch order."""
+        return [branch.pattern for branch in self.program.branches]
+
+    def alternatives(self, source: Pattern, count: int = 5) -> List[AtomicPlan]:
+        """Up to ``count`` repair alternatives for ``source`` (excluding the default)."""
+        plans = self.candidates.get(source, [])
+        return list(plans[1 : 1 + count])
+
+    def repaired(self, source: Pattern, plan: AtomicPlan) -> "SynthesisResult":
+        """Return a copy of the result with ``source``'s plan replaced by ``plan``."""
+        return SynthesisResult(
+            target=self.target,
+            program=self.program.replacing_branch(source, plan),
+            candidates=dict(self.candidates),
+            uncovered=list(self.uncovered),
+            already_target=list(self.already_target),
+        )
+
+
+@dataclass
+class Synthesizer:
+    """Configurable UniFi synthesizer.
+
+    Attributes:
+        max_plans_per_source: Enumeration cap forwarded to
+            :func:`repro.synthesis.plans.enumerate_plans`.
+        keep_candidates: Maximum number of ranked candidate plans retained
+            per source pattern for later repair (the paper keeps the top
+            ``k``).
+        dedup_window: Equivalence deduplication (Appendix B) is quadratic,
+            so it only runs over this many of the best-ranked plans before
+            the ``keep_candidates`` cut is applied.
+    """
+
+    max_plans_per_source: int = 5_000
+    keep_candidates: int = 50
+    dedup_window: int = 200
+
+    def synthesize(self, hierarchy: PatternHierarchy, target: Pattern) -> SynthesisResult:
+        """Run Algorithm 2 over ``hierarchy`` for ``target``.
+
+        Raises:
+            SynthesisError: If the hierarchy is empty.
+        """
+        if not hierarchy.layers or not hierarchy.leaf_nodes:
+            raise SynthesisError("cannot synthesize from an empty hierarchy")
+
+        unsolved: List[HierarchyNode] = list(hierarchy.roots)
+        solved: List[tuple[Pattern, List[AtomicPlan]]] = []
+        uncovered: List[Pattern] = []
+        already_target: List[Pattern] = []
+        seen_sources: set = set()
+
+        while unsolved:
+            node = unsolved.pop(0)
+            pattern = node.pattern
+            if pattern == target or target.subsumes(pattern):
+                already_target.append(pattern)
+                continue
+            if pattern in seen_sources:
+                continue
+            plans = self._plans_for(pattern, target)
+            if plans:
+                seen_sources.add(pattern)
+                solved.append((pattern, plans))
+                continue
+            if node.children:
+                unsolved.extend(node.children)
+            else:
+                uncovered.append(pattern)
+
+        branches = [
+            Branch(pattern=pattern, plan=plans[0]) for pattern, plans in solved
+        ]
+        # More specific (longer, fewer '+') patterns first so that
+        # first-match-wins evaluation prefers precise branches when
+        # patterns from different subtrees happen to overlap.
+        branches.sort(key=lambda b: (b.pattern.has_plus, -len(b.pattern)))
+        program = UniFiProgram(branches)
+        return SynthesisResult(
+            target=target,
+            program=program,
+            candidates={pattern: plans for pattern, plans in solved},
+            uncovered=uncovered,
+            already_target=already_target,
+        )
+
+    # ------------------------------------------------------------------
+    def _plans_for(self, source: Pattern, target: Pattern) -> List[AtomicPlan]:
+        """Validated + aligned + ranked + deduplicated plans for one source."""
+        if not validate_source(source, target):
+            return []
+        dag = align_tokens(source, target)
+        if not dag.has_path():
+            return []
+        plans = enumerate_plans(dag, max_plans=self.max_plans_per_source)
+        if not plans:
+            return []
+        ranked = rank_plans(plans, source)
+        deduped = deduplicate_plans(ranked[: self.dedup_window], source)
+        return deduped[: self.keep_candidates]
+
+
+def synthesize(
+    hierarchy: PatternHierarchy,
+    target: Pattern,
+    max_plans_per_source: int = 5_000,
+    keep_candidates: int = 50,
+) -> SynthesisResult:
+    """Convenience wrapper constructing a :class:`Synthesizer` and running it."""
+    synthesizer = Synthesizer(
+        max_plans_per_source=max_plans_per_source,
+        keep_candidates=keep_candidates,
+    )
+    return synthesizer.synthesize(hierarchy, target)

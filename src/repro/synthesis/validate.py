@@ -1,0 +1,59 @@
+"""Source-candidate validation (paper Section 6.1).
+
+Before synthesizing a plan for a source pattern we cheaply check whether
+the transformation is even plausible, using the token-frequency count of
+Equations 1–2: for every base token class, the source must contain at
+least as many characters-worth of that class as the target requires.
+Patterns failing the check (noise values like "N/A", or patterns missing
+a whole token class the target needs) are rejected without running the
+more expensive alignment.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.pattern import Pattern
+from repro.tokens.classes import ALL_BASE_CLASSES, TokenClass
+
+
+def token_frequency(pattern: Pattern, klass: TokenClass) -> int:
+    """``Q(<class>, pattern)`` — summed quantifiers of base tokens of ``klass``.
+
+    A ``+`` quantifier counts as 1, per the paper.  Provided as a free
+    function mirroring the paper's notation; delegates to
+    :meth:`repro.patterns.pattern.Pattern.frequency`.
+    """
+    return pattern.frequency(klass)
+
+
+def supply_frequency(pattern: Pattern, klass: TokenClass) -> int:
+    """Characters of class ``klass`` that ``pattern`` can *supply* to a target.
+
+    This is ``Q`` extended with literal tokens: a constant-promoted
+    source token such as ``'CPT'`` supplies three uppercase (and three
+    alpha, and three alphanumeric) characters even though it is no longer
+    a base token.  Used on the *source* side of validation so constant
+    promotion never makes an otherwise-transformable pattern look
+    untransformable.
+    """
+    total = pattern.frequency(klass)
+    for token in pattern.tokens:
+        if not token.is_literal:
+            continue
+        assert token.literal is not None
+        total += sum(1 for char in token.literal if klass.accepts_char(char))
+    return total
+
+
+def validate_source(source: Pattern, target: Pattern) -> bool:
+    """The validation predicate ``V(source, target)`` of Equation 2.
+
+    Returns True when, for every base token class, the source pattern can
+    supply at least as many characters of that class as the target
+    pattern demands.  Noise patterns ("N/A" in a phone column) and
+    patterns missing a required token class are rejected here without
+    running alignment.
+    """
+    for klass in ALL_BASE_CLASSES:
+        if supply_frequency(source, klass) < token_frequency(target, klass):
+            return False
+    return True

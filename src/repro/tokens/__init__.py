@@ -1,0 +1,30 @@
+"""Token model and tokenizer (paper Section 3.1 and 4.1).
+
+A *token* is a maximal run of characters of a single class — digits,
+lowercase letters, uppercase letters, or a single non-alphanumeric
+character — together with a quantifier.  Patterns (``repro.patterns``)
+are sequences of tokens; the tokenizer here produces the leaf-level
+pattern of a raw string.
+"""
+
+from repro.tokens.classes import (
+    ALL_BASE_CLASSES,
+    GENERALIZATION_ORDER,
+    TokenClass,
+    most_precise_class,
+)
+from repro.tokens.token import Token
+from repro.tokens.tokenizer import tokenize, tokenize_all
+from repro.tokens.constants import discover_constant_tokens, promote_constants
+
+__all__ = [
+    "ALL_BASE_CLASSES",
+    "GENERALIZATION_ORDER",
+    "Token",
+    "TokenClass",
+    "discover_constant_tokens",
+    "most_precise_class",
+    "promote_constants",
+    "tokenize",
+    "tokenize_all",
+]

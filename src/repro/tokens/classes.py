@@ -1,0 +1,160 @@
+"""Token classes supported by the CLX instantiation (paper Table 2).
+
+The paper defines five *base* token classes plus *literal* tokens that
+hold constant values (single punctuation characters or constant strings
+discovered statistically).  Each base class carries the regular
+expression used when a pattern is compiled to an anchored regex and the
+angle-bracket notation used when a pattern is shown to the user.
+
+======================  ==================  ========  =========
+Class                   Regular expression  Example   Notation
+======================  ==================  ========  =========
+``DIGIT``               ``[0-9]``           "12"      ``<D>``
+``LOWER``               ``[a-z]``           "car"     ``<L>``
+``UPPER``               ``[A-Z]``           "IBM"     ``<U>``
+``ALPHA``               ``[a-zA-Z]``        "Excel"   ``<A>``
+``ALNUM``               ``[a-zA-Z0-9_-]``   "Excel2"  ``<AN>``
+======================  ==================  ========  =========
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Tuple
+
+
+class TokenClass(Enum):
+    """Enumeration of the token classes used throughout the library.
+
+    The five base classes come from Table 2 of the paper.  ``LITERAL``
+    represents tokens with a constant value (punctuation characters and
+    constant strings discovered during profiling); literal tokens carry
+    their text in :attr:`repro.tokens.token.Token.literal`.
+    """
+
+    DIGIT = "digit"
+    LOWER = "lower"
+    UPPER = "upper"
+    ALPHA = "alpha"
+    ALNUM = "alphanumeric"
+    LITERAL = "literal"
+
+    @property
+    def notation(self) -> str:
+        """Angle-bracket notation used in patterns shown to the user."""
+        return _NOTATION[self]
+
+    @property
+    def char_regex(self) -> str:
+        """Regex character class matching one character of this class."""
+        return _CHAR_REGEX[self]
+
+    @property
+    def is_base(self) -> bool:
+        """True for the five base classes, False for ``LITERAL``."""
+        return self is not TokenClass.LITERAL
+
+    def accepts_char(self, char: str) -> bool:
+        """Whether a single character belongs to this class.
+
+        Literal tokens accept nothing here because their membership is by
+        exact value, not by character class.
+        """
+        if self is TokenClass.DIGIT:
+            return char.isdigit() and char.isascii()
+        if self is TokenClass.LOWER:
+            return char.islower() and char.isalpha() and char.isascii()
+        if self is TokenClass.UPPER:
+            return char.isupper() and char.isalpha() and char.isascii()
+        if self is TokenClass.ALPHA:
+            return char.isalpha() and char.isascii()
+        if self is TokenClass.ALNUM:
+            return (char.isalnum() and char.isascii()) or char in "-_"
+        return False
+
+    def generalizes(self, other: "TokenClass") -> bool:
+        """Whether this class is equal to or strictly more general than ``other``.
+
+        The generalization lattice follows the paper's refinement
+        strategies: ``LOWER``/``UPPER`` generalize to ``ALPHA``;
+        ``ALPHA``/``DIGIT`` (and the ``-``/``_`` literals handled at the
+        pattern level) generalize to ``ALNUM``.
+        """
+        if self is other:
+            return True
+        if self is TokenClass.ALPHA:
+            return other in (TokenClass.LOWER, TokenClass.UPPER)
+        if self is TokenClass.ALNUM:
+            return other in (
+                TokenClass.LOWER,
+                TokenClass.UPPER,
+                TokenClass.ALPHA,
+                TokenClass.DIGIT,
+            )
+        return False
+
+
+_NOTATION: Dict[TokenClass, str] = {
+    TokenClass.DIGIT: "<D>",
+    TokenClass.LOWER: "<L>",
+    TokenClass.UPPER: "<U>",
+    TokenClass.ALPHA: "<A>",
+    TokenClass.ALNUM: "<AN>",
+    TokenClass.LITERAL: "",
+}
+
+_CHAR_REGEX: Dict[TokenClass, str] = {
+    TokenClass.DIGIT: "[0-9]",
+    TokenClass.LOWER: "[a-z]",
+    TokenClass.UPPER: "[A-Z]",
+    TokenClass.ALPHA: "[a-zA-Z]",
+    TokenClass.ALNUM: "[a-zA-Z0-9_-]",
+    TokenClass.LITERAL: "",
+}
+
+#: The five base classes in the order the paper lists them (Table 2).
+ALL_BASE_CLASSES: Tuple[TokenClass, ...] = (
+    TokenClass.DIGIT,
+    TokenClass.LOWER,
+    TokenClass.UPPER,
+    TokenClass.ALPHA,
+    TokenClass.ALNUM,
+)
+
+#: Parent class for each base class under one refinement step, used by the
+#: agglomerative refinement strategies in Section 4.2.
+GENERALIZATION_ORDER: Dict[TokenClass, TokenClass] = {
+    TokenClass.LOWER: TokenClass.ALPHA,
+    TokenClass.UPPER: TokenClass.ALPHA,
+    TokenClass.ALPHA: TokenClass.ALNUM,
+    TokenClass.DIGIT: TokenClass.ALNUM,
+}
+
+#: Notation string → token class, for the pattern parser.
+NOTATION_TO_CLASS: Dict[str, TokenClass] = {
+    "<D>": TokenClass.DIGIT,
+    "<L>": TokenClass.LOWER,
+    "<U>": TokenClass.UPPER,
+    "<A>": TokenClass.ALPHA,
+    "<AN>": TokenClass.ALNUM,
+    # Alternative notations found in the paper text.
+    "<N>": TokenClass.DIGIT,
+}
+
+
+def most_precise_class(text: str) -> TokenClass:
+    """Return the most precise base class describing every character of ``text``.
+
+    Mirrors the tokenization rule "always choose the most precise base
+    type" (Section 4.1): a run of lowercase letters is ``LOWER`` rather
+    than ``ALPHA`` or ``ALNUM``.
+
+    Raises:
+        ValueError: If ``text`` is empty or no base class covers it.
+    """
+    if not text:
+        raise ValueError("cannot classify an empty string")
+    for klass in ALL_BASE_CLASSES:
+        if all(klass.accepts_char(char) for char in text):
+            return klass
+    raise ValueError(f"no base token class covers {text!r}")

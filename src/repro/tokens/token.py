@@ -1,0 +1,175 @@
+"""The :class:`Token` value object.
+
+A token is the unit of a pattern: a token class plus a quantifier.  The
+quantifier is either a positive integer (exactly that many characters of
+the class) or the sentinel ``PLUS`` meaning "one or more".  Literal
+tokens carry a constant string instead of a character class.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.tokens.classes import TokenClass
+
+#: Quantifier sentinel meaning "one or more occurrences".
+PLUS = "+"
+
+Quantifier = Union[int, str]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One element of a data pattern.
+
+    Attributes:
+        klass: The token class (:class:`~repro.tokens.classes.TokenClass`).
+        quantifier: Either a positive ``int`` (exact repetition count) or
+            the string ``"+"`` (at least one).  Literal tokens always use
+            quantifier 1 — their length is the length of ``literal``.
+        literal: The constant text of a literal token, ``None`` for base
+            tokens.
+    """
+
+    klass: TokenClass
+    quantifier: Quantifier = 1
+    literal: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.klass is TokenClass.LITERAL:
+            if not self.literal:
+                raise ValueError("literal tokens require non-empty literal text")
+        else:
+            if self.literal is not None:
+                raise ValueError("base tokens must not carry literal text")
+            if self.quantifier != PLUS:
+                if not isinstance(self.quantifier, int) or self.quantifier < 1:
+                    raise ValueError(
+                        f"quantifier must be a positive int or '+', got {self.quantifier!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def base(klass: TokenClass, quantifier: Quantifier = 1) -> "Token":
+        """Create a base-class token with the given quantifier."""
+        if klass is TokenClass.LITERAL:
+            raise ValueError("use Token.lit() for literal tokens")
+        return Token(klass=klass, quantifier=quantifier)
+
+    @staticmethod
+    def lit(text: str) -> "Token":
+        """Create a literal (constant value) token."""
+        return Token(klass=TokenClass.LITERAL, quantifier=1, literal=text)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_literal(self) -> bool:
+        """True for literal/constant tokens."""
+        return self.klass is TokenClass.LITERAL
+
+    @property
+    def is_plus(self) -> bool:
+        """True if the quantifier is the '+' sentinel."""
+        return self.quantifier == PLUS
+
+    @property
+    def fixed_length(self) -> Optional[int]:
+        """Number of characters this token always matches, or ``None``.
+
+        Literal tokens match exactly their text; base tokens with a
+        numeric quantifier match exactly that many characters; ``+``
+        tokens have no fixed length.
+        """
+        if self.is_literal:
+            assert self.literal is not None
+            return len(self.literal)
+        if self.is_plus:
+            return None
+        return int(self.quantifier)
+
+    def matches_text(self, text: str) -> bool:
+        """Whether ``text`` is exactly one occurrence of this token."""
+        if self.is_literal:
+            return text == self.literal
+        if not text:
+            return False
+        if not all(self.klass.accepts_char(char) for char in text):
+            return False
+        if self.is_plus:
+            return True
+        return len(text) == int(self.quantifier)
+
+    def syntactically_similar(self, other: "Token") -> bool:
+        """Definition 6.1: same class and compatible quantifiers.
+
+        Two tokens are syntactically similar when they have the same
+        class and their quantifiers are identical natural numbers, or one
+        of them is ``+`` and the other is a natural number (or both are
+        ``+``).  Two literal tokens are similar only when their text
+        matches.  A literal token is additionally similar to a base token
+        whose class accepts every character of the literal with a
+        compatible length — this lets constant-promoted source tokens
+        (e.g. a ``'CPT'`` literal) still be extracted into base target
+        tokens such as ``<U>+``.
+        """
+        if self.is_literal and other.is_literal:
+            return self.literal == other.literal
+        if self.is_literal != other.is_literal:
+            lit = self if self.is_literal else other
+            base = other if self.is_literal else self
+            assert lit.literal is not None
+            if not all(base.klass.accepts_char(char) for char in lit.literal):
+                return False
+            if base.is_plus:
+                return True
+            return int(base.quantifier) == len(lit.literal)
+        if self.klass is not other.klass:
+            return False
+        if self.is_plus or other.is_plus:
+            return True
+        return int(self.quantifier) == int(other.quantifier)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_regex(self) -> str:
+        """Regex fragment matching one occurrence of this token."""
+        if self.is_literal:
+            assert self.literal is not None
+            return re.escape(self.literal)
+        base = self.klass.char_regex
+        if self.is_plus:
+            return f"{base}+"
+        count = int(self.quantifier)
+        if count == 1:
+            return base
+        return f"{base}{{{count}}}"
+
+    def notation(self) -> str:
+        """Compact notation used in the paper, e.g. ``<D>3`` or ``'-'``.
+
+        Literal text escapes backslashes and single quotes so the
+        rendered notation can always be re-parsed by
+        :func:`repro.patterns.parse.parse_pattern`.
+        """
+        if self.is_literal:
+            assert self.literal is not None
+            escaped = self.literal.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        suffix: str
+        if self.is_plus:
+            suffix = "+"
+        elif int(self.quantifier) == 1:
+            suffix = ""
+        else:
+            suffix = str(self.quantifier)
+        return f"{self.klass.notation}{suffix}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.notation()

@@ -1,0 +1,105 @@
+"""Tokenizer converting raw strings into token sequences (Section 4.1).
+
+Tokenization rules, quoted from the paper:
+
+* every non-alphanumeric character becomes an individual literal token;
+* runs of alphanumeric characters are split into maximal runs of a single
+  most-precise base class (digits, lowercase, uppercase);
+* quantifiers produced here are always natural numbers (the leaf level of
+  the pattern hierarchy).
+
+Example:
+    >>> from repro.tokens import tokenize
+    >>> [t.notation() for t in tokenize("Bob123@gmail.com")]
+    ['<U>', '<L>2', '<D>3', "'@'", '<L>5', "'.'", '<L>3']
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.tokens.classes import TokenClass
+from repro.tokens.token import Token
+
+
+def _char_class(char: str) -> TokenClass | None:
+    """Most precise base class of a single character, or None for punctuation."""
+    if char.isascii() and char.isdigit():
+        return TokenClass.DIGIT
+    if char.isascii() and char.isalpha():
+        return TokenClass.LOWER if char.islower() else TokenClass.UPPER
+    return None
+
+
+def tokenize(value: str) -> List[Token]:
+    """Tokenize one raw string into its leaf-level token sequence.
+
+    Args:
+        value: The raw cell value.  The empty string tokenizes to an empty
+            list (the profiler groups empty strings into their own
+            cluster).
+
+    Returns:
+        A list of :class:`~repro.tokens.token.Token` with natural-number
+        quantifiers; non-alphanumeric characters appear as single-character
+        literal tokens.
+    """
+    tokens: List[Token] = []
+    index = 0
+    length = len(value)
+    while index < length:
+        char = value[index]
+        klass = _char_class(char)
+        if klass is None:
+            tokens.append(Token.lit(char))
+            index += 1
+            continue
+        run_start = index
+        while index < length and _char_class(value[index]) is klass:
+            index += 1
+        tokens.append(Token.base(klass, index - run_start))
+    return tokens
+
+
+def tokenize_all(values: Iterable[str]) -> List[List[Token]]:
+    """Tokenize every string in ``values`` (convenience wrapper)."""
+    return [tokenize(value) for value in values]
+
+
+def detokenize_lengths(tokens: Sequence[Token]) -> List[int]:
+    """Return the character length contributed by each token.
+
+    Only valid for leaf-level tokens (numeric quantifiers); ``+`` tokens
+    raise ``ValueError`` because their length is data dependent.
+    """
+    lengths: List[int] = []
+    for token in tokens:
+        fixed = token.fixed_length
+        if fixed is None:
+            raise ValueError("cannot compute lengths for '+' quantified tokens")
+        lengths.append(fixed)
+    return lengths
+
+
+def split_by_tokens(value: str, tokens: Sequence[Token]) -> List[str]:
+    """Split ``value`` into the substrings covered by each leaf token.
+
+    Args:
+        value: The original string.
+        tokens: Its leaf tokenization (as returned by :func:`tokenize`).
+
+    Returns:
+        One substring per token, concatenating back to ``value``.
+
+    Raises:
+        ValueError: If the token lengths do not add up to ``len(value)``.
+    """
+    lengths = detokenize_lengths(tokens)
+    if sum(lengths) != len(value):
+        raise ValueError("token lengths do not cover the input string")
+    pieces: List[str] = []
+    cursor = 0
+    for length in lengths:
+        pieces.append(value[cursor : cursor + length])
+        cursor += length
+    return pieces

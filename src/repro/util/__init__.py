@@ -1,0 +1,25 @@
+"""Shared utilities for the CLX reproduction.
+
+This sub-package holds small, dependency-free helpers used across the
+library: the exception hierarchy (:mod:`repro.util.errors`), a
+deterministic pseudo-random helper used by the synthetic data generators
+(:mod:`repro.util.rand`), lightweight timing instrumentation
+(:mod:`repro.util.timing`) and generic text helpers
+(:mod:`repro.util.text`).
+"""
+
+from repro.util.errors import (
+    CLXError,
+    PatternParseError,
+    SynthesisError,
+    TransformError,
+    ValidationError,
+)
+
+__all__ = [
+    "CLXError",
+    "PatternParseError",
+    "SynthesisError",
+    "TransformError",
+    "ValidationError",
+]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the CLX reproduction.
+
+Every error raised by the library derives from :class:`CLXError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing stage (parsing, validation,
+synthesis, transformation).
+"""
+
+from __future__ import annotations
+
+
+class CLXError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class PatternParseError(CLXError):
+    """Raised when a pattern string cannot be parsed.
+
+    The offending source text is preserved on the ``source`` attribute so
+    error reports can show exactly what failed to parse.
+    """
+
+    def __init__(self, message: str, source: str | None = None) -> None:
+        super().__init__(message)
+        self.source = source
+
+
+class ValidationError(CLXError):
+    """Raised when user-supplied input fails validation.
+
+    Examples include an empty dataset handed to the profiler or a target
+    pattern that matches no rows when one is required.
+    """
+
+
+class SynthesisError(CLXError):
+    """Raised when program synthesis cannot produce any program.
+
+    This typically means no source pattern passed candidate validation or
+    the token-alignment DAG admits no path from source to target.
+    """
+
+
+class TransformError(CLXError):
+    """Raised when applying a transformation program to a string fails.
+
+    For example, an :class:`~repro.dsl.ast.Extract` whose token indices do
+    not exist in the matched string, which indicates a bug or a program
+    applied to data it was not synthesized for.
+    """

@@ -1,0 +1,62 @@
+"""Deterministic random-value helpers for synthetic data generation.
+
+The benchmark suite regenerates the paper's datasets synthetically (the
+originals are not redistributable), so reproducibility matters: every
+generator takes an explicit seed and builds its own
+:class:`random.Random` so results never depend on global interpreter
+state or on the order in which generators run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Default seed used by the benchmark generators when none is supplied.
+DEFAULT_SEED = 20190813  # arXiv v4 date of the CLX paper.
+
+
+def make_rng(seed: int | None = None) -> random.Random:
+    """Return a :class:`random.Random` seeded deterministically.
+
+    Args:
+        seed: Seed to use.  ``None`` selects :data:`DEFAULT_SEED` (rather
+            than OS entropy) so that "unseeded" generators are still
+            reproducible run to run.
+    """
+    return random.Random(DEFAULT_SEED if seed is None else seed)
+
+
+def weighted_choice(rng: random.Random, options: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one element of ``options`` according to ``weights``.
+
+    Args:
+        rng: Source of randomness.
+        options: Candidate values; must be non-empty.
+        weights: Relative weights, one per option.
+
+    Raises:
+        ValueError: If ``options`` is empty or lengths differ.
+    """
+    if not options:
+        raise ValueError("options must be non-empty")
+    if len(options) != len(weights):
+        raise ValueError("options and weights must have the same length")
+    return rng.choices(list(options), weights=list(weights), k=1)[0]
+
+
+def digits(rng: random.Random, count: int) -> str:
+    """Return ``count`` random decimal digits as a string."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return "".join(str(rng.randrange(10)) for _ in range(count))
+
+
+def letters(rng: random.Random, count: int, upper: bool = False) -> str:
+    """Return ``count`` random ASCII letters, lowercase unless ``upper``."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ" if upper else "abcdefghijklmnopqrstuvwxyz"
+    return "".join(rng.choice(alphabet) for _ in range(count))

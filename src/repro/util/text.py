@@ -1,0 +1,50 @@
+"""Generic text helpers shared by pattern rendering and reporting."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+#: Number of printable ASCII characters; used by the MDL cost of a
+#: ``ConstStr`` literal (the paper uses c = 95 in Section 6.3).
+PRINTABLE_SIZE = 95
+
+
+def truncate(value: str, limit: int = 40, ellipsis: str = "…") -> str:
+    """Shorten ``value`` to at most ``limit`` characters for display."""
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    if len(value) <= limit:
+        return value
+    return value[: max(0, limit - len(ellipsis))] + ellipsis
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a plain-text table with aligned columns.
+
+    Used by the benchmark harness to print the same rows the paper's
+    tables report.  Every cell is converted with :func:`str`.
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for idx, cell in enumerate(row):
+            if idx < len(widths):
+                widths[idx] = max(widths[idx], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def common_prefix_length(left: str, right: str) -> int:
+    """Length of the longest common prefix of two strings."""
+    limit = min(len(left), len(right))
+    for index in range(limit):
+        if left[index] != right[index]:
+            return index
+    return limit

@@ -1,0 +1,54 @@
+"""Lightweight wall-clock timing helpers.
+
+The benchmark harness reports synthesis and clustering latencies; this
+module provides a tiny stopwatch abstraction so those measurements do not
+depend on ``pytest-benchmark`` being installed when the library is used
+programmatically.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing samples.
+
+    Example:
+        >>> watch = Stopwatch()
+        >>> with watch.measure("cluster"):
+        ...     _ = sum(range(1000))
+        >>> watch.total("cluster") >= 0.0
+        True
+    """
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager recording the elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.samples.setdefault(name, []).append(elapsed)
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never used)."""
+        return sum(self.samples.get(name, []))
+
+    def count(self, name: str) -> int:
+        """Number of samples recorded under ``name``."""
+        return len(self.samples.get(name, []))
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per sample under ``name`` (0.0 if never used)."""
+        values = self.samples.get(name, [])
+        if not values:
+            return 0.0
+        return sum(values) / len(values)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.phone import phone_dataset
+from repro.patterns.parse import parse_pattern
+
+
+@pytest.fixture
+def phone_values():
+    """The phone formats of the paper's Figure 1 plus an N/A noise row."""
+    return [
+        "(734) 645-8397",
+        "(734)586-7252",
+        "734-422-8073",
+        "734.236.3466",
+        "7342363466",
+        "+1 724-285-5210",
+        "N/A",
+    ]
+
+
+@pytest.fixture
+def phone_target():
+    """The user-study target pattern XXX-XXX-XXXX."""
+    return parse_pattern("<D>3'-'<D>3'-'<D>4")
+
+
+@pytest.fixture
+def phone_paren_target():
+    """The motivating-example target pattern (XXX) XXX-XXXX."""
+    return parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+
+
+@pytest.fixture
+def medical_codes():
+    """The rows of the paper's Table 3 (Example 5)."""
+    return ["CPT-00350", "[CPT-00340", "[CPT-11536]", "CPT115"]
+
+
+@pytest.fixture
+def employee_names():
+    """The rows of the paper's Table 4 (Example 6)."""
+    return ["Dr. Eran Yahav", "Fisher, K.", "Bill Gates, Sr.", "Oege de Moor"]
+
+
+@pytest.fixture
+def small_phone_column():
+    """A deterministic 30-row, 4-format synthetic phone column."""
+    raw, expected = phone_dataset(count=30, format_count=4, seed=7)
+    return raw, expected

@@ -1,0 +1,96 @@
+"""Tests for the FlashFill-style PBE baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.flashfill import FlashFillProgram, FlashFillSession, FlashFillSynthesizer
+from repro.util.errors import ValidationError
+
+
+class TestSynthesizer:
+    def test_single_example_generalizes_over_widths(self):
+        program = FlashFillSynthesizer().learn([("734.236.3466", "734-236-3466")])
+        assert program.apply("999.111.2222") == "999-111-2222"
+
+    def test_one_case_per_input_format(self):
+        program = FlashFillSynthesizer().learn(
+            [("734.236.3466", "734-236-3466"), ("(734) 645-8397", "734-645-8397")]
+        )
+        assert len(program) == 2
+        assert program.apply("(111) 222-3333") == "111-222-3333"
+
+    def test_second_example_disambiguates(self):
+        """One name example is ambiguous; a second one pins the right plan."""
+        synthesizer = FlashFillSynthesizer()
+        one = synthesizer.learn([("Mary Miller", "Miller, M.")])
+        two = synthesizer.learn(
+            [("Mary Miller", "Miller, M."), ("James Gates", "Gates, J.")]
+        )
+        assert two.apply("Robert Smith") == "Smith, R."
+        # With both examples the program is consistent on the data it saw.
+        assert two.apply("Mary Miller") == "Miller, M."
+        assert two.apply("James Gates") == "Gates, J."
+        assert isinstance(one, FlashFillProgram)
+
+    def test_unlearnable_group_contributes_no_case(self):
+        # Two rows with the same pattern but contradictory outputs.
+        program = FlashFillSynthesizer().learn(
+            [("abc.picture.pdf", "picture"), ("xyz.invoice.pdf", "pdf")]
+        )
+        # The generalized group is inconsistent and the exact subgroups have
+        # the same shape, so at most one of the two rows can be satisfied.
+        outputs = {program.apply("abc.picture.pdf"), program.apply("xyz.invoice.pdf")}
+        assert outputs != {"picture", "pdf"}
+
+    def test_identity_examples_learn_identity(self):
+        program = FlashFillSynthesizer().learn([("Fisher, K.", "Fisher, K.")])
+        assert program.apply("Jones, P.") == "Jones, P."
+
+    def test_empty_examples_learn_empty_program(self):
+        program = FlashFillSynthesizer().learn([])
+        assert len(program) == 0
+        assert program.apply("anything") is None
+
+
+class TestSession:
+    def test_requires_data(self):
+        with pytest.raises(ValidationError):
+            FlashFillSession([])
+
+    def test_add_example_updates_program_and_outputs(self):
+        session = FlashFillSession(["734.236.3466", "999.111.2222", "(734) 645-8397"])
+        session.add_example("734.236.3466", "734-236-3466")
+        outputs = session.outputs()
+        assert outputs[0] == "734-236-3466"
+        assert outputs[1] == "999-111-2222"
+        assert outputs[2] is None  # format not yet exemplified
+
+    def test_outputs_or_input_passes_unhandled_rows_through(self):
+        session = FlashFillSession(["734.236.3466", "(734) 645-8397"])
+        session.add_example("734.236.3466", "734-236-3466")
+        assert session.outputs_or_input()[1] == "(734) 645-8397"
+
+    def test_failing_rows_against_expected(self):
+        expected = {
+            "734.236.3466": "734-236-3466",
+            "(734) 645-8397": "734-645-8397",
+        }
+        session = FlashFillSession(list(expected))
+        assert set(session.failing_rows(expected)) == set(expected)
+        session.add_example("734.236.3466", "734-236-3466")
+        assert session.failing_rows(expected) == ["(734) 645-8397"]
+        session.add_example("(734) 645-8397", "734-645-8397")
+        assert session.is_complete(expected)
+
+    def test_failing_rows_against_pattern(self, phone_target):
+        session = FlashFillSession(["734.236.3466", "N/A"])
+        session.add_example("734.236.3466", "734-236-3466")
+        failing = session.failing_rows_against_pattern(phone_target)
+        assert failing == ["N/A"]
+
+    def test_example_count_and_examples(self):
+        session = FlashFillSession(["a1", "b2"])
+        session.add_example("a1", "1")
+        assert session.example_count == 1
+        assert session.examples == [("a1", "1")]

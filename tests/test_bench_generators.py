@@ -1,0 +1,86 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import generators as gen
+from repro.patterns.matching import pattern_of_string
+
+
+class TestPhoneNumbers:
+    def test_deterministic_for_a_seed(self):
+        first = gen.phone_numbers(20, ["dashes", "dots"], seed=5)
+        second = gen.phone_numbers(20, ["dashes", "dots"], seed=5)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first, _ = gen.phone_numbers(20, ["dashes"], seed=1)
+        second, _ = gen.phone_numbers(20, ["dashes"], seed=2)
+        assert first != second
+
+    def test_every_requested_format_appears(self):
+        formats = ["paren_space", "dots", "plus_one"]
+        raw, _ = gen.phone_numbers(30, formats, seed=3)
+        patterns = {pattern_of_string(value).notation() for value in raw}
+        assert "'('<D>3')'' '<D>3'-'<D>4" in patterns
+        assert "<D>3'.'<D>3'.'<D>4" in patterns
+        assert any(notation.startswith("'+'") for notation in patterns)
+
+    def test_expected_outputs_are_in_desired_format(self):
+        raw, expected = gen.phone_numbers(15, ["dots", "dashes"], seed=4, desired="dashes")
+        for value in raw:
+            assert pattern_of_string(expected[value]).notation() == "<D>3'-'<D>3'-'<D>4"
+
+    def test_count_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            gen.phone_numbers(1, ["dots", "dashes"], seed=1)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            gen.phone_numbers(5, ["carrier-pigeon"], seed=1)
+
+
+class TestOtherGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            gen.human_names,
+            gen.dates,
+            gen.addresses,
+            gen.medical_codes,
+            gen.product_ids,
+            gen.log_entries,
+            gen.urls,
+            gen.emails,
+            gen.university_names,
+            gen.car_model_ids,
+            gen.currency_amounts,
+            gen.file_paths,
+            gen.name_position_pairs,
+            gen.country_numbers,
+            gen.city_country_pairs,
+        ],
+    )
+    def test_every_generator_is_deterministic_and_complete(self, generator):
+        raw1, expected1 = generator(12, seed=42)
+        raw2, expected2 = generator(12, seed=42)
+        assert raw1 == raw2 and expected1 == expected2
+        assert len(raw1) == 12
+        for value in raw1:
+            assert value in expected1
+
+    def test_human_names_desired_format(self):
+        _raw, expected = gen.human_names(12, seed=1)
+        for desired in expected.values():
+            assert ", " in desired and desired.endswith(".")
+
+    def test_dates_desired_format(self):
+        _raw, expected = gen.dates(12, seed=1)
+        for desired in expected.values():
+            assert pattern_of_string(desired).notation() == "<D>2'/'<D>2'/'<D>4"
+
+    def test_medical_codes_match_paper_target(self):
+        _raw, expected = gen.medical_codes(8, seed=1)
+        for desired in expected.values():
+            assert desired.startswith("[CPT-") and desired.endswith("]")

@@ -1,0 +1,101 @@
+"""Tests for the phone user-study workload and the 47-task suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.phone import CASE_DEFINITIONS, phone_dataset, phone_user_study_cases
+from repro.bench.suite import (
+    benchmark_suite,
+    explainability_quizzes,
+    explainability_tasks,
+    suite_statistics,
+)
+from repro.patterns.matching import pattern_of_string
+
+
+class TestPhoneWorkload:
+    def test_case_definitions_match_paper(self):
+        assert [(name, count) for name, count, _formats in CASE_DEFINITIONS] == [
+            ("10(2)", 10), ("100(4)", 100), ("300(6)", 300),
+        ]
+
+    def test_sizes_and_heterogeneity(self):
+        for name, count, format_count in CASE_DEFINITIONS:
+            raw, expected = phone_dataset(count, format_count, seed=331)
+            assert len(raw) == count
+            patterns = {pattern_of_string(value) for value in raw}
+            assert len(patterns) == format_count
+            assert set(raw) <= set(expected)
+
+    def test_desired_form_is_dashes(self):
+        raw, expected = phone_dataset(10, 2, seed=331)
+        for desired in expected.values():
+            assert pattern_of_string(desired).notation() == "<D>3'-'<D>3'-'<D>4"
+
+    def test_too_many_formats_rejected(self):
+        with pytest.raises(ValueError):
+            phone_dataset(10, 99)
+
+    def test_user_study_tasks(self):
+        tasks = phone_user_study_cases()
+        assert [task.size for task in tasks] == [10, 100, 300]
+        assert all(task.source == "UserStudy" for task in tasks)
+
+
+class TestBenchmarkSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return benchmark_suite()
+
+    def test_47_tasks(self, suite):
+        assert len(suite) == 47
+
+    def test_source_counts_match_table_6(self, suite):
+        counts = {}
+        for task in suite:
+            counts[task.source] = counts.get(task.source, 0) + 1
+        assert counts == {
+            "SyGuS": 27, "FlashFill": 10, "BlinkFill": 4, "PredProg": 3, "PROSE": 3,
+        }
+
+    def test_task_ids_are_unique(self, suite):
+        ids = [task.task_id for task in suite]
+        assert len(ids) == len(set(ids))
+
+    def test_every_task_has_a_valid_target(self, suite):
+        for task in suite:
+            assert len(task.target_pattern()) >= 1
+
+    def test_suite_is_deterministic(self, suite):
+        again = benchmark_suite()
+        assert [t.task_id for t in again] == [t.task_id for t in suite]
+        assert [t.inputs for t in again] == [t.inputs for t in suite]
+
+    def test_statistics_shape(self, suite):
+        stats = suite_statistics(suite)
+        sources = [row.source for row in stats]
+        assert sources == ["SyGuS", "FlashFill", "BlinkFill", "PredProg", "PROSE", "Overall"]
+        overall = stats[-1]
+        assert overall.test_count == 47
+        # Table 6 reports overall averages of ~43.6 rows and ~13 characters;
+        # the synthetic regeneration should be in the same ballpark.
+        assert 30 <= overall.average_size <= 60
+        assert 10 <= overall.average_length <= 25
+
+
+class TestExplainabilityTasks:
+    def test_three_tasks_matching_table_5(self):
+        tasks = explainability_tasks()
+        assert len(tasks) == 3
+        sizes = [task.size for task in tasks]
+        assert sizes == [10, 10, 100]
+        assert tasks[0].data_type == "human name"
+        assert tasks[1].data_type == "address"
+        assert tasks[2].data_type == "phone number"
+
+    def test_quizzes_pair_with_tasks(self):
+        quizzes = explainability_quizzes()
+        assert len(quizzes) == 3
+        for task, questions in quizzes:
+            assert len(questions) == 3

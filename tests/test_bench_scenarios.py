@@ -1,0 +1,85 @@
+"""Tests for the individual benchmark scenario families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import scenarios
+from repro.patterns.matching import matches, pattern_of_string
+
+
+class TestScenarioFamilies:
+    @pytest.mark.parametrize(
+        "builder, expected_count, source",
+        [
+            (scenarios.sygus_tasks, 27, "SyGuS"),
+            (scenarios.flashfill_tasks, 10, "FlashFill"),
+            (scenarios.blinkfill_tasks, 4, "BlinkFill"),
+            (scenarios.predprog_tasks, 3, "PredProg"),
+            (scenarios.prose_tasks, 3, "PROSE"),
+        ],
+    )
+    def test_family_counts_and_sources(self, builder, expected_count, source):
+        tasks = builder()
+        assert len(tasks) == expected_count
+        assert all(task.source == source for task in tasks)
+
+    def test_sygus_tasks_are_large(self):
+        # Most SyGuS-style tasks carry ~63 rows; the filtered university
+        # scenarios are smaller but still well above the 10-row families.
+        sizes = [task.size for task in scenarios.sygus_tasks()]
+        assert min(sizes) >= 12
+        assert sum(sizes) / len(sizes) >= 50
+
+    def test_small_families_are_small(self):
+        for builder in (scenarios.flashfill_tasks, scenarios.blinkfill_tasks, scenarios.predprog_tasks):
+            for task in builder():
+                assert task.size <= 15
+
+    def test_every_task_has_some_row_needing_transformation(self):
+        for builder in (
+            scenarios.sygus_tasks,
+            scenarios.flashfill_tasks,
+            scenarios.blinkfill_tasks,
+            scenarios.predprog_tasks,
+            scenarios.prose_tasks,
+        ):
+            for task in builder():
+                assert any(not task.already_correct(value) for value in task.inputs), task.task_id
+
+    def test_most_tasks_have_a_reachable_target_pattern(self):
+        """For the single-target tasks, some expected output matches the target."""
+        hard = {
+            "flashfill-conditional",
+            "prose-popl13-affiliations",
+            "sygus-addr-4",
+            "sygus-addr-5",
+            "sygus-univ-4",
+            "predprog-address",
+        }
+        for task in scenarios.sygus_tasks() + scenarios.flashfill_tasks():
+            if task.task_id in hard:
+                continue
+            target = task.target_pattern()
+            assert any(
+                matches(desired, target) for desired in task.expected.values()
+            ), task.task_id
+
+    def test_conditional_task_shares_patterns_across_outcomes(self):
+        """The Example-13 analogue needs a content conditional by construction."""
+        task = next(
+            t for t in scenarios.flashfill_tasks() if t.task_id == "flashfill-conditional"
+        )
+        by_pattern = {}
+        for value in task.inputs:
+            by_pattern.setdefault(pattern_of_string(value), set()).add(
+                task.desired_output(value)
+            )
+        assert any(len(outputs) > 1 for outputs in by_pattern.values())
+
+    def test_popl13_outputs_span_multiple_patterns(self):
+        task = next(
+            t for t in scenarios.prose_tasks() if t.task_id == "prose-popl13-affiliations"
+        )
+        output_patterns = {pattern_of_string(v) for v in task.expected.values()}
+        assert len(output_patterns) > 1

@@ -1,0 +1,65 @@
+"""Tests for the TransformationTask abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.task import TransformationTask
+from repro.patterns.parse import parse_pattern
+
+
+def _task(**overrides):
+    base = dict(
+        task_id="t",
+        source="SyGuS",
+        data_type="phone number",
+        inputs=["734.236.3466", "734-236-3466"],
+        expected={"734.236.3466": "734-236-3466", "734-236-3466": "734-236-3466"},
+        target_example="734-236-3466",
+    )
+    base.update(overrides)
+    return TransformationTask(**base)
+
+
+class TestValidation:
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            _task(inputs=[], expected={})
+
+    def test_requires_expected_for_every_input(self):
+        with pytest.raises(ValueError):
+            _task(expected={"734.236.3466": "x"})
+
+    def test_requires_a_target(self):
+        with pytest.raises(ValueError):
+            _task(target_example=None, target_notation=None)
+
+
+class TestDerivedProperties:
+    def test_size_and_lengths(self):
+        task = _task()
+        assert task.size == 2
+        assert task.max_length == 12
+        assert task.min_length == 12
+        assert task.average_length == pytest.approx(12.0)
+
+    def test_target_pattern_from_example(self):
+        assert _task().target_pattern() == parse_pattern("<D>3'-'<D>3'-'<D>4")
+
+    def test_target_pattern_generalized(self):
+        task = _task(target_example="CPT-115", target_generalize=1)
+        assert task.target_pattern() == parse_pattern("<U>+'-'<D>+")
+
+    def test_target_pattern_from_notation(self):
+        task = _task(target_example=None, target_notation="<L>+")
+        assert task.target_pattern() == parse_pattern("<L>+")
+
+    def test_distinct_leaf_patterns(self):
+        assert len(_task().distinct_leaf_patterns()) == 2
+
+    def test_desired_output_and_already_correct(self):
+        task = _task()
+        assert task.desired_output("734.236.3466") == "734-236-3466"
+        assert task.desired_output("unknown") == "unknown"
+        assert task.already_correct("734-236-3466")
+        assert not task.already_correct("734.236.3466")

@@ -1,0 +1,116 @@
+"""Tests for the repro-clx command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def phone_csv(tmp_path):
+    path = tmp_path / "phones.csv"
+    rows = [
+        {"name": "A", "phone": "(734) 645-8397"},
+        {"name": "B", "phone": "734.236.3466"},
+        {"name": "C", "phone": "734-422-8073"},
+        {"name": "D", "phone": "(734)586-7252"},
+    ]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["name", "phone"])
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+class TestProfileCommand:
+    def test_prints_pattern_clusters(self, phone_csv, capsys):
+        code = main(["profile", str(phone_csv), "--column", "phone"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "<D>3'.'<D>3'.'<D>4" in captured.out
+        assert "rows" in captured.out
+
+    def test_column_by_index(self, phone_csv, capsys):
+        code = main(["profile", str(phone_csv), "--column", "1"])
+        assert code == 0
+        assert "<D>3" in capsys.readouterr().out
+
+    def test_unknown_column_is_an_error(self, phone_csv, capsys):
+        code = main(["profile", str(phone_csv), "--column", "missing"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        code = main(["profile", str(tmp_path / "nope.csv"), "--column", "x"])
+        assert code == 2
+
+
+class TestTransformCommand:
+    def test_transform_to_stdout(self, phone_csv, capsys):
+        code = main(
+            [
+                "transform", str(phone_csv), "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>3'-'<D>4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "phone_transformed" in captured.out
+        assert "734-236-3466" in captured.out
+        assert "Replace" in captured.err
+
+    def test_transform_to_file_with_target_example(self, phone_csv, tmp_path, capsys):
+        output = tmp_path / "out.csv"
+        code = main(
+            [
+                "transform", str(phone_csv), "--column", "phone",
+                "--target-example", "734-422-8073",
+                "--output", str(output),
+                "--output-column", "normalized",
+            ]
+        )
+        assert code == 0
+        with output.open(newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert all(row["normalized"].count("-") == 2 for row in rows)
+
+    def test_missing_target_is_an_error(self, phone_csv, capsys):
+        code = main(["transform", str(phone_csv), "--column", "phone"])
+        assert code == 2
+        assert "target" in capsys.readouterr().err
+
+    def test_flagged_rows_change_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "mixed.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=["phone"])
+            writer.writeheader()
+            writer.writerows([{"phone": "734.236.3466"}, {"phone": "N/A"}])
+        code = main(
+            ["transform", str(path), "--column", "phone",
+             "--target-pattern", "<D>3'-'<D>3'-'<D>4"]
+        )
+        assert code == 1
+        assert "flagged" in capsys.readouterr().err
+
+
+class TestSuiteCommand:
+    def test_prints_table6_statistics(self, capsys):
+        code = main(["suite"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SyGuS" in out and "Overall" in out
+
+    def test_verbose_lists_data_types(self, capsys):
+        code = main(["suite", "--verbose"])
+        assert code == 0
+        assert "phone number" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_parser_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])

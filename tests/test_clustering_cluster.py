@@ -1,0 +1,71 @@
+"""Tests for leaf cluster construction (tokenization phase, Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.cluster import PatternCluster, initial_clusters
+from repro.patterns.matching import matches
+from repro.patterns.parse import parse_pattern
+
+
+class TestInitialClusters:
+    def test_strings_with_same_pattern_share_a_cluster(self, phone_values):
+        clusters = initial_clusters(phone_values + ["999-111-2222"])
+        by_notation = {c.pattern.notation(): c for c in clusters}
+        dashes = by_notation["<D>3'-'<D>3'-'<D>4"]
+        assert dashes.size == 2
+
+    def test_duplicates_are_counted_not_collapsed(self):
+        clusters = initial_clusters(["ab", "ab", "ab"])
+        assert len(clusters) == 1
+        assert clusters[0].size == 3
+
+    def test_clusters_sorted_by_size_descending(self):
+        clusters = initial_clusters(["1", "2", "3", "ab", "cd", "x-y"])
+        sizes = [c.size for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_every_value_matches_its_cluster_pattern(self, phone_values):
+        clusters = initial_clusters(phone_values * 3)
+        for cluster in clusters:
+            for value in cluster.values:
+                assert matches(value, cluster.pattern)
+
+    def test_empty_input_gives_no_clusters(self):
+        assert initial_clusters([]) == []
+
+    def test_empty_strings_form_their_own_cluster(self):
+        clusters = initial_clusters(["", "", "a"])
+        empties = [c for c in clusters if len(c.pattern) == 0]
+        assert len(empties) == 1 and empties[0].size == 2
+
+    def test_constant_promotion_on_shared_prefix(self):
+        values = [f"Dr. {name}" for name in ("Adams", "Brown", "Clark", "Davis")]
+        clusters = initial_clusters(values)
+        assert len(clusters) == 1  # all surnames here share the <U><L>4 shape
+        notation = clusters[0].pattern.notation()
+        assert notation.startswith("'D''r''.'")
+        assert notation.endswith("<U><L>4")
+
+    def test_constant_promotion_can_be_disabled(self):
+        values = [f"Dr. {name}" for name in ("Adams", "Brown", "Clark", "Davis")]
+        clusters = initial_clusters(values, discover_constants=False)
+        for cluster in clusters:
+            assert cluster.pattern.notation().startswith("<U><L>'.'")
+
+    def test_promotion_keeps_values_matching(self):
+        values = [f"Dr. {name}" for name in ("Adams", "Brown", "Clark", "Davis")]
+        for cluster in initial_clusters(values):
+            for value in cluster.values:
+                assert matches(value, cluster.pattern)
+
+
+class TestPatternCluster:
+    def test_sample_returns_distinct_values_in_order(self):
+        cluster = PatternCluster(pattern=parse_pattern("<L>2"), values=["ab", "ab", "cd", "ef"])
+        assert cluster.sample(2) == ["ab", "cd"]
+
+    def test_sample_smaller_than_requested(self):
+        cluster = PatternCluster(pattern=parse_pattern("<L>2"), values=["ab"])
+        assert cluster.sample(5) == ["ab"]

@@ -1,0 +1,64 @@
+"""Tests for the pattern cluster hierarchy data structure."""
+
+from __future__ import annotations
+
+from repro.clustering.profiler import profile
+from repro.patterns.matching import matches
+
+
+class TestHierarchyStructure:
+    def test_depth_is_one_plus_refinement_rounds(self, phone_values):
+        hierarchy = profile(phone_values)
+        assert hierarchy.depth == 4  # leaves + 3 refinement rounds
+
+    def test_leaf_nodes_have_clusters(self, phone_values):
+        hierarchy = profile(phone_values)
+        for node in hierarchy.leaf_nodes:
+            assert node.is_leaf
+            assert node.cluster is not None
+
+    def test_roots_cover_all_rows(self, phone_values):
+        hierarchy = profile(phone_values)
+        assert sum(root.size for root in hierarchy.roots) == len(phone_values)
+        assert hierarchy.total_rows == len(phone_values)
+
+    def test_values_traversal_returns_every_row(self, phone_values):
+        hierarchy = profile(phone_values)
+        collected = []
+        for root in hierarchy.roots:
+            collected.extend(root.values())
+        assert sorted(collected) == sorted(phone_values)
+
+    def test_walk_visits_every_node_once(self, phone_values):
+        hierarchy = profile(phone_values)
+        visited = list(hierarchy.walk())
+        leaf_visits = [node for node in visited if node.is_leaf]
+        assert len(leaf_visits) == len(hierarchy.leaf_nodes)
+
+    def test_leaves_of_root_are_the_leaf_layer(self, phone_values):
+        hierarchy = profile(phone_values)
+        leaves_from_roots = [leaf for root in hierarchy.roots for leaf in root.leaves()]
+        assert {id(n) for n in leaves_from_roots} == {id(n) for n in hierarchy.leaf_nodes}
+
+    def test_find_leaf(self, phone_values):
+        hierarchy = profile(phone_values)
+        first = hierarchy.leaf_nodes[0]
+        assert hierarchy.find_leaf(first.pattern) is first
+
+    def test_all_patterns_are_unique(self, phone_values):
+        hierarchy = profile(phone_values)
+        patterns = hierarchy.all_patterns()
+        assert len(patterns) == len(set(patterns))
+
+    def test_describe_mentions_every_leaf(self, phone_values):
+        hierarchy = profile(phone_values)
+        description = hierarchy.describe()
+        for node in hierarchy.leaf_nodes:
+            assert node.pattern.notation() in description
+
+    def test_ancestor_patterns_cover_descendant_values(self, phone_values):
+        """Any value under a node matches that node's pattern (regex sense)."""
+        hierarchy = profile(phone_values)
+        for node in hierarchy.walk():
+            for value in node.values():
+                assert matches(value, node.pattern)

@@ -1,0 +1,80 @@
+"""Tests for the end-to-end pattern profiler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.profiler import PatternProfiler, profile
+from repro.patterns.generalize import generalize_quantifier
+from repro.patterns.matching import matches
+from repro.util.errors import ValidationError
+
+
+class TestProfiler:
+    def test_empty_input_raises(self):
+        with pytest.raises(ValidationError):
+            profile([])
+
+    def test_allow_empty_returns_empty_hierarchy(self):
+        hierarchy = PatternProfiler(allow_empty=True).profile([])
+        assert hierarchy.leaf_nodes == []
+
+    def test_leaf_patterns_match_figure_3(self, phone_values):
+        hierarchy = profile(phone_values)
+        notations = {p.notation() for p in hierarchy.leaf_patterns()}
+        assert "'('<D>3')'' '<D>3'-'<D>4" in notations
+        assert "<D>3'-'<D>3'-'<D>4" in notations
+        assert "<D>3'.'<D>3'.'<D>4" in notations
+
+    def test_row_counts_preserved(self, small_phone_column):
+        raw, _expected = small_phone_column
+        hierarchy = profile(raw)
+        assert hierarchy.total_rows == len(raw)
+
+    def test_custom_strategies(self, phone_values):
+        hierarchy = profile(phone_values, strategies=[generalize_quantifier])
+        assert hierarchy.depth == 2
+
+    def test_values_are_coerced_to_str(self):
+        hierarchy = profile([123, 456])
+        assert hierarchy.leaf_patterns()[0].notation() == "<D>3"
+
+    def test_leaf_count_never_exceeds_row_count(self, small_phone_column):
+        raw, _expected = small_phone_column
+        hierarchy = profile(raw)
+        assert len(hierarchy.leaf_nodes) <= len(raw)
+
+    def test_higher_layers_never_have_more_nodes(self, small_phone_column):
+        raw, _expected = small_phone_column
+        hierarchy = profile(raw)
+        sizes = [len(layer) for layer in hierarchy.layers]
+        assert all(later <= earlier for earlier, later in zip(sizes, sizes[1:]))
+
+
+ascii_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=25
+)
+
+
+class TestProfilerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(ascii_text, min_size=1, max_size=30))
+    def test_every_value_is_covered_by_some_leaf(self, values):
+        hierarchy = profile(values)
+        for value in values:
+            assert any(matches(value, node.pattern) for node in hierarchy.leaf_nodes)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(ascii_text, min_size=1, max_size=30))
+    def test_total_rows_equals_input_size(self, values):
+        assert profile(values).total_rows == len(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(ascii_text, min_size=1, max_size=30))
+    def test_every_layer_covers_every_value(self, values):
+        hierarchy = profile(values)
+        for layer in hierarchy.layers:
+            for value in values:
+                assert any(matches(value, node.pattern) for node in layer)

@@ -1,0 +1,74 @@
+"""Tests for Algorithm 1 (agglomerative refinement of one layer)."""
+
+from __future__ import annotations
+
+from repro.clustering.cluster import initial_clusters
+from repro.clustering.hierarchy import HierarchyNode
+from repro.clustering.refine import refine_layer
+from repro.patterns.generalize import generalize_alpha, generalize_quantifier
+
+
+def _leaf_layer(values):
+    clusters = initial_clusters(values, discover_constants=False)
+    return [HierarchyNode(pattern=c.pattern, cluster=c, level=0) for c in clusters]
+
+
+class TestRefineLayer:
+    def test_children_with_same_parent_merge(self):
+        # Two name shapes that share the quantifier-generalized parent.
+        leaves = _leaf_layer(["John Smith", "Christopher Anderson"])
+        assert len(leaves) == 2
+        parents = refine_layer(leaves, generalize_quantifier, level=1)
+        assert len(parents) == 1
+        assert parents[0].pattern.notation() == "<U>+<L>+' '<U>+<L>+"
+        assert len(parents[0].children) == 2
+
+    def test_distinct_structures_stay_separate(self):
+        leaves = _leaf_layer(["John Smith", "734-422-8073"])
+        parents = refine_layer(leaves, generalize_quantifier, level=1)
+        assert len(parents) == 2
+
+    def test_every_child_is_claimed_exactly_once(self):
+        leaves = _leaf_layer(
+            ["John Smith", "Christopher Anderson", "734-422-8073", "999.111.2222", "N/A"]
+        )
+        parents = refine_layer(leaves, generalize_quantifier, level=1)
+        claimed = [child for parent in parents for child in parent.children]
+        assert sorted(id(c) for c in claimed) == sorted(id(l) for l in leaves)
+
+    def test_parent_pattern_covers_children_values(self):
+        """Every value under a child still matches the parent's pattern.
+
+        (Pattern.subsumes is positional and strategy 2/3 may merge
+        adjacent tokens, so coverage is checked semantically here.)
+        """
+        from repro.patterns.matching import matches
+
+        leaves = _leaf_layer(["John Smith", "Christopher Anderson", "IBM Research"])
+        for strategy, level in ((generalize_quantifier, 1), (generalize_alpha, 2)):
+            parents = refine_layer(leaves, strategy, level=level)
+            for parent in parents:
+                for child in parent.children:
+                    for value in child.values():
+                        assert matches(value, parent.pattern)
+            leaves = parents
+
+    def test_coverage_preserves_row_counts(self):
+        values = ["John Smith", "Christopher Anderson", "734-422-8073"] * 5
+        leaves = _leaf_layer(values)
+        parents = refine_layer(leaves, generalize_quantifier, level=1)
+        assert sum(parent.size for parent in parents) == len(values)
+
+    def test_empty_layer(self):
+        assert refine_layer([], generalize_quantifier, level=1) == []
+
+    def test_levels_are_assigned(self):
+        leaves = _leaf_layer(["ab", "cd"])
+        parents = refine_layer(leaves, generalize_quantifier, level=3)
+        assert all(parent.level == 3 for parent in parents)
+
+    def test_refinement_is_deterministic(self):
+        values = ["John Smith", "Christopher Anderson", "734-422-8073", "999.111.2222"]
+        first = refine_layer(_leaf_layer(values), generalize_quantifier, level=1)
+        second = refine_layer(_leaf_layer(values), generalize_quantifier, level=1)
+        assert [p.pattern for p in first] == [p.pattern for p in second]

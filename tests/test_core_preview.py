@@ -1,0 +1,39 @@
+"""Tests for the preview table (Figure 8)."""
+
+from __future__ import annotations
+
+from repro.clustering.profiler import profile
+from repro.core.preview import PreviewRow, preview_table, render_preview
+from repro.core.transformer import transform_column
+from repro.synthesis.synthesizer import synthesize
+
+
+def _report(phone_values, target):
+    result = synthesize(profile(phone_values), target)
+    return transform_column(result.program, phone_values, target)
+
+
+class TestPreviewTable:
+    def test_at_most_per_pattern_rows_per_source(self, phone_values, phone_paren_target):
+        report = _report(phone_values * 4, phone_paren_target)
+        rows = preview_table(report, per_pattern=2)
+        by_pattern = {}
+        for row in rows:
+            by_pattern.setdefault(row.source_pattern, []).append(row)
+        assert all(len(group) <= 2 for group in by_pattern.values())
+
+    def test_flagged_rows_labelled(self, phone_values, phone_paren_target):
+        report = _report(phone_values, phone_paren_target)
+        rows = preview_table(report)
+        assert any(row.source_pattern == "(flagged)" for row in rows)
+
+    def test_rows_are_preview_rows(self, phone_values, phone_paren_target):
+        report = _report(phone_values, phone_paren_target)
+        assert all(isinstance(row, PreviewRow) for row in preview_table(report))
+
+    def test_render_preview_is_aligned_text(self, phone_values, phone_paren_target):
+        report = _report(phone_values, phone_paren_target)
+        text = render_preview(preview_table(report, per_pattern=1))
+        lines = text.splitlines()
+        assert lines[0].startswith("source pattern")
+        assert len(lines) >= 3

@@ -1,0 +1,139 @@
+"""Tests for the end-to-end CLXSession API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import CLXSession
+from repro.dsl.replace import ReplaceOperation
+from repro.patterns.parse import parse_pattern
+from repro.util.errors import ValidationError
+
+
+class TestClusterPhase:
+    def test_summary_sorted_by_cluster_size(self, small_phone_column):
+        raw, _expected = small_phone_column
+        session = CLXSession(raw)
+        counts = [summary.count for summary in session.pattern_summary()]
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == len(raw)
+
+    def test_summary_contains_samples(self, phone_values):
+        session = CLXSession(phone_values)
+        for summary in session.pattern_summary():
+            assert summary.samples
+            assert all(isinstance(sample, str) for sample in summary.samples)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValidationError):
+            CLXSession([])
+
+    def test_values_property_is_a_copy(self, phone_values):
+        session = CLXSession(phone_values)
+        values = session.values
+        values.append("junk")
+        assert len(session.values) == len(phone_values)
+
+
+class TestLabelPhase:
+    def test_label_from_string(self, phone_values):
+        session = CLXSession(phone_values)
+        target = session.label_target_from_string("(734) 645-8397")
+        assert target.notation() == "'('<D>3')'' '<D>3'-'<D>4"
+        assert session.target == target
+
+    def test_label_from_string_generalized(self, medical_codes):
+        session = CLXSession(medical_codes)
+        target = session.label_target_from_string("[CPT-11536]", generalize=1)
+        assert target.notation() == "'['<U>+'-'<D>+']'"
+
+    def test_label_from_notation(self, phone_values):
+        session = CLXSession(phone_values)
+        target = session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        assert target == parse_pattern("<D>3'-'<D>3'-'<D>4")
+
+    def test_relabel_resets_synthesis(self, phone_values):
+        session = CLXSession(phone_values)
+        session.label_target_from_string("(734) 645-8397")
+        first = session.program
+        session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        assert session.program is not first
+
+    def test_synthesize_without_target_raises(self, phone_values):
+        session = CLXSession(phone_values)
+        with pytest.raises(ValidationError):
+            session.synthesize()
+
+
+class TestTransformPhase:
+    def test_motivating_example(self, phone_values):
+        """The Section 2 scenario: unify phone numbers to (xxx) xxx-xxxx."""
+        session = CLXSession(phone_values)
+        session.label_target_from_string("(734) 645-8397")
+        report = session.transform()
+        assert report.outputs[:4] == [
+            "(734) 645-8397",
+            "(734) 586-7252",
+            "(734) 422-8073",
+            "(734) 236-3466",
+        ]
+        # The bare-digit and N/A rows cannot be transformed and are flagged.
+        assert "7342363466" in report.flagged
+
+    def test_explain_returns_executable_operations(self, phone_values):
+        session = CLXSession(phone_values)
+        session.label_target_from_string("(734) 645-8397")
+        operations = session.explain()
+        assert operations
+        assert all(isinstance(op, ReplaceOperation) for op in operations)
+        assert any(op.matches("734-422-8073") for op in operations)
+
+    def test_transformed_summary_collapses_patterns(self, small_phone_column):
+        """After transformation the pattern list shrinks (Figure 2 vs 3)."""
+        raw, _expected = small_phone_column
+        session = CLXSession(raw)
+        before = len(session.pattern_summary())
+        session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        after = len(session.transformed_summary())
+        assert after < before
+        assert after == 1
+
+    def test_preview_rows_cover_each_source_pattern(self, phone_values):
+        session = CLXSession(phone_values)
+        session.label_target_from_string("(734) 645-8397")
+        preview = session.preview(per_pattern=1)
+        assert len(preview) >= len(session.program)
+
+    def test_program_cached_between_calls(self, phone_values):
+        session = CLXSession(phone_values)
+        session.label_target_from_string("(734) 645-8397")
+        assert session.program is session.program
+
+    def test_describe_mentions_state(self, phone_values):
+        session = CLXSession(phone_values)
+        session.label_target_from_string("(734) 645-8397")
+        session.synthesize()
+        text = session.describe()
+        assert "rows: 7" in text
+        assert "target:" in text
+
+    def test_interaction_counts(self, phone_values):
+        session = CLXSession(phone_values)
+        counts = session.interaction_counts()
+        assert counts["patterns"] == len(session.pattern_summary())
+        assert counts["branches"] == 0
+        session.label_target_from_string("(734) 645-8397")
+        counts = session.interaction_counts()
+        assert counts["branches"] == len(session.program)
+
+
+class TestRepairPhase:
+    def test_repair_candidates_and_apply(self, employee_names):
+        session = CLXSession(employee_names + ["Yahav, E."])
+        session.label_target_from_string("Fisher, K.", generalize=1)
+        branch = list(session.program)[0]
+        candidates = session.repair_candidates(branch.pattern)
+        assert candidates.default == branch.plan
+        if candidates.alternatives:
+            updated = session.apply_repair(branch.pattern, candidates.alternatives[0])
+            assert updated.branch_for(branch.pattern).plan == candidates.alternatives[0]

@@ -1,0 +1,64 @@
+"""Tests for column transformation and the TransformReport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import TransformReport
+from repro.core.transformer import transform_column
+from repro.clustering.profiler import profile
+from repro.patterns.parse import parse_pattern
+from repro.synthesis.synthesizer import synthesize
+
+
+@pytest.fixture
+def phone_report(phone_values, phone_paren_target):
+    result = synthesize(profile(phone_values), phone_paren_target)
+    return transform_column(result.program, phone_values, phone_paren_target)
+
+
+class TestTransformColumn:
+    def test_already_correct_rows_pass_through(self, phone_report, phone_paren_target):
+        index = phone_report.inputs.index("(734) 645-8397")
+        assert phone_report.outputs[index] == "(734) 645-8397"
+        assert phone_report.matched_pattern[index] == phone_paren_target
+
+    def test_unmatched_rows_are_flagged(self, phone_report):
+        assert "N/A" in phone_report.flagged
+        assert phone_report.flagged_count >= 1
+
+    def test_row_count_and_order_preserved(self, phone_report, phone_values):
+        assert phone_report.row_count == len(phone_values)
+        assert phone_report.inputs == phone_values
+
+    def test_conforming_statistics(self, phone_report):
+        assert 0 < phone_report.conforming_count <= phone_report.row_count
+        assert phone_report.conforming_fraction == pytest.approx(
+            phone_report.conforming_count / phone_report.row_count
+        )
+
+    def test_failures_lists_nonconforming_pairs(self, phone_report):
+        failures = phone_report.failures()
+        assert all(raw in phone_report.inputs for raw, _out in failures)
+        assert ("N/A", "N/A") in failures
+
+    def test_by_source_pattern_groups_rows(self, phone_report):
+        grouped = phone_report.by_source_pattern()
+        total = sum(len(pairs) for pairs in grouped.values())
+        assert total == phone_report.row_count
+        assert None in grouped  # the flagged rows
+
+
+class TestTransformReportValidation:
+    def test_parallel_lists_required(self):
+        with pytest.raises(ValueError):
+            TransformReport(
+                inputs=["a"], outputs=[], matched_pattern=[], target=parse_pattern("<L>")
+            )
+
+    def test_empty_report_statistics(self):
+        report = TransformReport(
+            inputs=[], outputs=[], matched_pattern=[], target=parse_pattern("<L>")
+        )
+        assert report.conforming_fraction == 0.0
+        assert not report.is_perfect

@@ -1,0 +1,103 @@
+"""Tests for the UniFi AST node types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.patterns.parse import parse_pattern
+
+
+class TestConstStr:
+    def test_holds_text(self):
+        assert ConstStr("-").text == "-"
+
+    def test_rejects_empty_text(self):
+        with pytest.raises(ValueError):
+            ConstStr("")
+
+    def test_equality(self):
+        assert ConstStr("x") == ConstStr("x")
+        assert ConstStr("x") != ConstStr("y")
+
+
+class TestExtract:
+    def test_single_index_shorthand(self):
+        extract = Extract(3)
+        assert extract.start == 3 and extract.end == 3
+        assert extract.width == 1
+        assert str(extract) == "Extract(3)"
+
+    def test_range(self):
+        extract = Extract(1, 4)
+        assert extract.width == 4
+        assert str(extract) == "Extract(1,4)"
+
+    @pytest.mark.parametrize("start, end", [(0, 0), (0, 2), (3, 1), (-1, 1)])
+    def test_invalid_ranges_rejected(self, start, end):
+        with pytest.raises(ValueError):
+            Extract(start, end)
+
+    def test_equality_and_hash(self):
+        assert Extract(1, 2) == Extract(1, 2)
+        assert Extract(1) == Extract(1, 1)
+        assert hash(Extract(2)) == hash(Extract(2, 2))
+
+
+class TestAtomicPlan:
+    def test_counts(self):
+        plan = AtomicPlan((Extract(1), ConstStr("-"), Extract(2, 3)))
+        assert len(plan) == 3
+        assert plan.extract_count == 2
+        assert plan.const_count == 1
+
+    def test_rejects_foreign_expressions(self):
+        with pytest.raises(TypeError):
+            AtomicPlan(("not-an-expression",))
+
+    def test_str_is_concat(self):
+        plan = AtomicPlan((Extract(1), ConstStr("]")))
+        assert str(plan) == "Concat(Extract(1), ConstStr(']'))"
+
+    def test_iterable(self):
+        plan = AtomicPlan((Extract(1),))
+        assert list(plan) == [Extract(1)]
+
+
+class TestUniFiProgram:
+    def _program(self):
+        branch_a = Branch(parse_pattern("<D>3"), AtomicPlan((Extract(1),)))
+        branch_b = Branch(parse_pattern("<L>+"), AtomicPlan((ConstStr("x"),)))
+        return UniFiProgram((branch_a, branch_b)), branch_a, branch_b
+
+    def test_len_and_iteration(self):
+        program, branch_a, branch_b = self._program()
+        assert len(program) == 2
+        assert list(program) == [branch_a, branch_b]
+
+    def test_patterns_property(self):
+        program, branch_a, branch_b = self._program()
+        assert program.patterns == (branch_a.pattern, branch_b.pattern)
+
+    def test_branch_for(self):
+        program, branch_a, _branch_b = self._program()
+        assert program.branch_for(branch_a.pattern) is branch_a
+        assert program.branch_for(parse_pattern("<U>9")) is None
+
+    def test_replacing_branch_swaps_plan(self):
+        program, branch_a, _ = self._program()
+        new_plan = AtomicPlan((ConstStr("!"),))
+        updated = program.replacing_branch(branch_a.pattern, new_plan)
+        assert updated.branch_for(branch_a.pattern).plan == new_plan
+        # The original program is unchanged (programs are immutable values).
+        assert program.branch_for(branch_a.pattern).plan == branch_a.plan
+
+    def test_replacing_unknown_pattern_appends(self):
+        program, _, _ = self._program()
+        pattern = parse_pattern("<U>2")
+        updated = program.replacing_branch(pattern, AtomicPlan((Extract(1),)))
+        assert len(updated) == 3
+
+    def test_str_shows_switch(self):
+        program, _, _ = self._program()
+        assert str(program).startswith("Switch(")

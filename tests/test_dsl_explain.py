@@ -1,0 +1,83 @@
+"""Tests for program explanation (UniFi -> Replace operations, Section 5)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.dsl.explain import explain_branch, explain_program
+from repro.dsl.interpreter import apply_program
+from repro.dsl.replace import apply_replacements
+from repro.patterns.parse import parse_pattern
+from repro.bench.phone import phone_dataset
+from repro.clustering.profiler import profile
+from repro.synthesis.synthesizer import synthesize
+
+
+class TestExplainBranch:
+    def _branch(self):
+        return Branch(
+            parse_pattern("<D>3'.'<D>3'.'<D>4"),
+            AtomicPlan((Extract(1), ConstStr("-"), Extract(3), ConstStr("-"), Extract(5))),
+        )
+
+    def test_regex_is_anchored_and_grouped_per_token(self):
+        operation = explain_branch(self._branch())
+        assert operation.regex.startswith("^(") and operation.regex.endswith(")$")
+        assert operation.regex.count("(") == 5
+
+    def test_replacement_uses_dollar_references(self):
+        operation = explain_branch(self._branch())
+        assert operation.replacement == "$1-$3-$5"
+
+    def test_description_is_wrangler_style(self):
+        operation = explain_branch(self._branch())
+        assert "{digit}3" in operation.description
+
+    def test_explained_operation_behaves_like_the_branch(self):
+        branch = self._branch()
+        operation = explain_branch(branch)
+        program = UniFiProgram((branch,))
+        value = "734.236.3466"
+        assert operation.apply(value) == apply_program(program, value).output
+
+    def test_const_str_dollars_are_escaped(self):
+        branch = Branch(parse_pattern("<D>2"), AtomicPlan((ConstStr("$"), Extract(1))))
+        operation = explain_branch(branch)
+        assert operation.apply("42") == "$42"
+
+    def test_range_extract_expands_to_consecutive_groups(self):
+        branch = Branch(parse_pattern("<U>+'-'<D>+"), AtomicPlan((ConstStr("["), Extract(1, 3), ConstStr("]"))))
+        operation = explain_branch(branch)
+        assert operation.replacement == "[$1$2$3]"
+        assert operation.apply("CPT-00350") == "[CPT-00350]"
+
+
+class TestExplainProgram:
+    def test_one_operation_per_branch_in_order(self):
+        program = UniFiProgram(
+            (
+                Branch(parse_pattern("<D>2"), AtomicPlan((Extract(1),))),
+                Branch(parse_pattern("<L>+"), AtomicPlan((ConstStr("x"),))),
+            )
+        )
+        operations = explain_program(program)
+        assert len(operations) == 2
+        assert operations[0].regex.startswith("^([0-9]{2})")
+
+
+class TestExplanationFidelityProperty:
+    """The explained Replace list transforms data exactly like the program."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_on_synthesized_phone_programs(self, seed):
+        raw, _expected = phone_dataset(count=25, format_count=4, seed=seed)
+        hierarchy = profile(raw)
+        target = parse_pattern("<D>3'-'<D>3'-'<D>4")
+        result = synthesize(hierarchy, target)
+        operations = explain_program(result.program)
+        for value in raw:
+            expected = apply_program(result.program, value).output
+            assert apply_replacements(operations, value) == expected

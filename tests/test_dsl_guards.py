@@ -1,0 +1,123 @@
+"""Tests for the content-guard (advanced conditionals) extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import CLXSession
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.dsl.explain import explain_branch
+from repro.dsl.guards import ContainsGuard
+from repro.dsl.interpreter import apply_program
+from repro.patterns.parse import parse_pattern
+from repro.util.errors import ValidationError
+
+
+class TestContainsGuard:
+    def test_holds_case_sensitive(self):
+        guard = ContainsGuard("picture")
+        assert guard.holds("report.picture.pdf")
+        assert not guard.holds("report.Picture.pdf")
+        assert not guard.holds("report.invoice.pdf")
+
+    def test_holds_case_insensitive(self):
+        guard = ContainsGuard("picture", case_sensitive=False)
+        assert guard.holds("report.PICTURE.pdf")
+
+    def test_empty_keyword_rejected(self):
+        with pytest.raises(ValueError):
+            ContainsGuard("")
+
+    def test_describe_and_str(self):
+        guard = ContainsGuard("picture")
+        assert "picture" in guard.describe()
+        assert "picture" in str(guard)
+
+
+class TestGuardedBranches:
+    def _program(self):
+        pattern = parse_pattern("<L>+'.'<L>+'.'<L>+")
+        keep_keyword = AtomicPlan((Extract(3),))
+        keep_extension = AtomicPlan((Extract(5),))
+        return UniFiProgram(
+            (
+                Branch(pattern=pattern, plan=keep_keyword, guard=ContainsGuard("picture")),
+                Branch(pattern=pattern, plan=keep_extension),
+            )
+        )
+
+    def test_guarded_branch_fires_only_on_matching_content(self):
+        program = self._program()
+        assert apply_program(program, "abc.picture.pdf").output == "picture"
+        assert apply_program(program, "abc.invoice.pdf").output == "pdf"
+
+    def test_guard_does_not_widen_pattern(self):
+        program = self._program()
+        outcome = apply_program(program, "picture")
+        assert not outcome.matched
+
+    def test_explained_operation_respects_guard(self):
+        branch = self._program().branches[0]
+        operation = explain_branch(branch)
+        assert operation.matches("abc.picture.pdf")
+        assert not operation.matches("abc.invoice.pdf")
+        assert operation.apply("abc.picture.pdf") == "picture"
+        assert "contains 'picture'" in operation.description
+
+    def test_unguarded_branch_str_unchanged(self):
+        branch = Branch(parse_pattern("<D>2"), AtomicPlan((ConstStr("x"),)))
+        assert "and" not in str(branch)
+        guarded = Branch(parse_pattern("<D>2"), AtomicPlan((ConstStr("x"),)), guard=ContainsGuard("1"))
+        assert "Contains" in str(guarded)
+
+
+class TestConditionalRepairInSession:
+    """The Example-13-style task becomes solvable with a conditional repair."""
+
+    ROWS = [
+        "alpha.picture.pdf",
+        "bravo.invoice.pdf",
+        "carol.report.pdf",
+        "delta.picture.pdf",
+        "echos.summary.pdf",
+    ]
+    DESIRED = {
+        "alpha.picture.pdf": "picture",
+        "bravo.invoice.pdf": "pdf",
+        "carol.report.pdf": "pdf",
+        "delta.picture.pdf": "picture",
+        "echos.summary.pdf": "pdf",
+    }
+
+    def test_conditional_repair_fixes_content_dependent_task(self):
+        session = CLXSession(self.ROWS)
+        session.label_target_from_notation("<L>+")
+        source = list(session.program)[0].pattern
+
+        keep_keyword = AtomicPlan((Extract(3),))
+        keep_extension = AtomicPlan((Extract(5),))
+        session.apply_conditional_repair(
+            source,
+            [(ContainsGuard("picture"), keep_keyword)],
+            default_plan=keep_extension,
+        )
+
+        report = session.transform()
+        outputs = dict(report.pairs())
+        for raw, desired in self.DESIRED.items():
+            assert outputs[raw] == desired
+
+    def test_conditional_repair_requires_known_source(self):
+        session = CLXSession(self.ROWS)
+        session.label_target_from_notation("<L>+")
+        with pytest.raises(ValidationError):
+            session.apply_conditional_repair(
+                parse_pattern("<D>9"), [(ContainsGuard("x"), AtomicPlan((Extract(1),)))]
+            )
+
+    def test_conditional_repair_requires_guarded_plans(self):
+        session = CLXSession(self.ROWS)
+        session.label_target_from_notation("<L>+")
+        source = list(session.program)[0].pattern
+        with pytest.raises(ValidationError):
+            session.apply_conditional_repair(source, [])

@@ -1,0 +1,63 @@
+"""Tests for the MDL scoring of atomic plans (Section 6.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dsl.ast import AtomicPlan, ConstStr, Extract
+from repro.dsl.mdl import OPERATION_TYPES, expression_cost, plan_description_length
+
+
+class TestExpressionCost:
+    def test_extract_cost_depends_on_source_length(self):
+        assert expression_cost(Extract(1), 4) == pytest.approx(2 * math.log2(4))
+        assert expression_cost(Extract(1, 3), 8) == pytest.approx(2 * math.log2(8))
+
+    def test_const_cost_depends_on_text_length(self):
+        one = expression_cost(ConstStr("x"), 4)
+        three = expression_cost(ConstStr("xyz"), 4)
+        assert three == pytest.approx(3 * one)
+
+    def test_extract_requires_positive_source_length(self):
+        with pytest.raises(ValueError):
+            expression_cost(Extract(1), 0)
+
+    def test_unknown_expression_rejected(self):
+        with pytest.raises(TypeError):
+            expression_cost("nope", 4)
+
+
+class TestPlanDescriptionLength:
+    def test_model_cost_is_length_times_log_m(self):
+        plan = AtomicPlan((Extract(1), Extract(2)))
+        expected = 2 * math.log2(OPERATION_TYPES) + 2 * (2 * math.log2(5))
+        assert plan_description_length(plan, 5) == pytest.approx(expected)
+
+    def test_paper_example_9_preference(self):
+        """Extract(1,3) is preferred over Extract(1)+ConstStr('/')+Extract(3)."""
+        source_length = 5  # <D>2 / <D>2 / <D>4
+        simple = AtomicPlan((Extract(1, 3),))
+        verbose = AtomicPlan((Extract(1), ConstStr("/"), Extract(3)))
+        assert plan_description_length(simple, source_length) < plan_description_length(
+            verbose, source_length
+        )
+
+    def test_extracting_a_constant_beats_typing_it(self):
+        """A one-token Extract is cheaper than a multi-character ConstStr."""
+        extract = AtomicPlan((Extract(2),))
+        const = AtomicPlan((ConstStr("abc"),))
+        assert plan_description_length(extract, 6) < plan_description_length(const, 6)
+
+    def test_single_char_const_vs_extract(self):
+        # For small sources, extracting is still at most as expensive as a
+        # printable-character constant (2*log2(source) vs log2(95)).
+        extract = AtomicPlan((Extract(1),))
+        const = AtomicPlan((ConstStr("-"),))
+        assert plan_description_length(extract, 6) < plan_description_length(const, 6)
+
+    def test_longer_plans_cost_more(self):
+        short = AtomicPlan((Extract(1, 4),))
+        long = AtomicPlan((Extract(1), Extract(2), Extract(3), Extract(4)))
+        assert plan_description_length(short, 4) < plan_description_length(long, 4)

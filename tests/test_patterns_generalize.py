@@ -1,0 +1,104 @@
+"""Tests for the three generalization strategies (Section 4.2)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.patterns.generalize import (
+    GENERALIZATION_STRATEGIES,
+    generalize_alnum,
+    generalize_alpha,
+    generalize_quantifier,
+)
+from repro.patterns.matching import matches, pattern_of_string
+from repro.patterns.parse import parse_pattern
+
+
+class TestStrategy1Quantifier:
+    def test_numeric_quantifiers_become_plus(self):
+        pattern = parse_pattern("<U><L>2<D>3")
+        assert generalize_quantifier(pattern).notation() == "<U>+<L>+<D>+"
+
+    def test_literals_unchanged(self):
+        pattern = parse_pattern("<D>3'-'<D>4")
+        assert generalize_quantifier(pattern).notation() == "<D>+'-'<D>+"
+
+    def test_adjacent_same_class_tokens_merge(self):
+        # <D>3<D>2 cannot arise from tokenization but can from promotion
+        # round-trips; both collapse to a single <D>+.
+        pattern = parse_pattern("<D>3<D>2")
+        assert generalize_quantifier(pattern).notation() == "<D>+"
+
+    def test_idempotent(self):
+        pattern = parse_pattern("<D>+'-'<L>+")
+        assert generalize_quantifier(pattern) == pattern
+
+
+class TestStrategy2Alpha:
+    def test_lower_and_upper_become_alpha(self):
+        pattern = parse_pattern("<U>+<L>+<D>+")
+        assert generalize_alpha(pattern).notation() == "<A>+<D>+"
+
+    def test_adjacent_alpha_merges(self):
+        pattern = parse_pattern("<U><L>2")
+        assert generalize_alpha(pattern).notation() == "<A>3"
+
+    def test_digits_and_literals_untouched(self):
+        pattern = parse_pattern("<D>3'-'<D>4")
+        assert generalize_alpha(pattern) == pattern
+
+
+class TestStrategy3Alnum:
+    def test_alpha_and_digit_become_alnum(self):
+        pattern = parse_pattern("<A>+<D>+'@'<A>+")
+        assert generalize_alnum(pattern).notation() == "<AN>+'@'<AN>+"
+
+    def test_dash_and_underscore_literals_fold_in(self):
+        pattern = parse_pattern("<A>+'-'<D>+")
+        assert generalize_alnum(pattern).notation() == "<AN>+"
+
+    def test_other_literals_survive(self):
+        pattern = parse_pattern("<A>+'.'<A>+")
+        assert generalize_alnum(pattern).notation() == "<AN>+'.'<AN>+"
+
+
+class TestHierarchyExample:
+    def test_paper_figure_6_chain(self):
+        """Leaf of Example 3 generalizes to the P1/P2/P3 of Figure 6."""
+        leaf = pattern_of_string("Bob123@gmail.com")
+        level1 = generalize_quantifier(leaf)
+        assert level1.notation() == "<U>+<L>+<D>+'@'<L>+'.'<L>+"
+        level2 = generalize_alpha(level1)
+        assert level2.notation() == "<A>+<D>+'@'<A>+'.'<A>+"
+        level3 = generalize_alnum(level2)
+        assert level3.notation() == "<AN>+'@'<AN>+'.'<AN>+"
+
+    def test_three_strategies_exported_in_order(self):
+        assert GENERALIZATION_STRATEGIES == (
+            generalize_quantifier,
+            generalize_alpha,
+            generalize_alnum,
+        )
+
+
+ascii_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=30
+)
+
+
+class TestGeneralizationProperties:
+    @given(ascii_text)
+    def test_generalized_pattern_still_matches_the_string(self, value):
+        """Every refinement round produces a pattern that covers the data."""
+        pattern = pattern_of_string(value)
+        for strategy in GENERALIZATION_STRATEGIES:
+            pattern = strategy(pattern)
+            assert matches(value, pattern)
+
+    @given(ascii_text)
+    def test_each_strategy_is_idempotent(self, value):
+        pattern = pattern_of_string(value)
+        for strategy in GENERALIZATION_STRATEGIES:
+            pattern = strategy(pattern)
+            assert strategy(pattern) == pattern

@@ -1,0 +1,86 @@
+"""Tests for the pattern-notation parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.patterns.matching import pattern_of_string
+from repro.patterns.parse import parse_pattern
+from repro.tokens.classes import TokenClass
+from repro.tokens.token import PLUS
+from repro.util.errors import PatternParseError
+
+
+class TestParsing:
+    def test_single_base_token(self):
+        pattern = parse_pattern("<D>3")
+        assert len(pattern) == 1
+        assert pattern[0].klass is TokenClass.DIGIT
+        assert pattern[0].quantifier == 3
+
+    def test_default_quantifier_is_one(self):
+        pattern = parse_pattern("<U>")
+        assert pattern[0].quantifier == 1
+
+    def test_plus_quantifier(self):
+        assert parse_pattern("<L>+")[0].quantifier == PLUS
+
+    def test_literal(self):
+        pattern = parse_pattern("'-'")
+        assert pattern[0].is_literal
+        assert pattern[0].literal == "-"
+
+    def test_multi_character_literal(self):
+        assert parse_pattern("'Dr.'")[0].literal == "Dr."
+
+    def test_escaped_quote_in_literal(self):
+        assert parse_pattern(r"'\''")[0].literal == "'"
+
+    def test_whitespace_between_elements_ignored(self):
+        assert parse_pattern("<D>3 '-' <D>4") == parse_pattern("<D>3'-'<D>4")
+
+    def test_alternative_digit_notation(self):
+        # The paper sometimes writes <N> for digits.
+        assert parse_pattern("<N>2")[0].klass is TokenClass.DIGIT
+
+    def test_phone_pattern(self):
+        pattern = parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+        assert [t.notation() for t in pattern] == [
+            "'('", "<D>3", "')'", "' '", "<D>3", "'-'", "<D>4",
+        ]
+
+    def test_empty_string_parses_to_empty_pattern(self):
+        assert len(parse_pattern("")) == 0
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["<D", "<X>3", "abc", "''", "'unterminated", "<D>0"],
+    )
+    def test_bad_notation_raises(self, bad):
+        with pytest.raises(PatternParseError):
+            parse_pattern(bad)
+
+    def test_error_carries_source(self):
+        try:
+            parse_pattern("<Q>1")
+        except PatternParseError as exc:
+            assert exc.source == "<Q>1"
+        else:  # pragma: no cover
+            pytest.fail("expected PatternParseError")
+
+
+ascii_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), min_size=1, max_size=30
+)
+
+
+class TestRoundtrip:
+    @given(ascii_text)
+    def test_notation_of_string_pattern_reparses(self, value):
+        """pattern_of_string -> notation -> parse_pattern is the identity."""
+        pattern = pattern_of_string(value)
+        assert parse_pattern(pattern.notation()) == pattern

@@ -1,0 +1,70 @@
+"""Tests for pattern-to-regex compilation."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.patterns.parse import parse_pattern
+from repro.patterns.regex import compile_pattern, grouped_regex, pattern_to_regex
+
+
+class TestPatternToRegex:
+    def test_anchored_by_default(self):
+        regex = pattern_to_regex(parse_pattern("<D>3"))
+        assert regex == "^[0-9]{3}$"
+
+    def test_unanchored(self):
+        assert pattern_to_regex(parse_pattern("<D>3"), anchored=False) == "[0-9]{3}"
+
+    def test_literals_are_escaped(self):
+        regex = pattern_to_regex(parse_pattern("'('<D>3')'"))
+        assert re.match(regex, "(123)")
+        assert not re.match(regex, "x123)")
+
+    def test_plus_quantifier(self):
+        regex = pattern_to_regex(parse_pattern("<L>+"))
+        assert re.match(regex, "abc")
+        assert not re.match(regex, "")
+
+    def test_phone_pattern_matches_expected_strings(self):
+        regex = compile_pattern(parse_pattern("'('<D>3')'' '<D>3'-'<D>4"))
+        assert regex.match("(734) 645-8397")
+        assert not regex.match("(734)645-8397")
+        assert not regex.match("(734) 645-8397 ")
+
+
+class TestCompileCache:
+    def test_compile_pattern_returns_same_object_for_same_pattern(self):
+        pattern = parse_pattern("<D>3'-'<D>4")
+        assert compile_pattern(pattern) is compile_pattern(pattern)
+
+
+class TestGroupedRegex:
+    def test_single_group(self):
+        pattern = parse_pattern("'('<D>3')'")
+        regex = grouped_regex(pattern, [(1, 1)])
+        match = re.match(regex, "(734)")
+        assert match and match.group(1) == "734"
+
+    def test_multi_token_group(self):
+        pattern = parse_pattern("<D>3'-'<D>4")
+        regex = grouped_regex(pattern, [(0, 2)])
+        match = re.match(regex, "645-8397")
+        assert match and match.group(1) == "645-8397"
+
+    def test_multiple_groups_in_order(self):
+        pattern = parse_pattern("<D>3'-'<D>4")
+        regex = grouped_regex(pattern, [(0, 0), (2, 2)])
+        match = re.match(regex, "645-8397")
+        assert match.group(1) == "645" and match.group(2) == "8397"
+
+    @pytest.mark.parametrize(
+        "groups",
+        [[(2, 1)], [(0, 5)], [(-1, 0)], [(0, 1), (1, 2)]],
+    )
+    def test_invalid_ranges_raise(self, groups):
+        pattern = parse_pattern("<D>3'-'<D>4")
+        with pytest.raises(ValueError):
+            grouped_regex(pattern, groups)

@@ -1,0 +1,42 @@
+"""Tests for the Wrangler-style and natural-language pattern renderings."""
+
+from __future__ import annotations
+
+from repro.patterns.parse import parse_pattern
+from repro.patterns.render import render_natural, render_wrangler
+
+
+class TestWranglerRendering:
+    def test_phone_pattern_matches_figure_2_style(self):
+        pattern = parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+        assert render_wrangler(pattern) == "\\({digit}3\\)\\ {digit}3\\-{digit}4"
+
+    def test_plus_quantifier(self):
+        assert render_wrangler(parse_pattern("<L>+")) == "{lower}+"
+
+    def test_quantifier_one_is_implicit(self):
+        assert render_wrangler(parse_pattern("<U>")) == "{upper}"
+
+    def test_all_class_names(self):
+        pattern = parse_pattern("<D><L><U><A><AN>")
+        rendered = render_wrangler(pattern)
+        for name in ("{digit}", "{lower}", "{upper}", "{alpha}", "{alphanum}"):
+            assert name in rendered
+
+    def test_regex_metacharacters_escaped(self):
+        assert render_wrangler(parse_pattern("'.'")) == "\\."
+        assert render_wrangler(parse_pattern("'('")) == "\\("
+
+
+class TestNaturalRendering:
+    def test_counts_and_pluralization(self):
+        text = render_natural(parse_pattern("<D>3'-'<D>1"))
+        assert "3 digits" in text
+        assert "1 digit" in text
+        assert "'-'" in text
+
+    def test_plus_quantifier(self):
+        assert "one or more lowercase letters" in render_natural(parse_pattern("<L>+"))
+
+    def test_empty_pattern(self):
+        assert render_natural(parse_pattern("")) == "(empty string)"

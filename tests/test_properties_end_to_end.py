@@ -1,0 +1,93 @@
+"""Property-based end-to-end invariants of the CLX pipeline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generators import dates, human_names, medical_codes, phone_numbers
+from repro.clustering.profiler import profile
+from repro.core.transformer import transform_column
+from repro.dsl.explain import explain_program
+from repro.dsl.replace import apply_replacements
+from repro.patterns.matching import matches, pattern_of_string
+from repro.patterns.parse import parse_pattern
+from repro.synthesis.repair import oracle_repair
+from repro.synthesis.synthesizer import synthesize
+
+
+class TestPhonePipelineProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_outputs_conform_or_are_flagged_unchanged(self, seed):
+        """Every output either matches the target or is the untouched input."""
+        raw, _expected = phone_numbers(
+            20, ["paren_space", "dots", "dashes", "plus_one"], seed=seed
+        )
+        target = parse_pattern("<D>3'-'<D>3'-'<D>4")
+        result = synthesize(profile(raw), target)
+        report = transform_column(result.program, raw, target)
+        for value, output, matched in zip(
+            report.inputs, report.outputs, report.matched_pattern
+        ):
+            if matched is None:
+                assert output == value
+            else:
+                assert matches(output, target)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_oracle_repair_reaches_the_expected_outputs(self, seed):
+        """With repair, the synthesized program reproduces the oracle exactly."""
+        raw, expected = phone_numbers(
+            16, ["paren_space", "dots", "dashes"], seed=seed
+        )
+        target = parse_pattern("<D>3'-'<D>3'-'<D>4")
+        result = synthesize(profile(raw), target)
+        repaired, _count = oracle_repair(result, expected)
+        report = transform_column(repaired.program, raw, target)
+        assert [expected[value] for value in raw] == report.outputs
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_explanation_is_faithful_to_the_program(self, seed):
+        """Replace operations and the UniFi program agree on every row."""
+        raw, _expected = phone_numbers(15, ["paren_tight", "dots"], seed=seed)
+        target = parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+        result = synthesize(profile(raw), target)
+        operations = explain_program(result.program)
+        report = transform_column(result.program, raw, target)
+        for value, output in report.pairs():
+            if matches(value, target):
+                continue
+            assert apply_replacements(operations, value) == output
+
+
+class TestGeneratorDrivenProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_medical_codes_always_normalizable(self, seed):
+        raw, expected = medical_codes(12, seed=seed)
+        target = parse_pattern("'['<U>+'-'<D>+']'")
+        result = synthesize(profile(raw), target)
+        repaired, _ = oracle_repair(result, expected)
+        report = transform_column(repaired.program, raw, target)
+        assert report.outputs == [expected[value] for value in raw]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_profiling_never_loses_rows(self, seed):
+        for generator in (human_names, dates):
+            raw, _expected = generator(25, seed=seed)
+            hierarchy = profile(raw)
+            assert hierarchy.total_rows == len(raw)
+            for value in raw:
+                assert any(matches(value, node.pattern) for node in hierarchy.leaf_nodes)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_leaf_patterns_are_exactly_the_distinct_string_patterns(self, seed):
+        raw, _expected = human_names(30, seed=seed)
+        hierarchy = profile(raw, discover_constants=False)
+        expected_patterns = {pattern_of_string(value) for value in raw}
+        assert set(hierarchy.leaf_patterns()) == expected_patterns

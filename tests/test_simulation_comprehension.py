@@ -1,0 +1,58 @@
+"""Tests for the comprehension-study model (Figure 13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import explainability_quizzes, explainability_tasks
+from repro.simulation.comprehension import build_quiz, run_comprehension_study
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_comprehension_study(explainability_quizzes())
+
+
+class TestQuizConstruction:
+    def test_three_questions_per_task(self):
+        for task, questions in explainability_quizzes():
+            assert len(questions) == 3
+            kinds = [q.kind for q in questions]
+            assert kinds == ["verbatim", "seen-format", "novel-format"]
+            assert all(q.task_id == task.task_id for q in questions)
+
+    def test_verbatim_question_comes_from_the_data(self):
+        for task, questions in explainability_quizzes():
+            assert questions[0].quiz_input in task.inputs
+
+    def test_build_quiz_uses_first_incorrect_row(self):
+        task = explainability_tasks()[0]
+        quiz = build_quiz(task, "A B", "B, A.", "zzz", "zzz")
+        assert not task.already_correct(quiz[0].quiz_input)
+
+
+class TestComprehensionStudy:
+    def test_one_result_per_task(self, results):
+        assert len(results) == 3
+        for result in results:
+            assert set(result.correct_rate) == {"CLX", "FlashFill", "RegexReplace"}
+
+    def test_rates_are_fractions(self, results):
+        for result in results:
+            for rate in result.correct_rate.values():
+                assert 0.0 <= rate <= 1.0
+
+    def test_clx_users_understand_the_logic(self, results):
+        """CLX readers answer (nearly) everything correctly."""
+        for result in results:
+            assert result.correct_rate["CLX"] >= 0.67
+
+    def test_clx_about_twice_flashfill_on_average(self, results):
+        """The headline Figure 13 claim."""
+        clx = sum(r.correct_rate["CLX"] for r in results) / len(results)
+        flashfill = sum(r.correct_rate["FlashFill"] for r in results) / len(results)
+        assert clx >= 1.5 * flashfill
+
+    def test_regex_replace_comparable_to_clx(self, results):
+        for result in results:
+            assert result.correct_rate["RegexReplace"] >= 0.67

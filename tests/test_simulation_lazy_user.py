@@ -1,0 +1,89 @@
+"""Tests for the lazy-user simulation of Section 7.4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scenarios import blinkfill_tasks, flashfill_tasks
+from repro.bench.task import TransformationTask
+from repro.simulation.lazy_user import (
+    simulate_all,
+    simulate_clx,
+    simulate_flashfill,
+    simulate_regex_replace,
+)
+
+
+@pytest.fixture(scope="module")
+def medical_task():
+    return next(t for t in blinkfill_tasks() if t.task_id == "blinkfill-medical-codes")
+
+
+@pytest.fixture(scope="module")
+def conditional_task():
+    return next(t for t in flashfill_tasks() if t.task_id == "flashfill-conditional")
+
+
+@pytest.fixture(scope="module")
+def phone_task():
+    return next(t for t in flashfill_tasks() if t.task_id == "flashfill-phone")
+
+
+class TestSimulateCLX:
+    def test_perfect_on_medical_codes(self, medical_task):
+        run = simulate_clx(medical_task)
+        assert run.system == "CLX"
+        assert run.perfect
+        assert run.steps.selections == 1
+        assert run.steps.punishment == 0
+        assert run.outputs == [medical_task.desired_output(v) for v in medical_task.inputs]
+
+    def test_interactions_count_labeling_plus_branches(self, phone_task):
+        run = simulate_clx(phone_task)
+        assert run.interactions >= 1 + 1  # labeling + at least one plan
+
+    def test_imperfect_on_content_conditional(self, conditional_task):
+        run = simulate_clx(conditional_task)
+        assert not run.perfect
+        assert run.steps.punishment > 0
+
+
+class TestSimulateFlashFill:
+    def test_examples_bounded_by_formats(self, phone_task):
+        run = simulate_flashfill(phone_task)
+        assert run.perfect
+        assert run.steps.examples <= len(phone_task.distinct_leaf_patterns()) + 1
+
+    def test_gives_up_on_content_conditional(self, conditional_task):
+        run = simulate_flashfill(conditional_task)
+        assert not run.perfect
+        assert run.steps.punishment > 0
+
+    def test_max_examples_cap(self, phone_task):
+        run = simulate_flashfill(phone_task, max_examples=1)
+        assert run.steps.examples <= 1
+
+
+class TestSimulateRegexReplace:
+    def test_rules_cost_two_steps_each(self, medical_task):
+        run = simulate_regex_replace(medical_task)
+        assert run.steps.rules >= 1
+        assert run.steps.specification == 2 * run.steps.rules
+
+    def test_perfect_on_phone_task(self, phone_task):
+        run = simulate_regex_replace(phone_task)
+        assert run.perfect
+
+
+class TestSimulateAll:
+    def test_returns_all_three_systems(self, medical_task):
+        runs = simulate_all(medical_task)
+        assert set(runs) == {"CLX", "FlashFill", "RegexReplace"}
+        for name, run in runs.items():
+            assert run.system == name
+            assert run.task_id == medical_task.task_id
+
+    def test_outputs_length_matches_input(self, medical_task):
+        runs = simulate_all(medical_task)
+        for run in runs.values():
+            assert len(run.outputs) == medical_task.size

@@ -1,0 +1,47 @@
+"""Tests for the Step effort metric."""
+
+from __future__ import annotations
+
+from repro.simulation.steps import StepBreakdown, SystemRun
+
+
+class TestStepBreakdown:
+    def test_clx_steps(self):
+        steps = StepBreakdown(selections=1, repairs=2)
+        assert steps.specification == 3
+        assert steps.total == 3
+
+    def test_flashfill_steps(self):
+        steps = StepBreakdown(examples=4)
+        assert steps.total == 4
+
+    def test_regex_replace_rules_count_double(self):
+        steps = StepBreakdown(rules=3)
+        assert steps.specification == 6
+        assert steps.total == 6
+
+    def test_punishment_added_to_total(self):
+        steps = StepBreakdown(examples=2, punishment=5)
+        assert steps.specification == 2
+        assert steps.total == 7
+
+    def test_default_is_zero(self):
+        assert StepBreakdown().total == 0
+
+
+class TestSystemRun:
+    def test_as_row_flattens_fields(self):
+        run = SystemRun(
+            system="CLX",
+            task_id="t1",
+            steps=StepBreakdown(selections=1, repairs=1, punishment=2),
+            perfect=False,
+            interactions=3,
+        )
+        row = run.as_row()
+        assert row["system"] == "CLX"
+        assert row["steps"] == 4
+        assert row["specification"] == 2
+        assert row["punishment"] == 2
+        assert row["perfect"] is False
+        assert row["interactions"] == 3

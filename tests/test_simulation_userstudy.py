@@ -1,0 +1,89 @@
+"""Tests for the simulated user studies (Figures 11, 12, 14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.phone import phone_user_study_cases
+from repro.simulation.userstudy import (
+    run_scalability_study,
+    trace_clx,
+    trace_flashfill,
+    trace_regex_replace,
+    trace_task,
+)
+from repro.simulation.verification import UserCostModel
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_scalability_study()
+
+
+class TestTraces:
+    def test_trace_fields_consistent(self):
+        task = phone_user_study_cases()[0]
+        model = UserCostModel()
+        for tracer in (trace_clx, trace_flashfill, trace_regex_replace):
+            trace = tracer(task, model)
+            assert trace.total_seconds == pytest.approx(
+                trace.verification_seconds + trace.specification_seconds + trace.setup_seconds
+            )
+            assert trace.interactions == len(trace.timestamps)
+            assert trace.timestamps == sorted(trace.timestamps)
+            assert trace.perfect
+
+    def test_trace_task_returns_three_systems(self):
+        task = phone_user_study_cases()[0]
+        traces = trace_task(task)
+        assert set(traces) == {"CLX", "FlashFill", "RegexReplace"}
+
+
+class TestScalabilityStudy:
+    def test_three_cases_present(self, study):
+        assert set(study) == {"10(2)", "100(4)", "300(6)"}
+
+    def test_all_systems_complete_all_cases(self, study):
+        for traces in study.values():
+            for trace in traces.values():
+                assert trace.perfect
+
+    def test_clx_verification_growth_is_small(self, study):
+        """The headline claim: CLX verification time stays nearly flat."""
+        v10 = study["10(2)"]["CLX"].verification_seconds
+        v300 = study["300(6)"]["CLX"].verification_seconds
+        assert v300 / v10 < 3.0
+
+    def test_flashfill_verification_growth_is_large(self, study):
+        v10 = study["10(2)"]["FlashFill"].verification_seconds
+        v300 = study["300(6)"]["FlashFill"].verification_seconds
+        assert v300 / v10 > 8.0
+
+    def test_clx_grows_slower_than_flashfill(self, study):
+        clx_growth = (
+            study["300(6)"]["CLX"].total_seconds / study["10(2)"]["CLX"].total_seconds
+        )
+        ff_growth = (
+            study["300(6)"]["FlashFill"].total_seconds
+            / study["10(2)"]["FlashFill"].total_seconds
+        )
+        assert clx_growth < ff_growth
+
+    def test_regex_replace_is_most_expensive_on_small_data(self, study):
+        """Hand-writing regexes dominates on the 10-row case (Figure 11a)."""
+        traces = study["10(2)"]
+        assert traces["RegexReplace"].total_seconds > traces["CLX"].total_seconds
+        assert traces["RegexReplace"].total_seconds > traces["FlashFill"].total_seconds
+
+    def test_interaction_counts_are_single_digit(self, study):
+        """Figure 11b: every system needs only a handful of interactions."""
+        for traces in study.values():
+            for trace in traces.values():
+                assert 1 <= trace.interactions <= 10
+
+    def test_flashfill_interaction_gaps_grow_near_the_end(self, study):
+        """Figure 11c: FlashFill's later interactions take longer and longer."""
+        timestamps = study["300(6)"]["FlashFill"].timestamps
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        if len(gaps) >= 2:
+            assert gaps[-1] >= gaps[0]

@@ -1,0 +1,46 @@
+"""Tests for the verification/specification cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.verification import UserCostModel
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = UserCostModel()
+
+    def test_clx_verification_depends_on_patterns_not_rows(self):
+        small = self.model.clx_verification(pattern_count=2, branch_count=1)
+        large = self.model.clx_verification(pattern_count=6, branch_count=5)
+        assert small < large
+        # No row count appears anywhere in the CLX verification model.
+        assert large == 6 * self.model.pattern_read_seconds + 5 * self.model.replace_read_seconds
+
+    def test_flashfill_scan_grows_when_failures_get_rare(self):
+        many_failures = self.model.flashfill_scan(rows=300, remaining_failures=100)
+        few_failures = self.model.flashfill_scan(rows=300, remaining_failures=1)
+        assert few_failures > many_failures
+
+    def test_flashfill_final_pass_reads_everything(self):
+        assert self.model.flashfill_scan(rows=300, remaining_failures=0) == pytest.approx(
+            300 * self.model.row_scan_seconds
+        )
+
+    def test_flashfill_scan_scales_with_rows(self):
+        small = self.model.flashfill_scan(rows=10, remaining_failures=0)
+        large = self.model.flashfill_scan(rows=300, remaining_failures=0)
+        assert large == pytest.approx(30 * small)
+
+    def test_regex_specification_is_two_regexes(self):
+        assert self.model.regex_specification() == 2 * self.model.regex_write_seconds
+
+    def test_regex_scan_mirrors_flashfill(self):
+        assert self.model.regex_scan(100, 3) == self.model.flashfill_scan(100, 3)
+
+    def test_clx_specification(self):
+        assert self.model.clx_specification(repairs=0) == self.model.select_seconds
+        assert self.model.clx_specification(repairs=2) == (
+            self.model.select_seconds + 2 * self.model.repair_seconds
+        )

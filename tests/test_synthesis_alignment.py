@@ -1,0 +1,167 @@
+"""Tests for token alignment (Algorithm 3) and the alignment DAG."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.ast import ConstStr, Extract
+from repro.dsl.interpreter import apply_plan
+from repro.patterns.matching import match_pattern, pattern_of_string
+from repro.patterns.parse import parse_pattern
+from repro.synthesis.alignment import align_tokens
+from repro.synthesis.dag import AlignmentDAG
+from repro.synthesis.plans import enumerate_plans
+
+
+class TestAlignmentDAG:
+    def test_add_edge_bounds_checked(self):
+        dag = AlignmentDAG(target_length=3)
+        with pytest.raises(ValueError):
+            dag.add_edge(2, 2, Extract(1))
+        with pytest.raises(ValueError):
+            dag.add_edge(0, 4, Extract(1))
+
+    def test_duplicate_expressions_ignored(self):
+        dag = AlignmentDAG(target_length=1)
+        dag.add_edge(0, 1, Extract(1))
+        dag.add_edge(0, 1, Extract(1))
+        assert dag.expression_count == 1
+
+    def test_has_path_and_path_count(self):
+        dag = AlignmentDAG(target_length=2)
+        assert not dag.has_path()
+        dag.add_edge(0, 1, Extract(1))
+        assert not dag.has_path()
+        dag.add_edge(1, 2, Extract(2))
+        assert dag.has_path()
+        assert dag.path_count() == 1
+        dag.add_edge(0, 2, Extract(1, 2))
+        assert dag.path_count() == 2
+
+    def test_empty_target_has_trivial_path(self):
+        assert AlignmentDAG(target_length=0).has_path()
+
+
+class TestAlignTokensExample8:
+    """Figure 9: aligning ddd.ddd.dddd to (ddd) ddd-dddd."""
+
+    def setup_method(self):
+        self.source = parse_pattern("<D>3'.'<D>3'.'<D>4")
+        self.target = parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+        self.dag = align_tokens(self.source, self.target)
+
+    def test_digit_targets_align_to_digit_sources(self):
+        # Target token 2 (<D>3) can come from source tokens 1 or 3.
+        expressions = self.dag.expressions_on(1, 2)
+        assert Extract(1) in expressions
+        assert Extract(3) in expressions
+        assert Extract(5) not in expressions  # <D>4 is not similar to <D>3
+
+    def test_literal_targets_get_const_edges(self):
+        assert ConstStr("(") in self.dag.expressions_on(0, 1)
+        assert ConstStr("-") in self.dag.expressions_on(5, 6)
+
+    def test_final_digit_aligns_to_final_source_token(self):
+        assert self.dag.expressions_on(6, 7) == [Extract(5)]
+
+    def test_path_exists(self):
+        assert self.dag.has_path()
+
+
+class TestSequentialExtractCombination:
+    def test_figure_10_combination(self):
+        """Adjacent source tokens feeding adjacent target tokens combine."""
+        source = parse_pattern("<U><D>+")
+        target = parse_pattern("<U><D>+")
+        dag = align_tokens(source, target)
+        assert Extract(1, 2) in dag.expressions_on(0, 2)
+
+    def test_three_token_run_combines(self):
+        source = parse_pattern("<U>+'-'<D>+")
+        target = parse_pattern("<U>+'-'<D>+")
+        dag = align_tokens(source, target)
+        assert Extract(1, 3) in dag.expressions_on(0, 3)
+
+    def test_non_consecutive_sources_do_not_combine(self):
+        source = parse_pattern("<D>2'/'<D>2")
+        target = parse_pattern("<D>2<D>2")
+        dag = align_tokens(source, target)
+        # Extract(1) then Extract(3) are not consecutive in the source, so
+        # no combined Extract(1,3) edge may exist for the pair.
+        assert Extract(1, 3) not in dag.expressions_on(0, 2)
+
+
+class TestSoundness:
+    """Appendix A soundness: every enumerated plan transforms a matching
+    string into a string of the target pattern."""
+
+    CASES = [
+        ("734.236.3466", "'('<D>3')'' '<D>3'-'<D>4"),
+        ("CPT-00350", "'['<U>+'-'<D>+']'"),
+        ("[CPT-00340", "'['<U>+'-'<D>+']'"),
+        ("John Smith", "<U><L>+','' '<U>'.'"),
+    ]
+
+    @pytest.mark.parametrize("raw, target_notation", CASES)
+    def test_all_plans_produce_target_shaped_output(self, raw, target_notation):
+        source = pattern_of_string(raw)
+        target = parse_pattern(target_notation)
+        dag = align_tokens(source, target)
+        plans = enumerate_plans(dag, max_plans=500)
+        assert plans, "expected at least one plan"
+        token_texts = match_pattern(raw, source)
+        for plan in plans:
+            output = apply_plan(plan, token_texts)
+            assert match_pattern(output, target) is not None
+
+
+class TestCompleteness:
+    """Appendix A completeness: if a UniFi plan exists, alignment finds one.
+
+    We verify the constructive cases the paper uses: for every (source,
+    target) pair of the running examples, the enumeration contains a plan
+    producing the exact desired output.
+    """
+
+    CASES = [
+        ("734.236.3466", "(734) 236-3466"),
+        ("734-422-8073", "(734) 422-8073"),
+        ("CPT-00350", "[CPT-00350]"),
+        ("[CPT-00340", "[CPT-00340]"),
+        ("CPT115", "[CPT-115]"),
+        ("12/31/2017", "12/31"),
+    ]
+
+    @pytest.mark.parametrize("raw, desired", CASES)
+    def test_desired_output_is_reachable(self, raw, desired):
+        source = pattern_of_string(raw)
+        target = pattern_of_string(desired)
+        dag = align_tokens(source, target)
+        token_texts = match_pattern(raw, source)
+        outputs = set()
+        for plan in enumerate_plans(dag, max_plans=5000):
+            outputs.add(apply_plan(plan, token_texts))
+        assert desired in outputs
+
+
+ascii_word = st.text(
+    alphabet=st.characters(min_codepoint=48, max_codepoint=122), min_size=1, max_size=12
+)
+
+
+class TestAlignmentProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ascii_word)
+    def test_identity_transformation_always_possible(self, value):
+        """A string can always be 'transformed' into its own pattern."""
+        source = pattern_of_string(value)
+        dag = align_tokens(source, source)
+        assert dag.has_path()
+        token_texts = match_pattern(value, source)
+        outputs = {
+            apply_plan(plan, token_texts)
+            for plan in enumerate_plans(dag, max_plans=200)
+        }
+        assert value in outputs

@@ -1,0 +1,75 @@
+"""Tests for equivalent-plan detection and deduplication (Appendix B)."""
+
+from __future__ import annotations
+
+from repro.dsl.ast import AtomicPlan, ConstStr, Extract
+from repro.patterns.parse import parse_pattern
+from repro.synthesis.equivalence import deduplicate_plans, plans_equivalent
+
+
+SOURCE = parse_pattern("<D>2'/'<D>2")
+
+
+class TestPlansEquivalent:
+    def test_paper_appendix_b_example(self):
+        """Extract(3),Const('/'),Extract(1) == Extract(3),Extract(2),Extract(1)."""
+        first = AtomicPlan((Extract(3), ConstStr("/"), Extract(1)))
+        second = AtomicPlan((Extract(3), Extract(2), Extract(1)))
+        assert plans_equivalent(first, second, SOURCE)
+
+    def test_identical_plans_are_equivalent(self):
+        plan = AtomicPlan((Extract(1, 3),))
+        assert plans_equivalent(plan, plan, SOURCE)
+
+    def test_range_extract_equivalent_to_split_extracts(self):
+        combined = AtomicPlan((Extract(1, 3),))
+        split = AtomicPlan((Extract(1), Extract(2), Extract(3)))
+        assert plans_equivalent(combined, split, SOURCE)
+
+    def test_different_extractions_not_equivalent(self):
+        first = AtomicPlan((Extract(1),))
+        second = AtomicPlan((Extract(3),))
+        assert not plans_equivalent(first, second, SOURCE)
+
+    def test_const_differs_from_non_constant_extract(self):
+        # Extract(1) pulls a digit field, ConstStr('42') is a constant: the
+        # results differ on most strings, so the plans are not equivalent.
+        first = AtomicPlan((Extract(1),))
+        second = AtomicPlan((ConstStr("42"),))
+        assert not plans_equivalent(first, second, SOURCE)
+
+    def test_const_matching_literal_source_token_is_equivalent(self):
+        first = AtomicPlan((Extract(2),))
+        second = AtomicPlan((ConstStr("/"),))
+        assert plans_equivalent(first, second, SOURCE)
+
+    def test_different_lengths_not_equivalent(self):
+        first = AtomicPlan((Extract(1),))
+        second = AtomicPlan((Extract(1), ConstStr("x")))
+        assert not plans_equivalent(first, second, SOURCE)
+
+    def test_equivalence_is_symmetric(self):
+        first = AtomicPlan((Extract(3), ConstStr("/"), Extract(1)))
+        second = AtomicPlan((Extract(3), Extract(2), Extract(1)))
+        assert plans_equivalent(second, first, SOURCE)
+
+
+class TestDeduplicatePlans:
+    def test_keeps_first_representative(self):
+        plans = [
+            AtomicPlan((Extract(1, 3),)),
+            AtomicPlan((Extract(1), Extract(2), Extract(3))),
+            AtomicPlan((Extract(1), ConstStr("/"), Extract(3))),
+            AtomicPlan((Extract(3),)),
+        ]
+        deduped = deduplicate_plans(plans, SOURCE)
+        assert deduped[0] == plans[0]
+        assert AtomicPlan((Extract(3),)) in deduped
+        assert len(deduped) == 2
+
+    def test_no_duplicates_is_identity(self):
+        plans = [AtomicPlan((Extract(1),)), AtomicPlan((Extract(3),))]
+        assert deduplicate_plans(plans, SOURCE) == plans
+
+    def test_empty_input(self):
+        assert deduplicate_plans([], SOURCE) == []

@@ -1,0 +1,88 @@
+"""Tests for plan enumeration and MDL ranking (Section 6.3)."""
+
+from __future__ import annotations
+
+from repro.dsl.ast import AtomicPlan, ConstStr, Extract
+from repro.patterns.matching import pattern_of_string
+from repro.patterns.parse import parse_pattern
+from repro.synthesis.alignment import align_tokens
+from repro.synthesis.dag import AlignmentDAG
+from repro.synthesis.plans import enumerate_plans, monotonicity_violations, rank_plans
+
+
+class TestEnumeratePlans:
+    def test_empty_target_yields_empty_plan(self):
+        plans = enumerate_plans(AlignmentDAG(target_length=0))
+        assert plans == [AtomicPlan(())]
+
+    def test_no_path_yields_no_plans(self):
+        dag = AlignmentDAG(target_length=2)
+        dag.add_edge(0, 1, Extract(1))
+        assert enumerate_plans(dag) == []
+
+    def test_all_edge_combinations_enumerated(self):
+        dag = AlignmentDAG(target_length=2)
+        dag.add_edge(0, 1, Extract(1))
+        dag.add_edge(0, 1, Extract(3))
+        dag.add_edge(1, 2, ConstStr("-"))
+        plans = enumerate_plans(dag)
+        assert len(plans) == 2
+        assert AtomicPlan((Extract(1), ConstStr("-"))) in plans
+        assert AtomicPlan((Extract(3), ConstStr("-"))) in plans
+
+    def test_max_plans_cap_respected(self):
+        source = pattern_of_string("a.b.c.d.e.f")
+        dag = align_tokens(source, source)
+        assert len(enumerate_plans(dag, max_plans=10)) <= 10
+
+    def test_plans_are_distinct(self):
+        source = parse_pattern("<D>3'.'<D>3'.'<D>4")
+        target = parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+        plans = enumerate_plans(align_tokens(source, target))
+        assert len(plans) == len(set(plans))
+
+
+class TestMonotonicityViolations:
+    def test_in_order_extracts_have_none(self):
+        plan = AtomicPlan((Extract(1), ConstStr("-"), Extract(3), Extract(5)))
+        assert monotonicity_violations(plan) == 0
+
+    def test_reuse_counts(self):
+        plan = AtomicPlan((Extract(1), Extract(1)))
+        assert monotonicity_violations(plan) == 1
+
+    def test_backwards_counts(self):
+        plan = AtomicPlan((Extract(3), Extract(1)))
+        assert monotonicity_violations(plan) == 1
+
+    def test_const_only_plan_has_none(self):
+        assert monotonicity_violations(AtomicPlan((ConstStr("a"), ConstStr("b")))) == 0
+
+
+class TestRankPlans:
+    def test_simplest_plan_first_paper_example_9(self):
+        source = parse_pattern("<D>2'/'<D>2'/'<D>4")
+        target = parse_pattern("<D>2'/'<D>2")
+        ranked = rank_plans(enumerate_plans(align_tokens(source, target)), source)
+        assert ranked[0] == AtomicPlan((Extract(1, 3),))
+
+    def test_order_preserving_tiebreak(self):
+        """With equal MDL, the left-to-right non-reusing plan wins."""
+        source = parse_pattern("<D>3'.'<D>3'.'<D>4")
+        target = parse_pattern("<D>3'-'<D>3'-'<D>4")
+        ranked = rank_plans(enumerate_plans(align_tokens(source, target)), source)
+        best = ranked[0]
+        extracts = [e for e in best.expressions if isinstance(e, Extract)]
+        assert [e.start for e in extracts] == [1, 3, 5]
+
+    def test_ranking_is_deterministic(self):
+        source = parse_pattern("<D>3'.'<D>3'.'<D>4")
+        target = parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+        plans = enumerate_plans(align_tokens(source, target))
+        assert rank_plans(plans, source) == rank_plans(list(reversed(plans)), source)
+
+    def test_ranking_preserves_plan_multiset(self):
+        source = parse_pattern("<D>2'/'<D>2")
+        plans = enumerate_plans(align_tokens(source, source))
+        ranked = rank_plans(plans, source)
+        assert sorted(map(str, ranked)) == sorted(map(str, plans))

@@ -1,0 +1,69 @@
+"""Tests for source-candidate validation (Section 6.1)."""
+
+from __future__ import annotations
+
+from repro.patterns.parse import parse_pattern
+from repro.synthesis.validate import supply_frequency, token_frequency, validate_source
+from repro.tokens.classes import TokenClass
+
+
+class TestTokenFrequency:
+    def test_matches_pattern_frequency(self):
+        pattern = parse_pattern("<D>3'-'<D>4")
+        assert token_frequency(pattern, TokenClass.DIGIT) == 7
+
+    def test_plus_counts_as_one(self):
+        assert token_frequency(parse_pattern("<U>+"), TokenClass.UPPER) == 1
+
+
+class TestSupplyFrequency:
+    def test_literal_characters_supply_their_classes(self):
+        pattern = parse_pattern("'CPT''-'<D>5")
+        assert supply_frequency(pattern, TokenClass.UPPER) == 3
+        assert supply_frequency(pattern, TokenClass.ALPHA) == 3
+        assert supply_frequency(pattern, TokenClass.DIGIT) == 5
+
+    def test_base_tokens_still_counted(self):
+        pattern = parse_pattern("<U>2'x'")
+        assert supply_frequency(pattern, TokenClass.UPPER) == 2
+        assert supply_frequency(pattern, TokenClass.LOWER) == 1
+
+
+class TestValidateSource:
+    def test_paper_example_7_accepts(self):
+        """'[CPT-00350' style pattern is a valid source for '[<U>+-<D>+]'."""
+        target = parse_pattern("'['<U>+'-'<D>+']'")
+        source = parse_pattern("'['<U>3'-'<D>5")
+        assert validate_source(source, target)
+
+    def test_paper_example_7_rejects(self):
+        """'[CPT-' has no digits, so it cannot be a source."""
+        target = parse_pattern("'['<U>+'-'<D>+']'")
+        source = parse_pattern("'['<U>3'-'")
+        assert not validate_source(source, target)
+
+    def test_noise_value_rejected(self, phone_target):
+        assert not validate_source(parse_pattern("<U>'/'<U>"), phone_target)
+
+    def test_phone_formats_accepted(self, phone_target):
+        for notation in (
+            "'('<D>3')'' '<D>3'-'<D>4",
+            "<D>3'.'<D>3'.'<D>4",
+            "<D>10",
+        ):
+            assert validate_source(parse_pattern(notation), phone_target)
+
+    def test_too_general_pattern_rejected(self):
+        """<AN>+ patterns cannot prove they supply the needed classes."""
+        target = parse_pattern("<U><L>+':'<D>+")
+        source = parse_pattern("<AN>+','<AN>+")
+        assert not validate_source(source, target)
+
+    def test_source_equal_to_target_is_valid(self, phone_target):
+        assert validate_source(phone_target, phone_target)
+
+    def test_validation_not_symmetric(self):
+        rich = parse_pattern("<D>5<U>3")
+        poor = parse_pattern("<D>2")
+        assert validate_source(rich, poor)
+        assert not validate_source(poor, rich)

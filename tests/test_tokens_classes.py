@@ -1,0 +1,128 @@
+"""Tests for repro.tokens.classes (Table 2 token classes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tokens.classes import (
+    ALL_BASE_CLASSES,
+    GENERALIZATION_ORDER,
+    TokenClass,
+    most_precise_class,
+)
+
+
+class TestTokenClassMembership:
+    def test_digit_accepts_digits_only(self):
+        assert TokenClass.DIGIT.accepts_char("5")
+        assert not TokenClass.DIGIT.accepts_char("a")
+        assert not TokenClass.DIGIT.accepts_char("-")
+
+    def test_lower_accepts_lowercase_only(self):
+        assert TokenClass.LOWER.accepts_char("x")
+        assert not TokenClass.LOWER.accepts_char("X")
+        assert not TokenClass.LOWER.accepts_char("3")
+
+    def test_upper_accepts_uppercase_only(self):
+        assert TokenClass.UPPER.accepts_char("Q")
+        assert not TokenClass.UPPER.accepts_char("q")
+
+    def test_alpha_accepts_both_cases(self):
+        assert TokenClass.ALPHA.accepts_char("a")
+        assert TokenClass.ALPHA.accepts_char("Z")
+        assert not TokenClass.ALPHA.accepts_char("7")
+
+    def test_alnum_accepts_table2_character_class(self):
+        # Table 2: [a-zA-Z0-9_-]
+        for char in "aZ9_-":
+            assert TokenClass.ALNUM.accepts_char(char)
+        assert not TokenClass.ALNUM.accepts_char(" ")
+        assert not TokenClass.ALNUM.accepts_char(".")
+
+    def test_literal_accepts_nothing_by_class(self):
+        assert not TokenClass.LITERAL.accepts_char("a")
+
+    def test_non_ascii_characters_rejected(self):
+        assert not TokenClass.LOWER.accepts_char("é")
+        assert not TokenClass.DIGIT.accepts_char("٣")  # Arabic-Indic digit
+
+
+class TestNotationAndRegex:
+    @pytest.mark.parametrize(
+        "klass, notation",
+        [
+            (TokenClass.DIGIT, "<D>"),
+            (TokenClass.LOWER, "<L>"),
+            (TokenClass.UPPER, "<U>"),
+            (TokenClass.ALPHA, "<A>"),
+            (TokenClass.ALNUM, "<AN>"),
+        ],
+    )
+    def test_notation_matches_paper(self, klass, notation):
+        assert klass.notation == notation
+
+    @pytest.mark.parametrize(
+        "klass, regex",
+        [
+            (TokenClass.DIGIT, "[0-9]"),
+            (TokenClass.LOWER, "[a-z]"),
+            (TokenClass.UPPER, "[A-Z]"),
+            (TokenClass.ALPHA, "[a-zA-Z]"),
+            (TokenClass.ALNUM, "[a-zA-Z0-9_-]"),
+        ],
+    )
+    def test_char_regex_matches_table2(self, klass, regex):
+        assert klass.char_regex == regex
+
+    def test_base_classes_are_base(self):
+        for klass in ALL_BASE_CLASSES:
+            assert klass.is_base
+        assert not TokenClass.LITERAL.is_base
+
+
+class TestGeneralization:
+    def test_every_class_generalizes_itself(self):
+        for klass in ALL_BASE_CLASSES:
+            assert klass.generalizes(klass)
+
+    def test_alpha_generalizes_lower_and_upper(self):
+        assert TokenClass.ALPHA.generalizes(TokenClass.LOWER)
+        assert TokenClass.ALPHA.generalizes(TokenClass.UPPER)
+        assert not TokenClass.ALPHA.generalizes(TokenClass.DIGIT)
+
+    def test_alnum_generalizes_everything_alphanumeric(self):
+        for klass in (TokenClass.LOWER, TokenClass.UPPER, TokenClass.ALPHA, TokenClass.DIGIT):
+            assert TokenClass.ALNUM.generalizes(klass)
+
+    def test_lower_does_not_generalize_alpha(self):
+        assert not TokenClass.LOWER.generalizes(TokenClass.ALPHA)
+
+    def test_generalization_order_targets(self):
+        assert GENERALIZATION_ORDER[TokenClass.LOWER] is TokenClass.ALPHA
+        assert GENERALIZATION_ORDER[TokenClass.UPPER] is TokenClass.ALPHA
+        assert GENERALIZATION_ORDER[TokenClass.ALPHA] is TokenClass.ALNUM
+        assert GENERALIZATION_ORDER[TokenClass.DIGIT] is TokenClass.ALNUM
+
+
+class TestMostPreciseClass:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("123", TokenClass.DIGIT),
+            ("cat", TokenClass.LOWER),
+            ("IBM", TokenClass.UPPER),
+            ("Excel", TokenClass.ALPHA),
+            ("Excel2013", TokenClass.ALNUM),
+            ("a-b", TokenClass.ALNUM),
+        ],
+    )
+    def test_examples_from_table2(self, text, expected):
+        assert most_precise_class(text) is expected
+
+    def test_empty_string_raises(self):
+        with pytest.raises(ValueError):
+            most_precise_class("")
+
+    def test_uncoverable_text_raises(self):
+        with pytest.raises(ValueError):
+            most_precise_class("a b")

@@ -1,0 +1,82 @@
+"""Tests for constant-token discovery ("Find Constant Tokens", Section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tokens.constants import (
+    constant_positions,
+    discover_constant_tokens,
+    promote_constants,
+)
+from repro.tokens.tokenizer import tokenize, tokenize_all
+
+
+def _cluster(values):
+    return values, tokenize_all(values)
+
+
+class TestDiscovery:
+    def test_shared_prefix_is_promoted(self):
+        values, tokenizations = _cluster(
+            ["Dr. Adams", "Dr. Brown", "Dr. Clark", "Dr. Davis"]
+        )
+        constants = discover_constant_tokens(values, tokenizations)
+        # 'D' and 'r' positions are constant; the varying surname is not.
+        assert 0 in constants and constants[0] == "D"
+        assert 1 in constants and constants[1] == "r"
+        assert max(constants) < 4  # surname tokens not promoted
+
+    def test_digit_values_never_promoted(self):
+        values, tokenizations = _cluster(["734-111", "734-222", "734-333"])
+        constants = discover_constant_tokens(values, tokenizations)
+        assert constants == {}
+
+    def test_small_clusters_not_promoted(self):
+        values, tokenizations = _cluster(["Dr. Adams", "Dr. Brown"])
+        assert discover_constant_tokens(values, tokenizations, min_rows=3) == {}
+
+    def test_threshold_controls_promotion(self):
+        values, tokenizations = _cluster(
+            ["Mr. Adams", "Mr. Brown", "Mr. Clark", "Ms. Davis"]
+        )
+        strict = discover_constant_tokens(values, tokenizations, threshold=1.0)
+        lenient = discover_constant_tokens(values, tokenizations, threshold=0.7)
+        assert 1 not in strict  # 'r' vs 's' varies
+        assert 1 in lenient
+
+    def test_empty_input(self):
+        assert discover_constant_tokens([], []) == {}
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            discover_constant_tokens(["abc", "abd", "abe"], [tokenize("abc")])
+
+    def test_invalid_threshold_raises(self):
+        values, tokenizations = _cluster(["abc", "abd", "abe"])
+        with pytest.raises(ValueError):
+            discover_constant_tokens(values, tokenizations, threshold=0.0)
+
+    def test_inconsistent_tokenization_length_raises(self):
+        with pytest.raises(ValueError):
+            discover_constant_tokens(
+                ["ab", "a-b", "xy"], [tokenize("ab"), tokenize("a-b"), tokenize("xy")]
+            )
+
+
+class TestPromotion:
+    def test_promote_constants_replaces_positions(self):
+        tokens = tokenize("Dr. Adams")
+        promoted = promote_constants(tokens, {0: "D", 1: "r"})
+        assert promoted[0].is_literal and promoted[0].literal == "D"
+        assert promoted[1].is_literal and promoted[1].literal == "r"
+        assert not promoted[4].is_literal
+
+    def test_promote_constants_ignores_existing_literals(self):
+        tokens = tokenize("a-b")
+        promoted = promote_constants(tokens, {1: "-"})
+        assert promoted == tokens
+
+    def test_constant_positions_helper(self):
+        tokens = tokenize("a-b")
+        assert constant_positions(tokens) == (1,)

@@ -1,0 +1,127 @@
+"""Tests for the Token value object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tokens.classes import TokenClass
+from repro.tokens.token import PLUS, Token
+
+
+class TestConstruction:
+    def test_base_token(self):
+        token = Token.base(TokenClass.DIGIT, 3)
+        assert token.klass is TokenClass.DIGIT
+        assert token.quantifier == 3
+        assert not token.is_literal
+
+    def test_plus_token(self):
+        token = Token.base(TokenClass.LOWER, PLUS)
+        assert token.is_plus
+        assert token.fixed_length is None
+
+    def test_literal_token(self):
+        token = Token.lit("-")
+        assert token.is_literal
+        assert token.literal == "-"
+        assert token.fixed_length == 1
+
+    def test_literal_requires_text(self):
+        with pytest.raises(ValueError):
+            Token.lit("")
+
+    def test_base_rejects_zero_quantifier(self):
+        with pytest.raises(ValueError):
+            Token.base(TokenClass.DIGIT, 0)
+
+    def test_base_rejects_negative_quantifier(self):
+        with pytest.raises(ValueError):
+            Token.base(TokenClass.DIGIT, -2)
+
+    def test_base_constructor_rejects_literal_class(self):
+        with pytest.raises(ValueError):
+            Token.base(TokenClass.LITERAL, 1)
+
+    def test_base_token_must_not_carry_literal(self):
+        with pytest.raises(ValueError):
+            Token(klass=TokenClass.DIGIT, quantifier=1, literal="5")
+
+    def test_tokens_are_hashable_and_equal_by_value(self):
+        assert Token.base(TokenClass.DIGIT, 3) == Token.base(TokenClass.DIGIT, 3)
+        assert hash(Token.lit("-")) == hash(Token.lit("-"))
+
+
+class TestMatchesText:
+    def test_exact_quantifier(self):
+        assert Token.base(TokenClass.DIGIT, 3).matches_text("123")
+        assert not Token.base(TokenClass.DIGIT, 3).matches_text("12")
+        assert not Token.base(TokenClass.DIGIT, 3).matches_text("12a")
+
+    def test_plus_quantifier(self):
+        token = Token.base(TokenClass.LOWER, PLUS)
+        assert token.matches_text("a")
+        assert token.matches_text("abcdef")
+        assert not token.matches_text("")
+        assert not token.matches_text("aB")
+
+    def test_literal_matches_only_its_text(self):
+        token = Token.lit("Dr.")
+        assert token.matches_text("Dr.")
+        assert not token.matches_text("Dr")
+
+
+class TestSyntacticSimilarity:
+    """Definition 6.1 plus the literal/base extension."""
+
+    def test_same_class_same_quantifier(self):
+        assert Token.base(TokenClass.DIGIT, 3).syntactically_similar(
+            Token.base(TokenClass.DIGIT, 3)
+        )
+
+    def test_same_class_different_quantifier(self):
+        assert not Token.base(TokenClass.DIGIT, 3).syntactically_similar(
+            Token.base(TokenClass.DIGIT, 4)
+        )
+
+    def test_plus_is_compatible_with_any_count(self):
+        assert Token.base(TokenClass.DIGIT, PLUS).syntactically_similar(
+            Token.base(TokenClass.DIGIT, 7)
+        )
+        assert Token.base(TokenClass.DIGIT, 7).syntactically_similar(
+            Token.base(TokenClass.DIGIT, PLUS)
+        )
+
+    def test_different_classes_are_not_similar(self):
+        assert not Token.base(TokenClass.DIGIT, 3).syntactically_similar(
+            Token.base(TokenClass.UPPER, 3)
+        )
+
+    def test_literals_similar_only_when_equal(self):
+        assert Token.lit("-").syntactically_similar(Token.lit("-"))
+        assert not Token.lit("-").syntactically_similar(Token.lit("."))
+
+    def test_literal_similar_to_compatible_base(self):
+        # 'CPT' can be extracted into <U>3 or <U>+.
+        assert Token.lit("CPT").syntactically_similar(Token.base(TokenClass.UPPER, 3))
+        assert Token.lit("CPT").syntactically_similar(Token.base(TokenClass.UPPER, PLUS))
+        assert not Token.lit("CPT").syntactically_similar(Token.base(TokenClass.UPPER, 4))
+        assert not Token.lit("CPT").syntactically_similar(Token.base(TokenClass.DIGIT, 3))
+
+    def test_similarity_is_symmetric(self):
+        base = Token.base(TokenClass.UPPER, 3)
+        lit = Token.lit("CPT")
+        assert base.syntactically_similar(lit) == lit.syntactically_similar(base)
+
+
+class TestRendering:
+    def test_regex_fragments(self):
+        assert Token.base(TokenClass.DIGIT, 3).to_regex() == "[0-9]{3}"
+        assert Token.base(TokenClass.DIGIT, 1).to_regex() == "[0-9]"
+        assert Token.base(TokenClass.LOWER, PLUS).to_regex() == "[a-z]+"
+        assert Token.lit(".").to_regex() == "\\."
+
+    def test_notation(self):
+        assert Token.base(TokenClass.DIGIT, 3).notation() == "<D>3"
+        assert Token.base(TokenClass.DIGIT, 1).notation() == "<D>"
+        assert Token.base(TokenClass.ALNUM, PLUS).notation() == "<AN>+"
+        assert Token.lit(":").notation() == "':'"

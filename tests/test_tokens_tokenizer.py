@@ -1,0 +1,110 @@
+"""Tests for the tokenizer (Section 4.1 rules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tokens.classes import TokenClass
+from repro.tokens.token import Token
+from repro.tokens.tokenizer import detokenize_lengths, split_by_tokens, tokenize, tokenize_all
+
+
+class TestTokenizeExamples:
+    def test_paper_example_3(self):
+        """'Bob123@gmail.com' -> [<U>, <L>2, <D>3, '@', <L>5, '.', <L>3]."""
+        tokens = tokenize("Bob123@gmail.com")
+        assert [t.notation() for t in tokens] == [
+            "<U>", "<L>2", "<D>3", "'@'", "<L>5", "'.'", "<L>3",
+        ]
+
+    def test_phone_number(self):
+        tokens = tokenize("(734) 645-8397")
+        assert [t.notation() for t in tokens] == [
+            "'('", "<D>3", "')'", "' '", "<D>3", "'-'", "<D>4",
+        ]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_single_punctuation_characters_are_individual_literals(self):
+        tokens = tokenize("--")
+        assert len(tokens) == 2
+        assert all(t.is_literal and t.literal == "-" for t in tokens)
+
+    def test_most_precise_class_is_chosen(self):
+        tokens = tokenize("cat")
+        assert tokens == [Token.base(TokenClass.LOWER, 3)]
+
+    def test_case_change_splits_runs(self):
+        tokens = tokenize("McMillan")
+        assert [t.notation() for t in tokens] == ["<U>", "<L>", "<U>", "<L>5"]
+
+    def test_quantifiers_are_natural_numbers(self):
+        for token in tokenize("abc123XYZ"):
+            assert isinstance(token.quantifier, int)
+
+    def test_unicode_characters_become_literals(self):
+        tokens = tokenize("naïve")
+        assert any(t.is_literal and t.literal == "ï" for t in tokens)
+
+    def test_tokenize_all(self):
+        results = tokenize_all(["a1", "b2"])
+        assert len(results) == 2
+        assert [t.notation() for t in results[0]] == ["<L>", "<D>"]
+
+
+class TestSplitByTokens:
+    def test_roundtrip(self):
+        value = "Bob123@gmail.com"
+        tokens = tokenize(value)
+        pieces = split_by_tokens(value, tokens)
+        assert "".join(pieces) == value
+        assert pieces == ["Bob"[:1], "ob", "123", "@", "gmail", ".", "com"]
+
+    def test_mismatched_length_raises(self):
+        with pytest.raises(ValueError):
+            split_by_tokens("abc", tokenize("abcd"))
+
+    def test_detokenize_lengths_rejects_plus(self):
+        from repro.tokens.token import PLUS
+
+        with pytest.raises(ValueError):
+            detokenize_lengths([Token.base(TokenClass.DIGIT, PLUS)])
+
+
+# A printable-ASCII alphabet that keeps hypothesis inputs in the domain the
+# tokenizer is designed for (the paper's data is ASCII).
+ascii_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40
+)
+
+
+class TestTokenizerProperties:
+    @given(ascii_text)
+    def test_tokens_cover_the_string_exactly(self, value):
+        tokens = tokenize(value)
+        assert sum(t.fixed_length for t in tokens) == len(value)
+
+    @given(ascii_text)
+    def test_split_reconstructs_the_string(self, value):
+        tokens = tokenize(value)
+        assert "".join(split_by_tokens(value, tokens)) == value
+
+    @given(ascii_text)
+    def test_each_token_matches_its_own_piece(self, value):
+        tokens = tokenize(value)
+        for token, piece in zip(tokens, split_by_tokens(value, tokens)):
+            assert token.matches_text(piece)
+
+    @given(ascii_text)
+    def test_adjacent_base_tokens_never_share_a_class(self, value):
+        tokens = tokenize(value)
+        for left, right in zip(tokens, tokens[1:]):
+            if not left.is_literal and not right.is_literal:
+                assert left.klass is not right.klass
+
+    @given(ascii_text)
+    def test_tokenization_is_deterministic(self, value):
+        assert tokenize(value) == tokenize(value)

@@ -1,0 +1,87 @@
+"""Tests for the shared utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.errors import CLXError, PatternParseError, SynthesisError, TransformError, ValidationError
+from repro.util.rand import DEFAULT_SEED, digits, letters, make_rng, weighted_choice
+from repro.util.text import common_prefix_length, format_table, truncate
+from repro.util.timing import Stopwatch
+
+
+class TestErrors:
+    def test_all_errors_derive_from_clxerror(self):
+        for error in (PatternParseError, SynthesisError, TransformError, ValidationError):
+            assert issubclass(error, CLXError)
+
+    def test_parse_error_keeps_source(self):
+        error = PatternParseError("bad", source="<X>")
+        assert error.source == "<X>"
+
+
+class TestRand:
+    def test_default_seed_is_stable(self):
+        assert make_rng().random() == make_rng(DEFAULT_SEED).random()
+
+    def test_explicit_seed(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_digits_and_letters(self):
+        rng = make_rng(1)
+        assert len(digits(rng, 6)) == 6
+        assert digits(make_rng(1), 6).isdigit()
+        assert letters(make_rng(1), 4).islower()
+        assert letters(make_rng(1), 4, upper=True).isupper()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            digits(make_rng(1), -1)
+        with pytest.raises(ValueError):
+            letters(make_rng(1), -1)
+
+    def test_weighted_choice_validations(self):
+        rng = make_rng(1)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        assert weighted_choice(rng, ["a"], [1.0]) == "a"
+
+
+class TestText:
+    def test_truncate(self):
+        assert truncate("short", 10) == "short"
+        assert truncate("a" * 50, 10).endswith("…")
+        assert len(truncate("a" * 50, 10)) == 10
+        with pytest.raises(ValueError):
+            truncate("x", 0)
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a  ")
+
+    def test_common_prefix_length(self):
+        assert common_prefix_length("abcd", "abxy") == 2
+        assert common_prefix_length("", "x") == 0
+        assert common_prefix_length("same", "same") == 4
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("work"):
+            pass
+        with watch.measure("work"):
+            pass
+        assert watch.count("work") == 2
+        assert watch.total("work") >= 0.0
+        assert watch.mean("work") >= 0.0
+
+    def test_unknown_name_is_zero(self):
+        watch = Stopwatch()
+        assert watch.total("nothing") == 0.0
+        assert watch.mean("nothing") == 0.0
+        assert watch.count("nothing") == 0
