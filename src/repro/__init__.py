@@ -9,7 +9,10 @@ al., 2019) together with every substrate its evaluation depends on:
   explanation into regexp Replace operations (Section 5);
 * ``repro.synthesis`` — source validation, token alignment, plan
   enumeration/ranking and program repair (Section 6);
-* ``repro.core`` — the :class:`CLXSession` end-to-end API;
+* ``repro.core`` — the :class:`CLXSession` interactive API;
+* ``repro.engine`` — the stateless execution layer:
+  :class:`CompiledProgram` (serializable compile-once artifacts) and
+  :class:`TransformEngine` (batch/streaming/table apply);
 * ``repro.baselines`` — the FlashFill-style PBE baseline and the
   RegexReplace baseline used in the evaluation (Section 7);
 * ``repro.simulation`` — simulated users, the Step effort metric, and the
@@ -32,18 +35,21 @@ from repro.dsl import (
     AtomicPlan,
     Branch,
     ConstStr,
+    ContainsGuard,
     Extract,
     ReplaceOperation,
     UniFiProgram,
     apply_program,
     explain_program,
 )
+from repro.engine import CompiledProgram, TransformEngine, compile_program
 from repro.patterns import Pattern, parse_pattern, pattern_of_string
 from repro.synthesis import SynthesisResult, Synthesizer, synthesize
 from repro.tokens import Token, TokenClass, tokenize
 from repro.util.errors import (
     CLXError,
     PatternParseError,
+    SerializationError,
     SynthesisError,
     TransformError,
     ValidationError,
@@ -56,24 +62,29 @@ __all__ = [
     "Branch",
     "CLXError",
     "CLXSession",
+    "CompiledProgram",
     "ConstStr",
+    "ContainsGuard",
     "Extract",
     "Pattern",
     "PatternHierarchy",
     "PatternParseError",
     "PatternProfiler",
     "ReplaceOperation",
+    "SerializationError",
     "SynthesisError",
     "SynthesisResult",
     "Synthesizer",
     "Token",
     "TokenClass",
+    "TransformEngine",
     "TransformError",
     "TransformReport",
     "UniFiProgram",
     "ValidationError",
     "__version__",
     "apply_program",
+    "compile_program",
     "explain_program",
     "parse_pattern",
     "pattern_of_string",

@@ -10,6 +10,14 @@ library can be used without writing Python:
     Synthesize a program for the column, print the explained Replace
     operations, and write the transformed CSV (stdout or ``--output``).
 
+``repro-clx compile data.csv --column phone --target-example "734-422-8073" --output phone.clx.json``
+    Synthesize a program and save it as a serializable ``.clx.json``
+    artifact instead of transforming anything — the compile-once half.
+
+``repro-clx apply phone.clx.json other.csv --column phone``
+    Stream any CSV through a saved artifact without re-profiling or
+    re-synthesizing — the apply-anywhere half.
+
 ``repro-clx suite``
     Print the statistics of the bundled 47-task benchmark suite (Table 6).
 
@@ -23,12 +31,23 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+from collections import deque
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Deque, Iterator, List, Optional, Sequence
 
 from repro.core.session import CLXSession
+from repro.engine.executor import TransformEngine
 from repro.util.errors import CLXError
 from repro.util.text import format_table
+
+
+def _resolve_column(header: List[str], column: str) -> str:
+    """Resolve a column given by name or zero-based index against the header."""
+    if column in header:
+        return column
+    if column.isdigit() and int(column) < len(header):
+        return header[int(column)]
+    raise CLXError(f"column {column!r} not found; available: {', '.join(header)}")
 
 
 def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], List[str], str]:
@@ -39,13 +58,7 @@ def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], L
             raise CLXError(f"{path} has no header row")
         header = list(reader.fieldnames)
         rows = list(reader)
-    if column in header:
-        resolved = column
-    elif column.isdigit() and int(column) < len(header):
-        resolved = header[int(column)]
-    else:
-        raise CLXError(f"column {column!r} not found; available: {', '.join(header)}")
-    return rows, header, resolved
+    return rows, header, _resolve_column(header, column)
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -60,17 +73,36 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_transform(args: argparse.Namespace) -> int:
-    rows, header, column = _read_column(Path(args.csv), args.column, args.delimiter)
-    values = [row[column] or "" for row in rows]
-    session = CLXSession(values)
+def _resolve_output_column(header: List[str], column: str, requested: Optional[str]) -> str:
+    """Pick the added column's name, refusing collisions with the header."""
+    output_column = requested or f"{column}_transformed"
+    if output_column in header:
+        raise CLXError(
+            f"output column {output_column!r} already exists in the CSV header; "
+            "pick a different --output-column"
+        )
+    return output_column
 
+
+def _labelled_session(args: argparse.Namespace, values: List[str]) -> Optional[CLXSession]:
+    """Build a session and label its target from the CLI flags (None = usage error)."""
+    session = CLXSession(values)
     if args.target_pattern:
         session.label_target_from_notation(args.target_pattern)
     elif args.target_example:
         session.label_target_from_string(args.target_example, generalize=args.generalize)
     else:
         print("error: provide --target-pattern or --target-example", file=sys.stderr)
+        return None
+    return session
+
+
+def _command_transform(args: argparse.Namespace) -> int:
+    rows, header, column = _read_column(Path(args.csv), args.column, args.delimiter)
+    output_column = _resolve_output_column(header, column, args.output_column)
+    values = [row[column] or "" for row in rows]
+    session = _labelled_session(args, values)
+    if session is None:
         return 2
 
     report = session.transform()
@@ -83,7 +115,6 @@ def _command_transform(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
 
-    output_column = args.output_column or f"{column}_transformed"
     out_header = header + [output_column]
     destination = Path(args.output) if args.output else None
     handle = destination.open("w", newline="", encoding="utf-8") if destination else sys.stdout
@@ -98,6 +129,95 @@ def _command_transform(args: argparse.Namespace) -> int:
         if destination:
             handle.close()
     return 0 if report.flagged_count == 0 else 1
+
+
+def _command_compile(args: argparse.Namespace) -> int:
+    rows, _header, column = _read_column(Path(args.csv), args.column, args.delimiter)
+    values = [row[column] or "" for row in rows]
+    session = _labelled_session(args, values)
+    if session is None:
+        return 2
+
+    compiled = session.compile(
+        metadata={
+            "column": column,
+            "source_csv": Path(args.csv).name,
+            "source_rows": len(values),
+        }
+    )
+    print("Synthesized Replace operations:", file=sys.stderr)
+    for operation in session.explain():
+        print(f"  {operation}", file=sys.stderr)
+
+    text = compiled.dumps(indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(
+            f"wrote {len(compiled)}-branch program for target "
+            f"{compiled.target.notation()} to {args.output}",
+            file=sys.stderr,
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _command_apply(args: argparse.Namespace) -> int:
+    engine = TransformEngine.loads(Path(args.program).read_text(encoding="utf-8"))
+    column = args.column or engine.compiled.metadata.get("column")
+    if not column:
+        raise CLXError("the artifact records no source column; provide --column")
+
+    source = Path(args.csv)
+    destination = Path(args.output) if args.output else None
+    flagged = 0
+    total = 0
+    with source.open(newline="", encoding="utf-8") as in_handle:
+        reader = csv.DictReader(in_handle, delimiter=args.delimiter)
+        if reader.fieldnames is None:
+            raise CLXError(f"{source} has no header row")
+        header = list(reader.fieldnames)
+        column = _resolve_column(header, column)
+        if args.in_place:
+            output_column = column
+            out_header = header
+        else:
+            output_column = _resolve_output_column(header, column, args.output_column)
+            out_header = header + [output_column]
+
+        out_handle = (
+            destination.open("w", newline="", encoding="utf-8") if destination else sys.stdout
+        )
+        try:
+            writer = csv.DictWriter(out_handle, fieldnames=out_header, delimiter=args.delimiter)
+            writer.writeheader()
+            # Stream row by row: tee the reader into (row, value) pairs and
+            # let run_iter pull values in chunks so only ``--chunk-size``
+            # rows are ever buffered.
+            pending: Deque[dict] = deque()
+
+            def _values() -> Iterator[str]:
+                for row in reader:
+                    pending.append(row)
+                    yield row[column] or ""
+
+            for outcome in engine.run_iter(_values(), chunk_size=args.chunk_size):
+                row = pending.popleft()
+                row[output_column] = outcome.output
+                writer.writerow(row)
+                total += 1
+                if not outcome.matched:
+                    flagged += 1
+        finally:
+            if destination:
+                out_handle.close()
+
+    print(
+        f"applied {len(engine.compiled)}-branch program to {total} rows; "
+        f"{flagged} flagged for review",
+        file=sys.stderr,
+    )
+    return 0 if flagged == 0 else 1
 
 
 def _command_suite(args: argparse.Namespace) -> int:
@@ -151,6 +271,57 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument("--output", help="write the transformed CSV here instead of stdout")
     transform.add_argument("--output-column", help="name of the added column (default <column>_transformed)")
     transform.set_defaults(handler=_command_transform)
+
+    compile_cmd = subparsers.add_parser(
+        "compile",
+        help="synthesize a program and save it as a .clx.json artifact",
+    )
+    compile_cmd.add_argument("csv", help="input CSV file (with a header row)")
+    compile_cmd.add_argument("--column", required=True, help="column name or zero-based index")
+    compile_cmd.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    compile_cmd.add_argument("--target-example", help="a value already in the desired format")
+    compile_cmd.add_argument(
+        "--target-pattern", help="explicit target pattern notation, e.g. \"<D>3'-'<D>4\""
+    )
+    compile_cmd.add_argument(
+        "--generalize",
+        type=int,
+        default=0,
+        help="refinement rounds applied to the target example's pattern (0-3)",
+    )
+    compile_cmd.add_argument(
+        "--output", help="write the .clx.json artifact here instead of stdout"
+    )
+    compile_cmd.set_defaults(handler=_command_compile)
+
+    apply_cmd = subparsers.add_parser(
+        "apply",
+        help="stream a CSV through a saved .clx.json artifact (no re-profiling)",
+    )
+    apply_cmd.add_argument("program", help="a .clx.json artifact written by 'compile'")
+    apply_cmd.add_argument("csv", help="input CSV file (with a header row)")
+    apply_cmd.add_argument(
+        "--column",
+        help="column to transform (default: the column recorded in the artifact)",
+    )
+    apply_cmd.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    apply_cmd.add_argument("--output", help="write the transformed CSV here instead of stdout")
+    destination_group = apply_cmd.add_mutually_exclusive_group()
+    destination_group.add_argument(
+        "--output-column", help="name of the added column (default <column>_transformed)"
+    )
+    destination_group.add_argument(
+        "--in-place",
+        action="store_true",
+        help="overwrite the source column instead of adding a new one",
+    )
+    apply_cmd.add_argument(
+        "--chunk-size",
+        type=int,
+        default=4096,
+        help="rows buffered at a time while streaming (default 4096)",
+    )
+    apply_cmd.set_defaults(handler=_command_apply)
 
     suite = subparsers.add_parser("suite", help="print the 47-task benchmark suite statistics")
     suite.add_argument("--verbose", action="store_true", help="list every data type")

@@ -6,6 +6,11 @@ explainer into the interaction loop the paper describes: profile the
 data, let the user label a target pattern, synthesize the program, show
 the explained Replace operations and the transformed pattern clusters,
 and let the user repair individual plans.
+
+The session covers *interaction* only; execution lives in the stateless
+:mod:`repro.engine` layer, which the session delegates to via
+:meth:`~repro.core.session.CLXSession.compile` and
+:meth:`~repro.core.session.CLXSession.engine`.
 """
 
 from repro.core.result import TransformReport

@@ -14,6 +14,14 @@
 4. if a suggested plan is wrong, :meth:`CLXSession.repair_candidates`
    lists the alternatives and :meth:`CLXSession.apply_repair` swaps one in.
 
+The session is the *interaction* half of CLX.  Execution is delegated to
+the stateless :mod:`repro.engine` layer: :meth:`CLXSession.compile`
+exports the verified program as a serializable
+:class:`~repro.engine.compiled.CompiledProgram`, and ``transform`` /
+``preview`` / ``transformed_summary`` all run through one cached
+:class:`~repro.engine.executor.TransformEngine` (the cached report is
+invalidated whenever the target or the program changes).
+
 Example:
     >>> from repro import CLXSession
     >>> session = CLXSession(["734-555-0199", "(734) 555-0123", "734.555.0111"])
@@ -32,9 +40,10 @@ from repro.clustering.hierarchy import PatternHierarchy
 from repro.clustering.profiler import PatternProfiler
 from repro.core.preview import PreviewRow, preview_table
 from repro.core.result import TransformReport
-from repro.core.transformer import transform_column
 from repro.dsl.ast import AtomicPlan, UniFiProgram
 from repro.dsl.explain import explain_program
+from repro.engine.compiled import CompiledProgram
+from repro.engine.executor import TransformEngine
 from repro.dsl.replace import ReplaceOperation
 from repro.patterns.matching import pattern_of_string
 from repro.patterns.parse import parse_pattern
@@ -85,6 +94,13 @@ class CLXSession:
         self._hierarchy: PatternHierarchy = self._profiler.profile(self._values)
         self._target: Optional[Pattern] = None
         self._result: Optional[SynthesisResult] = None
+        self._engine: Optional[TransformEngine] = None
+        self._report: Optional[TransformReport] = None
+
+    def _invalidate_execution(self) -> None:
+        """Drop the cached engine and report after the program changed."""
+        self._engine = None
+        self._report = None
 
     # ------------------------------------------------------------------
     # Cluster
@@ -128,6 +144,7 @@ class CLXSession:
         """Label ``target`` as the desired pattern and reset any prior synthesis."""
         self._target = target
         self._result = None
+        self._invalidate_execution()
         return target
 
     def label_target_from_string(self, example: str, generalize: int = 0) -> Pattern:
@@ -185,10 +202,42 @@ class CLXSession:
         """The program explained as regexp Replace operations (Figure 4)."""
         return explain_program(self.program)
 
-    def transform(self) -> TransformReport:
-        """Apply the synthesized program to the session's data."""
+    def compile(self, metadata: Optional[Dict[str, object]] = None) -> CompiledProgram:
+        """Export the synthesized program as a serializable compiled artifact.
+
+        The returned :class:`~repro.engine.compiled.CompiledProgram`
+        captures the program *and* the target pattern, round-trips
+        through JSON (``dumps``/``loads``), and outlives the session —
+        this is the compile-once half of compile-once/apply-anywhere.
+
+        Args:
+            metadata: Optional JSON-serializable annotations (e.g. the
+                source column name) stored on the artifact.
+        """
         result = self.synthesize()
-        return transform_column(result.program, self._values, result.target)
+        return CompiledProgram(result.program, result.target, metadata=metadata)
+
+    def engine(self) -> TransformEngine:
+        """The (cached) stateless engine executing the current program.
+
+        The engine is rebuilt lazily whenever the target is relabelled or
+        a repair changes the program.
+        """
+        if self._engine is None:
+            self._engine = TransformEngine(self.compile())
+        return self._engine
+
+    def transform(self) -> TransformReport:
+        """Apply the synthesized program to the session's data.
+
+        The report is computed once by the session's engine and cached;
+        ``preview`` and ``transformed_summary`` share the same run, and
+        the cache is invalidated by ``label_target`` and the repair
+        methods.
+        """
+        if self._report is None:
+            self._report = self.engine().run(self._values)
+        return self._report
 
     def transformed_summary(self, max_samples: int = 3) -> List[PatternSummary]:
         """Pattern clusters of the *transformed* data (Figure 2 of the paper)."""
@@ -221,6 +270,7 @@ class CLXSession:
         """Replace the plan used for ``source`` and return the updated program."""
         result = self.synthesize()
         self._result = result.repaired(source, plan)
+        self._invalidate_execution()
         return self._result.program
 
     def apply_conditional_repair(
@@ -276,6 +326,7 @@ class CLXSession:
             uncovered=list(result.uncovered),
             already_target=list(result.already_target),
         )
+        self._invalidate_execution()
         return program
 
     # ------------------------------------------------------------------

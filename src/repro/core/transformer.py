@@ -1,12 +1,19 @@
-"""Applying a synthesized program to a whole column."""
+"""Applying a synthesized program to a whole column.
+
+Since the engine split, this module is a thin compatibility wrapper:
+:func:`transform_column` compiles the program on the fly and hands the
+batch to :class:`repro.engine.executor.TransformEngine`.  Callers that
+apply the same program repeatedly should compile once themselves (via
+:meth:`repro.core.session.CLXSession.compile` or
+:class:`repro.engine.compiled.CompiledProgram`) and reuse the engine.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from repro.core.result import TransformReport
 from repro.dsl.ast import UniFiProgram
-from repro.dsl.interpreter import apply_program
 from repro.patterns.pattern import Pattern
 
 
@@ -28,21 +35,6 @@ def transform_column(
         target: Target pattern (used both for the pass-through check and
             for the report's conformance statistics).
     """
-    from repro.patterns.matching import matches  # local import avoids cycle at module load
+    from repro.engine.executor import TransformEngine  # local import avoids cycle at module load
 
-    outputs: List[str] = []
-    matched: List[Optional[Pattern]] = []
-    for value in values:
-        if matches(value, target):
-            outputs.append(value)
-            matched.append(target)
-            continue
-        outcome = apply_program(program, value)
-        outputs.append(outcome.output)
-        matched.append(outcome.pattern if outcome.matched else None)
-    return TransformReport(
-        inputs=list(values),
-        outputs=outputs,
-        matched_pattern=matched,
-        target=target,
-    )
+    return TransformEngine.from_program(program, target).run(values)

@@ -197,6 +197,42 @@ class UniFiProgram:
             new_branches.append(Branch(pattern=pattern, plan=plan))
         return UniFiProgram(new_branches)
 
+    # ------------------------------------------------------------------
+    # Serialization (delegates to repro.engine.serialize; imported
+    # locally because the engine builds on this module)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the program (see :mod:`repro.engine.serialize`)."""
+        from repro.engine.serialize import program_to_dict
+
+        return program_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "UniFiProgram":
+        """Rebuild a program from its :meth:`to_dict` form."""
+        from repro.engine.serialize import program_from_dict
+
+        return program_from_dict(payload)
+
+    def dumps(self, indent: "int | None" = None) -> str:
+        """Serialize the program to a JSON string."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "UniFiProgram":
+        """Parse a JSON string produced by :meth:`dumps`."""
+        import json
+
+        from repro.util.errors import SerializationError
+
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SerializationError(f"program is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
     def __str__(self) -> str:
         inner = ",\n  ".join(str(branch) for branch in self.branches)
         return f"Switch(\n  {inner}\n)"

@@ -56,5 +56,21 @@ class ContainsGuard:
         sensitivity = "" if self.case_sensitive else " (ignoring case)"
         return f"contains '{self.keyword}'{sensitivity}"
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form consumed by :mod:`repro.engine.serialize`."""
+        return {
+            "type": "contains",
+            "keyword": self.keyword,
+            "case_sensitive": self.case_sensitive,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ContainsGuard":
+        """Rebuild a guard from its :meth:`to_dict` form."""
+        return cls(
+            keyword=payload["keyword"],
+            case_sensitive=bool(payload.get("case_sensitive", True)),
+        )
+
     def __str__(self) -> str:
         return f"Contains({self.keyword!r})"

@@ -1,0 +1,288 @@
+"""Compiled UniFi programs: the serializable compile-once artifact.
+
+The interpreter in :mod:`repro.dsl.interpreter` re-resolves everything
+per value: every branch match goes through the pattern-keyed regex cache
+(hashing the pattern each time) and every plan expression is re-dispatched
+with ``isinstance`` checks.  That is fine inside an interactive session
+but wrong for CLX's economics — the program is synthesized *once* under
+user verification and then applied to the rest of the data, so the apply
+half should be as close to raw regex matching as Python allows.
+
+:class:`CompiledProgram` is that artifact.  Compiling resolves, up front:
+
+* the target pattern into a single anchored pass-through regex,
+* every branch pattern into a precompiled regex with one capture group
+  per token,
+* every plan into a flat tuple of ops — constant strings and 0-based
+  capture-group slices — with ``Extract`` ranges bounds-checked against
+  the branch pattern at compile time,
+* every guard into a bound predicate (unguarded branches pay nothing).
+
+A compiled program is immutable, safe to share across threads, and
+round-trips through JSON via :meth:`to_dict` / :meth:`from_dict` /
+:meth:`dumps` / :meth:`loads`, so it can be saved to disk and applied by
+a process that never saw the original data or session.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.result import TransformReport
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.dsl.interpreter import TransformOutcome
+from repro.engine.serialize import (
+    pattern_from_json,
+    pattern_to_json,
+    program_from_dict,
+    program_to_dict,
+)
+from repro.patterns.matching import compiled_with_groups
+from repro.patterns.pattern import Pattern
+from repro.patterns.regex import compile_pattern
+from repro.util.errors import SerializationError, TransformError
+
+#: One plan op: a constant output string, or a 0-based ``(start, stop)``
+#: slice over the branch regex's capture groups.
+PlanOp = Union[str, Tuple[int, int]]
+
+
+def _compile_plan_ops(plan: AtomicPlan, token_count: int, pattern: Pattern) -> Tuple[PlanOp, ...]:
+    """Flatten ``plan`` into ops, bounds-checking extracts at compile time."""
+    ops: List[PlanOp] = []
+    for expression in plan.expressions:
+        if isinstance(expression, ConstStr):
+            ops.append(expression.text)
+        elif isinstance(expression, Extract):
+            if expression.end > token_count:
+                raise TransformError(
+                    f"{expression} out of range for source pattern "
+                    f"{pattern.notation()} with {token_count} tokens"
+                )
+            ops.append((expression.start - 1, expression.end))
+        else:  # pragma: no cover - AtomicPlan already rejects these
+            raise TransformError(f"unsupported expression {expression!r}")
+    return tuple(ops)
+
+
+class _CompiledBranch:
+    """One precompiled Switch arm of the dispatch table."""
+
+    __slots__ = ("pattern", "match", "guard", "ops")
+
+    def __init__(self, branch: Branch) -> None:
+        self.pattern = branch.pattern
+        self.match = compiled_with_groups(branch.pattern).match
+        self.guard: Optional[Callable[[str], bool]] = (
+            branch.guard.holds if branch.guard is not None else None
+        )
+        self.ops = _compile_plan_ops(branch.plan, len(branch.pattern), branch.pattern)
+
+
+class CompiledProgram:
+    """A UniFi program + target pattern compiled into a regex dispatch table.
+
+    Args:
+        program: The synthesized (and user-verified) UniFi program.
+        target: The target pattern; values already matching it pass
+            through untouched, exactly as
+            :func:`repro.core.transformer.transform_column` does.
+        metadata: Optional JSON-serializable annotations (source column
+            name, provenance, …) carried through serialization verbatim.
+
+    Raises:
+        TransformError: If any plan extracts token indices that do not
+            exist in its branch's source pattern.
+    """
+
+    #: Artifact envelope markers checked on load.
+    FORMAT = "clx/compiled-program"
+    VERSION = 1
+
+    __slots__ = ("_program", "_target", "_metadata", "_target_match", "_branches")
+
+    def __init__(
+        self,
+        program: UniFiProgram,
+        target: Pattern,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._program = program
+        self._target = target
+        self._metadata: Dict[str, Any] = dict(metadata) if metadata else {}
+        self._target_match = compile_pattern(target).match
+        self._branches = tuple(_CompiledBranch(branch) for branch in program.branches)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def program(self) -> UniFiProgram:
+        """The source UniFi program."""
+        return self._program
+
+    @property
+    def target(self) -> Pattern:
+        """The target pattern."""
+        return self._target
+
+    @property
+    def metadata(self) -> Dict[str, Any]:
+        """A copy of the artifact's metadata annotations."""
+        return dict(self._metadata)
+
+    def __len__(self) -> int:
+        return len(self._program)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompiledProgram):
+            return NotImplemented
+        return self._program == other._program and self._target == other._target
+
+    def __hash__(self) -> int:
+        return hash((self._program, self._target))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledProgram(target={self._target.notation()!r}, "
+            f"branches={len(self._branches)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_one(self, value: str) -> TransformOutcome:
+        """Transform one value (pass-through check, then first matching branch)."""
+        if self._target_match(value) is not None:
+            return TransformOutcome(output=value, matched=True, pattern=self._target)
+        for branch in self._branches:
+            guard = branch.guard
+            if guard is not None and not guard(value):
+                continue
+            match = branch.match(value)
+            if match is None:
+                continue
+            groups = match.groups()
+            output = "".join(
+                op if type(op) is str else "".join(groups[op[0] : op[1]])
+                for op in branch.ops
+            )
+            return TransformOutcome(output=output, matched=True, pattern=branch.pattern)
+        return TransformOutcome(output=value, matched=False, pattern=None)
+
+    def run(self, values: Sequence[str]) -> TransformReport:
+        """Batch-transform ``values`` into a :class:`TransformReport`.
+
+        Semantically identical to calling :meth:`run_one` per value, but
+        with the dispatch table bound to locals for the tight loop.
+        """
+        inputs = list(values)
+        outputs: List[str] = []
+        matched: List[Optional[Pattern]] = []
+        append_output = outputs.append
+        append_matched = matched.append
+        target = self._target
+        target_match = self._target_match
+        branches = self._branches
+        join = "".join
+        for value in inputs:
+            if target_match(value) is not None:
+                append_output(value)
+                append_matched(target)
+                continue
+            for branch in branches:
+                guard = branch.guard
+                if guard is not None and not guard(value):
+                    continue
+                match = branch.match(value)
+                if match is None:
+                    continue
+                groups = match.groups()
+                append_output(
+                    join(
+                        op if type(op) is str else join(groups[op[0] : op[1]])
+                        for op in branch.ops
+                    )
+                )
+                append_matched(branch.pattern)
+                break
+            else:
+                append_output(value)
+                append_matched(None)
+        return TransformReport(
+            inputs=inputs,
+            outputs=outputs,
+            matched_pattern=matched,
+            target=target,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The versioned JSON-serializable artifact envelope."""
+        payload = {
+            "format": self.FORMAT,
+            "version": self.VERSION,
+            "target": pattern_to_json(self._target),
+            "program": program_to_dict(self._program),
+        }
+        if self._metadata:
+            payload["metadata"] = dict(self._metadata)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "CompiledProgram":
+        """Rebuild (and recompile) a program from its :meth:`to_dict` form.
+
+        Raises:
+            SerializationError: On a wrong format marker, unsupported
+                version, or malformed program payload.
+        """
+        if not isinstance(payload, dict):
+            raise SerializationError(
+                f"compiled-program artifact must be an object, got {type(payload).__name__}"
+            )
+        marker = payload.get("format")
+        if marker != cls.FORMAT:
+            raise SerializationError(f"unexpected artifact format {marker!r} (want {cls.FORMAT!r})")
+        version = payload.get("version")
+        if version != cls.VERSION:
+            raise SerializationError(f"unsupported artifact version {version!r} (want {cls.VERSION})")
+        metadata = payload.get("metadata")
+        if metadata is not None and not isinstance(metadata, dict):
+            raise SerializationError("artifact metadata must be an object")
+        if "target" not in payload or "program" not in payload:
+            raise SerializationError("artifact is missing 'target' or 'program'")
+        return cls(
+            program=program_from_dict(payload["program"]),
+            target=pattern_from_json(payload["target"]),
+            metadata=metadata,
+        )
+
+    def dumps(self, indent: Optional[int] = None) -> str:
+        """Serialize the artifact to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "CompiledProgram":
+        """Parse a JSON string produced by :meth:`dumps`.
+
+        Raises:
+            SerializationError: On malformed JSON or an invalid artifact.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SerializationError(f"artifact is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+
+def compile_program(
+    program: UniFiProgram,
+    target: Pattern,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> CompiledProgram:
+    """Functional spelling of :class:`CompiledProgram`'s constructor."""
+    return CompiledProgram(program, target, metadata=metadata)

@@ -1,0 +1,170 @@
+"""The stateless transformation executor.
+
+:class:`TransformEngine` is the execution half of the CLX split: it holds
+nothing but an immutable :class:`~repro.engine.compiled.CompiledProgram`
+and can therefore be reused across datasets, shared between threads, or
+rebuilt in a different process from a serialized artifact.  Three apply
+shapes are supported:
+
+* :meth:`TransformEngine.run` — batch apply, returning the same
+  :class:`~repro.core.result.TransformReport` the session API produces;
+* :meth:`TransformEngine.run_iter` — streaming apply over any iterable,
+  holding at most ``chunk_size`` values in memory at a time;
+* :meth:`TransformEngine.transform_table` — multi-column batch apply,
+  one compiled program per column.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro.core.result import TransformReport
+from repro.dsl.ast import UniFiProgram
+from repro.dsl.interpreter import TransformOutcome
+from repro.engine.compiled import CompiledProgram
+from repro.patterns.pattern import Pattern
+from repro.util.errors import ValidationError
+
+#: Anything :meth:`TransformEngine.transform_table` accepts per column.
+ProgramLike = Union["TransformEngine", CompiledProgram]
+
+
+class TransformEngine:
+    """Stateless, reusable executor for one compiled program.
+
+    Args:
+        compiled: The compiled program to execute.
+    """
+
+    __slots__ = ("_compiled",)
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        if not isinstance(compiled, CompiledProgram):
+            raise ValidationError(
+                f"TransformEngine requires a CompiledProgram, got {type(compiled).__name__}"
+            )
+        self._compiled = compiled
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_program(
+        cls,
+        program: UniFiProgram,
+        target: Pattern,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> "TransformEngine":
+        """Compile a raw program + target pattern into an engine."""
+        return cls(CompiledProgram(program, target, metadata=metadata))
+
+    @classmethod
+    def loads(cls, text: str) -> "TransformEngine":
+        """Rebuild an engine from a serialized compiled-program artifact."""
+        return cls(CompiledProgram.loads(text))
+
+    def dumps(self, indent: Optional[int] = None) -> str:
+        """Serialize the underlying compiled program."""
+        return self._compiled.dumps(indent=indent)
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        """The immutable compiled program this engine executes."""
+        return self._compiled
+
+    @property
+    def target(self) -> Pattern:
+        """The target pattern of the compiled program."""
+        return self._compiled.target
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_one(self, value: str) -> TransformOutcome:
+        """Transform a single value."""
+        return self._compiled.run_one(value)
+
+    def run(self, values: Sequence[str]) -> TransformReport:
+        """Batch-apply the program to ``values`` (order preserved)."""
+        return self._compiled.run(values)
+
+    def run_iter(
+        self,
+        values: Iterable[str],
+        chunk_size: int = 1024,
+    ) -> Iterator[TransformOutcome]:
+        """Stream ``values`` through the program with constant memory.
+
+        The input iterable is consumed lazily in chunks of ``chunk_size``
+        values, so a generator over a huge file is never materialized;
+        outcomes are yielded one by one in input order.
+
+        Args:
+            values: Any iterable of raw strings.
+            chunk_size: Number of values pulled from the iterable at a
+                time (must be positive).
+
+        Yields:
+            One :class:`~repro.dsl.interpreter.TransformOutcome` per value.
+        """
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be positive, got {chunk_size}")
+        run_one = self._compiled.run_one
+        iterator = iter(values)
+        while True:
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                return
+            for value in chunk:
+                yield run_one(value)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    @staticmethod
+    def transform_table(
+        rows: Iterable[Mapping[str, Any]],
+        programs: Mapping[str, ProgramLike],
+    ) -> List[Dict[str, Any]]:
+        """Batch-apply one program per column to a table of rows.
+
+        Args:
+            rows: Iterable of row mappings (e.g. ``csv.DictReader`` rows).
+                Rows are copied; the input is never mutated.
+            programs: Mapping from column name to the
+                :class:`TransformEngine` or
+                :class:`~repro.engine.compiled.CompiledProgram` that
+                transforms it.  ``None`` cells are treated as ``""``.
+
+        Returns:
+            New row dicts with each programmed column replaced by its
+            transformed value.
+
+        Raises:
+            ValidationError: If a programmed column is missing from some
+                row or a program value has an unsupported type.
+        """
+        engines = {column: _as_engine(column, program) for column, program in programs.items()}
+        out_rows = [dict(row) for row in rows]
+        for column, engine in engines.items():
+            values: List[str] = []
+            for index, row in enumerate(out_rows):
+                if column not in row:
+                    raise ValidationError(f"row {index} has no column {column!r}")
+                values.append("" if row[column] is None else str(row[column]))
+            report = engine.run(values)
+            for row, output in zip(out_rows, report.outputs):
+                row[column] = output
+        return out_rows
+
+
+def _as_engine(column: str, program: ProgramLike) -> TransformEngine:
+    if isinstance(program, TransformEngine):
+        return program
+    if isinstance(program, CompiledProgram):
+        return TransformEngine(program)
+    raise ValidationError(
+        f"column {column!r}: expected TransformEngine or CompiledProgram, "
+        f"got {type(program).__name__}"
+    )

@@ -8,7 +8,7 @@ the left-hand side of explained ``Replace`` operations.
 from repro.patterns.pattern import Pattern
 from repro.patterns.parse import parse_pattern
 from repro.patterns.regex import pattern_to_regex, compile_pattern
-from repro.patterns.matching import match_pattern, pattern_of_string
+from repro.patterns.matching import compiled_with_groups, match_pattern, pattern_of_string
 from repro.patterns.generalize import (
     GENERALIZATION_STRATEGIES,
     GeneralizationStrategy,
@@ -23,6 +23,7 @@ __all__ = [
     "GeneralizationStrategy",
     "Pattern",
     "compile_pattern",
+    "compiled_with_groups",
     "generalize_alnum",
     "generalize_alpha",
     "generalize_quantifier",

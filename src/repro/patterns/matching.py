@@ -20,8 +20,15 @@ from repro.tokens.tokenizer import tokenize
 
 
 @lru_cache(maxsize=4096)
-def _compiled_with_groups(pattern: Pattern) -> "re.Pattern[str]":
-    """Compile ``pattern`` to a regex with one capture group per token."""
+def compiled_with_groups(pattern: Pattern) -> "re.Pattern[str]":
+    """Compile ``pattern`` to an anchored regex with one capture group per token.
+
+    The per-token groups are what ``Extract`` evaluation consumes; the
+    compiled object is cached so repeated matching against the same
+    pattern re-uses one regex.  :class:`repro.engine.compiled.CompiledProgram`
+    stores these objects directly in its dispatch table, skipping the
+    cache lookup (and the pattern hashing it implies) on the hot path.
+    """
     body = "".join(f"({token.to_regex()})" for token in pattern.tokens)
     return re.compile(f"^{body}$")
 
@@ -40,7 +47,7 @@ def match_pattern(value: str, pattern: Pattern) -> Optional[List[str]]:
     """
     if not pattern.tokens:
         return [] if value == "" else None
-    match = _compiled_with_groups(pattern).match(value)
+    match = compiled_with_groups(pattern).match(value)
     if match is None:
         return None
     return list(match.groups())

@@ -73,6 +73,18 @@ class SynthesisResult:
             already_target=list(self.already_target),
         )
 
+    def compiled(self, metadata: "dict | None" = None):
+        """Compile the synthesized program into a serializable executable.
+
+        Returns:
+            A :class:`repro.engine.compiled.CompiledProgram` pairing the
+            program with its target pattern, ready for batch/streaming
+            apply or JSON persistence.
+        """
+        from repro.engine.compiled import CompiledProgram
+
+        return CompiledProgram(self.program, self.target, metadata=metadata)
+
 
 @dataclass
 class Synthesizer:

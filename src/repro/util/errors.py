@@ -48,3 +48,11 @@ class TransformError(CLXError):
     not exist in the matched string, which indicates a bug or a program
     applied to data it was not synthesized for.
     """
+
+
+class SerializationError(CLXError):
+    """Raised when a serialized program artifact cannot be decoded.
+
+    Covers malformed JSON, unknown format/version markers, and payloads
+    whose structure does not describe a valid UniFi program.
+    """

@@ -1,0 +1,205 @@
+"""Tests for the compile/apply CLI subcommands (compile-once/apply-anywhere)."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.compiled import CompiledProgram
+
+
+@pytest.fixture
+def phone_csv(tmp_path):
+    path = tmp_path / "phones.csv"
+    rows = [
+        {"name": "A", "phone": "(734) 645-8397"},
+        {"name": "B", "phone": "734.236.3466"},
+        {"name": "C", "phone": "734-422-8073"},
+        {"name": "D", "phone": "(734)586-7252"},
+    ]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["name", "phone"])
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+@pytest.fixture
+def other_phone_csv(tmp_path):
+    """A second file the program was never synthesized on."""
+    path = tmp_path / "more_phones.csv"
+    rows = [
+        {"id": "1", "phone": "(906) 555-1234"},
+        {"id": "2", "phone": "906.555.9999"},
+        {"id": "3", "phone": "906-555-0000"},
+    ]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=["id", "phone"])
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+@pytest.fixture
+def artifact(phone_csv, tmp_path):
+    path = tmp_path / "phone.clx.json"
+    code = main(
+        [
+            "compile", str(phone_csv), "--column", "phone",
+            "--target-pattern", "<D>3'-'<D>3'-'<D>4",
+            "--output", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestCompileCommand:
+    def test_writes_a_loadable_versioned_artifact(self, artifact):
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["format"] == CompiledProgram.FORMAT
+        assert payload["version"] == CompiledProgram.VERSION
+        assert payload["metadata"]["column"] == "phone"
+        compiled = CompiledProgram.loads(artifact.read_text(encoding="utf-8"))
+        assert len(compiled) >= 1
+
+    def test_prints_artifact_to_stdout_without_output(self, phone_csv, capsys):
+        code = main(
+            [
+                "compile", str(phone_csv), "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>3'-'<D>4",
+            ]
+        )
+        assert code == 0
+        compiled = CompiledProgram.loads(capsys.readouterr().out)
+        assert compiled.target.notation() == "<D>3'-'<D>3'-'<D>4"
+
+    def test_explains_operations_on_stderr(self, phone_csv, tmp_path, capsys):
+        main(
+            [
+                "compile", str(phone_csv), "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>3'-'<D>4",
+                "--output", str(tmp_path / "p.clx.json"),
+            ]
+        )
+        assert "Replace" in capsys.readouterr().err
+
+    def test_missing_target_is_an_error(self, phone_csv, capsys):
+        code = main(["compile", str(phone_csv), "--column", "phone"])
+        assert code == 2
+
+
+class TestApplyCommand:
+    # The exact CSV an apply of the compiled phone program must produce
+    # on the second file: the golden file for the compile->apply path.
+    GOLDEN = (
+        "id,phone,phone_transformed\n"
+        "1,(906) 555-1234,906-555-1234\n"
+        "2,906.555.9999,906-555-9999\n"
+        "3,906-555-0000,906-555-0000\n"
+    )
+
+    def test_apply_matches_golden_file(self, artifact, other_phone_csv, tmp_path):
+        output = tmp_path / "cleaned.csv"
+        code = main(["apply", str(artifact), str(other_phone_csv), "--output", str(output)])
+        assert code == 0
+        assert output.read_text(encoding="utf-8") == self.GOLDEN
+
+    def test_apply_to_stdout_uses_artifact_column(self, artifact, other_phone_csv, capsys):
+        code = main(["apply", str(artifact), str(other_phone_csv)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "906-555-9999" in captured.out
+        assert "flagged" in captured.err
+
+    def test_apply_in_place_overwrites_the_column(self, artifact, other_phone_csv, tmp_path):
+        output = tmp_path / "inplace.csv"
+        code = main(
+            ["apply", str(artifact), str(other_phone_csv), "--in-place", "--output", str(output)]
+        )
+        assert code == 0
+        with output.open(newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["phone"] for row in rows] == [
+            "906-555-1234", "906-555-9999", "906-555-0000",
+        ]
+        assert "phone_transformed" not in rows[0]
+
+    def test_apply_flags_unmatched_rows_with_exit_1(self, artifact, tmp_path, capsys):
+        path = tmp_path / "noisy.csv"
+        path.write_text("phone\nN/A?!\n", encoding="utf-8")
+        code = main(["apply", str(artifact), str(path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "1 flagged" in captured.err
+        assert "N/A?!" in captured.out
+
+    def test_apply_rejects_colliding_output_column(self, artifact, other_phone_csv, capsys):
+        code = main(
+            ["apply", str(artifact), str(other_phone_csv), "--output-column", "id"]
+        )
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_apply_unknown_column_is_an_error(self, artifact, other_phone_csv, capsys):
+        code = main(["apply", str(artifact), str(other_phone_csv), "--column", "fax"])
+        assert code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_apply_rejects_malformed_artifact(self, other_phone_csv, tmp_path, capsys):
+        bogus = tmp_path / "bogus.clx.json"
+        bogus.write_text("{}", encoding="utf-8")
+        code = main(["apply", str(bogus), str(other_phone_csv)])
+        assert code == 2
+        assert "format" in capsys.readouterr().err
+
+    def test_apply_accepts_zero_based_column_index(self, artifact, other_phone_csv, capsys):
+        code = main(["apply", str(artifact), str(other_phone_csv), "--column", "1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "906-555-9999" in captured.out
+
+    def test_in_place_and_output_column_are_mutually_exclusive(
+        self, artifact, other_phone_csv, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "apply", str(artifact), str(other_phone_csv),
+                    "--in-place", "--output-column", "cleaned",
+                ]
+            )
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_apply_streams_large_files_in_chunks(self, artifact, tmp_path):
+        path = tmp_path / "big.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["phone"])
+            for index in range(500):
+                writer.writerow([f"906.{index % 900 + 100}.{index % 9000 + 1000}"])
+        output = tmp_path / "big_out.csv"
+        code = main(
+            ["apply", str(artifact), str(path), "--chunk-size", "7", "--output", str(output)]
+        )
+        assert code == 0
+        with output.open(newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 500
+        assert all(row["phone_transformed"].count("-") == 2 for row in rows)
+
+
+class TestTransformCollision:
+    def test_transform_rejects_colliding_output_column(self, phone_csv, capsys):
+        code = main(
+            [
+                "transform", str(phone_csv), "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>3'-'<D>4",
+                "--output-column", "name",
+            ]
+        )
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err

@@ -137,3 +137,74 @@ class TestRepairPhase:
         if candidates.alternatives:
             updated = session.apply_repair(branch.pattern, candidates.alternatives[0])
             assert updated.branch_for(branch.pattern).plan == candidates.alternatives[0]
+
+
+class TestExecutionFacade:
+    """The session delegates execution to repro.engine and caches the report."""
+
+    def _labelled(self, phone_values):
+        session = CLXSession(phone_values)
+        session.label_target_from_string("(734) 645-8397")
+        return session
+
+    def test_transform_report_is_cached(self, phone_values):
+        session = self._labelled(phone_values)
+        assert session.transform() is session.transform()
+
+    def test_preview_and_summary_share_the_cached_run(self, phone_values):
+        session = self._labelled(phone_values)
+        report = session.transform()
+        session.preview()
+        session.transformed_summary()
+        assert session.transform() is report
+
+    def test_engine_is_cached(self, phone_values):
+        session = self._labelled(phone_values)
+        assert session.engine() is session.engine()
+
+    def test_relabel_invalidates_cache(self, phone_values):
+        session = self._labelled(phone_values)
+        first = session.transform()
+        engine = session.engine()
+        session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        assert session.transform() is not first
+        assert session.engine() is not engine
+        assert session.transform().outputs != first.outputs
+
+    def test_apply_repair_invalidates_cache(self, employee_names):
+        session = CLXSession(employee_names + ["Yahav, E."])
+        session.label_target_from_string("Fisher, K.", generalize=1)
+        first = session.transform()
+        branch = list(session.program)[0]
+        candidates = session.repair_candidates(branch.pattern)
+        if not candidates.alternatives:
+            pytest.skip("no repair alternatives for this dataset")
+        session.apply_repair(branch.pattern, candidates.alternatives[0])
+        second = session.transform()
+        assert second is not first
+
+    def test_conditional_repair_invalidates_cache(self, phone_values):
+        from repro.dsl.guards import ContainsGuard
+
+        session = self._labelled(phone_values)
+        first = session.transform()
+        branch = list(session.program)[0]
+        session.apply_conditional_repair(
+            branch.pattern, [(ContainsGuard("734"), branch.plan)]
+        )
+        assert session.transform() is not first
+
+    def test_compile_exports_program_and_target(self, phone_values):
+        session = self._labelled(phone_values)
+        compiled = session.compile()
+        assert compiled.program == session.program
+        assert compiled.target == session.target
+        assert compiled.run(phone_values).outputs == session.transform().outputs
+
+    def test_compile_requires_a_target(self, phone_values):
+        with pytest.raises(ValidationError):
+            CLXSession(phone_values).compile()
+
+    def test_transform_matches_engine_run(self, phone_values):
+        session = self._labelled(phone_values)
+        assert session.transform().outputs == session.engine().run(phone_values).outputs

@@ -1,0 +1,152 @@
+"""Tests for CompiledProgram — the serializable compile-once artifact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import CLXSession
+from repro.core.transformer import transform_column
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.dsl.guards import ContainsGuard
+from repro.dsl.interpreter import apply_program
+from repro.engine.compiled import CompiledProgram, compile_program
+from repro.patterns.parse import parse_pattern
+from repro.util.errors import SerializationError, TransformError
+
+
+@pytest.fixture
+def phone_session(phone_values, phone_target):
+    session = CLXSession(phone_values)
+    session.label_target(phone_target)
+    return session
+
+
+class TestCompilation:
+    def test_matches_session_transform(self, phone_session, phone_values):
+        expected = phone_session.transform()
+        compiled = CompiledProgram(phone_session.program, phone_session.target)
+        report = compiled.run(phone_values)
+        assert report.outputs == expected.outputs
+        assert report.matched_pattern == expected.matched_pattern
+
+    def test_matches_interpreter_on_non_target_values(self, phone_session):
+        compiled = phone_session.compile()
+        for value in ["(734) 645-8397", "734.236.3466", "definitely not a phone"]:
+            outcome = compiled.run_one(value)
+            reference = apply_program(phone_session.program, value)
+            assert outcome.output == reference.output
+
+    def test_target_values_pass_through(self, phone_session, phone_target):
+        compiled = phone_session.compile()
+        outcome = compiled.run_one("734-422-8073")
+        assert outcome.output == "734-422-8073"
+        assert outcome.matched and outcome.pattern == phone_target
+
+    def test_unmatched_values_flagged_unchanged(self, phone_session):
+        outcome = phone_session.compile().run_one("N/A!!!")
+        assert outcome.output == "N/A!!!"
+        assert not outcome.matched and outcome.pattern is None
+
+    def test_out_of_range_extract_fails_at_compile_time(self):
+        branch = Branch(
+            pattern=parse_pattern("<D>3"),
+            plan=AtomicPlan([Extract(2)]),  # pattern has a single token
+        )
+        with pytest.raises(TransformError):
+            CompiledProgram(UniFiProgram([branch]), parse_pattern("<D>4"))
+
+    def test_guarded_branches_respect_guards(self):
+        pattern = parse_pattern("<L>+")
+        program = UniFiProgram(
+            [
+                Branch(
+                    pattern=pattern,
+                    plan=AtomicPlan([ConstStr("PIC")]),
+                    guard=ContainsGuard("picture"),
+                ),
+                Branch(pattern=pattern, plan=AtomicPlan([Extract(1)])),
+            ]
+        )
+        compiled = CompiledProgram(program, parse_pattern("<U>+"))
+        assert compiled.run_one("picture").output == "PIC"
+        assert compiled.run_one("words").output == "words"
+
+    def test_functional_constructor(self, phone_session, phone_values):
+        compiled = compile_program(phone_session.program, phone_session.target)
+        assert compiled == phone_session.compile()
+        assert len(compiled) == len(phone_session.program)
+
+    def test_equality_and_hash(self, phone_session):
+        first = phone_session.compile()
+        second = phone_session.compile()
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != object()
+
+
+class TestSerialization:
+    def test_json_round_trip_identical_outputs(self, phone_session, phone_values):
+        compiled = phone_session.compile()
+        revived = CompiledProgram.loads(compiled.dumps())
+        assert revived == compiled
+        assert revived.run(phone_values).outputs == compiled.run(phone_values).outputs
+
+    def test_round_trip_preserves_guards(self):
+        pattern = parse_pattern("<L>+")
+        program = UniFiProgram(
+            [
+                Branch(
+                    pattern=pattern,
+                    plan=AtomicPlan([ConstStr("X")]),
+                    guard=ContainsGuard("kw", case_sensitive=False),
+                )
+            ]
+        )
+        compiled = CompiledProgram(program, parse_pattern("<U>+"))
+        revived = CompiledProgram.loads(compiled.dumps(indent=2))
+        assert revived.program.branches[0].guard == ContainsGuard("kw", case_sensitive=False)
+
+    def test_metadata_round_trips(self, phone_session):
+        compiled = phone_session.compile(metadata={"column": "phone", "rows": 7})
+        revived = CompiledProgram.loads(compiled.dumps())
+        assert revived.metadata == {"column": "phone", "rows": 7}
+
+    def test_metadata_is_copied(self, phone_session):
+        compiled = phone_session.compile(metadata={"column": "phone"})
+        compiled.metadata["column"] = "mutated"
+        assert compiled.metadata == {"column": "phone"}
+
+    def test_envelope_is_versioned(self, phone_session):
+        payload = phone_session.compile().to_dict()
+        assert payload["format"] == CompiledProgram.FORMAT
+        assert payload["version"] == CompiledProgram.VERSION
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda payload: payload.pop("format"),
+            lambda payload: payload.update(format="clx/other"),
+            lambda payload: payload.update(version=99),
+            lambda payload: payload.pop("program"),
+            lambda payload: payload.pop("target"),
+            lambda payload: payload.update(metadata=[1, 2]),
+        ],
+    )
+    def test_malformed_envelopes_rejected(self, phone_session, mutate):
+        payload = phone_session.compile().to_dict()
+        mutate(payload)
+        with pytest.raises(SerializationError):
+            CompiledProgram.from_dict(payload)
+
+    def test_loads_rejects_bad_json(self):
+        with pytest.raises(SerializationError):
+            CompiledProgram.loads("][")
+        with pytest.raises(SerializationError):
+            CompiledProgram.loads('"a string"')
+
+    def test_equals_transform_column_after_round_trip(self, phone_session, phone_values):
+        compiled = CompiledProgram.loads(phone_session.compile().dumps())
+        reference = transform_column(
+            phone_session.program, phone_values, phone_session.target
+        )
+        assert compiled.run(phone_values).outputs == reference.outputs

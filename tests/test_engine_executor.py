@@ -1,0 +1,118 @@
+"""Tests for TransformEngine — batch, streaming, and table apply."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import CLXSession
+from repro.engine.compiled import CompiledProgram
+from repro.engine.executor import TransformEngine
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture
+def phone_engine(phone_values, phone_target):
+    session = CLXSession(phone_values)
+    session.label_target(phone_target)
+    return TransformEngine(session.compile())
+
+
+class TestConstruction:
+    def test_requires_a_compiled_program(self):
+        with pytest.raises(ValidationError):
+            TransformEngine("not a program")
+
+    def test_from_program(self, phone_values, phone_target):
+        session = CLXSession(phone_values)
+        session.label_target(phone_target)
+        engine = TransformEngine.from_program(session.program, session.target)
+        assert engine.target == phone_target
+
+    def test_loads_dumps_round_trip(self, phone_engine, phone_values):
+        revived = TransformEngine.loads(phone_engine.dumps())
+        assert revived.compiled == phone_engine.compiled
+        assert revived.run(phone_values).outputs == phone_engine.run(phone_values).outputs
+
+
+class TestBatchAndStreaming:
+    def test_run_matches_session(self, phone_engine, phone_values, phone_target):
+        session = CLXSession(phone_values)
+        session.label_target(phone_target)
+        assert phone_engine.run(phone_values).outputs == session.transform().outputs
+
+    def test_run_one(self, phone_engine):
+        assert phone_engine.run_one("734.236.3466").output == "734-236-3466"
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 1000])
+    def test_run_iter_matches_run_for_any_chunking(self, phone_engine, phone_values, chunk_size):
+        streamed = [o.output for o in phone_engine.run_iter(phone_values, chunk_size=chunk_size)]
+        assert streamed == phone_engine.run(phone_values).outputs
+
+    def test_run_iter_consumes_lazily(self, phone_engine):
+        """With chunk_size=1, values are pulled one at a time."""
+        pulled = []
+
+        def source():
+            for value in ["734.236.3466", "(734) 645-8397", "734.111.2222"]:
+                pulled.append(value)
+                yield value
+
+        iterator = phone_engine.run_iter(source(), chunk_size=1)
+        first = next(iterator)
+        assert first.output == "734-236-3466"
+        assert len(pulled) == 1
+
+    def test_run_iter_empty_input(self, phone_engine):
+        assert list(phone_engine.run_iter([])) == []
+
+    def test_run_iter_rejects_bad_chunk_size(self, phone_engine):
+        with pytest.raises(ValidationError):
+            list(phone_engine.run_iter(["x"], chunk_size=0))
+
+
+class TestTransformTable:
+    def test_single_column(self, phone_engine):
+        rows = [
+            {"name": "A", "phone": "(734) 645-8397"},
+            {"name": "B", "phone": "734.236.3466"},
+        ]
+        out = TransformEngine.transform_table(rows, {"phone": phone_engine})
+        assert [row["phone"] for row in out] == ["734-645-8397", "734-236-3466"]
+        assert [row["name"] for row in out] == ["A", "B"]
+
+    def test_input_rows_not_mutated(self, phone_engine):
+        rows = [{"phone": "734.236.3466"}]
+        TransformEngine.transform_table(rows, {"phone": phone_engine})
+        assert rows[0]["phone"] == "734.236.3466"
+
+    def test_accepts_compiled_program_values(self, phone_engine):
+        rows = [{"phone": "734.236.3466"}]
+        out = TransformEngine.transform_table(rows, {"phone": phone_engine.compiled})
+        assert out[0]["phone"] == "734-236-3466"
+
+    def test_multi_column(self, phone_engine, employee_names):
+        name_session = CLXSession(employee_names)
+        name_session.label_target_from_string("Fisher, K.", generalize=2)
+        name_engine = TransformEngine(name_session.compile())
+        rows = [
+            {"name": employee_names[0], "phone": "734.236.3466"},
+            {"name": employee_names[1], "phone": "(734) 645-8397"},
+        ]
+        out = TransformEngine.transform_table(
+            rows, {"phone": phone_engine, "name": name_engine}
+        )
+        assert [row["phone"] for row in out] == ["734-236-3466", "734-645-8397"]
+        expected_names = name_engine.run([row["name"] for row in rows]).outputs
+        assert [row["name"] for row in out] == expected_names
+
+    def test_none_cells_treated_as_empty(self, phone_engine):
+        out = TransformEngine.transform_table([{"phone": None}], {"phone": phone_engine})
+        assert out[0]["phone"] == ""
+
+    def test_missing_column_rejected(self, phone_engine):
+        with pytest.raises(ValidationError):
+            TransformEngine.transform_table([{"name": "A"}], {"phone": phone_engine})
+
+    def test_bad_program_type_rejected(self):
+        with pytest.raises(ValidationError):
+            TransformEngine.transform_table([{"phone": "1"}], {"phone": "nope"})

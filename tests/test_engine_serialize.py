@@ -1,0 +1,160 @@
+"""Tests for the JSON codecs in repro.engine.serialize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.dsl.guards import ContainsGuard
+from repro.engine.serialize import (
+    branch_from_dict,
+    branch_to_dict,
+    expression_from_dict,
+    expression_to_dict,
+    guard_from_dict,
+    guard_to_dict,
+    pattern_from_json,
+    pattern_to_json,
+    plan_from_dict,
+    plan_to_dict,
+    program_from_dict,
+    program_to_dict,
+)
+from repro.patterns.parse import parse_pattern
+from repro.util.errors import SerializationError
+
+
+class TestPatternCodec:
+    def test_round_trip_notation(self):
+        pattern = parse_pattern("'('<D>3')'' '<D>3'-'<D>4")
+        assert pattern_from_json(pattern_to_json(pattern)) == pattern
+
+    def test_round_trip_awkward_literals(self):
+        pattern = parse_pattern(r"'\''<AN>+'\\'")
+        assert pattern_from_json(pattern_to_json(pattern)) == pattern
+
+    def test_bad_notation_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            pattern_from_json("<NOPE>3")
+
+    def test_non_string_raises(self):
+        with pytest.raises(SerializationError):
+            pattern_from_json(42)
+
+
+class TestExpressionCodec:
+    def test_const_round_trip(self):
+        expression = ConstStr("-")
+        assert expression_from_dict(expression_to_dict(expression)) == expression
+
+    def test_extract_round_trip(self):
+        expression = Extract(2, 5)
+        assert expression_from_dict(expression_to_dict(expression)) == expression
+
+    def test_extract_end_defaults_to_start(self):
+        assert expression_from_dict({"op": "extract", "start": 3}) == Extract(3)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict({"op": "reverse"})
+
+    def test_invalid_extract_range_rejected(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict({"op": "extract", "start": 4, "end": 2})
+
+    def test_non_integer_indices_rejected(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict({"op": "extract", "start": "1"})
+
+    def test_empty_const_rejected(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict({"op": "const", "text": ""})
+
+
+class TestPlanCodec:
+    def test_round_trip(self):
+        plan = AtomicPlan([Extract(2), ConstStr("-"), Extract(5, 7)])
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+
+    def test_plan_must_be_a_list(self):
+        with pytest.raises(SerializationError):
+            plan_from_dict({"op": "const", "text": "x"})
+
+
+class TestGuardCodec:
+    def test_none_round_trips(self):
+        assert guard_to_dict(None) is None
+        assert guard_from_dict(None) is None
+
+    def test_contains_round_trip(self):
+        guard = ContainsGuard("picture", case_sensitive=False)
+        assert guard_from_dict(guard_to_dict(guard)) == guard
+
+    def test_case_sensitivity_defaults_true(self):
+        assert guard_from_dict({"type": "contains", "keyword": "x"}) == ContainsGuard("x")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SerializationError):
+            guard_from_dict({"type": "regex", "pattern": ".*"})
+
+    def test_unserializable_guard_rejected(self):
+        class Opaque:
+            def holds(self, value):
+                return True
+
+        with pytest.raises(SerializationError):
+            guard_to_dict(Opaque())
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            guard_from_dict({"type": "contains", "keyword": ""})
+
+
+class TestBranchAndProgramCodec:
+    def _program(self) -> UniFiProgram:
+        pattern = parse_pattern("<D>3'.'<D>3'.'<D>4")
+        plan = AtomicPlan([Extract(1), ConstStr("-"), Extract(3), ConstStr("-"), Extract(5)])
+        guarded = Branch(
+            pattern=parse_pattern("<AN>+"),
+            plan=AtomicPlan([ConstStr("n/a")]),
+            guard=ContainsGuard("missing"),
+        )
+        return UniFiProgram([Branch(pattern=pattern, plan=plan), guarded])
+
+    def test_branch_round_trip_preserves_guard(self):
+        program = self._program()
+        for branch in program.branches:
+            assert branch_from_dict(branch_to_dict(branch)) == branch
+
+    def test_unguarded_branch_payload_omits_guard_key(self):
+        branch = self._program().branches[0]
+        assert "guard" not in branch_to_dict(branch)
+
+    def test_program_round_trip(self):
+        program = self._program()
+        assert program_from_dict(program_to_dict(program)) == program
+
+    def test_program_methods_round_trip_json(self):
+        program = self._program()
+        assert UniFiProgram.loads(program.dumps()) == program
+        assert UniFiProgram.from_dict(program.to_dict()) == program
+
+    def test_program_loads_rejects_bad_json(self):
+        with pytest.raises(SerializationError):
+            UniFiProgram.loads("{not json")
+
+    def test_program_requires_branches_list(self):
+        with pytest.raises(SerializationError):
+            program_from_dict({"branches": "nope"})
+        with pytest.raises(SerializationError):
+            program_from_dict([])
+
+    def test_missing_branch_fields_rejected(self):
+        with pytest.raises(SerializationError):
+            program_from_dict({"branches": [{"plan": []}]})
+
+
+class TestConstStrTypeStrictness:
+    def test_non_string_const_text_rejected_at_decode_time(self):
+        with pytest.raises(SerializationError):
+            expression_from_dict({"op": "const", "text": 5})
