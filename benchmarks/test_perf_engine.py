@@ -16,6 +16,7 @@ least 2x faster than per-value interpretation on this workload.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.bench.phone import phone_dataset
@@ -26,7 +27,12 @@ from repro.patterns.matching import matches
 from repro.util.text import format_table
 
 #: Rows in the scaled apply workload (the 300(6) study column, repeated).
-APPLY_ROWS = 30_000
+#: CLX_PERF_ROWS (capped at the default) scales it down for smoke runs,
+#: where the wall-clock assertions are skipped — contended CI runners
+#: only check semantics, not speed.
+FULL_APPLY_ROWS = 30_000
+APPLY_ROWS = min(int(os.environ.get("CLX_PERF_ROWS", str(FULL_APPLY_ROWS))), FULL_APPLY_ROWS)
+SMOKE = APPLY_ROWS < FULL_APPLY_ROWS
 
 
 def _interpret_column(program, values, target):
@@ -71,10 +77,11 @@ def test_perf_engine_vs_interpreter(benchmark):
     print(f"\nFig. 11 workload scaled to {APPLY_ROWS} rows, {len(program)} branches")
     print(format_table(["apply path", "latency", "speedup"], rows))
 
-    assert speedup >= 2.0, (
-        f"compiled apply only {speedup:.2f}x faster than interpretation "
-        f"({engine_seconds * 1000:.1f} ms vs {interpreter_seconds * 1000:.1f} ms)"
-    )
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            f"compiled apply only {speedup:.2f}x faster than interpretation "
+            f"({engine_seconds * 1000:.1f} ms vs {interpreter_seconds * 1000:.1f} ms)"
+        )
 
 
 def test_perf_engine_streaming_overhead(benchmark):
@@ -102,4 +109,5 @@ def test_perf_engine_streaming_overhead(benchmark):
     )
     # Streaming yields TransformOutcome objects per value, so allow slack,
     # but it must stay the same order of magnitude as batch apply.
-    assert stream_seconds < batch_seconds * 6
+    if not SMOKE:
+        assert stream_seconds < batch_seconds * 6

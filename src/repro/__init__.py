@@ -29,7 +29,14 @@ Quickstart:
     ['(734) 645-8397', '(734) 422-8073', '(734) 236-3466']
 """
 
-from repro.clustering import PatternHierarchy, PatternProfiler, profile
+from repro.clustering import (
+    ColumnProfile,
+    IncrementalProfiler,
+    PatternHierarchy,
+    PatternProfiler,
+    profile,
+    profile_stream,
+)
 from repro.core import CLXSession, TransformReport, transform_column
 from repro.dsl import (
     AtomicPlan,
@@ -42,7 +49,7 @@ from repro.dsl import (
     apply_program,
     explain_program,
 )
-from repro.engine import CompiledProgram, TransformEngine, compile_program
+from repro.engine import CompiledProgram, ShardedExecutor, TransformEngine, compile_program
 from repro.patterns import Pattern, parse_pattern, pattern_of_string
 from repro.synthesis import SynthesisResult, Synthesizer, synthesize
 from repro.tokens import Token, TokenClass, tokenize
@@ -62,16 +69,19 @@ __all__ = [
     "Branch",
     "CLXError",
     "CLXSession",
+    "ColumnProfile",
     "CompiledProgram",
     "ConstStr",
     "ContainsGuard",
     "Extract",
+    "IncrementalProfiler",
     "Pattern",
     "PatternHierarchy",
     "PatternParseError",
     "PatternProfiler",
     "ReplaceOperation",
     "SerializationError",
+    "ShardedExecutor",
     "SynthesisError",
     "SynthesisResult",
     "Synthesizer",
@@ -89,6 +99,7 @@ __all__ = [
     "parse_pattern",
     "pattern_of_string",
     "profile",
+    "profile_stream",
     "synthesize",
     "tokenize",
     "transform_column",

@@ -11,7 +11,7 @@ mix*, size and heterogeneity, which these generators preserve.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.util.rand import digits, letters, make_rng
 
@@ -130,6 +130,29 @@ def phone_numbers(
         raw.append(value)
         expected[value] = _render_phone(desired, area, prefix, line)
     return raw, expected
+
+
+def phone_number_stream(
+    count: int,
+    formats: Sequence[str] | None = None,
+    seed: int = 1,
+) -> Iterator[str]:
+    """Yield ``count`` weighted-format phone numbers one at a time.
+
+    The streaming counterpart of :func:`phone_numbers` for scale
+    workloads: nothing is materialized, so a consumer that also streams
+    (e.g. :class:`~repro.clustering.incremental.IncrementalProfiler`)
+    holds memory independent of ``count``.
+    """
+    if formats is None:
+        formats = [name for name, _weight in PHONE_FORMATS if name != "plain"]
+    rng = make_rng(seed)
+    weights = {name: weight for name, weight in PHONE_FORMATS}
+    format_weights = [weights.get(name, 0.1) for name in formats]
+    for _ in range(count):
+        fmt = rng.choices(list(formats), weights=format_weights, k=1)[0]
+        area, prefix, line = _phone_parts(rng)
+        yield _render_phone(fmt, area, prefix, line)
 
 
 # ----------------------------------------------------------------------

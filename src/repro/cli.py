@@ -4,7 +4,9 @@ The CLI exposes the cluster–label–transform loop over CSV files so the
 library can be used without writing Python:
 
 ``repro-clx profile data.csv --column phone``
-    Print the pattern clusters of a column (the Figure 3 view).
+    Print the pattern clusters of a column (the Figure 3 view).  The
+    column is profiled in one streaming pass with bounded memory, so
+    arbitrarily large CSVs work.
 
 ``repro-clx transform data.csv --column phone --target-example "734-422-8073"``
     Synthesize a program for the column, print the explained Replace
@@ -16,7 +18,8 @@ library can be used without writing Python:
 
 ``repro-clx apply phone.clx.json other.csv --column phone``
     Stream any CSV through a saved artifact without re-profiling or
-    re-synthesizing — the apply-anywhere half.
+    re-synthesizing — the apply-anywhere half.  ``--workers N`` fans the
+    rows across N processes with ordered results.
 
 ``repro-clx suite``
     Print the statistics of the bundled 47-task benchmark suite (Table 6).
@@ -30,11 +33,13 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from collections import deque
 from pathlib import Path
-from typing import Deque, Iterator, List, Optional, Sequence
+from typing import Deque, Iterator, List, Optional, Sequence, Tuple
 
+from repro.clustering.incremental import DEFAULT_EXEMPLAR_CAP, IncrementalProfiler
 from repro.core.session import CLXSession
 from repro.engine.executor import TransformEngine
 from repro.util.errors import CLXError
@@ -50,6 +55,23 @@ def _resolve_column(header: List[str], column: str) -> str:
     raise CLXError(f"column {column!r} not found; available: {', '.join(header)}")
 
 
+def _reject_ragged(row: dict, line_num: int, header: List[str], path: Path) -> None:
+    """Refuse rows with more cells than the header (DictReader restkey).
+
+    ``csv.DictReader`` parks surplus cells under the ``None`` restkey;
+    left alone they later explode inside ``csv.DictWriter`` as an opaque
+    ``ValueError: dict contains fields not in fieldnames``.  Fail fast
+    and name the offending row instead.
+    """
+    extras = row.get(None)
+    if extras:
+        raise CLXError(
+            f"{path} line {line_num}: row has {len(header) + len(extras)} cells "
+            f"but the header has {len(header)} columns; fix the row or re-export "
+            "the CSV"
+        )
+
+
 def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], List[str], str]:
     """Read a CSV file and return (rows, header, resolved column name)."""
     with path.open(newline="", encoding="utf-8") as handle:
@@ -57,14 +79,48 @@ def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], L
         if reader.fieldnames is None:
             raise CLXError(f"{path} has no header row")
         header = list(reader.fieldnames)
-        rows = list(reader)
+        rows = []
+        for row in reader:
+            _reject_ragged(row, reader.line_num, header, path)
+            rows.append(row)
     return rows, header, _resolve_column(header, column)
 
 
+def _stream_column(
+    path: Path, column: str, delimiter: str
+) -> Tuple[List[str], str, Iterator[str]]:
+    """Open a CSV for one-pass reading of a single column.
+
+    Returns ``(header, resolved column name, value iterator)``.  The
+    iterator owns the file handle and closes it when exhausted (or
+    garbage-collected), so callers can profile arbitrarily large files
+    without ever materializing them.
+    """
+    handle = path.open(newline="", encoding="utf-8")
+    try:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise CLXError(f"{path} has no header row")
+        header = list(reader.fieldnames)
+        resolved = _resolve_column(header, column)
+    except Exception:
+        handle.close()
+        raise
+
+    def values() -> Iterator[str]:
+        with handle:
+            for row in reader:
+                yield row[resolved] or ""
+
+    return header, resolved, values()
+
+
 def _command_profile(args: argparse.Namespace) -> int:
-    rows, _header, column = _read_column(Path(args.csv), args.column, args.delimiter)
-    values = [row[column] or "" for row in rows]
-    session = CLXSession(values)
+    if args.samples < 0:
+        raise CLXError(f"--samples must be >= 0, got {args.samples}")
+    _header, _column, values = _stream_column(Path(args.csv), args.column, args.delimiter)
+    profiler = IncrementalProfiler(exemplar_cap=max(args.samples, DEFAULT_EXEMPLAR_CAP))
+    session = CLXSession.from_profile(profiler.profile(values))
     table = [
         (summary.pattern.notation(), summary.count, ", ".join(summary.samples))
         for summary in session.pattern_summary(max_samples=args.samples)
@@ -84,25 +140,24 @@ def _resolve_output_column(header: List[str], column: str, requested: Optional[s
     return output_column
 
 
-def _labelled_session(args: argparse.Namespace, values: List[str]) -> Optional[CLXSession]:
-    """Build a session and label its target from the CLI flags (None = usage error)."""
-    session = CLXSession(values)
+def _label_session(session: CLXSession, args: argparse.Namespace) -> bool:
+    """Label the session's target from the CLI flags (False = usage error)."""
     if args.target_pattern:
         session.label_target_from_notation(args.target_pattern)
     elif args.target_example:
         session.label_target_from_string(args.target_example, generalize=args.generalize)
     else:
         print("error: provide --target-pattern or --target-example", file=sys.stderr)
-        return None
-    return session
+        return False
+    return True
 
 
 def _command_transform(args: argparse.Namespace) -> int:
     rows, header, column = _read_column(Path(args.csv), args.column, args.delimiter)
     output_column = _resolve_output_column(header, column, args.output_column)
     values = [row[column] or "" for row in rows]
-    session = _labelled_session(args, values)
-    if session is None:
+    session = CLXSession(values)
+    if not _label_session(session, args):
         return 2
 
     report = session.transform()
@@ -132,17 +187,19 @@ def _command_transform(args: argparse.Namespace) -> int:
 
 
 def _command_compile(args: argparse.Namespace) -> int:
-    rows, _header, column = _read_column(Path(args.csv), args.column, args.delimiter)
-    values = [row[column] or "" for row in rows]
-    session = _labelled_session(args, values)
-    if session is None:
+    # Streaming path: profile the column with bounded memory, then open
+    # the session on the profile — the raw CSV is never materialized.
+    _header, column, values = _stream_column(Path(args.csv), args.column, args.delimiter)
+    profile = IncrementalProfiler().profile(values)
+    session = CLXSession.from_profile(profile)
+    if not _label_session(session, args):
         return 2
 
     compiled = session.compile(
         metadata={
             "column": column,
             "source_csv": Path(args.csv).name,
-            "source_rows": len(values),
+            "source_rows": profile.row_count,
         }
     )
     print("Synthesized Replace operations:", file=sys.stderr)
@@ -163,6 +220,8 @@ def _command_compile(args: argparse.Namespace) -> int:
 
 
 def _command_apply(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise CLXError(f"--workers must be >= 1, got {args.workers}")
     engine = TransformEngine.loads(Path(args.program).read_text(encoding="utf-8"))
     column = args.column or engine.compiled.metadata.get("column")
     if not column:
@@ -188,20 +247,32 @@ def _command_apply(args: argparse.Namespace) -> int:
         out_handle = (
             destination.open("w", newline="", encoding="utf-8") if destination else sys.stdout
         )
+        executor = None
         try:
             writer = csv.DictWriter(out_handle, fieldnames=out_header, delimiter=args.delimiter)
             writer.writeheader()
             # Stream row by row: tee the reader into (row, value) pairs and
-            # let run_iter pull values in chunks so only ``--chunk-size``
-            # rows are ever buffered.
+            # let the executor pull values in chunks so only a bounded
+            # number of rows are ever buffered.
             pending: Deque[dict] = deque()
 
             def _values() -> Iterator[str]:
                 for row in reader:
+                    _reject_ragged(row, reader.line_num, header, source)
                     pending.append(row)
                     yield row[column] or ""
 
-            for outcome in engine.run_iter(_values(), chunk_size=args.chunk_size):
+            if args.workers > 1:
+                from repro.engine.parallel import ShardedExecutor
+
+                executor = ShardedExecutor(
+                    engine, workers=args.workers, chunk_size=args.chunk_size
+                )
+                outcomes = executor.run_iter(_values())
+            else:
+                outcomes = engine.run_iter(_values(), chunk_size=args.chunk_size)
+
+            for outcome in outcomes:
                 row = pending.popleft()
                 row[output_column] = outcome.output
                 writer.writerow(row)
@@ -209,6 +280,8 @@ def _command_apply(args: argparse.Namespace) -> int:
                 if not outcome.matched:
                     flagged += 1
         finally:
+            if executor is not None:
+                executor.close()
             if destination:
                 out_handle.close()
 
@@ -251,7 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("csv", help="input CSV file (with a header row)")
     profile.add_argument("--column", required=True, help="column name or zero-based index")
     profile.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
-    profile.add_argument("--samples", type=int, default=3, help="sample values per pattern")
+    profile.add_argument(
+        "--samples", type=int, default=3, help="sample values per pattern (>= 0)"
+    )
     profile.set_defaults(handler=_command_profile)
 
     transform = subparsers.add_parser("transform", help="normalize a CSV column to a target pattern")
@@ -266,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--generalize",
         type=int,
         default=0,
+        choices=range(0, 4),
         help="refinement rounds applied to the target example's pattern (0-3)",
     )
     transform.add_argument("--output", help="write the transformed CSV here instead of stdout")
@@ -287,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--generalize",
         type=int,
         default=0,
+        choices=range(0, 4),
         help="refinement rounds applied to the target example's pattern (0-3)",
     )
     compile_cmd.add_argument(
@@ -321,6 +398,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="rows buffered at a time while streaming (default 4096)",
     )
+    apply_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fan rows across this many worker processes (default 1, single-process)",
+    )
     apply_cmd.set_defaults(handler=_command_apply)
 
     suite = subparsers.add_parser("suite", help="print the 47-task benchmark suite statistics")
@@ -342,6 +425,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # The reader went away (e.g. `repro-clx apply ... | head`).  Point
+        # stdout at /dev/null so the interpreter's exit-time flush cannot
+        # raise again, and exit with the conventional 128 + SIGPIPE code.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError, AttributeError):
+            pass
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,19 +4,35 @@ The entry point is :class:`~repro.clustering.profiler.PatternProfiler`,
 which performs the two-phase profiling the paper describes — initial
 clustering through tokenization followed by agglomerative refinement —
 and returns a :class:`~repro.clustering.hierarchy.PatternHierarchy`.
+
+For columns too large to materialize,
+:class:`~repro.clustering.incremental.IncrementalProfiler` performs the
+same profiling in one bounded-memory pass, producing a mergeable
+:class:`~repro.clustering.incremental.ColumnProfile` that lowers into
+the same hierarchy.
 """
 
 from repro.clustering.cluster import PatternCluster, initial_clusters
 from repro.clustering.hierarchy import HierarchyNode, PatternHierarchy
+from repro.clustering.incremental import (
+    ColumnProfile,
+    IncrementalProfiler,
+    SampledCluster,
+    profile_stream,
+)
 from repro.clustering.refine import refine_layer
 from repro.clustering.profiler import PatternProfiler, profile
 
 __all__ = [
+    "ColumnProfile",
     "HierarchyNode",
+    "IncrementalProfiler",
     "PatternCluster",
     "PatternHierarchy",
     "PatternProfiler",
+    "SampledCluster",
     "initial_clusters",
     "profile",
+    "profile_stream",
     "refine_layer",
 ]

@@ -39,13 +39,19 @@ class PatternCluster:
         return len(self.values)
 
     def sample(self, count: int = 3) -> List[str]:
-        """First ``count`` distinct values, for display in previews."""
+        """First ``count`` distinct values, for display in previews.
+
+        ``count`` values of zero or less return no samples (the cap is
+        checked before inserting, so ``count=0`` no longer leaks one).
+        """
+        if count <= 0:
+            return []
         seen: "OrderedDict[str, None]" = OrderedDict()
         for value in self.values:
             if value not in seen:
                 seen[value] = None
-            if len(seen) >= count:
-                break
+                if len(seen) >= count:
+                    break
         return list(seen)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -86,7 +86,7 @@ class CLXSession:
         profiler: Optional[PatternProfiler] = None,
         synthesizer: Optional[Synthesizer] = None,
     ) -> None:
-        self._values: List[str] = [str(value) for value in values]
+        self._values: Optional[List[str]] = [str(value) for value in values]
         if not self._values:
             raise ValidationError("CLXSession requires at least one value")
         self._profiler = profiler or PatternProfiler()
@@ -96,6 +96,66 @@ class CLXSession:
         self._result: Optional[SynthesisResult] = None
         self._engine: Optional[TransformEngine] = None
         self._report: Optional[TransformReport] = None
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile: "ColumnProfile | PatternHierarchy",
+        synthesizer: Optional[Synthesizer] = None,
+    ) -> "CLXSession":
+        """Open a session on an already-computed profile, without raw data.
+
+        This is the constant-memory entry point: profile a huge column
+        once with :class:`~repro.clustering.incremental.IncrementalProfiler`
+        (possibly sharded and merged), then label and synthesize against
+        the resulting hierarchy as usual.  The session holds no raw
+        column, so :meth:`transform`, :meth:`preview` and friends raise
+        :class:`~repro.util.errors.ValidationError` — :meth:`compile` the
+        program and run it through a
+        :class:`~repro.engine.executor.TransformEngine` instead.
+
+        Args:
+            profile: A :class:`~repro.clustering.incremental.ColumnProfile`
+                or an already-lowered :class:`PatternHierarchy`.
+            synthesizer: Optional custom synthesizer.
+
+        Raises:
+            ValidationError: If the profile covers no rows.
+        """
+        from repro.clustering.incremental import ColumnProfile
+
+        if isinstance(profile, ColumnProfile):
+            hierarchy = profile.to_hierarchy()
+        elif isinstance(profile, PatternHierarchy):
+            hierarchy = profile
+        else:
+            raise ValidationError(
+                "from_profile expects a ColumnProfile or PatternHierarchy, "
+                f"got {type(profile).__name__}"
+            )
+        if not hierarchy.leaf_nodes:
+            raise ValidationError("cannot open a session on an empty profile")
+
+        session = cls.__new__(cls)
+        session._values = None
+        session._profiler = PatternProfiler()
+        session._synthesizer = synthesizer or Synthesizer()
+        session._hierarchy = hierarchy
+        session._target = None
+        session._result = None
+        session._engine = None
+        session._report = None
+        return session
+
+    def _require_values(self, operation: str) -> List[str]:
+        """The raw column, or a clear error for profile-backed sessions."""
+        if self._values is None:
+            raise ValidationError(
+                f"{operation} needs the raw column, but this session was opened "
+                "from a profile; compile() the program and apply it with a "
+                "TransformEngine instead"
+            )
+        return self._values
 
     def _invalidate_execution(self) -> None:
         """Drop the cached engine and report after the program changed."""
@@ -107,8 +167,13 @@ class CLXSession:
     # ------------------------------------------------------------------
     @property
     def values(self) -> List[str]:
-        """The raw column values the session was created with."""
-        return list(self._values)
+        """The raw column values the session was created with.
+
+        Raises:
+            ValidationError: If the session was opened via
+                :meth:`from_profile` and holds no raw column.
+        """
+        return list(self._require_values("values"))
 
     @property
     def hierarchy(self) -> PatternHierarchy:
@@ -165,8 +230,13 @@ class CLXSession:
         """
         from repro.patterns.generalize import GENERALIZATION_STRATEGIES
 
+        if not 0 <= generalize <= len(GENERALIZATION_STRATEGIES):
+            raise ValidationError(
+                f"generalize must be between 0 and {len(GENERALIZATION_STRATEGIES)}, "
+                f"got {generalize}"
+            )
         pattern = pattern_of_string(example)
-        for strategy in GENERALIZATION_STRATEGIES[: max(0, generalize)]:
+        for strategy in GENERALIZATION_STRATEGIES[:generalize]:
             pattern = strategy(pattern)
         return self.label_target(pattern)
 
@@ -236,7 +306,7 @@ class CLXSession:
         methods.
         """
         if self._report is None:
-            self._report = self.engine().run(self._values)
+            self._report = self.engine().run(self._require_values("transform()"))
         return self._report
 
     def transformed_summary(self, max_samples: int = 3) -> List[PatternSummary]:
@@ -334,7 +404,7 @@ class CLXSession:
     # ------------------------------------------------------------------
     def describe(self) -> str:
         """Multi-line, human-readable description of the current session state."""
-        lines = ["CLX session", f"  rows: {len(self._values)}"]
+        lines = ["CLX session", f"  rows: {self._hierarchy.total_rows}"]
         lines.append(f"  leaf patterns: {len(self._hierarchy.leaf_nodes)}")
         if self._target is not None:
             lines.append(f"  target: {self._target.notation()}")

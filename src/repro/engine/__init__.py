@@ -11,7 +11,11 @@ production scale:
   program + target pattern lowered to a precompiled regex dispatch table
   with full JSON round-trip;
 * :mod:`repro.engine.executor` — :class:`TransformEngine`, the stateless
-  batch/streaming/table executor.
+  batch/streaming/table executor;
+* :mod:`repro.engine.parallel` — :class:`ShardedExecutor`, which fans a
+  compiled program across ``multiprocessing`` workers with ordered,
+  chunked, bounded-memory results (also reachable as
+  :meth:`TransformEngine.run_parallel`).
 
 Typical flow::
 
@@ -26,6 +30,7 @@ Typical flow::
 
 from repro.engine.compiled import CompiledProgram, compile_program
 from repro.engine.executor import TransformEngine
+from repro.engine.parallel import ShardedExecutor
 from repro.engine.serialize import (
     branch_from_dict,
     branch_to_dict,
@@ -43,6 +48,7 @@ from repro.engine.serialize import (
 
 __all__ = [
     "CompiledProgram",
+    "ShardedExecutor",
     "TransformEngine",
     "branch_from_dict",
     "branch_to_dict",

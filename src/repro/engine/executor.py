@@ -16,6 +16,7 @@ shapes are supported:
 
 from __future__ import annotations
 
+import os
 from itertools import islice
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
 
@@ -118,6 +119,37 @@ class TransformEngine:
                 return
             for value in chunk:
                 yield run_one(value)
+
+    def run_parallel(
+        self,
+        values: Iterable[str],
+        workers: Optional[int] = None,
+        chunk_size: int = 8192,
+    ) -> TransformReport:
+        """Batch-apply across ``workers`` processes (order preserved).
+
+        The compiled program is serialized once and rebuilt in each
+        worker; chunks of values are fanned out and reassembled in input
+        order, so the report is identical to :meth:`run`'s.  With one
+        worker (or on a single-CPU host when ``workers`` is None) this
+        falls back to the in-process :meth:`run` — no pool is spawned.
+
+        Args:
+            values: The values to transform.
+            workers: Worker process count; defaults to ``os.cpu_count()``.
+            chunk_size: Values per worker task.
+
+        Returns:
+            The same :class:`~repro.core.result.TransformReport` that
+            :meth:`run` produces.
+        """
+        resolved = workers if workers is not None else (os.cpu_count() or 1)
+        if resolved <= 1:
+            return self.run(list(values))
+        from repro.engine.parallel import ShardedExecutor
+
+        with ShardedExecutor(self._compiled, workers=resolved, chunk_size=chunk_size) as executor:
+            return executor.run(values)
 
     # ------------------------------------------------------------------
     # Tables

@@ -1,0 +1,219 @@
+"""Sharded, multi-process apply — fan one compiled program across workers.
+
+A :class:`~repro.engine.compiled.CompiledProgram` already crosses process
+boundaries for free (it JSON round-trips), so the apply half of CLX
+parallelizes trivially: serialize the artifact once, rebuild it in each
+worker, and stream chunks of values through a pool.  What needs care is
+keeping the protocol cheap and the memory bounded:
+
+* workers never pickle :class:`~repro.patterns.pattern.Pattern` objects
+  back — each chunk returns ``(outputs, pattern_indices)`` where the
+  index points into the program's stable pattern table (target first,
+  then branch patterns in order), and the parent rehydrates real
+  patterns from its own table;
+* :meth:`ShardedExecutor.run_iter` submits chunks through a bounded
+  in-flight window instead of ``Pool.imap`` (whose feeder thread drains
+  the input greedily), so a generator over a huge file is pulled at the
+  pace results are consumed and only ``O(workers * chunk_size)`` rows
+  are ever buffered;
+* results are yielded strictly in input order, so sharded apply is a
+  drop-in replacement for :meth:`TransformEngine.run_iter`.
+
+The executor is exposed through
+:meth:`repro.engine.executor.TransformEngine.run_parallel` and the CLI's
+``apply --workers N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import deque
+from itertools import islice
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.core.result import TransformReport
+from repro.dsl.interpreter import TransformOutcome
+from repro.engine.compiled import CompiledProgram
+from repro.engine.executor import TransformEngine
+from repro.patterns.pattern import Pattern
+from repro.util.errors import ValidationError
+
+#: Default number of values per worker task; large enough to amortize
+#: pickling and dispatch, small enough to keep the pipeline busy.
+DEFAULT_CHUNK_SIZE = 8192
+
+#: Wire format of one processed chunk: transformed outputs plus, per
+#: value, an index into the program's pattern table (-1 = no match).
+ChunkResult = Tuple[List[str], List[int]]
+
+# Per-worker state installed by the pool initializer: the rebuilt program
+# and the pattern -> table-index mapping.
+_WORKER_STATE: Optional[Tuple[CompiledProgram, Dict[Pattern, int]]] = None
+
+
+def _pattern_table(compiled: CompiledProgram) -> List[Pattern]:
+    """The stable pattern table: target first, then branch patterns."""
+    return [compiled.target] + [branch.pattern for branch in compiled.program.branches]
+
+
+def _init_worker(artifact: str) -> None:
+    """Pool initializer: rebuild the compiled program once per worker."""
+    global _WORKER_STATE
+    compiled = CompiledProgram.loads(artifact)
+    index: Dict[Pattern, int] = {}
+    for position, pattern in enumerate(_pattern_table(compiled)):
+        index.setdefault(pattern, position)
+    _WORKER_STATE = (compiled, index)
+
+
+def _apply_chunk(values: List[str]) -> ChunkResult:
+    """Transform one chunk in a worker, returning the compact wire form."""
+    assert _WORKER_STATE is not None, "worker used before initialization"
+    compiled, index = _WORKER_STATE
+    report = compiled.run(values)
+    indices = [
+        -1 if pattern is None else index[pattern]
+        for pattern in report.matched_pattern
+    ]
+    return report.outputs, indices
+
+
+def _chunked(values: Iterable[str], chunk_size: int) -> Iterator[List[str]]:
+    iterator = iter(values)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class ShardedExecutor:
+    """Apply one compiled program across ``multiprocessing`` workers.
+
+    The executor owns a lazily-created worker pool (so constructing one
+    is free until the first run) and can be reused across runs and
+    datasets, like the single-process engine.  Use it as a context
+    manager, or call :meth:`close` when done.
+
+    Args:
+        program: The :class:`CompiledProgram` to execute, or a
+            :class:`TransformEngine` wrapping one.
+        workers: Worker process count; defaults to ``os.cpu_count()``.
+        chunk_size: Values per worker task.
+    """
+
+    def __init__(
+        self,
+        program: Union[CompiledProgram, TransformEngine],
+        workers: Optional[int] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if isinstance(program, TransformEngine):
+            program = program.compiled
+        if not isinstance(program, CompiledProgram):
+            raise ValidationError(
+                "ShardedExecutor requires a CompiledProgram or TransformEngine, "
+                f"got {type(program).__name__}"
+            )
+        resolved = workers if workers is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ValidationError(f"workers must be positive, got {resolved}")
+        if chunk_size < 1:
+            raise ValidationError(f"chunk_size must be positive, got {chunk_size}")
+        self._compiled = program
+        self._artifact = program.dumps()
+        self._table = _pattern_table(program)
+        self._workers = resolved
+        self._chunk_size = chunk_size
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def compiled(self) -> CompiledProgram:
+        """The compiled program this executor fans out."""
+        return self._compiled
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes."""
+        return self._workers
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self._workers,
+                initializer=_init_worker,
+                initargs=(self._artifact,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedExecutor(target={self._compiled.target.notation()!r}, "
+            f"workers={self._workers}, chunk_size={self._chunk_size})"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _rehydrate(self, result: ChunkResult) -> Iterator[TransformOutcome]:
+        outputs, indices = result
+        table = self._table
+        for output, position in zip(outputs, indices):
+            if position < 0:
+                yield TransformOutcome(output=output, matched=False, pattern=None)
+            else:
+                yield TransformOutcome(output=output, matched=True, pattern=table[position])
+
+    def run_iter(self, values: Iterable[str]) -> Iterator[TransformOutcome]:
+        """Stream ``values`` through the worker pool, in input order.
+
+        Chunks are submitted through a bounded window (a few more than
+        there are workers), so the input iterable is consumed at the
+        pace results are drained and memory stays proportional to
+        ``workers * chunk_size`` regardless of input size.
+        """
+        pool = self._ensure_pool()
+        pending: Deque = deque()
+        max_pending = self._workers + 2
+        for chunk in _chunked(values, self._chunk_size):
+            pending.append(pool.apply_async(_apply_chunk, (chunk,)))
+            if len(pending) >= max_pending:
+                yield from self._rehydrate(pending.popleft().get())
+        while pending:
+            yield from self._rehydrate(pending.popleft().get())
+
+    def run(self, values: Iterable[str]) -> TransformReport:
+        """Batch-apply across the pool, returning the usual report.
+
+        Semantically identical to :meth:`TransformEngine.run` — same
+        outputs, same matched patterns, same order.
+        """
+        inputs = list(values)
+        outputs: List[str] = []
+        matched: List[Optional[Pattern]] = []
+        for outcome in self.run_iter(inputs):
+            outputs.append(outcome.output)
+            matched.append(outcome.pattern)
+        return TransformReport(
+            inputs=inputs,
+            outputs=outputs,
+            matched_pattern=matched,
+            target=self._compiled.target,
+        )

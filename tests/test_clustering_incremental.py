@@ -1,0 +1,210 @@
+"""Tests for bounded-memory incremental profiling and profile merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.generators import addresses, human_names, medical_codes
+from repro.bench.phone import phone_dataset
+from repro.clustering.incremental import (
+    ColumnProfile,
+    IncrementalProfiler,
+    SampledCluster,
+    profile_stream,
+)
+from repro.clustering.profiler import PatternProfiler
+from repro.core.session import CLXSession
+from repro.util.errors import ValidationError
+
+
+def _layer_signature(hierarchy):
+    """(pattern notation, size) per node per layer — the comparable core."""
+    return [
+        [(node.pattern.notation(), node.size) for node in layer]
+        for layer in hierarchy.layers
+    ]
+
+
+def _bench_columns():
+    return {
+        "phones": phone_dataset(300, 6, seed=331)[0],
+        "names": human_names(60)[0],
+        "medical": medical_codes(40)[0],
+        "addresses": addresses(50)[0],
+    }
+
+
+class TestBatchEquivalence:
+    @pytest.mark.parametrize("name", list(_bench_columns()))
+    def test_hierarchy_matches_batch_profiler(self, name):
+        values = _bench_columns()[name]
+        batch = PatternProfiler().profile(values)
+        incremental = IncrementalProfiler().profile(iter(values)).to_hierarchy()
+        assert _layer_signature(incremental) == _layer_signature(batch)
+
+    def test_constant_promotion_matches_batch(self, employee_names):
+        # The "Dr." prefix must be promoted identically to the batch path.
+        values = employee_names * 3
+        batch = PatternProfiler().profile(values)
+        incremental = profile_stream(iter(values)).to_hierarchy()
+        assert sorted(p.notation() for p in incremental.leaf_patterns()) == sorted(
+            p.notation() for p in batch.leaf_patterns()
+        )
+
+    def test_total_rows_is_exact(self):
+        values = phone_dataset(500, 4, seed=3)[0]
+        hierarchy = profile_stream(values).to_hierarchy()
+        assert hierarchy.total_rows == 500
+
+    def test_profiles_a_generator_without_len(self):
+        hierarchy = profile_stream(v for v in ["a1", "b2", "c3"]).to_hierarchy()
+        assert hierarchy.total_rows == 3
+
+
+class TestBoundedMemory:
+    def test_exemplars_are_capped(self):
+        values = [f"x{index:05d}" for index in range(1000)]
+        profile = IncrementalProfiler(exemplar_cap=5).profile(values)
+        hierarchy = profile.to_hierarchy()
+        (leaf,) = hierarchy.leaf_nodes
+        assert isinstance(leaf.cluster, SampledCluster)
+        assert leaf.size == 1000
+        assert len(leaf.cluster.values) == 5
+
+    def test_sample_draws_from_exemplars(self):
+        profile = profile_stream(["aa", "bb", "aa", "cc"])
+        (leaf,) = profile.to_hierarchy().leaf_nodes
+        assert leaf.cluster.sample(2) == ["aa", "bb"]
+
+    def test_exemplar_cap_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ColumnProfile(exemplar_cap=0)
+
+
+class TestMerge:
+    def test_shard_then_merge_equals_whole_column(self):
+        for values in _bench_columns().values():
+            third = len(values) // 3
+            shards = [values[:third], values[third : 2 * third], values[2 * third :]]
+            merged = ColumnProfile.merge_all(
+                [IncrementalProfiler().profile(shard) for shard in shards]
+            )
+            whole = IncrementalProfiler().profile(values)
+            assert merged.row_count == whole.row_count
+            assert merged.leaf_counts() == whole.leaf_counts()
+            assert _layer_signature(merged.to_hierarchy()) == _layer_signature(
+                whole.to_hierarchy()
+            )
+
+    def test_merge_is_associative(self):
+        values = phone_dataset(150, 6, seed=9)[0]
+        a, b, c = (
+            IncrementalProfiler().profile(values[index::3]) for index in range(3)
+        )
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.leaf_counts() == right.leaf_counts()
+        assert _layer_signature(left.to_hierarchy()) == _layer_signature(
+            right.to_hierarchy()
+        )
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = profile_stream(["123"])
+        b = profile_stream(["456", "x9"])
+        merged = a.merge(b)
+        assert a.row_count == 1 and b.row_count == 2
+        assert merged.row_count == 3
+
+    def test_merge_intersects_constant_trackers(self):
+        # The constant "Mr " prefix must survive a merge of agreeing
+        # shards and be promoted exactly as the batch profiler does ...
+        shard = ["Mr Smith", "Mr Jones", "Mr Brown"]
+        merged = profile_stream(shard).merge(profile_stream(shard))
+        batch = PatternProfiler().profile(shard * 2)
+        assert _layer_signature(merged.to_hierarchy()) == _layer_signature(batch)
+        assert merged.to_hierarchy().leaf_patterns()[0].notation() == "'M''r'' '<U><L>4"
+
+    def test_merge_demotes_constants_when_shards_disagree(self):
+        # ... while disagreeing shards demote the position, again exactly
+        # like batch-profiling the concatenated column.
+        a = ["Mr Smith", "Mr Jones", "Mr Brown"]
+        b = ["Dr Smith", "Dr Jones", "Dr Brown"]
+        merged = profile_stream(a).merge(profile_stream(b))
+        batch = PatternProfiler().profile(a + b)
+        assert _layer_signature(merged.to_hierarchy()) == _layer_signature(batch)
+
+    def test_merge_rejects_mismatched_configuration(self):
+        a = profile_stream(["1"], exemplar_cap=4)
+        b = profile_stream(["2"], exemplar_cap=8)
+        with pytest.raises(ValidationError):
+            a.merge(b)
+
+    def test_merge_all_requires_a_profile(self):
+        with pytest.raises(ValidationError):
+            ColumnProfile.merge_all([])
+
+
+class TestValidation:
+    def test_empty_iterable_raises(self):
+        with pytest.raises(ValidationError):
+            IncrementalProfiler().profile(iter([]))
+
+    def test_allow_empty_returns_empty_profile(self):
+        profile = IncrementalProfiler(allow_empty=True).profile(iter([]))
+        assert profile.row_count == 0
+        with pytest.raises(ValidationError):
+            profile.to_hierarchy()
+        assert profile.to_hierarchy(allow_empty=True).leaf_nodes == []
+
+    def test_non_unit_constant_threshold_is_rejected(self):
+        with pytest.raises(ValidationError):
+            IncrementalProfiler(constant_threshold=0.9)
+        # Without constant discovery any threshold is fine.
+        IncrementalProfiler(discover_constants=False, constant_threshold=0.9)
+
+
+class TestFromProfile:
+    def test_synthesizes_the_same_program_as_a_full_session(self):
+        values = phone_dataset(300, 6, seed=331)[0]
+        profiled = CLXSession.from_profile(profile_stream(values))
+        profiled.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        full = CLXSession(values)
+        full.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        assert profiled.compile() == full.compile()
+
+    def test_compiled_program_transforms_like_the_full_session(self):
+        values = phone_dataset(120, 4, seed=17)[0]
+        profiled = CLXSession.from_profile(profile_stream(values))
+        profiled.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        engine = profiled.engine()
+        full = CLXSession(values)
+        full.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        assert engine.run(values).outputs == full.transform().outputs
+
+    def test_accepts_a_hierarchy(self):
+        values = phone_dataset(50, 2, seed=5)[0]
+        hierarchy = profile_stream(values).to_hierarchy()
+        session = CLXSession.from_profile(hierarchy)
+        assert session.hierarchy is hierarchy
+
+    def test_pattern_summary_reports_counts_and_samples(self):
+        values = phone_dataset(200, 4, seed=11)[0]
+        session = CLXSession.from_profile(profile_stream(values))
+        summaries = session.pattern_summary()
+        assert sum(summary.count for summary in summaries) == 200
+        assert all(summary.samples for summary in summaries)
+
+    def test_transform_and_values_need_the_raw_column(self):
+        session = CLXSession.from_profile(profile_stream(["734-555-0199"]))
+        session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+        with pytest.raises(ValidationError, match="profile"):
+            session.transform()
+        with pytest.raises(ValidationError, match="profile"):
+            session.values
+
+    def test_rejects_other_types_and_empty_profiles(self):
+        with pytest.raises(ValidationError):
+            CLXSession.from_profile(["not", "a", "profile"])
+        empty = IncrementalProfiler(allow_empty=True).profile(iter([]))
+        with pytest.raises(ValidationError):
+            CLXSession.from_profile(empty)
