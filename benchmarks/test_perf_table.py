@@ -1,0 +1,197 @@
+"""Performance A7 — parallel profiling and pipelined table apply.
+
+PR 2 gave both halves of the loop their constant-memory/sharded shapes;
+this benchmark guards the all-cores layer on top of them:
+
+* **Parallel profile** — :class:`repro.clustering.parallel.ParallelProfiler`
+  must produce the exact leaf patterns and counts of the serial
+  streaming pass while splitting the CSV into byte-range shards that
+  workers parse and profile themselves;
+* **Pipelined table apply** — :class:`repro.engine.parallel.ShardedTableExecutor`
+  must emit byte-identical sink chunks with and without a worker pool,
+  with all CSV codec work off the parent's hot path.
+
+Serial-vs-parallel rows/sec for both paths are recorded into
+``benchmarks/BENCH_pipeline.json`` (a bounded trajectory of recent
+runs).  ``CLX_PERF_ROWS`` scales the workload down for smoke runs;
+speedup assertions only apply at full size on hosts with ≥4 cores
+(CI matrix runners are contended and run the smoke size), correctness
+assertions always apply.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.generators import phone_number_stream
+from repro.bench.phone import phone_dataset
+from repro.clustering.parallel import ParallelProfiler
+from repro.core.session import CLXSession
+from repro.util.text import format_table
+
+#: Rows in the scale workloads; override with CLX_PERF_ROWS for smoke runs.
+FULL_ROWS = 200_000
+ROWS = int(os.environ.get("CLX_PERF_ROWS", str(FULL_ROWS)))
+SMOKE = ROWS < FULL_ROWS
+
+#: Worker count used by the parallel runs (the speedup target is 2x at 4).
+WORKERS = min(4, os.cpu_count() or 1)
+
+#: Where the serial/parallel rows-per-second trajectory is recorded.
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_pipeline.json"
+
+#: Runs kept in the trajectory file.
+TRAJECTORY_LIMIT = 20
+
+
+def _speedup_assertable() -> bool:
+    return not SMOKE and (os.cpu_count() or 1) >= 4
+
+
+@pytest.fixture(scope="module")
+def recorder():
+    """Collects each test's timings and writes the trajectory file."""
+    record = {
+        "rows": ROWS,
+        "workers": WORKERS,
+        "cpu_count": os.cpu_count(),
+        "smoke": SMOKE,
+        "timestamp": time.time(),
+    }
+    yield record
+    try:
+        history = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        runs = history.get("runs", [])
+    except (OSError, ValueError):
+        runs = []
+    runs.append(record)
+    BENCH_PATH.write_text(
+        json.dumps({"runs": runs[-TRAJECTORY_LIMIT:]}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.fixture(scope="module")
+def phone_csv(tmp_path_factory):
+    """A ROWS-row (id, phone) CSV on disk, written once per module."""
+    path = tmp_path_factory.mktemp("perf_table") / "phones.csv"
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "phone"])
+        for index, value in enumerate(phone_number_stream(ROWS, seed=77)):
+            writer.writerow([index, value])
+    return path
+
+
+def test_perf_parallel_profile_speedup(phone_csv, recorder):
+    # Same workload both sides: byte parse + profile of the file, with
+    # one worker (in-process, no pool) vs the full fan-out.
+    start = time.perf_counter()
+    serial = ParallelProfiler(workers=1).profile_file(phone_csv, "phone")
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = ParallelProfiler(workers=WORKERS).profile_file(phone_csv, "phone")
+    parallel_seconds = time.perf_counter() - start
+
+    # Sharding must never change semantics: identical patterns + counts,
+    # hence an identical lowered hierarchy.
+    assert parallel.row_count == serial.row_count == ROWS
+    serial_leaves = [
+        (node.pattern.notation(), node.size) for node in serial.to_hierarchy().leaf_nodes
+    ]
+    parallel_leaves = [
+        (node.pattern.notation(), node.size) for node in parallel.to_hierarchy().leaf_nodes
+    ]
+    assert parallel_leaves == serial_leaves
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    recorder["profile"] = {
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "serial_rows_per_sec": ROWS / serial_seconds,
+        "parallel_rows_per_sec": ROWS / parallel_seconds,
+        "speedup": speedup,
+    }
+    print(f"\nparallel profile over {ROWS} rows on {os.cpu_count()} CPU(s)")
+    rows_table = [
+        ("profile_file(workers=1)", f"{serial_seconds:.2f} s", f"{ROWS / serial_seconds:,.0f} rows/s", "1.0x"),
+        (
+            f"profile_file(workers={WORKERS})",
+            f"{parallel_seconds:.2f} s",
+            f"{ROWS / parallel_seconds:,.0f} rows/s",
+            f"{speedup:.2f}x",
+        ),
+    ]
+    print(format_table(["profile path", "latency", "throughput", "speedup"], rows_table))
+
+    if _speedup_assertable():
+        assert speedup >= 2.0, (
+            f"parallel profile ({parallel_seconds:.2f} s) not >=2x faster than "
+            f"serial ({serial_seconds:.2f} s) with {WORKERS} workers on "
+            f"{os.cpu_count()} CPUs"
+        )
+
+
+def test_perf_pipelined_table_apply_speedup(recorder):
+    from repro.engine.parallel import ShardedTableExecutor
+
+    # Synthesize once on the study column, then scale the apply workload.
+    raw, _expected = phone_dataset(count=300, format_count=6, seed=331)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    engine = session.engine()
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    for index, value in enumerate(phone_number_stream(ROWS, seed=97)):
+        writer.writerow([index, value])
+    lines = buffer.getvalue().splitlines(keepends=True)
+
+    def run(workers):
+        with ShardedTableExecutor(
+            {"phone": engine}, ["id", "phone"], workers=workers
+        ) as executor:
+            start = time.perf_counter()
+            encoded = "".join(chunk for chunk, _, _ in executor.run_chunks(iter(lines)))
+            return encoded, time.perf_counter() - start
+
+    serial_output, serial_seconds = run(1)
+    parallel_output, parallel_seconds = run(WORKERS)
+
+    # Pipelining must never change the sink bytes.
+    assert parallel_output == serial_output
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    recorder["table_apply"] = {
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "serial_rows_per_sec": ROWS / serial_seconds,
+        "parallel_rows_per_sec": ROWS / parallel_seconds,
+        "speedup": speedup,
+    }
+    print(f"\npipelined table apply over {ROWS} rows on {os.cpu_count()} CPU(s)")
+    rows_table = [
+        ("table apply (workers=1)", f"{serial_seconds:.2f} s", f"{ROWS / serial_seconds:,.0f} rows/s", "1.0x"),
+        (
+            f"table apply (workers={WORKERS})",
+            f"{parallel_seconds:.2f} s",
+            f"{ROWS / parallel_seconds:,.0f} rows/s",
+            f"{speedup:.2f}x",
+        ),
+    ]
+    print(format_table(["apply path", "latency", "throughput", "speedup"], rows_table))
+
+    if _speedup_assertable():
+        assert speedup >= 2.0, (
+            f"pipelined table apply ({parallel_seconds:.2f} s) not >=2x faster "
+            f"than serial ({serial_seconds:.2f} s) with {WORKERS} workers on "
+            f"{os.cpu_count()} CPUs"
+        )

@@ -32,6 +32,7 @@ Quickstart:
 from repro.clustering import (
     ColumnProfile,
     IncrementalProfiler,
+    ParallelProfiler,
     PatternHierarchy,
     PatternProfiler,
     profile,
@@ -49,7 +50,14 @@ from repro.dsl import (
     apply_program,
     explain_program,
 )
-from repro.engine import CompiledProgram, ShardedExecutor, TransformEngine, compile_program
+from repro.engine import (
+    ArtifactCache,
+    CompiledProgram,
+    ShardedExecutor,
+    ShardedTableExecutor,
+    TransformEngine,
+    compile_program,
+)
 from repro.patterns import Pattern, parse_pattern, pattern_of_string
 from repro.synthesis import SynthesisResult, Synthesizer, synthesize
 from repro.tokens import Token, TokenClass, tokenize
@@ -70,11 +78,13 @@ __all__ = [
     "CLXError",
     "CLXSession",
     "ColumnProfile",
+    "ArtifactCache",
     "CompiledProgram",
     "ConstStr",
     "ContainsGuard",
     "Extract",
     "IncrementalProfiler",
+    "ParallelProfiler",
     "Pattern",
     "PatternHierarchy",
     "PatternParseError",
@@ -82,6 +92,7 @@ __all__ = [
     "ReplaceOperation",
     "SerializationError",
     "ShardedExecutor",
+    "ShardedTableExecutor",
     "SynthesisError",
     "SynthesisResult",
     "Synthesizer",

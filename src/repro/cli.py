@@ -18,8 +18,13 @@ library can be used without writing Python:
 
 ``repro-clx apply phone.clx.json other.csv --column phone``
     Stream any CSV through a saved artifact without re-profiling or
-    re-synthesizing — the apply-anywhere half.  ``--workers N`` fans the
-    rows across N processes with ordered results.
+    re-synthesizing — the apply-anywhere half.  Several artifacts apply
+    to several columns in the same single pass (``apply a.clx.json
+    b.clx.json table.csv --column one --column two``); ``--workers N``
+    fans raw CSV chunks across N processes that parse, transform, and
+    re-encode worker-side, so the parent only splices ordered encoded
+    chunks into the sink; ``--format jsonl`` emits JSON Lines through
+    the same streaming writer.
 
 ``repro-clx suite``
     Print the statistics of the bundled 47-task benchmark suite (Table 6).
@@ -35,24 +40,21 @@ import argparse
 import csv
 import os
 import sys
-from collections import deque
 from pathlib import Path
-from typing import Deque, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.clustering.incremental import DEFAULT_EXEMPLAR_CAP, IncrementalProfiler
 from repro.core.session import CLXSession
 from repro.engine.executor import TransformEngine
+from repro.util.csvio import resolve_column
 from repro.util.errors import CLXError
 from repro.util.text import format_table
+from repro.util.validate import validated_chunk_size, validated_workers
 
 
-def _resolve_column(header: List[str], column: str) -> str:
-    """Resolve a column given by name or zero-based index against the header."""
-    if column in header:
-        return column
-    if column.isdigit() and int(column) < len(header):
-        return header[int(column)]
-    raise CLXError(f"column {column!r} not found; available: {', '.join(header)}")
+# Column addressing (name or zero-based index) resolves through the
+# shared helper so the CLI, profiler, and table executor agree.
+_resolve_column = resolve_column
 
 
 def _reject_ragged(row: dict, line_num: int, header: List[str], path: Path) -> None:
@@ -118,9 +120,20 @@ def _stream_column(
 def _command_profile(args: argparse.Namespace) -> int:
     if args.samples < 0:
         raise CLXError(f"--samples must be >= 0, got {args.samples}")
-    _header, _column, values = _stream_column(Path(args.csv), args.column, args.delimiter)
+    workers = validated_workers(args.workers, "--workers")
     profiler = IncrementalProfiler(exemplar_cap=max(args.samples, DEFAULT_EXEMPLAR_CAP))
-    session = CLXSession.from_profile(profiler.profile(values))
+    if workers > 1:
+        # Byte-range fan-out: the file is split into newline-aligned
+        # shards and every worker parses + profiles its own range; the
+        # parent only reads the header and merges shard profiles.
+        from repro.clustering.parallel import ParallelProfiler
+
+        parallel = ParallelProfiler(profiler=profiler, workers=workers)
+        profile = parallel.profile_file(Path(args.csv), args.column, delimiter=args.delimiter)
+    else:
+        _header, _column, values = _stream_column(Path(args.csv), args.column, args.delimiter)
+        profile = profiler.profile(values)
+    session = CLXSession.from_profile(profile)
     table = [
         (summary.pattern.notation(), summary.count, ", ".join(summary.samples))
         for summary in session.pattern_summary(max_samples=args.samples)
@@ -187,23 +200,65 @@ def _command_transform(args: argparse.Namespace) -> int:
 
 
 def _command_compile(args: argparse.Namespace) -> int:
+    if not (args.target_pattern or args.target_example):
+        print("error: provide --target-pattern or --target-example", file=sys.stderr)
+        return 2
     # Streaming path: profile the column with bounded memory, then open
     # the session on the profile — the raw CSV is never materialized.
     _header, column, values = _stream_column(Path(args.csv), args.column, args.delimiter)
     profile = IncrementalProfiler().profile(values)
-    session = CLXSession.from_profile(profile)
-    if not _label_session(session, args):
-        return 2
 
-    compiled = session.compile(
-        metadata={
-            "column": column,
-            "source_csv": Path(args.csv).name,
-            "source_rows": profile.row_count,
-        }
-    )
+    # Content-addressed artifact cache: same column distribution + same
+    # target + same flags = same program, so a hit skips synthesis.
+    cache = None
+    key = None
+    compiled = None
+    if args.cache_dir:
+        from repro.engine.cache import ArtifactCache, cache_key
+
+        cache = ArtifactCache(args.cache_dir)
+        if args.target_pattern:
+            target_spec, flags = f"pattern:{args.target_pattern}", {}
+        else:
+            target_spec, flags = (
+                f"example:{args.target_example}",
+                {"generalize": args.generalize},
+            )
+        # The column name is part of the key: the artifact's metadata
+        # records it, and a later `apply` resolves the column from that
+        # metadata — a hit across identically-distributed but
+        # differently-named columns would silently transform the wrong
+        # column.
+        flags["column"] = column
+        key = cache_key(profile.fingerprint(), target_spec, flags)
+        compiled = cache.load(key)
+
+    if compiled is None:
+        session = CLXSession.from_profile(profile)
+        if not _label_session(session, args):
+            return 2
+        compiled = session.compile(
+            metadata={
+                "column": column,
+                "source_csv": Path(args.csv).name,
+                "source_rows": profile.row_count,
+            }
+        )
+        if cache is not None:
+            assert key is not None
+            stored = cache.store(key, compiled)
+            print(f"cached artifact at {stored}", file=sys.stderr)
+    else:
+        assert cache is not None and key is not None
+        print(
+            f"cache hit: reusing artifact {cache.path(key)} (no synthesis)",
+            file=sys.stderr,
+        )
+
+    from repro.dsl.explain import explain_program
+
     print("Synthesized Replace operations:", file=sys.stderr)
-    for operation in session.explain():
+    for operation in explain_program(compiled.program):
         print(f"  {operation}", file=sys.stderr)
 
     text = compiled.dumps(indent=2)
@@ -219,75 +274,104 @@ def _command_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _paired_apply_columns(
+    engines: List[TransformEngine], requested: List[str], header: List[str]
+) -> List[str]:
+    """Resolve one input column per artifact, by flag or artifact metadata."""
+    if requested and len(requested) != len(engines):
+        raise CLXError(
+            f"{len(engines)} program(s) but {len(requested)} --column flag(s); "
+            "give one --column per program (in order) or none to use the "
+            "columns recorded in the artifacts"
+        )
+    columns: List[str] = []
+    for position, engine in enumerate(engines):
+        if requested:
+            column = requested[position]
+        else:
+            column = engine.compiled.metadata.get("column")
+            if not column:
+                raise CLXError(
+                    f"artifact #{position + 1} records no source column; provide --column"
+                )
+        column = _resolve_column(header, column)
+        if column in columns:
+            raise CLXError(f"column {column!r} is targeted by more than one program")
+        columns.append(column)
+    return columns
+
+
 def _command_apply(args: argparse.Namespace) -> int:
-    if args.workers < 1:
-        raise CLXError(f"--workers must be >= 1, got {args.workers}")
-    engine = TransformEngine.loads(Path(args.program).read_text(encoding="utf-8"))
-    column = args.column or engine.compiled.metadata.get("column")
-    if not column:
-        raise CLXError("the artifact records no source column; provide --column")
+    workers = validated_workers(args.workers, "--workers")
+    chunk_size = validated_chunk_size(args.chunk_size, "--chunk-size")
+    if args.output_column and len(args.program) > 1:
+        raise CLXError(
+            "--output-column is ambiguous with multiple programs; "
+            "use --in-place or the default <column>_transformed names"
+        )
+    engines = [
+        TransformEngine.loads(Path(program).read_text(encoding="utf-8"))
+        for program in args.program
+    ]
 
     source = Path(args.csv)
     destination = Path(args.output) if args.output else None
     flagged = 0
     total = 0
     with source.open(newline="", encoding="utf-8") as in_handle:
-        reader = csv.DictReader(in_handle, delimiter=args.delimiter)
-        if reader.fieldnames is None:
-            raise CLXError(f"{source} has no header row")
-        header = list(reader.fieldnames)
-        column = _resolve_column(header, column)
+        # Parse exactly one record — the header — then hand the raw,
+        # unparsed data lines to the executor: with --workers N the CSV
+        # codec runs entirely worker-side and the parent only splices
+        # ordered encoded chunks into the sink.
+        reader = csv.reader(in_handle, delimiter=args.delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise CLXError(f"{source} has no header row") from None
+        first_data_line = reader.line_num + 1
+
+        columns = _paired_apply_columns(engines, args.column or [], header)
         if args.in_place:
-            output_column = column
-            out_header = header
+            output_columns = {column: column for column in columns}
         else:
-            output_column = _resolve_output_column(header, column, args.output_column)
-            out_header = header + [output_column]
+            output_columns = {
+                column: _resolve_output_column(
+                    header, column, args.output_column if len(columns) == 1 else None
+                )
+                for column in columns
+            }
+
+        from repro.engine.parallel import ShardedTableExecutor
 
         out_handle = (
             destination.open("w", newline="", encoding="utf-8") if destination else sys.stdout
         )
-        executor = None
         try:
-            writer = csv.DictWriter(out_handle, fieldnames=out_header, delimiter=args.delimiter)
-            writer.writeheader()
-            # Stream row by row: tee the reader into (row, value) pairs and
-            # let the executor pull values in chunks so only a bounded
-            # number of rows are ever buffered.
-            pending: Deque[dict] = deque()
-
-            def _values() -> Iterator[str]:
-                for row in reader:
-                    _reject_ragged(row, reader.line_num, header, source)
-                    pending.append(row)
-                    yield row[column] or ""
-
-            if args.workers > 1:
-                from repro.engine.parallel import ShardedExecutor
-
-                executor = ShardedExecutor(
-                    engine, workers=args.workers, chunk_size=args.chunk_size
-                )
-                outcomes = executor.run_iter(_values())
-            else:
-                outcomes = engine.run_iter(_values(), chunk_size=args.chunk_size)
-
-            for outcome in outcomes:
-                row = pending.popleft()
-                row[output_column] = outcome.output
-                writer.writerow(row)
-                total += 1
-                if not outcome.matched:
-                    flagged += 1
+            with ShardedTableExecutor(
+                dict(zip(columns, engines)),
+                header,
+                output_columns=output_columns,
+                out_format=args.format,
+                delimiter=args.delimiter,
+                source=str(source),
+                workers=workers,
+                chunk_size=chunk_size,
+            ) as executor:
+                out_handle.write(executor.header_text())
+                for encoded, rows, chunk_flagged in executor.run_chunks(
+                    in_handle, first_line=first_data_line
+                ):
+                    out_handle.write(encoded)
+                    total += rows
+                    flagged += chunk_flagged
         finally:
-            if executor is not None:
-                executor.close()
             if destination:
                 out_handle.close()
 
+    branches = sum(len(engine.compiled) for engine in engines)
     print(
-        f"applied {len(engine.compiled)}-branch program to {total} rows; "
-        f"{flagged} flagged for review",
+        f"applied {branches}-branch program{'s' if len(engines) > 1 else ''} "
+        f"to {total} rows; {flagged} flagged for review",
         file=sys.stderr,
     )
     return 0 if flagged == 0 else 1
@@ -326,6 +410,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
     profile.add_argument(
         "--samples", type=int, default=3, help="sample values per pattern (>= 0)"
+    )
+    profile.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="profile byte-range shards of the file across this many worker "
+        "processes and merge (default 1, single-process streaming)",
     )
     profile.set_defaults(handler=_command_profile)
 
@@ -369,20 +460,40 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument(
         "--output", help="write the .clx.json artifact here instead of stdout"
     )
+    compile_cmd.add_argument(
+        "--cache-dir",
+        help="content-addressed artifact cache: reuse a previously compiled "
+        "artifact when the column distribution, target, and flags match "
+        "(zero synthesis on a hit)",
+    )
     compile_cmd.set_defaults(handler=_command_compile)
 
     apply_cmd = subparsers.add_parser(
         "apply",
-        help="stream a CSV through a saved .clx.json artifact (no re-profiling)",
+        help="stream a CSV through saved .clx.json artifacts (no re-profiling)",
     )
-    apply_cmd.add_argument("program", help="a .clx.json artifact written by 'compile'")
+    apply_cmd.add_argument(
+        "program",
+        nargs="+",
+        help=".clx.json artifact(s) written by 'compile'; several artifacts "
+        "transform several columns in the same single pass",
+    )
     apply_cmd.add_argument("csv", help="input CSV file (with a header row)")
     apply_cmd.add_argument(
         "--column",
-        help="column to transform (default: the column recorded in the artifact)",
+        action="append",
+        help="column to transform, one per program in order (default: the "
+        "column recorded in each artifact)",
     )
     apply_cmd.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
-    apply_cmd.add_argument("--output", help="write the transformed CSV here instead of stdout")
+    apply_cmd.add_argument("--output", help="write the transformed output here instead of stdout")
+    apply_cmd.add_argument(
+        "--format",
+        choices=("csv", "jsonl"),
+        default="csv",
+        help="sink format: csv (default) or jsonl (one JSON object per row, "
+        "no header)",
+    )
     destination_group = apply_cmd.add_mutually_exclusive_group()
     destination_group.add_argument(
         "--output-column", help="name of the added column (default <column>_transformed)"
@@ -396,13 +507,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size",
         type=int,
         default=4096,
-        help="rows buffered at a time while streaming (default 4096)",
+        help="CSV lines per chunk while streaming (default 4096)",
     )
     apply_cmd.add_argument(
         "--workers",
         type=int,
         default=1,
-        help="fan rows across this many worker processes (default 1, single-process)",
+        help="fan raw CSV chunks across this many worker processes that "
+        "parse, transform, and re-encode worker-side (default 1, "
+        "single-process)",
     )
     apply_cmd.set_defaults(handler=_command_apply)
 

@@ -9,7 +9,9 @@ For columns too large to materialize,
 :class:`~repro.clustering.incremental.IncrementalProfiler` performs the
 same profiling in one bounded-memory pass, producing a mergeable
 :class:`~repro.clustering.incremental.ColumnProfile` that lowers into
-the same hierarchy.
+the same hierarchy; :class:`~repro.clustering.parallel.ParallelProfiler`
+fans shards of an iterable (or byte ranges of a CSV file) across worker
+processes and merges, so Cluster itself runs on all cores.
 """
 
 from repro.clustering.cluster import PatternCluster, initial_clusters
@@ -20,6 +22,7 @@ from repro.clustering.incremental import (
     SampledCluster,
     profile_stream,
 )
+from repro.clustering.parallel import ParallelProfiler
 from repro.clustering.refine import refine_layer
 from repro.clustering.profiler import PatternProfiler, profile
 
@@ -27,6 +30,7 @@ __all__ = [
     "ColumnProfile",
     "HierarchyNode",
     "IncrementalProfiler",
+    "ParallelProfiler",
     "PatternCluster",
     "PatternHierarchy",
     "PatternProfiler",

@@ -204,6 +204,40 @@ class ColumnProfile:
         """Row count per raw (pre-promotion) leaf pattern."""
         return {pattern: acc.count for pattern, acc in self._clusters.items()}
 
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines the lowered hierarchy.
+
+        Two profiles with the same fingerprint lower to the same
+        :class:`PatternHierarchy` (up to exemplar selection) and
+        therefore synthesize the same program for a given target: the
+        hash covers the leaf patterns, their row counts, the surviving
+        constant-tracker pieces (which decide constant promotion), and
+        the configuration knobs that shape lowering.  This is the
+        column half of the artifact cache key used by
+        :class:`~repro.engine.cache.ArtifactCache`.
+        """
+        import hashlib
+        import json
+
+        entries = sorted(
+            (pattern.notation(), accumulator.count, accumulator.pieces)
+            for pattern, accumulator in self._clusters.items()
+        )
+        payload = json.dumps(
+            {
+                "rows": self._row_count,
+                "clusters": entries,
+                "discover_constants": self._discover_constants,
+                "strategies": [
+                    getattr(strategy, "__name__", repr(strategy))
+                    for strategy in self._strategies
+                ],
+            },
+            sort_keys=True,
+            ensure_ascii=False,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ColumnProfile(rows={self._row_count}, clusters={len(self._clusters)})"
 

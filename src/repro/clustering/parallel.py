@@ -1,0 +1,317 @@
+"""Parallel shard-merge profiling — Cluster on all cores.
+
+:class:`~repro.clustering.incremental.IncrementalProfiler` made one core
+profile arbitrarily large columns in bounded memory, and
+:meth:`~repro.clustering.incremental.ColumnProfile.merge` made the
+result associative.  This module supplies the missing piece: the shard
+*sources*.  :class:`ParallelProfiler` splits the input, profiles every
+shard in a separate process, and reduces with
+:meth:`~repro.clustering.incremental.ColumnProfile.merge_all`, producing
+the same leaf patterns and counts — and therefore the same lowered
+:class:`~repro.clustering.hierarchy.PatternHierarchy` — as the serial
+pass.
+
+Two shard sources are supported:
+
+* **iterables** (:meth:`ParallelProfiler.profile`) — chunks of values
+  are fanned out through a bounded in-flight window, so a generator
+  over a huge stream is pulled at the pace shard profiles come back;
+* **CSV files on disk** (:meth:`ParallelProfiler.profile_file`) —
+  the file is split into newline-aligned **byte ranges**, one per
+  worker, and each worker parses its own range; the parent process
+  never touches a single data row.  (Alignment is by physical line, so
+  quoted fields containing embedded newlines are detected and rejected
+  in this mode — profile such files with one worker, or through
+  :meth:`profile`, instead.)
+
+With one worker both entry points degrade to the serial profiler in
+process — no pool is spawned.  A worker process that dies mid-shard
+raises :class:`~repro.util.errors.CLXError` in the parent instead of
+hanging it.
+"""
+
+from __future__ import annotations
+
+import csv
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.clustering.hierarchy import PatternHierarchy
+from repro.clustering.incremental import ColumnProfile, IncrementalProfiler
+from repro.util.csvio import record_open_after, resolve_column
+from repro.util.errors import ValidationError
+from repro.util.pools import chunked, map_ordered
+from repro.util.validate import validated_chunk_size, validated_workers
+
+#: Default number of values per fan-out chunk for iterable inputs; large
+#: enough to amortize pickling, small enough to keep every worker busy.
+DEFAULT_CHUNK_ROWS = 16_384
+
+# Worker globals installed by the pool initializers (one pool profiles
+# exactly one column, so module globals are safe).
+_WORKER_PROFILER: Optional[IncrementalProfiler] = None
+_WORKER_FILE: Optional[Tuple[str, int, str, str]] = None
+
+
+def _init_chunk_worker(profiler: IncrementalProfiler) -> None:
+    global _WORKER_PROFILER
+    _WORKER_PROFILER = profiler
+
+
+def _profile_chunk(values: List[str]) -> ColumnProfile:
+    """Profile one fan-out chunk of raw values in a worker."""
+    assert _WORKER_PROFILER is not None, "worker used before initialization"
+    return _WORKER_PROFILER.new_profile().observe_all(values)
+
+
+def _init_file_worker(
+    profiler: IncrementalProfiler, path: str, column_index: int, delimiter: str, encoding: str
+) -> None:
+    global _WORKER_PROFILER, _WORKER_FILE
+    _WORKER_PROFILER = profiler
+    _WORKER_FILE = (path, column_index, delimiter, encoding)
+
+
+def _shard_lines(
+    path: str, start: int, end: int, encoding: str, skip_first: bool
+) -> Iterator[str]:
+    """Decoded physical lines of ``path`` owned by the shard [start, end).
+
+    The ownership rule is the classic byte-range one: a shard that does
+    not begin at the data start discards its first ``readline`` (that
+    line — whole or partial — was read to completion by the previous
+    shard) and then owns every line *beginning* at or before ``end``,
+    reading the last one past ``end`` if it straddles the boundary.
+    Contiguous shards therefore partition the file's lines exactly, no
+    matter where the byte boundaries fall.
+    """
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        if skip_first:
+            handle.readline()
+        while handle.tell() <= end:
+            raw = handle.readline()
+            if not raw:
+                return
+            yield raw.decode(encoding)
+
+
+def _single_record_lines(lines: Iterable[str], delimiter: str) -> Iterator[str]:
+    """Pass lines through, refusing records that span physical lines.
+
+    Byte-range shards align on physical lines, so a quoted field with
+    an embedded newline parses differently depending on where the shard
+    boundaries fall — silent corruption.  The line that *opens* such a
+    field is owned by exactly one shard, and (until the first
+    multi-line record) every shard's scan starts at a true record
+    boundary, so checking each owned line with the csv module's own
+    quoting rules (:func:`~repro.util.csvio.record_open_after`; a stray
+    ``"`` in an unquoted cell is data, not a delimiter) catches such
+    files deterministically, whatever the boundaries.
+    """
+    for line in lines:
+        if record_open_after(line, delimiter):
+            raise ValidationError(
+                "byte-range profiling aligns shards on physical lines and "
+                "cannot parse quoted fields containing embedded newlines; "
+                "profile this file with workers=1 (or stream its rows "
+                "through ParallelProfiler.profile) instead"
+            )
+        yield line
+
+
+def _profile_file_shard(span: Tuple[int, int, bool]) -> ColumnProfile:
+    """Profile one byte-range shard of the worker's file."""
+    assert _WORKER_PROFILER is not None and _WORKER_FILE is not None
+    path, column_index, delimiter, encoding = _WORKER_FILE
+    profile = _WORKER_PROFILER.new_profile()
+    reader = csv.reader(
+        _single_record_lines(
+            _shard_lines(path, span[0], span[1], encoding, skip_first=span[2]),
+            delimiter,
+        ),
+        delimiter=delimiter,
+    )
+    for row in reader:
+        if not row:
+            continue  # blank line, as csv.DictReader skips them
+        profile.observe(row[column_index] if column_index < len(row) else "")
+    return profile
+
+
+def _read_header(path: Path, delimiter: str, encoding: str) -> Tuple[List[str], int]:
+    """The CSV header row of ``path`` and the byte offset where data starts."""
+    raw_header = b""
+    record_open = False
+    with path.open("rb") as handle:
+        # Accumulate physical lines until the header record closes, so
+        # a (rare) quoted header field containing a newline stays
+        # intact — tracked with csv quoting semantics, since a stray
+        # ``"`` in an unquoted header cell is data, not a delimiter.
+        while True:
+            line = handle.readline()
+            if not line:
+                break
+            raw_header += line
+            record_open = record_open_after(line.decode(encoding), delimiter, record_open)
+            if not record_open:
+                break
+        data_start = handle.tell()
+    text = raw_header.decode(encoding)
+    if not text.strip():
+        raise ValidationError(f"{path} has no header row")
+    header = next(csv.reader([text], delimiter=delimiter))
+    return header, data_start
+
+
+def _resolve_column_index(header: List[str], column: Union[str, int]) -> int:
+    """Resolve a column given by name or zero-based index against the header."""
+    return header.index(resolve_column(header, column))
+
+
+@dataclass
+class ParallelProfiler:
+    """Profile a column across worker processes, shard-then-merge.
+
+    The per-shard work is an ordinary
+    :class:`~repro.clustering.incremental.IncrementalProfiler` pass and
+    the reduce is the associative
+    :meth:`~repro.clustering.incremental.ColumnProfile.merge_all`, so
+    the result has exactly the serial path's leaf patterns and counts
+    (exemplar *selection* may differ once a reservoir fills — the same
+    caveat shard-merge always had).
+
+    Attributes:
+        profiler: Configuration of the per-shard profiling pass.
+        workers: Worker process count; ``None`` means ``os.cpu_count()``.
+            With one worker everything runs in-process.
+        chunk_size: Values per fan-out chunk for iterable inputs.
+    """
+
+    profiler: IncrementalProfiler = field(default_factory=IncrementalProfiler)
+    workers: Optional[int] = None
+    chunk_size: int = DEFAULT_CHUNK_ROWS
+
+    def __post_init__(self) -> None:
+        self.workers = validated_workers(self.workers)
+        self.chunk_size = validated_chunk_size(self.chunk_size)
+        if not isinstance(self.profiler, IncrementalProfiler):
+            raise ValidationError(
+                "ParallelProfiler requires an IncrementalProfiler, "
+                f"got {type(self.profiler).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # Iterable fan-out
+    # ------------------------------------------------------------------
+    def profile(self, values: Iterable[str]) -> ColumnProfile:
+        """Profile any iterable by fanning chunks across the workers.
+
+        Chunks are submitted through a bounded in-flight window and the
+        shard profiles are merged in input order, so the input is
+        consumed lazily and exemplar reservoirs fill in stream order
+        like the serial pass.
+
+        Raises:
+            ValidationError: If the iterable is empty and the underlying
+                profiler does not ``allow_empty``.
+        """
+        if self.workers == 1:
+            return self.profiler.profile(values)
+        merged: Optional[ColumnProfile] = None
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_chunk_worker,
+            initargs=(self.profiler,),
+        ) as pool:
+            shards = map_ordered(
+                pool, _profile_chunk, chunked(values, self.chunk_size), self.workers + 2
+            )
+            for shard in shards:
+                merged = shard if merged is None else merged.merge(shard)
+        if merged is None:
+            merged = self.profiler.new_profile()
+        return self._checked(merged)
+
+    # ------------------------------------------------------------------
+    # Byte-range file fan-out
+    # ------------------------------------------------------------------
+    def profile_file(
+        self,
+        path: Union[str, Path],
+        column: Union[str, int],
+        delimiter: str = ",",
+        encoding: str = "utf-8",
+    ) -> ColumnProfile:
+        """Profile one column of a CSV file via byte-range shards.
+
+        The parent reads only the header; the data region is split into
+        ``workers`` newline-aligned byte ranges and each worker parses
+        and profiles its own range, so CSV decoding itself runs on all
+        cores.  Rows shorter than the header contribute ``""`` for a
+        missing column and surplus cells are ignored, matching the
+        streaming profile path of the CLI.
+
+        Quoted fields with embedded newlines are **not** supported with
+        multiple workers (shard boundaries align on physical lines);
+        such files are detected and rejected — profile them with one
+        worker, or via :meth:`profile` over a row iterator.
+
+        Raises:
+            ValidationError: If the header is missing, the column is
+                unknown, the file has no data rows (and the profiler
+                does not ``allow_empty``), or a multi-worker run meets
+                a record spanning physical lines.
+        """
+        source = Path(path)
+        header, data_start = _read_header(source, delimiter, encoding)
+        column_index = _resolve_column_index(header, column)
+        size = source.stat().st_size
+
+        if self.workers == 1 or size <= data_start:
+            reader = csv.reader(
+                _shard_lines(str(source), data_start, size, encoding, skip_first=False),
+                delimiter=delimiter,
+            )
+            values = (
+                row[column_index] if column_index < len(row) else ""
+                for row in reader
+                if row
+            )
+            profile = self.profiler.new_profile().observe_all(values)
+            return self._checked(profile)
+
+        spans = self._file_spans(data_start, size)
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_file_worker,
+            initargs=(self.profiler, str(source), column_index, delimiter, encoding),
+        ) as pool:
+            shards = list(map_ordered(pool, _profile_file_shard, spans, len(spans)))
+        return self._checked(ColumnProfile.merge_all(shards))
+
+    def _file_spans(self, start: int, end: int) -> List[Tuple[int, int, bool]]:
+        """Split [start, end) into up to ``workers`` contiguous byte ranges.
+
+        Every range except the first carries ``skip_first=True`` — its
+        opening line (whole or partial) is owned by the previous range.
+        """
+        span = max(1, (end - start + self.workers - 1) // self.workers)
+        return [
+            (offset, min(offset + span, end), offset != start)
+            for offset in range(start, end, span)
+        ]
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def hierarchy(self, values: Iterable[str]) -> PatternHierarchy:
+        """Profile ``values`` in parallel and lower into a hierarchy."""
+        return self.profile(values).to_hierarchy(allow_empty=self.profiler.allow_empty)
+
+    def _checked(self, profile: ColumnProfile) -> ColumnProfile:
+        if profile.row_count == 0 and not self.profiler.allow_empty:
+            raise ValidationError("cannot profile an empty dataset")
+        return profile

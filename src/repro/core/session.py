@@ -309,6 +309,51 @@ class CLXSession:
             self._report = self.engine().run(self._require_values("transform()"))
         return self._report
 
+    def apply_table(
+        self,
+        rows,
+        columns,
+        workers: Optional[int] = None,
+        chunk_size: int = 8192,
+    ) -> List[Dict[str, object]]:
+        """Apply this session's verified program to columns of a table.
+
+        The apply-anywhere bridge at session level: the program is
+        synthesized once (under the usual labelling/verification flow)
+        and then run over any table — including one the session never
+        profiled — through the one-pass
+        :meth:`~repro.engine.executor.TransformEngine.transform_table`
+        machinery, optionally fanned across worker processes.
+
+        Args:
+            rows: Iterable of row mappings (e.g. ``csv.DictReader`` rows).
+                Rows are copied; the input is never mutated.
+            columns: A column name, or a sequence of column names, each
+                transformed by this session's program.
+            workers: ``None`` or 1 runs in-process; larger values fan
+                chunks of rows across worker processes.
+            chunk_size: Rows per chunk / worker task.
+
+        Returns:
+            New row dicts with each named column replaced by its
+            transformed value.
+
+        Raises:
+            ValidationError: If no target has been labelled, a named
+                column is missing from some row, or ``workers`` /
+                ``chunk_size`` is invalid.
+        """
+        names = [columns] if isinstance(columns, str) else list(columns)
+        if not names:
+            raise ValidationError("apply_table needs at least one column name")
+        engine = self.engine()
+        return TransformEngine.transform_table(
+            rows,
+            {name: engine for name in names},
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+
     def transformed_summary(self, max_samples: int = 3) -> List[PatternSummary]:
         """Pattern clusters of the *transformed* data (Figure 2 of the paper)."""
         report = self.transform()

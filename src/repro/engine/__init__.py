@@ -13,9 +13,14 @@ production scale:
 * :mod:`repro.engine.executor` — :class:`TransformEngine`, the stateless
   batch/streaming/table executor;
 * :mod:`repro.engine.parallel` — :class:`ShardedExecutor`, which fans a
-  compiled program across ``multiprocessing`` workers with ordered,
-  chunked, bounded-memory results (also reachable as
-  :meth:`TransformEngine.run_parallel`).
+  compiled program across worker processes with ordered, chunked,
+  bounded-memory results (also reachable as
+  :meth:`TransformEngine.run_parallel`), and
+  :class:`ShardedTableExecutor`, the pipelined multi-column table apply
+  whose workers parse and re-encode CSV/JSONL chunks themselves;
+* :mod:`repro.engine.cache` — :class:`ArtifactCache`, a
+  content-addressed store of compiled artifacts keyed on (column
+  fingerprint, target, flags).
 
 Typical flow::
 
@@ -28,9 +33,10 @@ Typical flow::
         ...
 """
 
+from repro.engine.cache import ArtifactCache, cache_key
 from repro.engine.compiled import CompiledProgram, compile_program
 from repro.engine.executor import TransformEngine
-from repro.engine.parallel import ShardedExecutor
+from repro.engine.parallel import ShardedExecutor, ShardedTableExecutor, TableSpec
 from repro.engine.serialize import (
     branch_from_dict,
     branch_to_dict,
@@ -47,10 +53,14 @@ from repro.engine.serialize import (
 )
 
 __all__ = [
+    "ArtifactCache",
     "CompiledProgram",
     "ShardedExecutor",
+    "ShardedTableExecutor",
+    "TableSpec",
     "TransformEngine",
     "branch_from_dict",
+    "cache_key",
     "branch_to_dict",
     "compile_program",
     "expression_from_dict",

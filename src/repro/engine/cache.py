@@ -1,0 +1,113 @@
+"""Content-addressed cache of compiled ``.clx.json`` artifacts.
+
+Synthesis is the expensive step of the compile-once/apply-anywhere loop,
+and it is a pure function of the profiled column and the labelled
+target.  :class:`ArtifactCache` exploits that: artifacts are stored
+under a key derived from the **column fingerprint**
+(:meth:`~repro.clustering.incremental.ColumnProfile.fingerprint` — a
+hash of everything that determines the lowered hierarchy) plus the
+target specification and generalization flags, so re-compiling the same
+column toward the same target is a file read, zero synthesis.  The CLI
+exposes it as ``repro-clx compile --cache-dir DIR``.
+
+Corrupt or unreadable cache entries are treated as misses, never as
+errors — the cache can only save work, not introduce failures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+from repro.engine.compiled import CompiledProgram
+from repro.util.errors import CLXError
+
+
+def cache_key(column_fingerprint: str, target: str, flags: Optional[Mapping[str, Any]] = None) -> str:
+    """The content address of one (column, target, flags) compilation.
+
+    Args:
+        column_fingerprint: :meth:`ColumnProfile.fingerprint` of the
+            profiled column.
+        target: The target specification — a pattern notation, or any
+            stable encoding of how the target was labelled.
+        flags: Extra knobs that change the synthesized program (e.g.
+            ``{"generalize": 2}``).  Must be JSON-serializable.
+    """
+    payload = json.dumps(
+        {"column": column_fingerprint, "target": target, "flags": dict(flags or {})},
+        sort_keys=True,
+        ensure_ascii=False,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """A directory of compiled artifacts addressed by compilation content.
+
+    Args:
+        directory: Cache root; created (with parents) if missing.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        """The cache root directory."""
+        return self._directory
+
+    def path(self, key: str) -> Path:
+        """Where the artifact for ``key`` lives (whether or not it exists)."""
+        return self._directory / f"{key}.clx.json"
+
+    def load(self, key: str) -> Optional[CompiledProgram]:
+        """The cached program for ``key``, or ``None`` on a miss.
+
+        A present-but-corrupt entry (truncated write, foreign file) is a
+        miss: it is ignored and will be overwritten by the next
+        :meth:`store`.
+        """
+        path = self.path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None
+        try:
+            return CompiledProgram.loads(text)
+        except CLXError:
+            return None
+
+    def store(self, key: str, compiled: CompiledProgram) -> Path:
+        """Persist ``compiled`` under ``key``, returning the entry path.
+
+        The write goes through a uniquely-named same-directory temporary
+        file and an atomic rename, so concurrent compiles — even of the
+        same key — never observe a torn entry.
+        """
+        path = self.path(key)
+        descriptor, scratch_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=self._directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(compiled.dumps(indent=2) + "\n")
+            os.replace(scratch_name, path)
+        except BaseException:
+            try:
+                os.unlink(scratch_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactCache({str(self._directory)!r})"

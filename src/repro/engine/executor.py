@@ -10,14 +10,14 @@ shapes are supported:
   :class:`~repro.core.result.TransformReport` the session API produces;
 * :meth:`TransformEngine.run_iter` — streaming apply over any iterable,
   holding at most ``chunk_size`` values in memory at a time;
-* :meth:`TransformEngine.transform_table` — multi-column batch apply,
-  one compiled program per column.
+* :meth:`TransformEngine.transform_table` /
+  :meth:`TransformEngine.transform_table_iter` — multi-column table
+  apply, one compiled program per column, one pass over the table,
+  batch or streaming, optionally fanned across worker processes.
 """
 
 from __future__ import annotations
 
-import os
-from itertools import islice
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.core.result import TransformReport
@@ -26,6 +26,8 @@ from repro.dsl.interpreter import TransformOutcome
 from repro.engine.compiled import CompiledProgram
 from repro.patterns.pattern import Pattern
 from repro.util.errors import ValidationError
+from repro.util.pools import chunked, indexed_chunks
+from repro.util.validate import validated_chunk_size, validated_workers
 
 #: Anything :meth:`TransformEngine.transform_table` accepts per column.
 ProgramLike = Union["TransformEngine", CompiledProgram]
@@ -109,14 +111,9 @@ class TransformEngine:
         Yields:
             One :class:`~repro.dsl.interpreter.TransformOutcome` per value.
         """
-        if chunk_size < 1:
-            raise ValidationError(f"chunk_size must be positive, got {chunk_size}")
+        chunk_size = validated_chunk_size(chunk_size)
         run_one = self._compiled.run_one
-        iterator = iter(values)
-        while True:
-            chunk = list(islice(iterator, chunk_size))
-            if not chunk:
-                return
+        for chunk in chunked(values, chunk_size):
             for value in chunk:
                 yield run_one(value)
 
@@ -143,7 +140,8 @@ class TransformEngine:
             The same :class:`~repro.core.result.TransformReport` that
             :meth:`run` produces.
         """
-        resolved = workers if workers is not None else (os.cpu_count() or 1)
+        resolved = validated_workers(workers)
+        chunk_size = validated_chunk_size(chunk_size)
         if resolved <= 1:
             return self.run(list(values))
         from repro.engine.parallel import ShardedExecutor
@@ -155,11 +153,19 @@ class TransformEngine:
     # Tables
     # ------------------------------------------------------------------
     @staticmethod
-    def transform_table(
+    def transform_table_iter(
         rows: Iterable[Mapping[str, Any]],
         programs: Mapping[str, ProgramLike],
-    ) -> List[Dict[str, Any]]:
-        """Batch-apply one program per column to a table of rows.
+        chunk_size: int = 1024,
+    ) -> Iterator[Dict[str, Any]]:
+        """Stream a table through one program per column in a single pass.
+
+        The streaming counterpart of :meth:`transform_table`: rows are
+        pulled lazily in chunks of ``chunk_size``, every programmed
+        column is transformed within the chunk, and finished rows are
+        yielded in input order — so a table far larger than memory flows
+        through with at most one chunk resident, instead of the
+        materialize-then-one-pass-per-column shape of the batch API.
 
         Args:
             rows: Iterable of row mappings (e.g. ``csv.DictReader`` rows).
@@ -168,8 +174,9 @@ class TransformEngine:
                 :class:`TransformEngine` or
                 :class:`~repro.engine.compiled.CompiledProgram` that
                 transforms it.  ``None`` cells are treated as ``""``.
+            chunk_size: Rows resident at a time (must be positive).
 
-        Returns:
+        Yields:
             New row dicts with each programmed column replaced by its
             transformed value.
 
@@ -177,18 +184,65 @@ class TransformEngine:
             ValidationError: If a programmed column is missing from some
                 row or a program value has an unsupported type.
         """
-        engines = {column: _as_engine(column, program) for column, program in programs.items()}
-        out_rows = [dict(row) for row in rows]
-        for column, engine in engines.items():
-            values: List[str] = []
-            for index, row in enumerate(out_rows):
-                if column not in row:
-                    raise ValidationError(f"row {index} has no column {column!r}")
-                values.append("" if row[column] is None else str(row[column]))
-            report = engine.run(values)
-            for row, output in zip(out_rows, report.outputs):
-                row[column] = output
-        return out_rows
+        from repro.engine.parallel import _apply_columns_to_rows
+
+        chunk_size = validated_chunk_size(chunk_size)
+        compiled = [
+            (column, _as_engine(column, program).compiled)
+            for column, program in programs.items()
+        ]
+
+        def generate() -> Iterator[Dict[str, Any]]:
+            for base_index, chunk in indexed_chunks(rows, chunk_size):
+                yield from _apply_columns_to_rows(compiled, base_index, chunk)
+
+        return generate()
+
+    @staticmethod
+    def transform_table(
+        rows: Iterable[Mapping[str, Any]],
+        programs: Mapping[str, ProgramLike],
+        workers: Optional[int] = None,
+        chunk_size: int = 8192,
+    ) -> List[Dict[str, Any]]:
+        """Apply one program per column to a table of rows, in one pass.
+
+        Args:
+            rows: Iterable of row mappings (e.g. ``csv.DictReader`` rows).
+                Rows are copied; the input is never mutated.
+            programs: Mapping from column name to the
+                :class:`TransformEngine` or
+                :class:`~repro.engine.compiled.CompiledProgram` that
+                transforms it.  ``None`` cells are treated as ``""``.
+            workers: ``None`` (default) or 1 runs in-process; larger
+                values fan chunks of rows across that many worker
+                processes (``run_parallel``-style: compiled artifacts
+                rebuilt per worker, ordered results, bounded in-flight
+                window).  The output is identical either way.
+            chunk_size: Rows per chunk / worker task.
+
+        Returns:
+            New row dicts with each programmed column replaced by its
+            transformed value.
+
+        Raises:
+            ValidationError: If a programmed column is missing from some
+                row, a program value has an unsupported type, or
+                ``workers`` / ``chunk_size`` is invalid.
+        """
+        resolved = 1 if workers is None else validated_workers(workers)
+        chunk_size = validated_chunk_size(chunk_size)
+        if resolved <= 1:
+            return list(
+                TransformEngine.transform_table_iter(rows, programs, chunk_size=chunk_size)
+            )
+        from repro.engine.parallel import transform_table_parallel
+
+        compiled = [
+            (column, _as_engine(column, program).compiled)
+            for column, program in programs.items()
+        ]
+        return list(transform_table_parallel(rows, compiled, resolved, chunk_size))
 
 
 def _as_engine(column: str, program: ProgramLike) -> TransformEngine:

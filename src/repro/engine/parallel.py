@@ -1,55 +1,93 @@
-"""Sharded, multi-process apply — fan one compiled program across workers.
+"""Sharded, multi-process apply — fan compiled programs across workers.
 
 A :class:`~repro.engine.compiled.CompiledProgram` already crosses process
 boundaries for free (it JSON round-trips), so the apply half of CLX
 parallelizes trivially: serialize the artifact once, rebuild it in each
-worker, and stream chunks of values through a pool.  What needs care is
-keeping the protocol cheap and the memory bounded:
+worker, and stream chunks through a pool.  What needs care is keeping
+the protocol cheap and the memory bounded.  Three executors share the
+same discipline (bounded in-flight window, strict input order, dead
+workers surfaced as :class:`~repro.util.errors.CLXError` instead of a
+hang — see :mod:`repro.util.pools`):
 
-* workers never pickle :class:`~repro.patterns.pattern.Pattern` objects
-  back — each chunk returns ``(outputs, pattern_indices)`` where the
-  index points into the program's stable pattern table (target first,
-  then branch patterns in order), and the parent rehydrates real
-  patterns from its own table;
-* :meth:`ShardedExecutor.run_iter` submits chunks through a bounded
-  in-flight window instead of ``Pool.imap`` (whose feeder thread drains
-  the input greedily), so a generator over a huge file is pulled at the
-  pace results are consumed and only ``O(workers * chunk_size)`` rows
-  are ever buffered;
-* results are yielded strictly in input order, so sharded apply is a
-  drop-in replacement for :meth:`TransformEngine.run_iter`.
-
-The executor is exposed through
-:meth:`repro.engine.executor.TransformEngine.run_parallel` and the CLI's
-``apply --workers N``.
+* :class:`ShardedExecutor` — one program over a stream of values.  The
+  wire format is compact: each chunk returns ``(outputs,
+  pattern_indices)`` where the index points into the program's stable
+  pattern table, and the parent rehydrates real patterns from its own
+  table.
+* :class:`ShardedTableExecutor` — one program per column over a stream
+  of **raw CSV lines**.  Workers do their own CSV parse *and*
+  serialize: each task carries unparsed physical lines, each result is
+  one already-encoded CSV/JSONL text chunk plus row/flagged counts, so
+  the parent does no codec work at all — it only splices ordered
+  chunks to the sink.  This is what ``repro-clx apply --workers N``
+  runs on.
+* :func:`transform_table_parallel` — the mapping-rows counterpart
+  behind :meth:`TransformEngine.transform_table(workers=N)
+  <repro.engine.executor.TransformEngine.transform_table>`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from collections import deque
-from itertools import islice
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+import csv
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.result import TransformReport
 from repro.dsl.interpreter import TransformOutcome
 from repro.engine.compiled import CompiledProgram
 from repro.engine.executor import TransformEngine
+from repro.engine.serialize import encode_rows_csv, encode_rows_jsonl
 from repro.patterns.pattern import Pattern
-from repro.util.errors import ValidationError
+from repro.util.csvio import record_open_after, resolve_column
+from repro.util.errors import CLXError, ValidationError
+from repro.util.pools import chunked, indexed_chunks, map_ordered
+from repro.util.validate import validated_chunk_size, validated_workers
 
 #: Default number of values per worker task; large enough to amortize
 #: pickling and dispatch, small enough to keep the pipeline busy.
 DEFAULT_CHUNK_SIZE = 8192
 
-#: Wire format of one processed chunk: transformed outputs plus, per
-#: value, an index into the program's pattern table (-1 = no match).
+#: Default number of physical CSV lines per table-apply task.
+DEFAULT_TABLE_CHUNK_LINES = 4096
+
+#: Sink formats the table executor can encode worker-side.
+TABLE_FORMATS = ("csv", "jsonl")
+
+#: Wire format of one processed value chunk: transformed outputs plus,
+#: per value, an index into the program's pattern table (-1 = no match).
 ChunkResult = Tuple[List[str], List[int]]
 
-# Per-worker state installed by the pool initializer: the rebuilt program
-# and the pattern -> table-index mapping.
+#: Wire format of one processed table chunk: the already-encoded sink
+#: text plus the row and flagged-cell counts it covers.
+TableChunk = Tuple[str, int, int]
+
+# Per-worker state installed by the pool initializers.
 _WORKER_STATE: Optional[Tuple[CompiledProgram, Dict[Pattern, int]]] = None
+_TABLE_STATE: Optional[Tuple["TableSpec", List[Tuple[int, int, CompiledProgram]]]] = None
+_ROWS_STATE: Optional[List[Tuple[str, CompiledProgram]]] = None
+
+
+def _coerce_program(program: Union[CompiledProgram, TransformEngine], owner: str) -> CompiledProgram:
+    if isinstance(program, TransformEngine):
+        program = program.compiled
+    if not isinstance(program, CompiledProgram):
+        raise ValidationError(
+            f"{owner} requires a CompiledProgram or TransformEngine, "
+            f"got {type(program).__name__}"
+        )
+    return program
 
 
 def _pattern_table(compiled: CompiledProgram) -> List[Pattern]:
@@ -79,17 +117,8 @@ def _apply_chunk(values: List[str]) -> ChunkResult:
     return report.outputs, indices
 
 
-def _chunked(values: Iterable[str], chunk_size: int) -> Iterator[List[str]]:
-    iterator = iter(values)
-    while True:
-        chunk = list(islice(iterator, chunk_size))
-        if not chunk:
-            return
-        yield chunk
-
-
 class ShardedExecutor:
-    """Apply one compiled program across ``multiprocessing`` workers.
+    """Apply one compiled program across worker processes.
 
     The executor owns a lazily-created worker pool (so constructing one
     is free until the first run) and can be reused across runs and
@@ -109,24 +138,13 @@ class ShardedExecutor:
         workers: Optional[int] = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> None:
-        if isinstance(program, TransformEngine):
-            program = program.compiled
-        if not isinstance(program, CompiledProgram):
-            raise ValidationError(
-                "ShardedExecutor requires a CompiledProgram or TransformEngine, "
-                f"got {type(program).__name__}"
-            )
-        resolved = workers if workers is not None else (os.cpu_count() or 1)
-        if resolved < 1:
-            raise ValidationError(f"workers must be positive, got {resolved}")
-        if chunk_size < 1:
-            raise ValidationError(f"chunk_size must be positive, got {chunk_size}")
+        program = _coerce_program(program, "ShardedExecutor")
+        self._workers = validated_workers(workers)
+        self._chunk_size = validated_chunk_size(chunk_size)
         self._compiled = program
         self._artifact = program.dumps()
         self._table = _pattern_table(program)
-        self._workers = resolved
-        self._chunk_size = chunk_size
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -141,10 +159,10 @@ class ShardedExecutor:
         """Number of worker processes."""
         return self._workers
 
-    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = multiprocessing.get_context().Pool(
-                processes=self._workers,
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
                 initializer=_init_worker,
                 initargs=(self._artifact,),
             )
@@ -153,8 +171,7 @@ class ShardedExecutor:
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "ShardedExecutor":
@@ -190,14 +207,11 @@ class ShardedExecutor:
         ``workers * chunk_size`` regardless of input size.
         """
         pool = self._ensure_pool()
-        pending: Deque = deque()
-        max_pending = self._workers + 2
-        for chunk in _chunked(values, self._chunk_size):
-            pending.append(pool.apply_async(_apply_chunk, (chunk,)))
-            if len(pending) >= max_pending:
-                yield from self._rehydrate(pending.popleft().get())
-        while pending:
-            yield from self._rehydrate(pending.popleft().get())
+        results = map_ordered(
+            pool, _apply_chunk, chunked(values, self._chunk_size), self._workers + 2
+        )
+        for result in results:
+            yield from self._rehydrate(result)
 
     def run(self, values: Iterable[str]) -> TransformReport:
         """Batch-apply across the pool, returning the usual report.
@@ -217,3 +231,319 @@ class ShardedExecutor:
             matched_pattern=matched,
             target=self._compiled.target,
         )
+
+
+# ----------------------------------------------------------------------
+# Pipelined table apply: raw lines in, encoded chunks out
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TableSpec:
+    """Everything a worker needs to parse, transform, and re-encode rows.
+
+    Attributes:
+        fieldnames: The input CSV header, in file order.
+        output_fields: The sink's columns — the header plus any added
+            ``<column>_transformed``-style columns.
+        transforms: ``(input_index, output_index)`` per programmed
+            column, indices into ``fieldnames`` / ``output_fields``
+            (equal for an in-place transform), in program order.
+        delimiter: CSV delimiter for both parse and encode.
+        out_format: ``"csv"`` or ``"jsonl"``.
+        source: Input name used in error messages (e.g. the CSV path).
+    """
+
+    fieldnames: Tuple[str, ...]
+    output_fields: Tuple[str, ...]
+    transforms: Tuple[Tuple[int, int], ...]
+    delimiter: str = ","
+    out_format: str = "csv"
+    source: str = "<table>"
+
+
+def _transform_lines(
+    spec: TableSpec,
+    engines: Sequence[Tuple[int, int, CompiledProgram]],
+    first_line: int,
+    lines: List[str],
+) -> TableChunk:
+    """Parse, transform, and encode one chunk of physical CSV lines.
+
+    This is the whole per-chunk pipeline and runs identically inline
+    (``workers=1``) and inside a pool worker, so the serial and sharded
+    paths cannot drift apart.
+    """
+    width = len(spec.fieldnames)
+    out_width = len(spec.output_fields)
+    reader = csv.reader(lines, delimiter=spec.delimiter)
+    rows: List[List[str]] = []
+    for row in reader:
+        if not row:
+            continue  # csv.DictReader skips blank lines; so do we
+        if len(row) > width:
+            line = first_line + reader.line_num - 1
+            raise CLXError(
+                f"{spec.source} line {line}: row has {len(row)} cells "
+                f"but the header has {width} columns; fix the row or "
+                "re-export the CSV"
+            )
+        if len(row) < width:
+            row.extend([""] * (width - len(row)))
+        row.extend([""] * (out_width - width))
+        rows.append(row)
+
+    flagged = 0
+    for (input_index, output_index), compiled in zip(spec.transforms, engines):
+        run_one = compiled.run_one
+        for row in rows:
+            outcome = run_one(row[input_index])
+            row[output_index] = outcome.output
+            if not outcome.matched:
+                flagged += 1
+
+    if spec.out_format == "jsonl":
+        encoded = encode_rows_jsonl(spec.output_fields, rows)
+    else:
+        encoded = encode_rows_csv(rows, delimiter=spec.delimiter)
+    return encoded, len(rows), flagged
+
+
+def _init_table_worker(spec: TableSpec, artifacts: Tuple[str, ...]) -> None:
+    """Pool initializer: rebuild every column's program once per worker."""
+    global _TABLE_STATE
+    _TABLE_STATE = (spec, [CompiledProgram.loads(artifact) for artifact in artifacts])
+
+
+def _transform_table_chunk(task: Tuple[int, List[str]]) -> TableChunk:
+    assert _TABLE_STATE is not None, "worker used before initialization"
+    spec, engines = _TABLE_STATE
+    return _transform_lines(spec, engines, task[0], task[1])
+
+
+def _record_aligned_chunks(
+    lines: Iterable[str], chunk_size: int, first_line: int, delimiter: str
+) -> Iterator[Tuple[int, List[str]]]:
+    """Group physical lines into chunks, never splitting a quoted record.
+
+    A CSV record spans multiple physical lines only while a quoted
+    field is open; :func:`~repro.util.csvio.record_open_after` tracks
+    that state with the csv module's own quoting rules (a stray ``"``
+    in an unquoted cell is data, not a delimiter), so chunks close at
+    the first record boundary at or past ``chunk_size`` lines.
+    """
+    chunk: List[str] = []
+    chunk_first = first_line
+    line_number = first_line - 1
+    record_open = False
+    for line in lines:
+        line_number += 1
+        chunk.append(line)
+        record_open = record_open_after(line, delimiter, record_open)
+        if len(chunk) >= chunk_size and not record_open:
+            yield chunk_first, chunk
+            chunk = []
+            chunk_first = line_number + 1
+    if chunk:
+        yield chunk_first, chunk
+
+
+class ShardedTableExecutor:
+    """One-pass, multi-column table apply over raw CSV lines.
+
+    The parent feeds **unparsed physical lines**; workers parse their
+    own chunk, run every column's compiled program, and hand back one
+    already-encoded CSV/JSONL text chunk.  Results come back in input
+    order through a bounded in-flight window, so the parent's whole job
+    is splicing strings into the sink — the CSV codec never runs on the
+    parent's hot path.  With ``workers=1`` the same per-chunk pipeline
+    runs inline and no pool is spawned.
+
+    Args:
+        programs: Mapping from input column name to the
+            :class:`CompiledProgram` / :class:`TransformEngine` that
+            transforms it.
+        header: The input CSV header, in file order.
+        output_columns: Optional mapping from input column to sink
+            column; a sink column equal to the input column transforms
+            in place, anything else is appended to the header.  Defaults
+            to ``<column>_transformed`` for every programmed column.
+        out_format: ``"csv"`` (default) or ``"jsonl"``.
+        delimiter: CSV delimiter for both parse and encode.
+        source: Input name used in error messages.
+        workers: Worker process count; ``None`` means ``os.cpu_count()``.
+        chunk_size: Physical lines per worker task.
+    """
+
+    def __init__(
+        self,
+        programs: Mapping[str, Union[CompiledProgram, TransformEngine]],
+        header: Sequence[str],
+        output_columns: Optional[Mapping[str, str]] = None,
+        out_format: str = "csv",
+        delimiter: str = ",",
+        source: str = "<table>",
+        workers: Optional[int] = None,
+        chunk_size: int = DEFAULT_TABLE_CHUNK_LINES,
+    ) -> None:
+        if not programs:
+            raise ValidationError("ShardedTableExecutor needs at least one column program")
+        if out_format not in TABLE_FORMATS:
+            raise ValidationError(
+                f"unsupported output format {out_format!r}; choose from {', '.join(TABLE_FORMATS)}"
+            )
+        self._workers = validated_workers(workers)
+        self._chunk_size = validated_chunk_size(chunk_size)
+
+        fieldnames = tuple(header)
+        named_outputs = dict(output_columns or {})
+        output_fields = list(fieldnames)
+        transforms: List[Tuple[int, int]] = []
+        compiled_programs: List[CompiledProgram] = []
+        for column, program in programs.items():
+            column = resolve_column(fieldnames, column)
+            sink = named_outputs.get(column, f"{column}_transformed")
+            if sink == column:
+                output_index = fieldnames.index(column)
+            else:
+                if sink in output_fields:
+                    raise ValidationError(
+                        f"output column {sink!r} already exists in the CSV header; "
+                        "pick a different output column"
+                    )
+                output_index = len(output_fields)
+                output_fields.append(sink)
+            transforms.append((fieldnames.index(column), output_index))
+            compiled_programs.append(_coerce_program(program, "ShardedTableExecutor"))
+
+        self._spec = TableSpec(
+            fieldnames=fieldnames,
+            output_fields=tuple(output_fields),
+            transforms=tuple(transforms),
+            delimiter=delimiter,
+            out_format=out_format,
+            source=source,
+        )
+        self._programs = compiled_programs
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> TableSpec:
+        """The resolved parse/transform/encode specification."""
+        return self._spec
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes (1 = inline, no pool)."""
+        return self._workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            artifacts = tuple(program.dumps() for program in self._programs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_init_table_worker,
+                initargs=(self._spec, artifacts),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedTableExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def header_text(self) -> str:
+        """The encoded sink header (empty for JSONL, which has none)."""
+        if self._spec.out_format == "jsonl":
+            return ""
+        return encode_rows_csv([list(self._spec.output_fields)], delimiter=self._spec.delimiter)
+
+    def run_chunks(self, lines: Iterable[str], first_line: int = 2) -> Iterator[TableChunk]:
+        """Stream raw data lines through the pipeline, in input order.
+
+        Args:
+            lines: Physical lines of the CSV *data region* (no header),
+                with or without trailing newlines.
+            first_line: 1-based physical line number of the first data
+                line in the source file, for error messages.
+
+        Yields:
+            ``(encoded_text, row_count, flagged_count)`` per chunk.
+        """
+        tasks = _record_aligned_chunks(
+            lines, self._chunk_size, first_line, self._spec.delimiter
+        )
+        if self._workers == 1:
+            engines = self._programs
+            for start, chunk in tasks:
+                yield _transform_lines(self._spec, engines, start, chunk)
+            return
+        pool = self._ensure_pool()
+        yield from map_ordered(pool, _transform_table_chunk, tasks, self._workers + 2)
+
+
+# ----------------------------------------------------------------------
+# Mapping-rows fan-out behind TransformEngine.transform_table(workers=N)
+# ----------------------------------------------------------------------
+def _init_rows_worker(payload: Tuple[Tuple[str, str], ...]) -> None:
+    global _ROWS_STATE
+    _ROWS_STATE = [(column, CompiledProgram.loads(artifact)) for column, artifact in payload]
+
+
+def _transform_rows_chunk(task: Tuple[int, List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    assert _ROWS_STATE is not None, "worker used before initialization"
+    base_index, rows = task
+    return _apply_columns_to_rows(_ROWS_STATE, base_index, rows)
+
+
+def _apply_columns_to_rows(
+    programs: Sequence[Tuple[str, CompiledProgram]],
+    base_index: int,
+    rows: Sequence[Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Apply every column program to a chunk of row mappings (copied)."""
+    out_rows = [dict(row) for row in rows]
+    for column, compiled in programs:
+        run_one = compiled.run_one
+        for offset, row in enumerate(out_rows):
+            if column not in row:
+                raise ValidationError(f"row {base_index + offset} has no column {column!r}")
+            value = "" if row[column] is None else str(row[column])
+            row[column] = run_one(value).output
+    return out_rows
+
+
+def transform_table_parallel(
+    rows: Iterable[Mapping[str, Any]],
+    programs: Sequence[Tuple[str, CompiledProgram]],
+    workers: int,
+    chunk_size: int,
+) -> Iterator[Dict[str, Any]]:
+    """Fan chunks of row mappings across workers, one pass, ordered.
+
+    The engine-level counterpart of :class:`ShardedTableExecutor` for
+    callers that hold row dicts rather than a CSV file.  Used by
+    :meth:`TransformEngine.transform_table` when ``workers > 1``.
+    """
+    payload = tuple((column, compiled.dumps()) for column, compiled in programs)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_rows_worker,
+        initargs=(payload,),
+    ) as pool:
+        results = map_ordered(
+            pool, _transform_rows_chunk, indexed_chunks(rows, chunk_size), workers + 2
+        )
+        for chunk in results:
+            yield from chunk

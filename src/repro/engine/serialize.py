@@ -21,7 +21,10 @@ producing a program that silently misbehaves.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+import csv
+import io
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, StringExpression, UniFiProgram
 from repro.dsl.guards import ContainsGuard
@@ -177,3 +180,24 @@ def program_from_dict(payload: Any) -> UniFiProgram:
         raise
     except CLXError as error:
         raise SerializationError(f"invalid program payload: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Sink chunk codecs
+# ----------------------------------------------------------------------
+# The pipelined table apply ships *encoded* chunks over the worker ->
+# parent wire so the parent never runs a codec on its hot path.  Both
+# the worker side and the serial (workers=1) path encode through these
+# two helpers, so the sink bytes are identical regardless of fan-out.
+def encode_rows_csv(rows: List[List[str]], delimiter: str = ",") -> str:
+    """Encode rows (lists of cells) as CSV text with ``\\n`` line ends."""
+    buffer = io.StringIO()
+    csv.writer(buffer, delimiter=delimiter, lineterminator="\n").writerows(rows)
+    return buffer.getvalue()
+
+
+def encode_rows_jsonl(fieldnames: Sequence[str], rows: List[List[str]]) -> str:
+    """Encode rows as JSON Lines, one object per row keyed by the header."""
+    return "".join(
+        json.dumps(dict(zip(fieldnames, row)), ensure_ascii=False) + "\n" for row in rows
+    )

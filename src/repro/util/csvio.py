@@ -1,0 +1,88 @@
+"""CSV record-boundary detection over physical lines.
+
+The pipelined fan-out layers chunk CSV *lines* without parsing them, so
+they need one question answered cheaply and correctly: after this
+physical line, is a record still open (i.e. does a quoted field continue
+onto the next line)?  Counting quote characters is not enough — the csv
+module only treats ``"`` as a quote when it opens a field, so a stray
+inch-mark in an unquoted cell (``6" nail``) is literal data, and exactly
+that kind of messy value is this project's bread and butter.
+
+:func:`record_open_after` walks a line with the same state machine the
+csv module applies (field-start quoting, ``""`` escapes, delimiter
+resets), carrying the open/closed state across lines of the same
+record.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.util.errors import ValidationError
+
+QUOTE = '"'
+
+
+def resolve_column(header: Sequence[str], column: Union[str, int]) -> str:
+    """Resolve a column given by name or zero-based index against a header.
+
+    Accepts a column name, an ``int`` index, or a digit string (how an
+    index arrives from the CLI).  Every layer that addresses CSV columns
+    (the CLI, the parallel profiler, the table executor) resolves
+    through here, so the lookup rules and the error message stay in
+    lockstep.
+
+    Raises:
+        ValidationError: If the column matches nothing in the header.
+    """
+    if isinstance(column, int) and not isinstance(column, bool):
+        if 0 <= column < len(header):
+            return header[column]
+    elif isinstance(column, str):
+        if column in header:
+            return column
+        if column.isdigit() and int(column) < len(header):
+            return header[int(column)]
+    raise ValidationError(
+        f"column {column!r} not found; available: {', '.join(header)}"
+    )
+
+
+def record_open_after(line: str, delimiter: str, open_before: bool = False) -> bool:
+    """Whether a CSV record is still inside a quoted field after ``line``.
+
+    Args:
+        line: One physical line, with or without its trailing newline.
+        delimiter: The CSV delimiter.
+        open_before: State carried from the previous physical line of
+            the same record (``False`` at a record boundary).
+
+    Returns:
+        ``True`` when the line ends inside a quoted field, i.e. the
+        record continues on the next physical line.
+    """
+    in_quotes = open_before
+    # A quote is only special at the start of a field; when resuming a
+    # continuation line we are mid-field by definition.
+    field_start = not open_before
+    position, length = 0, len(line)
+    while position < length:
+        char = line[position]
+        if in_quotes:
+            if char == QUOTE:
+                if position + 1 < length and line[position + 1] == QUOTE:
+                    position += 2  # "" escape: stays inside the field
+                    continue
+                in_quotes = False
+            position += 1
+        else:
+            if char == QUOTE:
+                if field_start:
+                    in_quotes = True
+                field_start = False
+            elif char == delimiter:
+                field_start = True
+            elif char not in ("\r", "\n"):
+                field_start = False
+            position += 1
+    return in_quotes

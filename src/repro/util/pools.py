@@ -1,0 +1,91 @@
+"""Shared process-pool plumbing for the parallel profile and apply paths.
+
+Both fan-out layers (:mod:`repro.clustering.parallel` and
+:mod:`repro.engine.parallel`) follow the same discipline: submit tasks
+through a **bounded in-flight window** so a generator over a huge file
+is pulled at the pace results drain, yield results **strictly in input
+order**, and surface a dead worker as a :class:`~repro.util.errors.CLXError`
+instead of hanging the parent.  This module is that discipline in one
+place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Executor, Future
+from concurrent.futures.process import BrokenProcessPool
+from itertools import islice
+from typing import Callable, Deque, Iterable, Iterator, List, Tuple, TypeVar
+
+from repro.util.errors import CLXError
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+Item = TypeVar("Item")
+
+
+def chunked(items: Iterable[Item], chunk_size: int) -> Iterator[List[Item]]:
+    """Lazily split ``items`` into lists of at most ``chunk_size``."""
+    iterator = iter(items)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def indexed_chunks(
+    items: Iterable[Item], chunk_size: int
+) -> Iterator[Tuple[int, List[Item]]]:
+    """Like :func:`chunked`, pairing each chunk with its start index."""
+    base = 0
+    for chunk in chunked(items, chunk_size):
+        yield base, chunk
+        base += len(chunk)
+
+
+_BROKEN_POOL_MESSAGE = (
+    "a worker process died before returning its result; "
+    "the pool is broken and the run was aborted"
+)
+
+
+def checked_result(future: "Future[Result]") -> Result:
+    """``future.result()`` with worker death translated into a CLXError.
+
+    ``concurrent.futures`` reports a worker process that died without
+    returning (killed, segfaulted, OOM'd) as ``BrokenProcessPool``;
+    exceptions *raised* inside a worker propagate with their own type.
+    """
+    try:
+        return future.result()
+    except BrokenProcessPool as error:
+        raise CLXError(_BROKEN_POOL_MESSAGE) from error
+
+
+def map_ordered(
+    pool: Executor,
+    fn: Callable[[Task], Result],
+    tasks: Iterable[Task],
+    window: int,
+) -> Iterator[Result]:
+    """Map ``fn`` over ``tasks`` through ``pool``, yielding results in order.
+
+    At most ``window`` tasks are in flight at a time, so ``tasks`` is
+    consumed lazily and memory stays proportional to the window size
+    regardless of input length.  Results are yielded in submission
+    order; a failed task raises (via :func:`checked_result`) at its
+    position in the output.
+    """
+    pending: Deque[Future] = deque()
+    for task in tasks:
+        # submit() itself raises BrokenProcessPool once a worker has
+        # died mid-stream, so it needs the same translation as results.
+        try:
+            pending.append(pool.submit(fn, task))
+        except BrokenProcessPool as error:
+            raise CLXError(_BROKEN_POOL_MESSAGE) from error
+        if len(pending) >= window:
+            yield checked_result(pending.popleft())
+    while pending:
+        yield checked_result(pending.popleft())

@@ -1,0 +1,369 @@
+"""CLI tests for the parallel/pipelined scale surface of PR 3.
+
+Covers ``profile --workers``, the multi-program pipelined ``apply``
+(``--workers``, ``--format jsonl``), and the content-addressed
+``compile --cache-dir`` — including the zero-synthesis guarantee on a
+cache hit.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.phone import phone_dataset
+from repro.cli import main
+
+
+@pytest.fixture
+def phone_csv(tmp_path):
+    raw, _ = phone_dataset(count=200, format_count=6, seed=331)
+    path = tmp_path / "phones.csv"
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "phone"])
+        for index, value in enumerate(raw):
+            writer.writerow([index, value])
+    return path
+
+
+@pytest.fixture
+def artifact(phone_csv, tmp_path):
+    path = tmp_path / "phone.clx.json"
+    code = main(
+        [
+            "compile",
+            str(phone_csv),
+            "--column",
+            "phone",
+            "--target-pattern",
+            "<D>3'-'<D>3'-'<D>4",
+            "--output",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def two_column_csv(tmp_path):
+    raw, _ = phone_dataset(count=100, format_count=4, seed=91)
+    path = tmp_path / "two.csv"
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["home", "work"])
+        for index in range(0, 100, 2):
+            writer.writerow([raw[index], raw[index + 1]])
+    return path
+
+
+class TestProfileWorkers:
+    def test_parallel_profile_prints_the_serial_table(self, phone_csv, capsys):
+        assert main(["profile", str(phone_csv), "--column", "phone"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["profile", str(phone_csv), "--column", "phone", "--workers", "3"]) == 0
+        parallel = capsys.readouterr().out
+        # Counts and patterns are identical; exemplar choice may differ
+        # once a reservoir fills, so compare pattern/count columns.
+        def signature(text):
+            return [line.split("  ")[0:2] for line in text.splitlines()[2:]]
+
+        assert signature(parallel) == signature(serial)
+
+    def test_workers_must_be_positive(self, phone_csv, capsys):
+        code = main(["profile", str(phone_csv), "--column", "phone", "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestApplyPipelined:
+    def test_parallel_apply_output_equals_serial(self, artifact, phone_csv, tmp_path):
+        serial = tmp_path / "serial.csv"
+        parallel = tmp_path / "parallel.csv"
+        assert main(["apply", str(artifact), str(phone_csv), "--output", str(serial)]) == 0
+        assert (
+            main(
+                [
+                    "apply",
+                    str(artifact),
+                    str(phone_csv),
+                    "--output",
+                    str(parallel),
+                    "--workers",
+                    "3",
+                    "--chunk-size",
+                    "17",
+                ]
+            )
+            == 0
+        )
+        assert parallel.read_text(encoding="utf-8") == serial.read_text(encoding="utf-8")
+
+    def test_jsonl_sink(self, artifact, phone_csv, tmp_path):
+        out = tmp_path / "out.jsonl"
+        code = main(
+            [
+                "apply",
+                str(artifact),
+                str(phone_csv),
+                "--format",
+                "jsonl",
+                "--output",
+                str(out),
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        lines = out.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 200
+        first = json.loads(lines[0])
+        assert set(first) == {"id", "phone", "phone_transformed"}
+        assert first["phone_transformed"].count("-") == 2
+
+    def test_jsonl_serial_equals_parallel(self, artifact, phone_csv, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        for path, extra in ((serial, []), (parallel, ["--workers", "2"])):
+            code = main(
+                [
+                    "apply",
+                    str(artifact),
+                    str(phone_csv),
+                    "--format",
+                    "jsonl",
+                    "--output",
+                    str(path),
+                ]
+                + extra
+            )
+            assert code == 0
+        assert parallel.read_text(encoding="utf-8") == serial.read_text(encoding="utf-8")
+
+    def test_multi_program_multi_column_single_pass(self, artifact, two_column_csv, tmp_path):
+        out = tmp_path / "both.csv"
+        code = main(
+            [
+                "apply",
+                str(artifact),
+                str(artifact),
+                str(two_column_csv),
+                "--column",
+                "home",
+                "--column",
+                "work",
+                "--output",
+                str(out),
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        rows = list(csv.DictReader(out.open(encoding="utf-8")))
+        assert set(rows[0]) == {"home", "work", "home_transformed", "work_transformed"}
+        assert all(row["home_transformed"].count("-") == 2 for row in rows)
+        assert all(row["work_transformed"].count("-") == 2 for row in rows)
+
+    def test_multi_program_in_place(self, artifact, two_column_csv, tmp_path):
+        out = tmp_path / "inplace.csv"
+        code = main(
+            [
+                "apply",
+                str(artifact),
+                str(artifact),
+                str(two_column_csv),
+                "--column",
+                "home",
+                "--column",
+                "work",
+                "--in-place",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        rows = list(csv.DictReader(out.open(encoding="utf-8")))
+        assert set(rows[0]) == {"home", "work"}
+        assert all(row["home"].count("-") == 2 for row in rows)
+
+    def test_column_count_mismatch_is_an_error(self, artifact, two_column_csv, capsys):
+        code = main(
+            [
+                "apply",
+                str(artifact),
+                str(artifact),
+                str(two_column_csv),
+                "--column",
+                "home",
+            ]
+        )
+        assert code == 2
+        assert "--column" in capsys.readouterr().err
+
+    def test_duplicate_target_column_is_an_error(self, artifact, two_column_csv, capsys):
+        code = main(
+            [
+                "apply",
+                str(artifact),
+                str(artifact),
+                str(two_column_csv),
+                "--column",
+                "home",
+                "--column",
+                "home",
+            ]
+        )
+        assert code == 2
+        assert "more than one program" in capsys.readouterr().err
+
+    def test_output_column_ambiguous_with_multiple_programs(
+        self, artifact, two_column_csv, capsys
+    ):
+        code = main(
+            [
+                "apply",
+                str(artifact),
+                str(artifact),
+                str(two_column_csv),
+                "--column",
+                "home",
+                "--column",
+                "work",
+                "--output-column",
+                "clean",
+            ]
+        )
+        assert code == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_chunk_size_must_be_positive(self, artifact, phone_csv, capsys):
+        code = main(["apply", str(artifact), str(phone_csv), "--chunk-size", "0"])
+        assert code == 2
+        assert "--chunk-size" in capsys.readouterr().err
+
+
+class TestCompileCache:
+    TARGET = ["--target-pattern", "<D>3'-'<D>3'-'<D>4"]
+
+    def test_second_compile_is_zero_synthesis(
+        self, phone_csv, tmp_path, capsys, monkeypatch
+    ):
+        cache_dir = tmp_path / "cache"
+        first = tmp_path / "first.clx.json"
+        second = tmp_path / "second.clx.json"
+        base = ["compile", str(phone_csv), "--column", "phone", *self.TARGET]
+        assert main(base + ["--output", str(first), "--cache-dir", str(cache_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "cached artifact" in err
+        assert len(list(cache_dir.glob("*.clx.json"))) == 1
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be hit
+            raise AssertionError("cache hit must not synthesize")
+
+        monkeypatch.setattr("repro.synthesis.synthesizer.Synthesizer.synthesize", boom)
+        assert main(base + ["--output", str(second), "--cache-dir", str(cache_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "cache hit" in err
+        assert second.read_text(encoding="utf-8") == first.read_text(encoding="utf-8")
+
+    def test_different_target_misses(self, phone_csv, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        base = ["compile", str(phone_csv), "--column", "phone"]
+        out = ["--output", str(tmp_path / "a.clx.json"), "--cache-dir", str(cache_dir)]
+        assert main(base + self.TARGET + out) == 0
+        assert (
+            main(
+                base
+                + ["--target-pattern", "'('<D>3')'' '<D>3'-'<D>4"]
+                + ["--output", str(tmp_path / "b.clx.json"), "--cache-dir", str(cache_dir)]
+            )
+            == 0
+        )
+        assert len(list(cache_dir.glob("*.clx.json"))) == 2
+
+    def test_different_column_data_misses(self, phone_csv, two_column_csv, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "compile",
+                    str(phone_csv),
+                    "--column",
+                    "phone",
+                    *self.TARGET,
+                    "--output",
+                    str(tmp_path / "a.clx.json"),
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "compile",
+                    str(two_column_csv),
+                    "--column",
+                    "home",
+                    *self.TARGET,
+                    "--output",
+                    str(tmp_path / "b.clx.json"),
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        assert len(list(cache_dir.glob("*.clx.json"))) == 2
+
+    def test_identical_distribution_different_column_misses(self, tmp_path, capsys):
+        # Two columns with byte-identical value distributions must not
+        # share a cache entry: the artifact's metadata records the
+        # source column, and a later `apply` resolves the column from
+        # it — a cross-column hit would silently transform the wrong
+        # column.
+        raw, _ = phone_dataset(count=120, format_count=4, seed=55)
+        source = tmp_path / "twin.csv"
+        with source.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["phone", "fax"])
+            for value in raw:
+                writer.writerow([value, value])
+        cache_dir = tmp_path / "cache"
+        fax_artifact = tmp_path / "fax.clx.json"
+        for column, output in (("phone", tmp_path / "phone.clx.json"), ("fax", fax_artifact)):
+            code = main(
+                [
+                    "compile",
+                    str(source),
+                    "--column",
+                    column,
+                    *self.TARGET,
+                    "--output",
+                    str(output),
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            assert code == 0
+        assert "cache hit" not in capsys.readouterr().err
+        assert len(list(cache_dir.glob("*.clx.json"))) == 2
+        assert json.loads(fax_artifact.read_text(encoding="utf-8"))["metadata"]["column"] == "fax"
+
+    def test_missing_target_still_a_usage_error(self, phone_csv, tmp_path, capsys):
+        code = main(
+            [
+                "compile",
+                str(phone_csv),
+                "--column",
+                "phone",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 2
+        assert "--target-pattern or --target-example" in capsys.readouterr().err

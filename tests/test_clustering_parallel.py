@@ -1,0 +1,211 @@
+"""Tests for the parallel shard-merge profiler.
+
+The contract under test: :class:`ParallelProfiler` is an execution
+detail, never a semantics change — the hierarchy it produces has the
+same leaf patterns and counts as the serial
+:class:`IncrementalProfiler` pass over the same data, for both shard
+sources (iterable chunk fan-out and byte-range file splitting), at any
+worker count, across the bench generators.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import pytest
+
+from repro.bench.generators import (
+    addresses,
+    dates,
+    human_names,
+    medical_codes,
+    phone_numbers,
+)
+from repro.clustering.incremental import IncrementalProfiler
+from repro.clustering.parallel import ParallelProfiler
+from repro.util.errors import CLXError, ValidationError
+
+
+def _leaf_signature(profile):
+    hierarchy = profile.to_hierarchy()
+    return [(node.pattern.notation(), node.size) for node in hierarchy.leaf_nodes]
+
+
+def _generator_columns():
+    phones, _ = phone_numbers(400, ["paren_space", "dashes", "dots", "plain"], seed=21)
+    names, _ = human_names(300, seed=22)
+    days, _ = dates(300, seed=23)
+    streets, _ = addresses(300, seed=24)
+    codes, _ = medical_codes(300, seed=25)
+    return {
+        "phones": phones,
+        "names": names,
+        "dates": days,
+        "addresses": streets,
+        "codes": codes,
+    }
+
+
+class _Kamikaze(str):
+    """A value whose unpickling kills the worker process receiving it."""
+
+    def __reduce__(self):
+        return (os._exit, (13,))
+
+
+class TestIterableEquivalence:
+    def test_matches_serial_profile_across_bench_generators(self):
+        parallel = ParallelProfiler(workers=2, chunk_size=64)
+        for name, column in _generator_columns().items():
+            serial = IncrementalProfiler().profile(iter(column))
+            sharded = parallel.profile(iter(column))
+            assert sharded.row_count == serial.row_count, name
+            assert _leaf_signature(sharded) == _leaf_signature(serial), name
+
+    def test_chunk_boundaries_do_not_matter(self):
+        column, _ = phone_numbers(500, ["paren_space", "dashes", "dots"], seed=31)
+        expected = _leaf_signature(IncrementalProfiler().profile(iter(column)))
+        for chunk_size in (1, 7, 499, 500, 5000):
+            profile = ParallelProfiler(workers=2, chunk_size=chunk_size).profile(iter(column))
+            assert _leaf_signature(profile) == expected, chunk_size
+
+    def test_single_worker_degenerates_to_serial_in_process(self, monkeypatch):
+        import concurrent.futures
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be hit
+            raise AssertionError("no pool should be spawned for workers=1")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(
+            "repro.clustering.parallel.ProcessPoolExecutor", boom
+        )
+        column, _ = phone_numbers(60, ["dashes", "dots"], seed=33)
+        profile = ParallelProfiler(workers=1).profile(iter(column))
+        assert profile.row_count == 60
+
+    def test_empty_iterable_raises_like_serial(self):
+        with pytest.raises(ValidationError):
+            ParallelProfiler(workers=2).profile(iter([]))
+
+    def test_empty_iterable_allowed_when_profiler_allows_empty(self):
+        profiler = IncrementalProfiler(allow_empty=True)
+        profile = ParallelProfiler(profiler=profiler, workers=2).profile(iter([]))
+        assert profile.row_count == 0
+
+
+class TestFileEquivalence:
+    @pytest.fixture
+    def phone_csv(self, tmp_path):
+        column, _ = phone_numbers(700, ["paren_space", "dashes", "dots", "spaces"], seed=41)
+        path = tmp_path / "phones.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", "phone"])
+            for index, value in enumerate(column):
+                writer.writerow([index, value])
+        return path, column
+
+    def test_matches_serial_profile_at_any_worker_count(self, phone_csv):
+        path, column = phone_csv
+        expected = _leaf_signature(IncrementalProfiler().profile(iter(column)))
+        for workers in (1, 2, 3, 5, 13):
+            profile = ParallelProfiler(workers=workers).profile_file(path, "phone")
+            assert profile.row_count == len(column), workers
+            assert _leaf_signature(profile) == expected, workers
+
+    def test_accepts_column_index(self, phone_csv):
+        path, column = phone_csv
+        by_name = ParallelProfiler(workers=2).profile_file(path, "phone")
+        by_index = ParallelProfiler(workers=2).profile_file(path, 1)
+        assert _leaf_signature(by_name) == _leaf_signature(by_index)
+
+    def test_tolerates_ragged_and_short_rows(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text(
+            "id,phone\n1,734-422-8073\n2\n3,906-555-1234,stray\n",
+            encoding="utf-8",
+        )
+        profile = ParallelProfiler(workers=2).profile_file(path, "phone")
+        # The short row contributes "" for the missing column, like the
+        # CLI's streaming profile; the surplus cell is ignored.
+        assert profile.row_count == 3
+
+    def test_stray_quotes_in_unquoted_cells_profile_fine(self, tmp_path):
+        # Inch-marks and lone quotes inside unquoted cells are data; the
+        # embedded-newline guard must not reject them.
+        path = tmp_path / "quirky.csv"
+        path.write_text(
+            "note,size\n"
+            + "".join(f'{n}" nail,{n}\n' for n in range(40))
+            + 'say "hi",99\n',
+            encoding="utf-8",
+        )
+        serial = ParallelProfiler(workers=1).profile_file(path, "size")
+        parallel = ParallelProfiler(workers=3).profile_file(path, "size")
+        assert parallel.row_count == serial.row_count == 41
+        assert _leaf_signature(parallel) == _leaf_signature(serial)
+
+    def test_quoted_embedded_newlines_are_rejected_not_corrupted(self, tmp_path):
+        path = tmp_path / "noted.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["note", "phone"])
+            for _ in range(60):
+                writer.writerow(["line one\nline two", "734-422-8073"])
+        # One worker reads the whole data region and parses multi-line
+        # records correctly...
+        profile = ParallelProfiler(workers=1).profile_file(path, "phone")
+        assert profile.row_count == 60
+        # ...while byte-range fan-out refuses rather than miscounting.
+        with pytest.raises(ValidationError, match="embedded newlines"):
+            ParallelProfiler(workers=3).profile_file(path, "phone")
+
+    def test_unknown_column_is_an_error(self, phone_csv):
+        path, _ = phone_csv
+        with pytest.raises(ValidationError, match="not found"):
+            ParallelProfiler(workers=2).profile_file(path, "nope")
+
+    def test_header_with_stray_quote_is_parsed_not_swallowed(self, tmp_path):
+        # A lone quote in an unquoted header cell is data; the header
+        # scan must stop at the first record boundary instead of
+        # reading the file hunting for quote parity.
+        path = tmp_path / "inch.csv"
+        path.write_text(
+            'name,size"\n' + "".join(f"n{i},734-422-8073\n" for i in range(30)),
+            encoding="utf-8",
+        )
+        serial = ParallelProfiler(workers=1).profile_file(path, 'size"')
+        parallel = ParallelProfiler(workers=2).profile_file(path, 'size"')
+        assert parallel.row_count == serial.row_count == 30
+        assert _leaf_signature(parallel) == _leaf_signature(serial)
+
+    def test_missing_header_is_an_error(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("", encoding="utf-8")
+        with pytest.raises(ValidationError, match="header"):
+            ParallelProfiler(workers=2).profile_file(empty, "phone")
+
+    def test_header_only_file_raises_like_serial(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        path.write_text("id,phone\n", encoding="utf-8")
+        with pytest.raises(ValidationError, match="empty"):
+            ParallelProfiler(workers=2).profile_file(path, "phone")
+
+
+class TestValidationAndCrash:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValidationError):
+            ParallelProfiler(workers=0)
+        with pytest.raises(ValidationError):
+            ParallelProfiler(workers=-2)
+        with pytest.raises(ValidationError):
+            ParallelProfiler(chunk_size=0)
+        with pytest.raises(ValidationError):
+            ParallelProfiler(profiler="not a profiler")
+
+    def test_dead_worker_raises_clx_error_instead_of_hanging(self):
+        column = ["734-422-8073"] * 40 + [_Kamikaze("906-555-1234")]
+        profiler = ParallelProfiler(workers=2, chunk_size=8)
+        with pytest.raises(CLXError, match="worker process died"):
+            profiler.profile(iter(column))

@@ -1,0 +1,86 @@
+"""Tests for the content-addressed artifact cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.phone import phone_dataset
+from repro.clustering.incremental import IncrementalProfiler
+from repro.core.session import CLXSession
+from repro.engine.cache import ArtifactCache, cache_key
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    raw, _ = phone_dataset(count=120, format_count=4, seed=13)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    return session.compile(metadata={"column": "phone"})
+
+
+class TestColumnFingerprint:
+    def test_same_data_same_fingerprint_any_order(self):
+        raw, _ = phone_dataset(count=200, format_count=4, seed=17)
+        forward = IncrementalProfiler().profile(iter(raw))
+        backward = IncrementalProfiler().profile(iter(reversed(raw)))
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_different_data_different_fingerprint(self):
+        raw, _ = phone_dataset(count=200, format_count=4, seed=17)
+        full = IncrementalProfiler().profile(iter(raw))
+        partial = IncrementalProfiler().profile(iter(raw[:150]))
+        assert full.fingerprint() != partial.fingerprint()
+
+    def test_configuration_is_part_of_the_fingerprint(self):
+        raw, _ = phone_dataset(count=200, format_count=4, seed=17)
+        with_constants = IncrementalProfiler().profile(iter(raw))
+        without = IncrementalProfiler(discover_constants=False).profile(iter(raw))
+        assert with_constants.fingerprint() != without.fingerprint()
+
+
+class TestCacheKey:
+    def test_stable_and_sensitive(self):
+        key = cache_key("abc", "pattern:<D>3", {"generalize": 0})
+        assert key == cache_key("abc", "pattern:<D>3", {"generalize": 0})
+        assert key != cache_key("abd", "pattern:<D>3", {"generalize": 0})
+        assert key != cache_key("abc", "pattern:<D>4", {"generalize": 0})
+        assert key != cache_key("abc", "pattern:<D>3", {"generalize": 1})
+
+
+class TestArtifactCache:
+    def test_round_trips_a_compiled_program(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path / "cache")
+        key = cache_key("fp", "pattern:<D>3'-'<D>3'-'<D>4")
+        assert cache.load(key) is None
+        assert key not in cache
+        path = cache.store(key, compiled)
+        assert path.is_file() and path.suffix == ".json"
+        assert key in cache
+        loaded = cache.load(key)
+        assert loaded is not None
+        assert loaded.dumps() == compiled.dumps()
+
+    def test_creates_the_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "cache"
+        ArtifactCache(nested)
+        assert nested.is_dir()
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp", "target")
+        cache.path(key).write_text("{not valid at all", encoding="utf-8")
+        assert cache.load(key) is None
+        # and a store overwrites it cleanly
+        cache.store(key, compiled)
+        assert cache.load(key) is not None
+
+    def test_non_utf8_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp", "target")
+        cache.path(key).write_bytes(b"\xff\xfe\x00 garbage")
+        assert cache.load(key) is None
+
+    def test_store_leaves_no_scratch_files_behind(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        cache.store(cache_key("fp", "target"), compiled)
+        assert [p.suffix for p in tmp_path.iterdir()] == [".json"]

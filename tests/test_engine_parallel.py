@@ -9,6 +9,8 @@ never a semantics change.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.phone import phone_dataset
@@ -16,7 +18,7 @@ from repro.bench.suite import benchmark_suite
 from repro.core.session import CLXSession
 from repro.engine.executor import TransformEngine
 from repro.engine.parallel import ShardedExecutor
-from repro.util.errors import SynthesisError, ValidationError
+from repro.util.errors import CLXError, SynthesisError, ValidationError
 
 
 def _engines_for_suite():
@@ -125,6 +127,35 @@ class TestShardedExecutor:
         executor = ShardedExecutor(phone_engine, workers=1)
         executor.close()
         executor.close()
+
+    def test_dead_worker_raises_clx_error_instead_of_hanging(self, phone_engine):
+        class Kamikaze(str):
+            """Unpickling this value kills the worker that receives it."""
+
+            def __reduce__(self):
+                return (os._exit, (13,))
+
+        values = ["734-422-8073"] * 30 + [Kamikaze("906-555-1234")]
+        with ShardedExecutor(phone_engine, workers=2, chunk_size=8) as executor:
+            with pytest.raises(CLXError, match="worker process died"):
+                list(executor.run_iter(iter(values)))
+
+    def test_worker_death_mid_stream_raises_clx_error(self, phone_engine):
+        # The poison chunk sits near the front of a long stream, so the
+        # pool breaks while later chunks are still being *submitted* —
+        # submit-side BrokenProcessPool must be translated too.
+        class Kamikaze(str):
+            def __reduce__(self):
+                return (os._exit, (13,))
+
+        values = (
+            ["734-422-8073"] * 3
+            + [Kamikaze("906-555-1234")]
+            + ["734-422-8073"] * 5000
+        )
+        with ShardedExecutor(phone_engine, workers=2, chunk_size=2) as executor:
+            with pytest.raises(CLXError, match="worker process died"):
+                list(executor.run_iter(iter(values)))
 
 
 class TestRunParallelFallback:
