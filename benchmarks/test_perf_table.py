@@ -140,6 +140,95 @@ def test_perf_parallel_profile_speedup(phone_csv, recorder):
         )
 
 
+@pytest.fixture(scope="module")
+def phone_parts(tmp_path_factory):
+    """The same ROWS-row column partitioned into 8 part files."""
+    directory = tmp_path_factory.mktemp("perf_dataset")
+    part_rows = max(1, ROWS // 8)
+    writer = None
+    handle = None
+    part_index = -1
+    for index, value in enumerate(phone_number_stream(ROWS, seed=77)):
+        if index % part_rows == 0 and index // part_rows > part_index:
+            if handle is not None:
+                handle.close()
+            part_index = index // part_rows
+            handle = (directory / f"part-{part_index:03d}.csv").open(
+                "w", newline="", encoding="utf-8"
+            )
+            writer = csv.writer(handle)
+            writer.writerow(["id", "phone"])
+        writer.writerow([index, value])
+    if handle is not None:
+        handle.close()
+    return directory
+
+
+def test_perf_partitioned_dataset_profile(phone_csv, phone_parts, recorder):
+    # Dataset mode: the same column split across part files must profile
+    # to the identical hierarchy, and fan out across workers by part.
+    from repro.dataset import Dataset
+
+    dataset = Dataset.resolve(str(phone_parts / "part-*.csv"))
+
+    start = time.perf_counter()
+    serial = ParallelProfiler(workers=1).profile_dataset(dataset, "phone")
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = ParallelProfiler(workers=WORKERS).profile_dataset(dataset, "phone")
+    parallel_seconds = time.perf_counter() - start
+
+    whole_file = ParallelProfiler(workers=1).profile_file(phone_csv, "phone")
+    assert parallel.row_count == serial.row_count == ROWS
+    whole_leaves = [
+        (node.pattern.notation(), node.size)
+        for node in whole_file.to_hierarchy().leaf_nodes
+    ]
+    for profile in (serial, parallel):
+        leaves = [
+            (node.pattern.notation(), node.size)
+            for node in profile.to_hierarchy().leaf_nodes
+        ]
+        assert leaves == whole_leaves
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    recorder["dataset_profile"] = {
+        "parts": len(dataset),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "serial_rows_per_sec": ROWS / serial_seconds,
+        "parallel_rows_per_sec": ROWS / parallel_seconds,
+        "speedup": speedup,
+    }
+    print(
+        f"\npartitioned dataset profile over {ROWS} rows in {len(dataset)} parts "
+        f"on {os.cpu_count()} CPU(s)"
+    )
+    rows_table = [
+        (
+            "profile_dataset(workers=1)",
+            f"{serial_seconds:.2f} s",
+            f"{ROWS / serial_seconds:,.0f} rows/s",
+            "1.0x",
+        ),
+        (
+            f"profile_dataset(workers={WORKERS})",
+            f"{parallel_seconds:.2f} s",
+            f"{ROWS / parallel_seconds:,.0f} rows/s",
+            f"{speedup:.2f}x",
+        ),
+    ]
+    print(format_table(["profile path", "latency", "throughput", "speedup"], rows_table))
+
+    if _speedup_assertable():
+        assert speedup >= 1.5, (
+            f"partitioned dataset profile ({parallel_seconds:.2f} s) not >=1.5x "
+            f"faster than serial ({serial_seconds:.2f} s) with {WORKERS} workers "
+            f"on {os.cpu_count()} CPUs"
+        )
+
+
 def test_perf_pipelined_table_apply_speedup(recorder):
     from repro.engine.parallel import ShardedTableExecutor
 

@@ -50,9 +50,12 @@ from repro.dsl import (
     apply_program,
     explain_program,
 )
+from repro.dataset import Dataset, DatasetPart, resolve_dataset
 from repro.engine import (
     ArtifactCache,
+    ArtifactRegistry,
     CompiledProgram,
+    RegistryEntry,
     ShardedExecutor,
     ShardedTableExecutor,
     TransformEngine,
@@ -79,9 +82,12 @@ __all__ = [
     "CLXSession",
     "ColumnProfile",
     "ArtifactCache",
+    "ArtifactRegistry",
     "CompiledProgram",
     "ConstStr",
     "ContainsGuard",
+    "Dataset",
+    "DatasetPart",
     "Extract",
     "IncrementalProfiler",
     "ParallelProfiler",
@@ -89,6 +95,7 @@ __all__ = [
     "PatternHierarchy",
     "PatternParseError",
     "PatternProfiler",
+    "RegistryEntry",
     "ReplaceOperation",
     "SerializationError",
     "ShardedExecutor",
@@ -111,6 +118,7 @@ __all__ = [
     "pattern_of_string",
     "profile",
     "profile_stream",
+    "resolve_dataset",
     "synthesize",
     "tokenize",
     "transform_column",

@@ -6,7 +6,9 @@ library can be used without writing Python:
 ``repro-clx profile data.csv --column phone``
     Print the pattern clusters of a column (the Figure 3 view).  The
     column is profiled in one streaming pass with bounded memory, so
-    arbitrarily large CSVs work.
+    arbitrarily large CSVs work.  Inputs may be several paths, globs
+    (``'data/part-*.csv'``), or directories — a partitioned dataset
+    profiles as one column, CSV and JSONL parts alike.
 
 ``repro-clx transform data.csv --column phone --target-example "734-422-8073"``
     Synthesize a program for the column, print the explained Replace
@@ -24,7 +26,16 @@ library can be used without writing Python:
     fans raw CSV chunks across N processes that parse, transform, and
     re-encode worker-side, so the parent only splices ordered encoded
     chunks into the sink; ``--format jsonl`` emits JSON Lines through
-    the same streaming writer.
+    the same streaming writer.  The input may be a glob or directory
+    (plus extra ``--input`` paths): partitions either splice into one
+    sink in stable order, or — with ``--output-dir`` — write one output
+    per partition, preserving partition names.
+
+``repro-clx artifacts list --cache-dir DIR`` / ``artifacts gc``
+    Inspect and garbage-collect a compile cache through its
+    ``registry.json`` manifest: ``list`` shows every compiled artifact
+    (column fingerprint, target, stats; ``--json`` for machines), ``gc``
+    prunes dangling manifest rows and unreferenced artifact files.
 
 ``repro-clx suite``
     Print the statistics of the bundled 47-task benchmark suite (Table 6).
@@ -38,10 +49,11 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import os
 import sys
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.clustering.incremental import DEFAULT_EXEMPLAR_CAP, IncrementalProfiler
 from repro.core.session import CLXSession
@@ -88,33 +100,20 @@ def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], L
     return rows, header, _resolve_column(header, column)
 
 
-def _stream_column(
-    path: Path, column: str, delimiter: str
-) -> Tuple[List[str], str, Iterator[str]]:
-    """Open a CSV for one-pass reading of a single column.
+def _dataset_column_name(dataset, column: str, delimiter: str) -> str:
+    """The resolved column name recorded on artifacts, per the dataset.
 
-    Returns ``(header, resolved column name, value iterator)``.  The
-    iterator owns the file handle and closes it when exhausted (or
-    garbage-collected), so callers can profile arbitrarily large files
-    without ever materializing them.
+    Resolved against the first CSV part's header (so a zero-based index
+    becomes a name); an all-JSONL dataset addresses keys by name
+    already.
     """
-    handle = path.open(newline="", encoding="utf-8")
-    try:
-        reader = csv.DictReader(handle, delimiter=delimiter)
-        if reader.fieldnames is None:
-            raise CLXError(f"{path} has no header row")
-        header = list(reader.fieldnames)
-        resolved = _resolve_column(header, column)
-    except Exception:
-        handle.close()
-        raise
+    from repro.dataset.readers import read_csv_header
 
-    def values() -> Iterator[str]:
-        with handle:
-            for row in reader:
-                yield row[resolved] or ""
-
-    return header, resolved, values()
+    for part in dataset.parts:
+        if part.format == "csv":
+            header, _ = read_csv_header(part.path, delimiter)
+            return _resolve_column(header, column)
+    return str(column)
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -122,17 +121,15 @@ def _command_profile(args: argparse.Namespace) -> int:
         raise CLXError(f"--samples must be >= 0, got {args.samples}")
     workers = validated_workers(args.workers, "--workers")
     profiler = IncrementalProfiler(exemplar_cap=max(args.samples, DEFAULT_EXEMPLAR_CAP))
-    if workers > 1:
-        # Byte-range fan-out: the file is split into newline-aligned
-        # shards and every worker parses + profiles its own range; the
-        # parent only reads the header and merges shard profiles.
-        from repro.clustering.parallel import ParallelProfiler
+    # One shard source per partition (byte ranges within large parts),
+    # merged via the associative profile reduce; with one worker the
+    # same dataset streams serially in process, constant memory.
+    from repro.clustering.parallel import ParallelProfiler
+    from repro.dataset import Dataset
 
-        parallel = ParallelProfiler(profiler=profiler, workers=workers)
-        profile = parallel.profile_file(Path(args.csv), args.column, delimiter=args.delimiter)
-    else:
-        _header, _column, values = _stream_column(Path(args.csv), args.column, args.delimiter)
-        profile = profiler.profile(values)
+    dataset = Dataset.resolve(args.inputs)
+    parallel = ParallelProfiler(profiler=profiler, workers=workers)
+    profile = parallel.profile_dataset(dataset, args.column, delimiter=args.delimiter)
     session = CLXSession.from_profile(profile)
     table = [
         (summary.pattern.notation(), summary.count, ", ".join(summary.samples))
@@ -204,15 +201,27 @@ def _command_compile(args: argparse.Namespace) -> int:
         print("error: provide --target-pattern or --target-example", file=sys.stderr)
         return 2
     # Streaming path: profile the column with bounded memory, then open
-    # the session on the profile — the raw CSV is never materialized.
-    _header, column, values = _stream_column(Path(args.csv), args.column, args.delimiter)
-    profile = IncrementalProfiler().profile(values)
+    # the session on the profile — the raw data is never materialized.
+    # Inputs resolve as a dataset, so globs and partitioned columns
+    # compile exactly like a single CSV.
+    from repro.dataset import Dataset
+
+    dataset = Dataset.resolve(args.inputs)
+    dataset.check_column(args.column, args.delimiter)
+    column = _dataset_column_name(dataset, args.column, args.delimiter)
+    profile = IncrementalProfiler().profile(
+        dataset.iter_values(args.column, args.delimiter)
+    )
 
     # Content-addressed artifact cache: same column distribution + same
     # target + same flags = same program, so a hit skips synthesis.
+    # Hits resolve through the registry manifest, so separate sessions
+    # (and hosts sharing the directory) discover each other's programs.
     cache = None
     key = None
     compiled = None
+    target_spec = ""
+    flags = {}
     if args.cache_dir:
         from repro.engine.cache import ArtifactCache, cache_key
 
@@ -231,7 +240,7 @@ def _command_compile(args: argparse.Namespace) -> int:
         # column.
         flags["column"] = column
         key = cache_key(profile.fingerprint(), target_spec, flags)
-        compiled = cache.load(key)
+        compiled = cache.load_registered(key)
 
     if compiled is None:
         session = CLXSession.from_profile(profile)
@@ -240,13 +249,21 @@ def _command_compile(args: argparse.Namespace) -> int:
         compiled = session.compile(
             metadata={
                 "column": column,
-                "source_csv": Path(args.csv).name,
+                "source_csv": dataset.describe(),
                 "source_rows": profile.row_count,
             }
         )
         if cache is not None:
             assert key is not None
-            stored = cache.store(key, compiled)
+            stored = cache.store_registered(
+                key,
+                compiled,
+                fingerprint=profile.fingerprint(),
+                target=target_spec,
+                flags=flags,
+                source=dataset.describe(),
+                stats={"rows": profile.row_count, "clusters": profile.cluster_count},
+            )
             print(f"cached artifact at {stored}", file=sys.stderr)
     else:
         assert cache is not None and key is not None
@@ -301,6 +318,11 @@ def _paired_apply_columns(
     return columns
 
 
+def _partition_output_name(part, out_format: str) -> str:
+    """The sink file name for one partition, preserving its stem."""
+    return part.path.stem + (".jsonl" if out_format == "jsonl" else ".csv")
+
+
 def _command_apply(args: argparse.Namespace) -> int:
     workers = validated_workers(args.workers, "--workers")
     chunk_size = validated_chunk_size(args.chunk_size, "--chunk-size")
@@ -309,64 +331,107 @@ def _command_apply(args: argparse.Namespace) -> int:
             "--output-column is ambiguous with multiple programs; "
             "use --in-place or the default <column>_transformed names"
         )
+    if args.output and args.output_dir:
+        raise CLXError("--output and --output-dir are mutually exclusive")
     engines = [
         TransformEngine.loads(Path(program).read_text(encoding="utf-8"))
         for program in args.program
     ]
 
-    source = Path(args.csv)
+    from repro.dataset import Dataset
+    from repro.dataset.readers import read_csv_header
+
+    dataset = Dataset.resolve([args.csv] + (args.input or []))
+    dataset.csv_only("apply")
+
+    # The first part defines the dataset header; the executor verifies
+    # every further part against it, so drifted partitions fail loudly
+    # instead of splicing mismatched columns into one sink.
+    header, _ = read_csv_header(dataset.parts[0].path, args.delimiter)
+    columns = _paired_apply_columns(engines, args.column or [], header)
+    if args.in_place:
+        output_columns = {column: column for column in columns}
+    else:
+        output_columns = {
+            column: _resolve_output_column(
+                header, column, args.output_column if len(columns) == 1 else None
+            )
+            for column in columns
+        }
+
+    from repro.engine.parallel import ShardedTableExecutor
+
+    output_dir = Path(args.output_dir) if args.output_dir else None
     destination = Path(args.output) if args.output else None
+    if destination is not None:
+        # Opening the sink truncates it — refuse before destroying an
+        # input partition (easy to hit when the glob covers the
+        # destination, e.g. re-running the same apply command).
+        resolved = destination.resolve()
+        for part in dataset:
+            if resolved == part.path.resolve():
+                raise CLXError(
+                    f"--output {destination} is also an input partition; "
+                    "writing would destroy the source — choose a different "
+                    "output path"
+                )
     flagged = 0
     total = 0
-    with source.open(newline="", encoding="utf-8") as in_handle:
-        # Parse exactly one record — the header — then hand the raw,
-        # unparsed data lines to the executor: with --workers N the CSV
-        # codec runs entirely worker-side and the parent only splices
-        # ordered encoded chunks into the sink.
-        reader = csv.reader(in_handle, delimiter=args.delimiter)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise CLXError(f"{source} has no header row") from None
-        first_data_line = reader.line_num + 1
-
-        columns = _paired_apply_columns(engines, args.column or [], header)
-        if args.in_place:
-            output_columns = {column: column for column in columns}
+    with ShardedTableExecutor(
+        dict(zip(columns, engines)),
+        header,
+        output_columns=output_columns,
+        out_format=args.format,
+        delimiter=args.delimiter,
+        source=str(dataset.parts[0].path),
+        workers=workers,
+        chunk_size=chunk_size,
+    ) as executor:
+        if output_dir is not None:
+            # Partition-preserving mode: one sink per part, same stem.
+            output_dir.mkdir(parents=True, exist_ok=True)
+            names = set()
+            for part in dataset:
+                name = _partition_output_name(part, args.format)
+                if name in names:
+                    raise CLXError(
+                        f"two partitions would write the same output file {name!r}; "
+                        "rename the partitions or apply them separately"
+                    )
+                names.add(name)
+                target = output_dir / name
+                if target.resolve() == part.path.resolve():
+                    raise CLXError(
+                        f"--output-dir would overwrite input partition {part.path}; "
+                        "choose a different directory"
+                    )
+                with target.open("w", newline="", encoding="utf-8") as out_handle:
+                    out_handle.write(executor.header_text())
+                    for encoded, rows, chunk_flagged in executor.run_csv_file(part.path):
+                        out_handle.write(encoded)
+                        total += rows
+                        flagged += chunk_flagged
+            print(
+                f"wrote {len(names)} partition(s) to {output_dir}", file=sys.stderr
+            )
         else:
-            output_columns = {
-                column: _resolve_output_column(
-                    header, column, args.output_column if len(columns) == 1 else None
-                )
-                for column in columns
-            }
-
-        from repro.engine.parallel import ShardedTableExecutor
-
-        out_handle = (
-            destination.open("w", newline="", encoding="utf-8") if destination else sys.stdout
-        )
-        try:
-            with ShardedTableExecutor(
-                dict(zip(columns, engines)),
-                header,
-                output_columns=output_columns,
-                out_format=args.format,
-                delimiter=args.delimiter,
-                source=str(source),
-                workers=workers,
-                chunk_size=chunk_size,
-            ) as executor:
+            # Spliced mode: every part streams into one sink, in stable
+            # part order, behind a single header.
+            out_handle = (
+                destination.open("w", newline="", encoding="utf-8")
+                if destination
+                else sys.stdout
+            )
+            try:
                 out_handle.write(executor.header_text())
-                for encoded, rows, chunk_flagged in executor.run_chunks(
-                    in_handle, first_line=first_data_line
-                ):
-                    out_handle.write(encoded)
-                    total += rows
-                    flagged += chunk_flagged
-        finally:
-            if destination:
-                out_handle.close()
+                for part in dataset:
+                    for encoded, rows, chunk_flagged in executor.run_csv_file(part.path):
+                        out_handle.write(encoded)
+                        total += rows
+                        flagged += chunk_flagged
+            finally:
+                if destination:
+                    out_handle.close()
 
     branches = sum(len(engine.compiled) for engine in engines)
     print(
@@ -375,6 +440,40 @@ def _command_apply(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if flagged == 0 else 1
+
+
+def _command_artifacts(args: argparse.Namespace) -> int:
+    from repro.engine.cache import ArtifactRegistry
+
+    registry = ArtifactRegistry(args.cache_dir)
+    if args.action == "gc":
+        report = registry.gc()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"removed {len(report['removed_entries'])} manifest row(s) and "
+                f"{len(report['removed_files'])} unreferenced artifact file(s)"
+            )
+        return 0
+
+    entries = registry.entries()
+    if args.json:
+        print(json.dumps([entry.to_dict() for entry in entries], indent=2, sort_keys=True))
+        return 0
+    table = [
+        (
+            entry.fingerprint[:12],
+            entry.target,
+            entry.flags.get("column", ""),
+            entry.stats.get("rows", ""),
+            entry.source,
+            entry.artifact,
+        )
+        for entry in entries
+    ]
+    print(format_table(["fingerprint", "target", "column", "rows", "source", "artifact"], table))
+    return 0
 
 
 def _command_suite(args: argparse.Namespace) -> int:
@@ -405,7 +504,13 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     profile = subparsers.add_parser("profile", help="print the pattern clusters of a CSV column")
-    profile.add_argument("csv", help="input CSV file (with a header row)")
+    profile.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="input",
+        help="input file(s): CSV/JSONL paths, globs (quote them), or "
+        "directories — a partitioned dataset profiles as one column",
+    )
     profile.add_argument("--column", required=True, help="column name or zero-based index")
     profile.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
     profile.add_argument(
@@ -443,7 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
         "compile",
         help="synthesize a program and save it as a .clx.json artifact",
     )
-    compile_cmd.add_argument("csv", help="input CSV file (with a header row)")
+    compile_cmd.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="input",
+        help="input file(s): CSV/JSONL paths, globs (quote them), or "
+        "directories — the column is profiled across every part",
+    )
     compile_cmd.add_argument("--column", required=True, help="column name or zero-based index")
     compile_cmd.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
     compile_cmd.add_argument("--target-example", help="a value already in the desired format")
@@ -478,7 +589,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=".clx.json artifact(s) written by 'compile'; several artifacts "
         "transform several columns in the same single pass",
     )
-    apply_cmd.add_argument("csv", help="input CSV file (with a header row)")
+    apply_cmd.add_argument(
+        "csv",
+        help="input CSV file, glob (quote it), or directory of partitions",
+    )
+    apply_cmd.add_argument(
+        "--input",
+        action="append",
+        help="additional input path/glob/directory (repeatable); all "
+        "resolved partitions apply in stable sorted order",
+    )
     apply_cmd.add_argument(
         "--column",
         action="append",
@@ -487,6 +607,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     apply_cmd.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
     apply_cmd.add_argument("--output", help="write the transformed output here instead of stdout")
+    apply_cmd.add_argument(
+        "--output-dir",
+        help="write one output file per input partition into this directory "
+        "(preserving partition names) instead of one spliced sink",
+    )
     apply_cmd.add_argument(
         "--format",
         choices=("csv", "jsonl"),
@@ -518,6 +643,29 @@ def build_parser() -> argparse.ArgumentParser:
         "single-process)",
     )
     apply_cmd.set_defaults(handler=_command_apply)
+
+    artifacts = subparsers.add_parser(
+        "artifacts",
+        help="inspect or garbage-collect a compile cache's registry manifest",
+    )
+    artifacts.add_argument(
+        "action",
+        choices=("list", "gc"),
+        help="list: show every registered artifact (fingerprint, target, "
+        "stats); gc: prune dangling manifest rows and unreferenced "
+        "artifact files",
+    )
+    artifacts.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the cache directory holding registry.json",
+    )
+    artifacts.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON output",
+    )
+    artifacts.set_defaults(handler=_command_artifacts)
 
     suite = subparsers.add_parser("suite", help="print the 47-task benchmark suite statistics")
     suite.add_argument("--verbose", action="store_true", help="list every data type")

@@ -11,7 +11,7 @@ the same leaf patterns and counts — and therefore the same lowered
 :class:`~repro.clustering.hierarchy.PatternHierarchy` — as the serial
 pass.
 
-Two shard sources are supported:
+Three shard sources are supported:
 
 * **iterables** (:meth:`ParallelProfiler.profile`) — chunks of values
   are fanned out through a bounded in-flight window, so a generator
@@ -19,12 +19,17 @@ Two shard sources are supported:
 * **CSV files on disk** (:meth:`ParallelProfiler.profile_file`) —
   the file is split into newline-aligned **byte ranges**, one per
   worker, and each worker parses its own range; the parent process
-  never touches a single data row.  (Alignment is by physical line, so
-  quoted fields containing embedded newlines are detected and rejected
-  in this mode — profile such files with one worker, or through
-  :meth:`profile`, instead.)
+  never touches a single data row.  When a quoted field turns out to
+  contain an embedded newline, the split is transparently redone on
+  **record** boundaries (one cheap quote-parity scan in the parent —
+  :func:`~repro.util.csvio.record_aligned_offsets`), so such files
+  profile correctly at any worker count;
+* **partitioned datasets** (:meth:`ParallelProfiler.profile_dataset`) —
+  every CSV/JSONL part of a :class:`~repro.dataset.dataset.Dataset`
+  becomes one or more byte-range shards (worker slots are allotted to
+  parts by size), merged in stable part order.
 
-With one worker both entry points degrade to the serial profiler in
+With one worker every entry point degrades to the serial profiler in
 process — no pool is spawned.  A worker process that dies mid-shard
 raises :class:`~repro.util.errors.CLXError` in the parent instead of
 hanging it.
@@ -36,11 +41,13 @@ import csv
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.clustering.hierarchy import PatternHierarchy
 from repro.clustering.incremental import ColumnProfile, IncrementalProfiler
-from repro.util.csvio import record_open_after, resolve_column
+from repro.dataset.dataset import Dataset
+from repro.dataset.readers import jsonl_value, parse_jsonl_row, read_csv_header
+from repro.util.csvio import record_aligned_offsets, record_open_after, resolve_column
 from repro.util.errors import ValidationError
 from repro.util.pools import chunked, map_ordered
 from repro.util.validate import validated_chunk_size, validated_workers
@@ -49,13 +56,21 @@ from repro.util.validate import validated_chunk_size, validated_workers
 #: enough to amortize pickling, small enough to keep every worker busy.
 DEFAULT_CHUNK_ROWS = 16_384
 
-# Worker globals installed by the pool initializers (one pool profiles
-# exactly one column, so module globals are safe).
+# Worker global installed by the pool initializer (one pool profiles
+# exactly one column, so a module global is safe).
 _WORKER_PROFILER: Optional[IncrementalProfiler] = None
-_WORKER_FILE: Optional[Tuple[str, int, str, str]] = None
 
 
-def _init_chunk_worker(profiler: IncrementalProfiler) -> None:
+class MultilineRecordError(ValidationError):
+    """A newline-aligned shard met a record spanning physical lines.
+
+    Raised inside a worker and caught by the parent, which retries the
+    file with record-aligned shard boundaries; it only escapes to
+    callers feeding shards by hand.
+    """
+
+
+def _init_profiler_worker(profiler: IncrementalProfiler) -> None:
     global _WORKER_PROFILER
     _WORKER_PROFILER = profiler
 
@@ -66,40 +81,40 @@ def _profile_chunk(values: List[str]) -> ColumnProfile:
     return _WORKER_PROFILER.new_profile().observe_all(values)
 
 
-def _init_file_worker(
-    profiler: IncrementalProfiler, path: str, column_index: int, delimiter: str, encoding: str
-) -> None:
-    global _WORKER_PROFILER, _WORKER_FILE
-    _WORKER_PROFILER = profiler
-    _WORKER_FILE = (path, column_index, delimiter, encoding)
-
-
 def _shard_lines(
-    path: str, start: int, end: int, encoding: str, skip_first: bool
+    path: str, start: int, end: int, encoding: str, skip_first: bool, exact: bool = False
 ) -> Iterator[str]:
     """Decoded physical lines of ``path`` owned by the shard [start, end).
 
-    The ownership rule is the classic byte-range one: a shard that does
-    not begin at the data start discards its first ``readline`` (that
-    line — whole or partial — was read to completion by the previous
-    shard) and then owns every line *beginning* at or before ``end``,
-    reading the last one past ``end`` if it straddles the boundary.
-    Contiguous shards therefore partition the file's lines exactly, no
-    matter where the byte boundaries fall.
+    Two ownership rules, chosen by ``exact``:
+
+    * ``exact=False`` — the classic byte-range rule: a shard that does
+      not begin at the data start discards its first ``readline`` (that
+      line — whole or partial — was read to completion by the previous
+      shard) and then owns every line *beginning* at or before ``end``,
+      reading the last one past ``end`` if it straddles the boundary.
+      Contiguous shards therefore partition the file's lines exactly,
+      no matter where the byte boundaries fall.
+    * ``exact=True`` — ``start`` and ``end`` are known record
+      boundaries (from a quote-parity scan): the shard owns exactly the
+      lines beginning in ``[start, end)``, no skipping, no overshoot.
     """
     with open(path, "rb") as handle:
         handle.seek(start)
-        if skip_first:
+        if skip_first and not exact:
             handle.readline()
-        while handle.tell() <= end:
+        while True:
+            position = handle.tell()
+            if position > end or (exact and position >= end):
+                return
             raw = handle.readline()
             if not raw:
                 return
             yield raw.decode(encoding)
 
 
-def _single_record_lines(lines: Iterable[str], delimiter: str) -> Iterator[str]:
-    """Pass lines through, refusing records that span physical lines.
+def _single_record_lines(lines: Iterable[str], delimiter: str, source: str) -> Iterator[str]:
+    """Pass lines through, flagging records that span physical lines.
 
     Byte-range shards align on physical lines, so a quoted field with
     an embedded newline parses differently depending on where the shard
@@ -109,66 +124,108 @@ def _single_record_lines(lines: Iterable[str], delimiter: str) -> Iterator[str]:
     boundary, so checking each owned line with the csv module's own
     quoting rules (:func:`~repro.util.csvio.record_open_after`; a stray
     ``"`` in an unquoted cell is data, not a delimiter) catches such
-    files deterministically, whatever the boundaries.
+    files deterministically, whatever the boundaries.  The parent
+    answers :class:`MultilineRecordError` by re-splitting the file on
+    record boundaries and retrying.
     """
     for line in lines:
         if record_open_after(line, delimiter):
-            raise ValidationError(
-                "byte-range profiling aligns shards on physical lines and "
-                "cannot parse quoted fields containing embedded newlines; "
-                "profile this file with workers=1 (or stream its rows "
-                "through ParallelProfiler.profile) instead"
+            raise MultilineRecordError(
+                f"{source}: a quoted field contains an embedded newline; "
+                "re-shard on record boundaries"
             )
         yield line
 
 
-def _profile_file_shard(span: Tuple[int, int, bool]) -> ColumnProfile:
-    """Profile one byte-range shard of the worker's file."""
-    assert _WORKER_PROFILER is not None and _WORKER_FILE is not None
-    path, column_index, delimiter, encoding = _WORKER_FILE
+@dataclass(frozen=True)
+class _FileShard:
+    """One picklable unit of byte-range profiling work.
+
+    Attributes:
+        path: File the shard reads.
+        format: ``"csv"`` or ``"jsonl"``.
+        column: Column index (CSV) or key name (JSONL) to profile.
+        delimiter: CSV delimiter (ignored for JSONL).
+        encoding: Text encoding.
+        start: First byte of the shard.
+        end: First byte past the shard.
+        skip_first: Newline-aligned ownership rule (see
+            :func:`_shard_lines`).
+        exact: Both bounds are known record boundaries.
+        check_multiline: Raise :class:`MultilineRecordError` when a
+            record leaves a quoted field open across physical lines.
+    """
+
+    path: str
+    format: str
+    column: Union[str, int]
+    delimiter: str
+    encoding: str
+    start: int
+    end: int
+    skip_first: bool
+    exact: bool
+    check_multiline: bool
+
+
+def _profile_file_shard(shard: _FileShard) -> ColumnProfile:
+    """Profile one byte-range shard in a worker."""
+    assert _WORKER_PROFILER is not None, "worker used before initialization"
     profile = _WORKER_PROFILER.new_profile()
-    reader = csv.reader(
-        _single_record_lines(
-            _shard_lines(path, span[0], span[1], encoding, skip_first=span[2]),
-            delimiter,
-        ),
-        delimiter=delimiter,
+    lines = _shard_lines(
+        shard.path, shard.start, shard.end, shard.encoding, shard.skip_first, shard.exact
     )
-    for row in reader:
-        if not row:
-            continue  # blank line, as csv.DictReader skips them
-        profile.observe(row[column_index] if column_index < len(row) else "")
+    if shard.format == "jsonl":
+        for line in lines:
+            if not line.strip():
+                continue
+            profile.observe(jsonl_value(parse_jsonl_row(line, shard.path), shard.column))
+    else:
+        if shard.check_multiline:
+            lines = _single_record_lines(lines, shard.delimiter, shard.path)
+        column_index = shard.column
+        assert isinstance(column_index, int)
+        for row in csv.reader(lines, delimiter=shard.delimiter):
+            if not row:
+                continue  # blank line, as csv.DictReader skips them
+            profile.observe(row[column_index] if column_index < len(row) else "")
     return profile
-
-
-def _read_header(path: Path, delimiter: str, encoding: str) -> Tuple[List[str], int]:
-    """The CSV header row of ``path`` and the byte offset where data starts."""
-    raw_header = b""
-    record_open = False
-    with path.open("rb") as handle:
-        # Accumulate physical lines until the header record closes, so
-        # a (rare) quoted header field containing a newline stays
-        # intact — tracked with csv quoting semantics, since a stray
-        # ``"`` in an unquoted header cell is data, not a delimiter.
-        while True:
-            line = handle.readline()
-            if not line:
-                break
-            raw_header += line
-            record_open = record_open_after(line.decode(encoding), delimiter, record_open)
-            if not record_open:
-                break
-        data_start = handle.tell()
-    text = raw_header.decode(encoding)
-    if not text.strip():
-        raise ValidationError(f"{path} has no header row")
-    header = next(csv.reader([text], delimiter=delimiter))
-    return header, data_start
 
 
 def _resolve_column_index(header: List[str], column: Union[str, int]) -> int:
     """Resolve a column given by name or zero-based index against the header."""
     return header.index(resolve_column(header, column))
+
+
+def _split_points(start: int, end: int, pieces: int) -> List[int]:
+    """``pieces`` contiguous span starts covering [start, end), ascending."""
+    span = max(1, (end - start + pieces - 1) // pieces)
+    return list(range(start, end, span))
+
+
+def _allot_spans(sizes: Sequence[int], workers: int) -> List[int]:
+    """Split ``workers`` span slots across parts, proportional to size.
+
+    Every part gets at least one span; leftover slots go to the largest
+    parts by the largest-remainder method, deterministically.
+    """
+    counts = [1] * len(sizes)
+    extra = workers - len(sizes)
+    if extra <= 0:
+        return counts
+    total = sum(sizes)
+    if total <= 0:
+        return counts
+    quotas = [extra * size / total for size in sizes]
+    for index, quota in enumerate(quotas):
+        counts[index] += int(quota)
+    leftover = extra - sum(int(quota) for quota in quotas)
+    by_remainder = sorted(
+        range(len(sizes)), key=lambda i: (-(quotas[i] - int(quotas[i])), i)
+    )
+    for index in by_remainder[:leftover]:
+        counts[index] += 1
+    return counts
 
 
 @dataclass
@@ -223,7 +280,7 @@ class ParallelProfiler:
         merged: Optional[ColumnProfile] = None
         with ProcessPoolExecutor(
             max_workers=self.workers,
-            initializer=_init_chunk_worker,
+            initializer=_init_profiler_worker,
             initargs=(self.profiler,),
         ) as pool:
             shards = map_ordered(
@@ -254,19 +311,19 @@ class ParallelProfiler:
         missing column and surplus cells are ignored, matching the
         streaming profile path of the CLI.
 
-        Quoted fields with embedded newlines are **not** supported with
-        multiple workers (shard boundaries align on physical lines);
-        such files are detected and rejected — profile them with one
-        worker, or via :meth:`profile` over a row iterator.
+        Quoted fields containing embedded newlines are handled: a
+        worker that meets one flags the file, and the parent re-splits
+        it on **record** boundaries with one quote-parity scan
+        (:func:`~repro.util.csvio.record_aligned_offsets`) and retries,
+        so the result matches the serial pass at any worker count.
 
         Raises:
             ValidationError: If the header is missing, the column is
-                unknown, the file has no data rows (and the profiler
-                does not ``allow_empty``), or a multi-worker run meets
-                a record spanning physical lines.
+                unknown, or the file has no data rows (and the profiler
+                does not ``allow_empty``).
         """
         source = Path(path)
-        header, data_start = _read_header(source, delimiter, encoding)
+        header, data_start = read_csv_header(source, delimiter, encoding)
         column_index = _resolve_column_index(header, column)
         size = source.stat().st_size
 
@@ -283,26 +340,172 @@ class ParallelProfiler:
             profile = self.profiler.new_profile().observe_all(values)
             return self._checked(profile)
 
-        spans = self._file_spans(data_start, size)
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_file_worker,
-            initargs=(self.profiler, str(source), column_index, delimiter, encoding),
-        ) as pool:
-            shards = list(map_ordered(pool, _profile_file_shard, spans, len(spans)))
-        return self._checked(ColumnProfile.merge_all(shards))
+        shards = self._csv_shards(
+            source, data_start, size, column_index, delimiter, encoding,
+            spans=self.workers, record_aligned=False,
+        )
+        try:
+            return self._checked(self._run_file_shards(shards))
+        except MultilineRecordError:
+            shards = self._csv_shards(
+                source, data_start, size, column_index, delimiter, encoding,
+                spans=self.workers, record_aligned=True,
+            )
+            return self._checked(self._run_file_shards(shards))
 
-    def _file_spans(self, start: int, end: int) -> List[Tuple[int, int, bool]]:
-        """Split [start, end) into up to ``workers`` contiguous byte ranges.
+    # ------------------------------------------------------------------
+    # Partitioned-dataset fan-out
+    # ------------------------------------------------------------------
+    def profile_dataset(
+        self,
+        dataset: Union[Dataset, str, Sequence[Union[str, Path]]],
+        column: Union[str, int],
+        delimiter: str = ",",
+        encoding: str = "utf-8",
+    ) -> ColumnProfile:
+        """Profile one column across every part of a partitioned dataset.
 
-        Every range except the first carries ``skip_first=True`` — its
-        opening line (whole or partial) is owned by the previous range.
+        Each CSV/JSONL part contributes one or more byte-range shards
+        (worker slots are allotted to parts proportional to size), all
+        profiled through one pool and merged in stable part order — the
+        result has the same leaf patterns and counts as profiling the
+        concatenated column serially.  CSV parts get the same embedded-
+        newline retry as :meth:`profile_file`; JSONL parts are immune
+        (a JSON string cannot contain a literal newline).
+
+        Args:
+            dataset: A resolved :class:`~repro.dataset.dataset.Dataset`,
+                or any spec(s) :meth:`Dataset.resolve` accepts (paths,
+                globs, directories).
+            column: Column name, or zero-based index (CSV parts only).
+            delimiter: CSV delimiter.
+            encoding: Text encoding.
+
+        Raises:
+            CLXError: If the specs resolve to no files.
+            ValidationError: If some part cannot supply the column, or
+                the dataset has no data rows (and the profiler does not
+                ``allow_empty``).
         """
-        span = max(1, (end - start + self.workers - 1) // self.workers)
+        if not isinstance(dataset, Dataset):
+            dataset = Dataset.resolve(dataset)
+        dataset.check_column(column, delimiter)
+
+        if self.workers == 1:
+            profile = self.profiler.new_profile().observe_all(
+                dataset.iter_values(column, delimiter)
+            )
+            return self._checked(profile)
+
+        shards = self._dataset_shards(dataset, column, delimiter, encoding)
+        if not shards:
+            return self._checked(self.profiler.new_profile())
+        try:
+            return self._checked(self._run_file_shards(shards))
+        except MultilineRecordError:
+            shards = self._dataset_shards(
+                dataset, column, delimiter, encoding, record_aligned=True
+            )
+            return self._checked(self._run_file_shards(shards))
+
+    # ------------------------------------------------------------------
+    # Shard planning and execution
+    # ------------------------------------------------------------------
+    def _run_file_shards(self, shards: Sequence[_FileShard]) -> ColumnProfile:
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(shards)),
+            initializer=_init_profiler_worker,
+            initargs=(self.profiler,),
+        ) as pool:
+            profiles = list(map_ordered(pool, _profile_file_shard, shards, len(shards)))
+        return ColumnProfile.merge_all(profiles)
+
+    def _csv_shards(
+        self,
+        source: Path,
+        data_start: int,
+        size: int,
+        column_index: int,
+        delimiter: str,
+        encoding: str,
+        spans: int,
+        record_aligned: bool,
+    ) -> List[_FileShard]:
+        """Byte-range shards over one CSV file's data region."""
+        if size <= data_start:
+            return []
+        starts = _split_points(data_start, size, spans)
+        if record_aligned:
+            starts = [data_start] + record_aligned_offsets(
+                str(source), data_start, size, starts[1:], delimiter, encoding
+            )
+        bounds = starts + [size]
         return [
-            (offset, min(offset + span, end), offset != start)
-            for offset in range(start, end, span)
+            _FileShard(
+                path=str(source),
+                format="csv",
+                column=column_index,
+                delimiter=delimiter,
+                encoding=encoding,
+                start=start,
+                end=end,
+                skip_first=not record_aligned and start != data_start,
+                exact=record_aligned,
+                check_multiline=not record_aligned,
+            )
+            for start, end in zip(bounds, bounds[1:])
+            if start < end
         ]
+
+    def _dataset_shards(
+        self,
+        dataset: Dataset,
+        column: Union[str, int],
+        delimiter: str,
+        encoding: str,
+        record_aligned: bool = False,
+    ) -> List[_FileShard]:
+        """One or more byte-range shards per dataset part, in part order."""
+        parts = dataset.parts
+        counts = _allot_spans([part.size for part in parts], self.workers)
+        shards: List[_FileShard] = []
+        for part, spans in zip(parts, counts):
+            if part.format == "jsonl":
+                if part.size <= 0:
+                    continue
+                starts = _split_points(0, part.size, spans)
+                bounds = starts + [part.size]
+                shards.extend(
+                    _FileShard(
+                        path=str(part.path),
+                        format="jsonl",
+                        column=column,
+                        delimiter=delimiter,
+                        encoding=encoding,
+                        start=start,
+                        end=end,
+                        skip_first=start != 0,
+                        exact=False,
+                        check_multiline=False,
+                    )
+                    for start, end in zip(bounds, bounds[1:])
+                    if start < end
+                )
+            else:
+                header, data_start = read_csv_header(part.path, delimiter, encoding)
+                shards.extend(
+                    self._csv_shards(
+                        part.path,
+                        data_start,
+                        part.size,
+                        _resolve_column_index(header, column),
+                        delimiter,
+                        encoding,
+                        spans=spans,
+                        record_aligned=record_aligned,
+                    )
+                )
+        return shards
 
     # ------------------------------------------------------------------
     # Convenience

@@ -147,6 +147,40 @@ class CLXSession:
         session._report = None
         return session
 
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset,
+        column,
+        delimiter: str = ",",
+        workers: Optional[int] = None,
+        synthesizer: Optional[Synthesizer] = None,
+    ) -> "CLXSession":
+        """Open a session on a partitioned dataset, profiled in place.
+
+        The partition-native entry point: ``dataset`` may be a resolved
+        :class:`~repro.dataset.dataset.Dataset` or any spec(s) its
+        :meth:`~repro.dataset.dataset.Dataset.resolve` accepts (paths,
+        globs, directories, mixed CSV/JSONL).  The column is profiled
+        across every part — in parallel when ``workers`` exceeds 1 —
+        and the session opens on the merged profile, so it behaves like
+        :meth:`from_profile` (no raw column: :meth:`compile` and apply
+        through an engine).
+
+        Args:
+            dataset: A dataset, or specs to resolve into one.
+            column: Column name (or zero-based index, CSV parts only).
+            delimiter: CSV delimiter.
+            workers: Worker processes for profiling; ``None``/1 profiles
+                serially in process.
+            synthesizer: Optional custom synthesizer.
+        """
+        from repro.clustering.parallel import ParallelProfiler
+
+        profiler = ParallelProfiler(workers=workers or 1)
+        profile = profiler.profile_dataset(dataset, column, delimiter=delimiter)
+        return cls.from_profile(profile, synthesizer=synthesizer)
+
     def _require_values(self, operation: str) -> List[str]:
         """The raw column, or a clear error for profile-backed sessions."""
         if self._values is None:

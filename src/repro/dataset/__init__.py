@@ -1,0 +1,33 @@
+"""Partitioned datasets as first-class inputs.
+
+Real columns rarely live in one file: datasets arrive partitioned
+(``data/part-*.csv``), and dataset-oriented tooling treats a "table" as
+a *set* of files.  This package is the resolution layer that the rest of
+the pipeline builds on:
+
+* :class:`~repro.dataset.dataset.Dataset` resolves a mixture of paths,
+  globs, and directories into an ordered list of
+  :class:`~repro.dataset.dataset.DatasetPart` entries (stable sorted
+  ordering, format inferred per file, per-file schema checks);
+* :mod:`repro.dataset.readers` streams column values out of each part
+  (CSV or JSON Lines) with the same missing-column semantics as the
+  byte-range profiling path.
+
+On top of it, :meth:`ParallelProfiler.profile_dataset
+<repro.clustering.parallel.ParallelProfiler.profile_dataset>` profiles
+every part as one or more shards merged through the associative
+:meth:`~repro.clustering.incremental.ColumnProfile.merge_all`, and the
+CLI's ``profile``/``compile``/``apply`` accept globs and multiple paths
+directly (``apply --output-dir`` preserves partition names).
+"""
+
+from repro.dataset.dataset import Dataset, DatasetPart, resolve_dataset
+from repro.dataset.readers import iter_part_values, read_csv_header
+
+__all__ = [
+    "Dataset",
+    "DatasetPart",
+    "iter_part_values",
+    "read_csv_header",
+    "resolve_dataset",
+]

@@ -1,0 +1,119 @@
+"""Per-partition value streaming (CSV and JSON Lines).
+
+These are the single-process readers behind
+:meth:`Dataset.iter_values <repro.dataset.dataset.Dataset.iter_values>`
+and the schema checks; the multi-process byte-range readers live with
+the profiler in :mod:`repro.clustering.parallel` and share the header
+scan defined here.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+from repro.util.csvio import record_open_after, resolve_column
+from repro.util.errors import ValidationError
+
+
+def read_csv_header(
+    path: Union[str, Path], delimiter: str = ",", encoding: str = "utf-8"
+) -> Tuple[List[str], int]:
+    """The CSV header row of ``path`` and the byte offset where data starts.
+
+    Physical lines are accumulated until the header record closes, so a
+    (rare) quoted header field containing a newline stays intact —
+    tracked with csv quoting semantics, since a stray ``"`` in an
+    unquoted header cell is data, not a delimiter.
+
+    Raises:
+        ValidationError: If the file has no header row.
+    """
+    source = Path(path)
+    raw_header = b""
+    record_open = False
+    with source.open("rb") as handle:
+        while True:
+            line = handle.readline()
+            if not line:
+                break
+            raw_header += line
+            record_open = record_open_after(line.decode(encoding), delimiter, record_open)
+            if not record_open:
+                break
+        data_start = handle.tell()
+    text = raw_header.decode(encoding)
+    if not text.strip():
+        raise ValidationError(f"{source} has no header row")
+    header = next(csv.reader([text], delimiter=delimiter))
+    return header, data_start
+
+
+def iter_csv_values(
+    path: Union[str, Path], column: Union[str, int], delimiter: str = ","
+) -> Iterator[str]:
+    """Stream one column of a CSV file, ``""`` for rows missing it."""
+    header, _ = read_csv_header(path, delimiter)
+    index = header.index(resolve_column(header, column))
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        next(reader)  # the header just scanned
+        for row in reader:
+            if not row:
+                continue  # blank line, as csv.DictReader skips them
+            yield row[index] if index < len(row) else ""
+
+
+def parse_jsonl_row(line: str, source, number: Union[int, None] = None) -> dict:
+    """Parse one JSONL line into an object, with file context on errors.
+
+    The single definition of what a JSONL row is — shared by the
+    streaming readers, the schema check, and the byte-range profiling
+    workers, so their semantics (and error wording) cannot drift.
+    """
+    where = f"{source} line {number}" if number is not None else str(source)
+    try:
+        payload = json.loads(line)
+    except ValueError as error:
+        raise ValidationError(f"{where}: invalid JSON line: {error}") from None
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"{where}: JSONL rows must be objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def jsonl_value(payload: dict, column: str) -> str:
+    """One column of a parsed JSONL row, stringified like the profiler
+    ingests CSV cells (missing key and ``null`` both become ``""``)."""
+    value = payload.get(column)
+    return "" if value is None else str(value)
+
+
+def iter_jsonl_values(path: Union[str, Path], column: str) -> Iterator[str]:
+    """Stream one key of a JSONL file, ``""`` for rows missing it.
+
+    Values are stringified the way the profiler ingests them (``None``
+    becomes ``""``), so a JSONL part profiles identically to a CSV part
+    holding the same strings.
+    """
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            yield jsonl_value(parse_jsonl_row(line, source, number), column)
+
+
+def iter_part_values(part, column: Union[str, int], delimiter: str = ",") -> Iterator[str]:
+    """Stream ``column`` out of one :class:`~repro.dataset.dataset.DatasetPart`."""
+    if part.format == "jsonl":
+        if not isinstance(column, str) or column.isdigit():
+            raise ValidationError(
+                f"{part.path}: JSONL parts address columns by name, not index ({column!r})"
+            )
+        yield from iter_jsonl_values(part.path, column)
+    else:
+        yield from iter_csv_values(part.path, column, delimiter)

@@ -33,7 +33,7 @@ Typical flow::
         ...
 """
 
-from repro.engine.cache import ArtifactCache, cache_key
+from repro.engine.cache import ArtifactCache, ArtifactRegistry, RegistryEntry, cache_key
 from repro.engine.compiled import CompiledProgram, compile_program
 from repro.engine.executor import TransformEngine
 from repro.engine.parallel import ShardedExecutor, ShardedTableExecutor, TableSpec
@@ -54,7 +54,9 @@ from repro.engine.serialize import (
 
 __all__ = [
     "ArtifactCache",
+    "ArtifactRegistry",
     "CompiledProgram",
+    "RegistryEntry",
     "ShardedExecutor",
     "ShardedTableExecutor",
     "TableSpec",

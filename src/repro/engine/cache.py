@@ -1,4 +1,4 @@
-"""Content-addressed cache of compiled ``.clx.json`` artifacts.
+"""Content-addressed artifact cache + the cross-session artifact registry.
 
 Synthesis is the expensive step of the compile-once/apply-anywhere loop,
 and it is a pure function of the profiled column and the labelled
@@ -10,8 +10,23 @@ target specification and generalization flags, so re-compiling the same
 column toward the same target is a file read, zero synthesis.  The CLI
 exposes it as ``repro-clx compile --cache-dir DIR``.
 
-Corrupt or unreadable cache entries are treated as misses, never as
-errors — the cache can only save work, not introduce failures.
+:class:`ArtifactRegistry` makes the cache *discoverable*: a
+``registry.json`` manifest per cache directory records, for every
+compiled artifact, the column fingerprint, source dataset, target,
+flags, profile stats, and timestamp.  Sessions look compilations up
+through the manifest (``repro-clx artifacts list``, lookup by
+fingerprint) and reuse each other's programs; ``repro-clx artifacts gc``
+prunes rows whose artifact file vanished and artifact files no manifest
+row references.
+
+Corrupt or unreadable cache entries — including a truncated or garbage
+manifest — are treated as misses, never as errors: the cache can only
+save work, not introduce failures (and ``gc`` deletes nothing when the
+manifest itself is unreadable).  All writes (artifacts and manifest
+alike) go through same-directory temporary files and atomic renames, so
+no reader ever observes a torn entry, and the manifest's
+read-merge-write cycles serialize on a POSIX advisory lock so
+concurrent writers do not clobber each other's rows.
 """
 
 from __future__ import annotations
@@ -20,11 +35,26 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.engine.compiled import CompiledProgram
 from repro.util.errors import CLXError
+
+#: Manifest file name inside a cache directory.
+REGISTRY_NAME = "registry.json"
+
+#: Format marker + schema version of the manifest payload.
+REGISTRY_FORMAT = "clx-artifact-registry"
+REGISTRY_VERSION = 1
 
 
 def cache_key(column_fingerprint: str, target: str, flags: Optional[Mapping[str, Any]] = None) -> str:
@@ -56,6 +86,7 @@ class ArtifactCache:
     def __init__(self, directory: Union[str, Path]) -> None:
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
+        self._registry: Optional["ArtifactRegistry"] = None
 
     @property
     def directory(self) -> Path:
@@ -106,8 +137,290 @@ class ArtifactCache:
             raise
         return path
 
+    def load_registered(self, key: str) -> Optional[CompiledProgram]:
+        """Resolve a hit *through the registry manifest*, then the store.
+
+        The manifest row (when present and naming a readable artifact)
+        is the authoritative path; a cache directory whose manifest was
+        lost or corrupted falls back to the content-addressed file
+        layout, so registry damage degrades to plain cache behavior —
+        never to an error.
+        """
+        entry = self.registry.lookup(key)
+        if entry is not None and entry.artifact:
+            path = self._directory / entry.artifact
+            try:
+                return CompiledProgram.loads(path.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError, CLXError):
+                pass  # dangling or torn row: fall through to the store
+        return self.load(key)
+
+    def store_registered(
+        self,
+        key: str,
+        compiled: CompiledProgram,
+        fingerprint: str,
+        target: str,
+        flags: Optional[Mapping[str, Any]] = None,
+        source: str = "",
+        stats: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Persist ``compiled`` and record its manifest row in one call."""
+        path = self.store(key, compiled)
+        self.registry.record(
+            RegistryEntry(
+                key=key,
+                fingerprint=fingerprint,
+                target=target,
+                flags=dict(flags or {}),
+                source=source,
+                stats=dict(stats or {}),
+                artifact=path.name,
+            )
+        )
+        return path
+
     def __contains__(self, key: str) -> bool:
         return self.path(key).is_file()
 
+    @property
+    def registry(self) -> "ArtifactRegistry":
+        """The (lazily created) registry manifest of this cache directory."""
+        if self._registry is None:
+            self._registry = ArtifactRegistry(self._directory)
+        return self._registry
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArtifactCache({str(self._directory)!r})"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One manifest row: everything needed to find and trust an artifact.
+
+    Attributes:
+        key: The content-address (:func:`cache_key`) of the compilation.
+        fingerprint: :meth:`ColumnProfile.fingerprint` of the profiled
+            column.
+        target: The target specification string.
+        flags: The synthesis flags that shaped the program.
+        source: Human-readable description of the source dataset.
+        stats: Profile statistics (e.g. ``{"rows": N, "clusters": M}``).
+        created_at: Unix timestamp of the recording.
+        artifact: File name of the ``.clx.json`` entry, relative to the
+            cache directory.
+    """
+
+    key: str
+    fingerprint: str
+    target: str
+    flags: Dict[str, Any] = field(default_factory=dict)
+    source: str = ""
+    stats: Dict[str, Any] = field(default_factory=dict)
+    created_at: float = 0.0
+    artifact: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RegistryEntry":
+        return cls(
+            key=str(payload["key"]),
+            fingerprint=str(payload.get("fingerprint", "")),
+            target=str(payload.get("target", "")),
+            flags=dict(payload.get("flags") or {}),
+            source=str(payload.get("source", "")),
+            stats=dict(payload.get("stats") or {}),
+            created_at=float(payload.get("created_at", 0.0)),
+            artifact=str(payload.get("artifact", "")),
+        )
+
+
+class ArtifactRegistry:
+    """The ``registry.json`` manifest of one artifact cache directory.
+
+    The manifest is advisory metadata over the content-addressed store:
+    a corrupt, truncated, or missing manifest degrades every read to
+    "no entries" (cache-miss behavior) and is silently rebuilt by the
+    next :meth:`record` — it can never crash a compile.
+
+    Args:
+        directory: Cache root; created (with parents) if missing.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Path:
+        """Where the manifest lives (whether or not it exists yet)."""
+        return self._directory / REGISTRY_NAME
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _read_manifest(self) -> "tuple[Dict[str, RegistryEntry], bool]":
+        """The manifest rows plus whether the manifest itself is trusted.
+
+        ``trusted`` is False when ``registry.json`` is missing,
+        unreadable, or not a valid manifest — readers treat that as "no
+        entries" (cache-miss behavior), but :meth:`gc` must not treat
+        it as "nothing is referenced" and wipe the store.
+        """
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return {}, False
+        if not isinstance(payload, dict) or payload.get("format") != REGISTRY_FORMAT:
+            return {}, False
+        rows = payload.get("entries")
+        if not isinstance(rows, dict):
+            return {}, False
+        entries: Dict[str, RegistryEntry] = {}
+        for key, row in rows.items():
+            try:
+                entries[key] = RegistryEntry.from_dict({**row, "key": key})
+            except (TypeError, ValueError, KeyError):
+                continue  # one bad row never poisons the rest
+        return entries, True
+
+    def _read_entries(self) -> Dict[str, RegistryEntry]:
+        """The manifest rows keyed by cache key; {} for corrupt/missing."""
+        return self._read_manifest()[0]
+
+    def entries(self) -> List[RegistryEntry]:
+        """All manifest rows, sorted by (created_at, key) for stable output."""
+        return sorted(
+            self._read_entries().values(), key=lambda entry: (entry.created_at, entry.key)
+        )
+
+    def lookup(self, key: str) -> Optional[RegistryEntry]:
+        """The manifest row for ``key``, or ``None``."""
+        return self._read_entries().get(key)
+
+    def lookup_fingerprint(self, fingerprint: str) -> List[RegistryEntry]:
+        """Every row compiled from a column with ``fingerprint``.
+
+        This is how sessions discover existing programs for a column
+        they just profiled, whatever target those programs aim at.
+        """
+        return [
+            entry for entry in self.entries() if entry.fingerprint == fingerprint
+        ]
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _manifest_lock(self):
+        """Serialize manifest read-merge-write cycles across processes.
+
+        POSIX advisory locking on a sibling ``.lock`` file; where
+        ``fcntl`` is unavailable the lock degrades to a no-op and the
+        atomic rename alone still guarantees no *torn* manifest — only
+        a lost row under a true simultaneous write, which the loser's
+        next compile re-records.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with (self._directory / f"{REGISTRY_NAME}.lock").open("w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    def _write_entries(self, entries: Mapping[str, RegistryEntry]) -> None:
+        payload = {
+            "format": REGISTRY_FORMAT,
+            "version": REGISTRY_VERSION,
+            "entries": {key: entry.to_dict() for key, entry in sorted(entries.items())},
+        }
+        descriptor, scratch_name = tempfile.mkstemp(
+            prefix="registry.", suffix=".tmp", dir=self._directory
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(scratch_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(scratch_name)
+            except OSError:
+                pass
+            raise
+
+    def record(self, entry: RegistryEntry) -> RegistryEntry:
+        """Add (or refresh) one manifest row, read-merge-write under a lock.
+
+        The read-merge-write cycle holds the manifest lock, so two
+        writers recording different keys both survive; for the same key
+        the later write wins, which is correct — the artifact content
+        is identical by construction of the key.
+        """
+        if entry.created_at == 0.0:
+            entry = RegistryEntry(**{**entry.to_dict(), "created_at": time.time()})
+        with self._manifest_lock():
+            entries = self._read_entries()
+            entries[entry.key] = entry
+            self._write_entries(entries)
+        return entry
+
+    def gc(self) -> Dict[str, List[str]]:
+        """Prune dangling rows and unreferenced artifact files.
+
+        Removes manifest rows whose artifact file is gone, and artifact
+        files (``*.clx.json``) no manifest row references.  The
+        manifest is re-read immediately before anything is deleted, so
+        an entry recorded by a concurrent writer after the first scan —
+        a *newer* manifest row — is never deleted.  A missing or
+        corrupt manifest deletes **nothing**: "no readable manifest" is
+        not "nothing is referenced" (a pre-registry cache directory has
+        artifacts but no manifest at all).
+
+        Returns:
+            ``{"removed_entries": [keys...], "removed_files": [names...]}``.
+        """
+        candidates = {
+            path.name
+            for path in self._directory.glob("*.clx.json")
+            if path.is_file()
+        }
+        # Re-read at decision time: rows recorded since any earlier look
+        # at the manifest must win over the stale view.
+        entries, trusted = self._read_manifest()
+        if not trusted:
+            return {"removed_entries": [], "removed_files": []}
+        referenced = {entry.artifact for entry in entries.values() if entry.artifact}
+        removed_files = []
+        for name in sorted(candidates - referenced):
+            try:
+                (self._directory / name).unlink()
+                removed_files.append(name)
+            except OSError:
+                continue
+        # Prune dangling rows under the lock with one more fresh read,
+        # so the rewrite cannot clobber a row recorded concurrently.
+        removed_entries: List[str] = []
+        with self._manifest_lock():
+            entries, trusted = self._read_manifest()
+            if trusted:
+                kept: Dict[str, RegistryEntry] = {}
+                for key, entry in entries.items():
+                    if entry.artifact and not (self._directory / entry.artifact).is_file():
+                        removed_entries.append(key)
+                    else:
+                        kept[key] = entry
+                if removed_entries:
+                    self._write_entries(kept)
+        return {
+            "removed_entries": sorted(removed_entries),
+            "removed_files": removed_files,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactRegistry({str(self._directory)!r})"

@@ -31,6 +31,7 @@ from __future__ import annotations
 import csv
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     Any,
     Dict,
@@ -265,15 +266,18 @@ def _transform_lines(
     engines: Sequence[Tuple[int, int, CompiledProgram]],
     first_line: int,
     lines: List[str],
+    source: Optional[str] = None,
 ) -> TableChunk:
     """Parse, transform, and encode one chunk of physical CSV lines.
 
     This is the whole per-chunk pipeline and runs identically inline
     (``workers=1``) and inside a pool worker, so the serial and sharded
-    paths cannot drift apart.
+    paths cannot drift apart.  ``source`` overrides ``spec.source`` in
+    error messages when one executor streams several partition files.
     """
     width = len(spec.fieldnames)
     out_width = len(spec.output_fields)
+    label = source or spec.source
     reader = csv.reader(lines, delimiter=spec.delimiter)
     rows: List[List[str]] = []
     for row in reader:
@@ -282,7 +286,7 @@ def _transform_lines(
         if len(row) > width:
             line = first_line + reader.line_num - 1
             raise CLXError(
-                f"{spec.source} line {line}: row has {len(row)} cells "
+                f"{label} line {line}: row has {len(row)} cells "
                 f"but the header has {width} columns; fix the row or "
                 "re-export the CSV"
             )
@@ -313,10 +317,10 @@ def _init_table_worker(spec: TableSpec, artifacts: Tuple[str, ...]) -> None:
     _TABLE_STATE = (spec, [CompiledProgram.loads(artifact) for artifact in artifacts])
 
 
-def _transform_table_chunk(task: Tuple[int, List[str]]) -> TableChunk:
+def _transform_table_chunk(task: Tuple[int, List[str], Optional[str]]) -> TableChunk:
     assert _TABLE_STATE is not None, "worker used before initialization"
     spec, engines = _TABLE_STATE
-    return _transform_lines(spec, engines, task[0], task[1])
+    return _transform_lines(spec, engines, task[0], task[1], task[2])
 
 
 def _record_aligned_chunks(
@@ -469,7 +473,12 @@ class ShardedTableExecutor:
             return ""
         return encode_rows_csv([list(self._spec.output_fields)], delimiter=self._spec.delimiter)
 
-    def run_chunks(self, lines: Iterable[str], first_line: int = 2) -> Iterator[TableChunk]:
+    def run_chunks(
+        self,
+        lines: Iterable[str],
+        first_line: int = 2,
+        source: Optional[str] = None,
+    ) -> Iterator[TableChunk]:
         """Stream raw data lines through the pipeline, in input order.
 
         Args:
@@ -477,20 +486,55 @@ class ShardedTableExecutor:
                 with or without trailing newlines.
             first_line: 1-based physical line number of the first data
                 line in the source file, for error messages.
+            source: Input name for error messages, overriding the
+                spec's (used when one executor streams several files).
 
         Yields:
             ``(encoded_text, row_count, flagged_count)`` per chunk.
         """
-        tasks = _record_aligned_chunks(
-            lines, self._chunk_size, first_line, self._spec.delimiter
+        tasks = (
+            (start, chunk, source)
+            for start, chunk in _record_aligned_chunks(
+                lines, self._chunk_size, first_line, self._spec.delimiter
+            )
         )
         if self._workers == 1:
             engines = self._programs
-            for start, chunk in tasks:
-                yield _transform_lines(self._spec, engines, start, chunk)
+            for start, chunk, label in tasks:
+                yield _transform_lines(self._spec, engines, start, chunk, label)
             return
         pool = self._ensure_pool()
         yield from map_ordered(pool, _transform_table_chunk, tasks, self._workers + 2)
+
+    def run_csv_file(self, path: Union[str, Path]) -> Iterator[TableChunk]:
+        """Stream one CSV file through the pipeline, checking its header.
+
+        The partition-aware entry point: the executor (and its worker
+        pool) is built once and reused across every part of a
+        partitioned dataset, each part's header verified against the
+        spec so two partitions with drifted schemas cannot be spliced
+        into one sink silently.
+
+        Raises:
+            CLXError: If ``path`` has no header row or its header does
+                not match the executor's fieldnames.
+        """
+        source = Path(path)
+        with source.open(newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle, delimiter=self._spec.delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise CLXError(f"{source} has no header row") from None
+            if tuple(header) != self._spec.fieldnames:
+                raise CLXError(
+                    f"{source} header ({', '.join(header)}) does not match the "
+                    f"dataset header ({', '.join(self._spec.fieldnames)}); "
+                    "partitions of one dataset must share a header"
+                )
+            yield from self.run_chunks(
+                handle, first_line=reader.line_num + 1, source=str(source)
+            )
 
 
 # ----------------------------------------------------------------------

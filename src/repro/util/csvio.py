@@ -11,12 +11,16 @@ that kind of messy value is this project's bread and butter.
 :func:`record_open_after` walks a line with the same state machine the
 csv module applies (field-start quoting, ``""`` escapes, delimiter
 resets), carrying the open/closed state across lines of the same
-record.
+record.  :func:`record_aligned_offsets` lifts that state machine to
+whole files: one sequential quote-parity scan maps any set of byte
+targets to the nearest *record* boundaries at or past them, which is
+what lets byte-range fan-out shard files whose quoted fields contain
+embedded newlines.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from typing import List, Sequence, Union
 
 from repro.util.errors import ValidationError
 
@@ -86,3 +90,56 @@ def record_open_after(line: str, delimiter: str, open_before: bool = False) -> b
                 field_start = False
             position += 1
     return in_quotes
+
+
+def record_aligned_offsets(
+    path: str,
+    start: int,
+    end: int,
+    targets: Sequence[int],
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> List[int]:
+    """Map byte ``targets`` to the record boundaries at or past them.
+
+    One sequential pass over ``path``'s byte range ``[start, end)``
+    tracks quote parity with :func:`record_open_after` (``start`` must
+    be a true record boundary, e.g. the first data byte after the
+    header) and returns, for each target offset, the byte offset of the
+    first **record** start at or after it — ``end`` when no further
+    record begins before ``end``.  Splitting a file at the returned
+    offsets therefore never cuts a quoted field, however many embedded
+    newlines its records contain.
+
+    Args:
+        path: File path (opened in binary mode).
+        start: First byte of the scanned region; a record boundary.
+        end: First byte past the scanned region.
+        targets: Byte offsets to align, in ascending order.
+        delimiter: The CSV delimiter.
+        encoding: Text encoding used to decode scanned lines.
+
+    Returns:
+        One aligned offset per target, ascending, each in
+        ``[start, end]``.
+    """
+    remaining = list(targets)
+    if any(later < earlier for earlier, later in zip(remaining, remaining[1:])):
+        raise ValidationError("record_aligned_offsets targets must be ascending")
+    aligned: List[int] = []
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        position = start
+        record_open = False
+        while remaining and position < end:
+            if not record_open:
+                while remaining and remaining[0] <= position:
+                    aligned.append(position)
+                    remaining.pop(0)
+            line = handle.readline()
+            if not line:
+                break
+            record_open = record_open_after(line.decode(encoding), delimiter, record_open)
+            position = handle.tell()
+    aligned.extend(end for _ in remaining)
+    return aligned

@@ -1,0 +1,313 @@
+"""CLI tests for partitioned-dataset inputs and the artifacts command.
+
+Golden-file coverage for the partition-preserving ``apply --output-dir``
+mode and the ``artifacts list`` output (stable ordering, machine-readable
+``--json``), plus the glob/multi-path behavior of ``profile``/``compile``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine.compiled import CompiledProgram
+
+TARGET = "<D>3'-'<D>3'-'<D>4"
+
+
+def _write_csv(path, header, rows):
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+@pytest.fixture
+def parts_dir(tmp_path):
+    data = tmp_path / "data"
+    data.mkdir()
+    _write_csv(
+        data / "part-0.csv",
+        ["id", "phone"],
+        [[0, "(734) 645-8397"], [1, "734.236.3466"]],
+    )
+    _write_csv(
+        data / "part-1.csv",
+        ["id", "phone"],
+        [[2, "734-422-8073"], [3, "(734)586-7252"]],
+    )
+    return data
+
+
+@pytest.fixture
+def artifact(parts_dir, tmp_path):
+    path = tmp_path / "phone.clx.json"
+    code = main(
+        [
+            "compile", str(parts_dir / "part-*.csv"), "--column", "phone",
+            "--target-pattern", TARGET, "--output", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestProfileDataset:
+    def test_glob_profiles_all_parts(self, parts_dir, capsys):
+        assert main(["profile", str(parts_dir / "part-*.csv"), "--column", "phone"]) == 0
+        out = capsys.readouterr().out
+        # Four distinct formats, one row each, across the two parts.
+        assert out.count("1     ") == 4 or "734-422-8073" in out
+
+    def test_multiple_paths_and_workers(self, parts_dir, capsys):
+        code = main(
+            [
+                "profile",
+                str(parts_dir / "part-0.csv"),
+                str(parts_dir / "part-1.csv"),
+                "--column", "phone", "--workers", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_mixed_csv_jsonl_partitions(self, parts_dir, capsys):
+        rows = [{"id": 4, "phone": "906-555-0000"}]
+        with (parts_dir / "part-2.jsonl").open("w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        assert main(["profile", str(parts_dir / "part-*"), "--column", "phone"]) == 0
+        assert "906-555-0000" in capsys.readouterr().out
+
+    def test_part_missing_the_column_is_named(self, parts_dir, capsys):
+        _write_csv(parts_dir / "part-9.csv", ["id", "fax"], [[9, "x"]])
+        code = main(["profile", str(parts_dir / "part-*.csv"), "--column", "phone"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "part-9.csv" in err and "not found" in err
+
+    def test_unmatched_glob_is_an_error(self, tmp_path, capsys):
+        code = main(["profile", str(tmp_path / "nope-*.csv"), "--column", "x"])
+        assert code == 2
+        assert "matches no file" in capsys.readouterr().err
+
+
+class TestCompileDataset:
+    def test_artifact_records_the_dataset_source(self, artifact):
+        payload = json.loads(artifact.read_text(encoding="utf-8"))
+        assert payload["metadata"]["column"] == "phone"
+        assert payload["metadata"]["source_csv"] == "part-0.csv (+1 more)"
+        assert payload["metadata"]["source_rows"] == 4
+        assert len(CompiledProgram.loads(artifact.read_text(encoding="utf-8"))) >= 1
+
+
+class TestApplySpliced:
+    def test_glob_splices_parts_in_stable_order(self, parts_dir, artifact, tmp_path):
+        out = tmp_path / "all.csv"
+        code = main(
+            ["apply", str(artifact), str(parts_dir / "part-*.csv"), "--output", str(out)]
+        )
+        assert code == 0
+        assert out.read_text(encoding="utf-8") == (
+            "id,phone,phone_transformed\n"
+            "0,(734) 645-8397,734-645-8397\n"
+            "1,734.236.3466,734-236-3466\n"
+            "2,734-422-8073,734-422-8073\n"
+            "3,(734)586-7252,734-586-7252\n"
+        )
+
+    def test_extra_input_flag_adds_partitions(self, parts_dir, artifact, tmp_path):
+        out = tmp_path / "all.csv"
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-0.csv"),
+                "--input", str(parts_dir / "part-1.csv"),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert out.read_text(encoding="utf-8").count("\n") == 5
+
+    def test_mismatched_partition_headers_fail_loudly(self, parts_dir, artifact, capsys):
+        _write_csv(parts_dir / "part-5.csv", ["phone", "id"], [["906-555-1234", 5]])
+        code = main(["apply", str(artifact), str(parts_dir / "part-*.csv")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "part-5.csv" in err and "header" in err
+
+    def test_jsonl_input_partition_is_rejected(self, parts_dir, artifact, capsys):
+        (parts_dir / "part-2.jsonl").write_text('{"phone": "x"}\n', encoding="utf-8")
+        code = main(["apply", str(artifact), str(parts_dir / "part-*")])
+        assert code == 2
+        assert "JSON Lines" in capsys.readouterr().err
+
+    def test_output_onto_an_input_partition_is_refused(
+        self, parts_dir, artifact, capsys
+    ):
+        # The glob resolves the destination as an input: opening the
+        # sink would truncate source data before it is read.
+        before = (parts_dir / "part-1.csv").read_text(encoding="utf-8")
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-*.csv"),
+                "--output", str(parts_dir / "part-1.csv"),
+            ]
+        )
+        assert code == 2
+        assert "destroy" in capsys.readouterr().err
+        assert (parts_dir / "part-1.csv").read_text(encoding="utf-8") == before
+
+    def test_output_and_output_dir_are_exclusive(self, parts_dir, artifact, tmp_path, capsys):
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-*.csv"),
+                "--output", str(tmp_path / "x.csv"),
+                "--output-dir", str(tmp_path / "out"),
+            ]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestApplyOutputDir:
+    def test_golden_partition_preserving_outputs(self, parts_dir, artifact, tmp_path):
+        outdir = tmp_path / "cleaned"
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-*.csv"),
+                "--output-dir", str(outdir),
+            ]
+        )
+        assert code == 0
+        assert sorted(path.name for path in outdir.iterdir()) == [
+            "part-0.csv",
+            "part-1.csv",
+        ]
+        assert (outdir / "part-0.csv").read_text(encoding="utf-8") == (
+            "id,phone,phone_transformed\n"
+            "0,(734) 645-8397,734-645-8397\n"
+            "1,734.236.3466,734-236-3466\n"
+        )
+        assert (outdir / "part-1.csv").read_text(encoding="utf-8") == (
+            "id,phone,phone_transformed\n"
+            "2,734-422-8073,734-422-8073\n"
+            "3,(734)586-7252,734-586-7252\n"
+        )
+
+    def test_jsonl_format_swaps_the_extension(self, parts_dir, artifact, tmp_path):
+        outdir = tmp_path / "cleaned"
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-*.csv"),
+                "--output-dir", str(outdir), "--format", "jsonl",
+            ]
+        )
+        assert code == 0
+        assert sorted(path.name for path in outdir.iterdir()) == [
+            "part-0.jsonl",
+            "part-1.jsonl",
+        ]
+        first = [
+            json.loads(line)
+            for line in (outdir / "part-0.jsonl").read_text(encoding="utf-8").splitlines()
+        ]
+        assert first == [
+            {"id": "0", "phone": "(734) 645-8397", "phone_transformed": "734-645-8397"},
+            {"id": "1", "phone": "734.236.3466", "phone_transformed": "734-236-3466"},
+        ]
+
+    def test_refuses_to_overwrite_an_input_partition(self, parts_dir, artifact, capsys):
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-*.csv"),
+                "--output-dir", str(parts_dir),
+            ]
+        )
+        assert code == 2
+        assert "overwrite" in capsys.readouterr().err
+
+    def test_in_place_columns_work_per_partition(self, parts_dir, artifact, tmp_path):
+        outdir = tmp_path / "cleaned"
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-*.csv"),
+                "--output-dir", str(outdir), "--in-place",
+            ]
+        )
+        assert code == 0
+        assert (outdir / "part-1.csv").read_text(encoding="utf-8") == (
+            "id,phone\n2,734-422-8073\n3,734-586-7252\n"
+        )
+
+
+class TestArtifactsCommand:
+    @pytest.fixture
+    def cache_dir(self, parts_dir, tmp_path):
+        cache = tmp_path / "cache"
+        for target, name in ((TARGET, "a"), ("'('<D>3')'' '<D>3'-'<D>4", "b")):
+            code = main(
+                [
+                    "compile", str(parts_dir / "part-*.csv"), "--column", "phone",
+                    "--target-pattern", target,
+                    "--output", str(tmp_path / f"{name}.clx.json"),
+                    "--cache-dir", str(cache),
+                ]
+            )
+            assert code == 0
+        return cache
+
+    def test_list_shows_fingerprint_target_and_stats(self, cache_dir, capsys):
+        assert main(["artifacts", "list", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out and "target" in out
+        assert f"pattern:{TARGET}" in out
+        assert "part-0.csv (+1 more)" in out
+
+    def test_list_json_is_machine_readable_and_stably_ordered(self, cache_dir, capsys):
+        assert main(["artifacts", "list", "--cache-dir", str(cache_dir), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 2
+        for entry in entries:
+            assert set(entry) == {
+                "key", "fingerprint", "target", "flags", "source",
+                "stats", "created_at", "artifact",
+            }
+            assert entry["stats"] == {"rows": 4, "clusters": 4}
+            assert entry["flags"]["column"] == "phone"
+        # Stable ordering: (created_at, key) ascending.
+        marks = [(entry["created_at"], entry["key"]) for entry in entries]
+        assert marks == sorted(marks)
+        # Both compiles profiled the same column: same fingerprint,
+        # different targets.
+        assert entries[0]["fingerprint"] == entries[1]["fingerprint"]
+        assert entries[0]["target"] != entries[1]["target"]
+
+    def test_gc_prunes_and_reports(self, cache_dir, capsys):
+        orphan = cache_dir / "orphan.clx.json"
+        orphan.write_text("{}", encoding="utf-8")
+        assert main(["artifacts", "gc", "--cache-dir", str(cache_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"removed_entries": [], "removed_files": ["orphan.clx.json"]}
+        assert not orphan.exists()
+        # The registered artifacts survived.
+        assert main(["artifacts", "list", "--cache-dir", str(cache_dir), "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 2
+
+    def test_registry_hit_across_two_separate_runs(self, parts_dir, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        base = [
+            "compile", str(parts_dir / "part-*.csv"), "--column", "phone",
+            "--target-pattern", TARGET, "--cache-dir", str(cache),
+        ]
+        assert main(base + ["--output", str(tmp_path / "one.clx.json")]) == 0
+        assert "cached artifact" in capsys.readouterr().err
+        # A second, separate session run resolves through registry.json.
+        assert (cache / "registry.json").is_file()
+        assert main(base + ["--output", str(tmp_path / "two.clx.json")]) == 0
+        assert "cache hit" in capsys.readouterr().err
+        assert (tmp_path / "one.clx.json").read_text() == (
+            tmp_path / "two.clx.json"
+        ).read_text()

@@ -146,20 +146,37 @@ class TestFileEquivalence:
         assert parallel.row_count == serial.row_count == 41
         assert _leaf_signature(parallel) == _leaf_signature(serial)
 
-    def test_quoted_embedded_newlines_are_rejected_not_corrupted(self, tmp_path):
+    def test_quoted_embedded_newlines_profile_correctly(self, tmp_path):
+        # Byte-range shards align on physical lines; when a worker meets
+        # a quoted field spanning lines, the parent re-splits the file
+        # on record boundaries (one quote-parity scan) and retries, so
+        # fan-out matches the serial pass instead of miscounting.
         path = tmp_path / "noted.csv"
         with path.open("w", newline="", encoding="utf-8") as handle:
             writer = csv.writer(handle)
             writer.writerow(["note", "phone"])
-            for _ in range(60):
-                writer.writerow(["line one\nline two", "734-422-8073"])
-        # One worker reads the whole data region and parses multi-line
-        # records correctly...
-        profile = ParallelProfiler(workers=1).profile_file(path, "phone")
-        assert profile.row_count == 60
-        # ...while byte-range fan-out refuses rather than miscounting.
-        with pytest.raises(ValidationError, match="embedded newlines"):
-            ParallelProfiler(workers=3).profile_file(path, "phone")
+            for index in range(60):
+                writer.writerow([f"line one\nline two {index}", "734-422-8073"])
+        serial = ParallelProfiler(workers=1).profile_file(path, "phone")
+        assert serial.row_count == 60
+        for workers in (2, 3, 5):
+            parallel = ParallelProfiler(workers=workers).profile_file(path, "phone")
+            assert parallel.row_count == 60, workers
+            assert _leaf_signature(parallel) == _leaf_signature(serial), workers
+
+    def test_multiline_records_in_the_profiled_column_itself(self, tmp_path):
+        # The embedded newline can live in the very column being
+        # profiled — the record-aligned retry must keep the value whole.
+        path = tmp_path / "addresses.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", "address"])
+            for index in range(40):
+                writer.writerow([index, f"{index} Main St\nSuite {index}"])
+        serial = ParallelProfiler(workers=1).profile_file(path, "address")
+        parallel = ParallelProfiler(workers=4).profile_file(path, "address")
+        assert parallel.row_count == serial.row_count == 40
+        assert _leaf_signature(parallel) == _leaf_signature(serial)
 
     def test_unknown_column_is_an_error(self, phone_csv):
         path, _ = phone_csv

@@ -1,0 +1,215 @@
+"""Tests for the artifact registry manifest (discovery, corruption, gc)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.phone import phone_dataset
+from repro.core.session import CLXSession
+from repro.engine.cache import (
+    ArtifactCache,
+    ArtifactRegistry,
+    RegistryEntry,
+    cache_key,
+)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    raw, _ = phone_dataset(count=120, format_count=4, seed=13)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    return session.compile(metadata={"column": "phone"})
+
+
+def _entry(key, fingerprint="fp", artifact="", **extra):
+    return RegistryEntry(
+        key=key,
+        fingerprint=fingerprint,
+        target="pattern:<D>3",
+        flags={"column": "phone"},
+        source="part-0.csv",
+        stats={"rows": 10, "clusters": 2},
+        artifact=artifact,
+        **extra,
+    )
+
+
+class TestRecordAndLookup:
+    def test_round_trips_an_entry(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        recorded = registry.record(_entry("k1", artifact="k1.clx.json"))
+        assert recorded.created_at > 0
+        found = registry.lookup("k1")
+        assert found is not None
+        assert found.fingerprint == "fp"
+        assert found.artifact == "k1.clx.json"
+        assert registry.lookup("missing") is None
+
+    def test_lookup_by_fingerprint_finds_all_targets(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.record(_entry("k1", fingerprint="colA"))
+        registry.record(_entry("k2", fingerprint="colA"))
+        registry.record(_entry("k3", fingerprint="colB"))
+        assert {entry.key for entry in registry.lookup_fingerprint("colA")} == {"k1", "k2"}
+        assert registry.lookup_fingerprint("colC") == []
+
+    def test_entries_sorted_stably(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.record(_entry("kb", created_at=2.0))
+        registry.record(_entry("ka", created_at=2.0))
+        registry.record(_entry("kc", created_at=1.0))
+        assert [entry.key for entry in registry.entries()] == ["kc", "ka", "kb"]
+
+
+class TestCorruptionDegradesToMiss:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "",  # truncated to nothing
+            '{"format": "clx-artifact-registry", "entries": {',  # torn write
+            "\x00\x01 garbage",
+            '{"format": "something-else", "entries": {}}',
+            '{"format": "clx-artifact-registry", "entries": []}',
+            "[1, 2, 3]",
+        ],
+    )
+    def test_bad_manifest_reads_as_empty(self, tmp_path, payload):
+        registry = ArtifactRegistry(tmp_path)
+        registry.path.write_text(payload, encoding="utf-8")
+        assert registry.entries() == []
+        assert registry.lookup("anything") is None
+        assert registry.lookup_fingerprint("fp") == []
+
+    def test_non_utf8_manifest_reads_as_empty(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.path.write_bytes(b"\xff\xfe broken")
+        assert registry.entries() == []
+
+    def test_one_bad_row_never_poisons_the_rest(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.record(_entry("good"))
+        payload = json.loads(registry.path.read_text(encoding="utf-8"))
+        payload["entries"]["bad"] = {"created_at": "not-a-number"}
+        registry.path.write_text(json.dumps(payload), encoding="utf-8")
+        assert [entry.key for entry in registry.entries()] == ["good"]
+
+    def test_record_rebuilds_a_corrupt_manifest(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.path.write_text("{torn", encoding="utf-8")
+        registry.record(_entry("k1"))
+        assert [entry.key for entry in registry.entries()] == ["k1"]
+
+    def test_cache_hit_falls_back_to_store_when_manifest_is_garbage(
+        self, tmp_path, compiled
+    ):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp", "pattern:<D>3")
+        cache.store(key, compiled)
+        cache.registry.path.write_text("garbage", encoding="utf-8")
+        loaded = cache.load_registered(key)
+        assert loaded is not None
+        assert loaded.dumps() == compiled.dumps()
+
+    def test_dangling_manifest_row_falls_back_to_store(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp", "pattern:<D>3")
+        cache.store(key, compiled)
+        cache.registry.record(_entry(key, artifact="vanished.clx.json"))
+        loaded = cache.load_registered(key)
+        assert loaded is not None
+
+
+class TestConcurrentWriters:
+    def test_interleaved_records_do_not_clobber_each_other(self, tmp_path):
+        # Two registry handles over the same directory, recording
+        # different keys in turn: the read-merge-write discipline keeps
+        # both rows, and the atomic rename means no torn manifest is
+        # ever observable.
+        writer_a = ArtifactRegistry(tmp_path)
+        writer_b = ArtifactRegistry(tmp_path)
+        writer_a.record(_entry("from-a"))
+        writer_b.record(_entry("from-b"))
+        writer_a.record(_entry("from-a-again"))
+        keys = {entry.key for entry in ArtifactRegistry(tmp_path).entries()}
+        assert keys == {"from-a", "from-b", "from-a-again"}
+
+    def test_writes_leave_no_scratch_files(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.record(_entry("k1"))
+        registry.record(_entry("k2"))
+        assert [path.name for path in tmp_path.glob("*.tmp")] == []
+
+
+class TestGc:
+    def test_prunes_dangling_rows_and_unreferenced_files(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        kept_key = cache_key("fp-kept", "t")
+        cache.store_registered(kept_key, compiled, fingerprint="fp-kept", target="t")
+        # An artifact file no manifest row references...
+        orphan = tmp_path / "orphan.clx.json"
+        orphan.write_text(compiled.dumps(), encoding="utf-8")
+        # ...and a manifest row whose artifact file is gone.
+        cache.registry.record(_entry("dangling", artifact="gone.clx.json"))
+
+        report = cache.registry.gc()
+        assert report["removed_files"] == ["orphan.clx.json"]
+        assert report["removed_entries"] == ["dangling"]
+        assert not orphan.exists()
+        assert cache.load_registered(kept_key) is not None
+        assert cache.registry.lookup(kept_key) is not None
+
+    def test_never_deletes_a_file_referenced_by_a_newer_manifest_row(
+        self, tmp_path, compiled, monkeypatch
+    ):
+        # A concurrent compile records its manifest row between gc's
+        # directory scan and its delete decision.  gc re-reads the
+        # manifest at decision time, so the newer row's artifact
+        # survives.
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp-new", "t")
+        path = cache.store(key, compiled)  # file exists, row not yet written
+
+        registry = cache.registry
+        real_read = ArtifactRegistry._read_manifest
+
+        def read_after_concurrent_record(self):
+            # Simulate the other session winning the race: its row lands
+            # right before gc re-reads.
+            monkeypatch.setattr(ArtifactRegistry, "_read_manifest", real_read)
+            real_read(self)  # plain read (still no row) — the stale view
+            ArtifactRegistry(tmp_path).record(
+                _entry(key, artifact=path.name)
+            )
+            return real_read(self)
+
+        monkeypatch.setattr(
+            ArtifactRegistry, "_read_manifest", read_after_concurrent_record
+        )
+        report = registry.gc()
+        assert report["removed_files"] == []
+        assert path.exists()
+        assert ArtifactRegistry(tmp_path).lookup(key) is not None
+
+    def test_gc_on_an_empty_or_corrupt_directory_is_a_noop(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        assert registry.gc() == {"removed_entries": [], "removed_files": []}
+        registry.path.write_text("{torn", encoding="utf-8")
+        assert registry.gc() == {"removed_entries": [], "removed_files": []}
+
+    def test_gc_never_wipes_a_pre_registry_cache(self, tmp_path, compiled):
+        # A cache populated through plain store() has artifacts but no
+        # manifest: "no readable manifest" must not read as "nothing is
+        # referenced".
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp", "t")
+        path = cache.store(key, compiled)
+        assert not cache.registry.path.exists()
+        assert cache.registry.gc() == {"removed_entries": [], "removed_files": []}
+        assert path.exists()
+        # Same protection when the manifest is corrupt rather than absent.
+        cache.registry.path.write_text("garbage", encoding="utf-8")
+        assert cache.registry.gc() == {"removed_entries": [], "removed_files": []}
+        assert path.exists()
