@@ -229,6 +229,140 @@ def test_perf_partitioned_dataset_profile(phone_csv, phone_parts, recorder):
         )
 
 
+@pytest.fixture(scope="module")
+def mixed_apply_parts(tmp_path_factory):
+    """The ROWS-row column as 32 small partitions, CSV and JSONL mixed.
+
+    Many small parts is the cross-partition dispatcher's home turf:
+    streaming them one executor-drain at a time barriers the pool at
+    every boundary, while ``run_dataset`` keeps shards of different
+    parts in flight together.
+    """
+    import json as jsonlib
+
+    directory = tmp_path_factory.mktemp("perf_apply_parts")
+    part_count = 32
+    part_rows = max(1, ROWS // part_count)
+    handle = None
+    writer = None
+    part_index = -1
+    for index, value in enumerate(phone_number_stream(ROWS, seed=97)):
+        if index // part_rows > part_index:
+            if handle is not None:
+                handle.close()
+            part_index = index // part_rows
+            if part_index % 2:
+                handle = (directory / f"part-{part_index:03d}.jsonl").open(
+                    "w", encoding="utf-8"
+                )
+                writer = None
+            else:
+                handle = (directory / f"part-{part_index:03d}.csv").open(
+                    "w", newline="", encoding="utf-8"
+                )
+                writer = csv.writer(handle)
+                writer.writerow(["id", "phone"])
+        if writer is None:
+            handle.write(jsonlib.dumps({"id": str(index), "phone": value}) + "\n")
+        else:
+            writer.writerow([index, value])
+    if handle is not None:
+        handle.close()
+    return directory
+
+
+def test_perf_cross_partition_apply_speedup(mixed_apply_parts, recorder):
+    from repro.dataset import Dataset
+    from repro.engine.parallel import ShardedTableExecutor
+
+    raw, _expected = phone_dataset(count=300, format_count=6, seed=331)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    engine = session.engine()
+    dataset = Dataset.resolve(str(mixed_apply_parts / "part-*"))
+
+    def build(workers):
+        return ShardedTableExecutor(
+            {"phone": engine}, ["id", "phone"], workers=workers
+        )
+
+    def run_sequential(workers):
+        # The pre-dispatch shape: drain one partition at a time through
+        # the shared pool — a barrier at every part boundary.
+        with build(workers) as executor:
+            start = time.perf_counter()
+            encoded = "".join(
+                chunk
+                for part in dataset
+                for chunk, _, _ in executor.run_part(part)
+            )
+            return encoded, time.perf_counter() - start
+
+    def run_cross(workers):
+        with build(workers) as executor:
+            start = time.perf_counter()
+            encoded = "".join(
+                chunk for _, (chunk, _, _) in executor.run_dataset(dataset)
+            )
+            return encoded, time.perf_counter() - start
+
+    serial_output, serial_seconds = run_cross(1)
+    sequential_output, sequential_seconds = run_sequential(WORKERS)
+    cross_output, cross_seconds = run_cross(WORKERS)
+
+    # Dispatch shape must never change the sink bytes.
+    assert sequential_output == serial_output
+    assert cross_output == serial_output
+
+    speedup_serial = serial_seconds / cross_seconds if cross_seconds else float("inf")
+    speedup_sequential = (
+        sequential_seconds / cross_seconds if cross_seconds else float("inf")
+    )
+    recorder["dataset_apply"] = {
+        "parts": len(dataset),
+        "serial_seconds": serial_seconds,
+        "sequential_seconds": sequential_seconds,
+        "cross_seconds": cross_seconds,
+        "serial_rows_per_sec": ROWS / serial_seconds,
+        "sequential_rows_per_sec": ROWS / sequential_seconds,
+        "cross_rows_per_sec": ROWS / cross_seconds,
+        "speedup_vs_serial": speedup_serial,
+        "speedup_vs_sequential": speedup_sequential,
+    }
+    print(
+        f"\ncross-partition apply over {ROWS} rows in {len(dataset)} mixed parts "
+        f"on {os.cpu_count()} CPU(s)"
+    )
+    rows_table = [
+        ("run_dataset(workers=1)", f"{serial_seconds:.2f} s", f"{ROWS / serial_seconds:,.0f} rows/s", "1.0x"),
+        (
+            f"sequential parts (workers={WORKERS})",
+            f"{sequential_seconds:.2f} s",
+            f"{ROWS / sequential_seconds:,.0f} rows/s",
+            f"{serial_seconds / sequential_seconds:.2f}x",
+        ),
+        (
+            f"run_dataset(workers={WORKERS})",
+            f"{cross_seconds:.2f} s",
+            f"{ROWS / cross_seconds:,.0f} rows/s",
+            f"{speedup_serial:.2f}x",
+        ),
+    ]
+    print(format_table(["apply path", "latency", "throughput", "speedup"], rows_table))
+
+    if _speedup_assertable():
+        assert speedup_serial >= 2.0, (
+            f"cross-partition apply ({cross_seconds:.2f} s) not >=2x faster than "
+            f"serial ({serial_seconds:.2f} s) with {WORKERS} workers on "
+            f"{os.cpu_count()} CPUs"
+        )
+        assert speedup_sequential >= 1.0, (
+            f"cross-partition apply ({cross_seconds:.2f} s) slower than "
+            f"sequential partition streaming ({sequential_seconds:.2f} s) with "
+            f"{WORKERS} workers on {os.cpu_count()} CPUs"
+        )
+
+
 def test_perf_pipelined_table_apply_speedup(recorder):
     from repro.engine.parallel import ShardedTableExecutor
 

@@ -55,10 +55,12 @@ from repro.engine import (
     ArtifactCache,
     ArtifactRegistry,
     CompiledProgram,
+    DatasetApplyResult,
     RegistryEntry,
     ShardedExecutor,
     ShardedTableExecutor,
     TransformEngine,
+    apply_dataset,
     compile_program,
 )
 from repro.patterns import Pattern, parse_pattern, pattern_of_string
@@ -87,6 +89,7 @@ __all__ = [
     "ConstStr",
     "ContainsGuard",
     "Dataset",
+    "DatasetApplyResult",
     "DatasetPart",
     "Extract",
     "IncrementalProfiler",
@@ -111,6 +114,7 @@ __all__ = [
     "UniFiProgram",
     "ValidationError",
     "__version__",
+    "apply_dataset",
     "apply_program",
     "compile_program",
     "explain_program",

@@ -27,15 +27,21 @@ library can be used without writing Python:
     re-encode worker-side, so the parent only splices ordered encoded
     chunks into the sink; ``--format jsonl`` emits JSON Lines through
     the same streaming writer.  The input may be a glob or directory
-    (plus extra ``--input`` paths): partitions either splice into one
-    sink in stable order, or — with ``--output-dir`` — write one output
-    per partition, preserving partition names.
+    (plus extra ``--input`` paths) mixing CSV and JSONL partitions
+    freely — every part is parsed worker-side in its own format, and
+    whole parts (byte-range shards of large ones) stream through the
+    pool *concurrently*, so small-file latencies overlap.  Partitions
+    either splice into one sink in stable order, or — with
+    ``--output-dir`` — write one output per partition, preserving
+    partition names (final extension follows the sink format).
 
 ``repro-clx artifacts list --cache-dir DIR`` / ``artifacts gc``
     Inspect and garbage-collect a compile cache through its
     ``registry.json`` manifest: ``list`` shows every compiled artifact
     (column fingerprint, target, stats; ``--json`` for machines), ``gc``
-    prunes dangling manifest rows and unreferenced artifact files.
+    prunes dangling manifest rows and unreferenced artifact files — and
+    with ``--keep-days N`` also evicts artifacts whose last use (cache
+    hits stamp ``last_used_at``) is older than N days.
 
 ``repro-clx suite``
     Print the statistics of the bundled 47-task benchmark suite (Table 6).
@@ -318,11 +324,6 @@ def _paired_apply_columns(
     return columns
 
 
-def _partition_output_name(part, out_format: str) -> str:
-    """The sink file name for one partition, preserving its stem."""
-    return part.path.stem + (".jsonl" if out_format == "jsonl" else ".csv")
-
-
 def _command_apply(args: argparse.Namespace) -> int:
     workers = validated_workers(args.workers, "--workers")
     chunk_size = validated_chunk_size(args.chunk_size, "--chunk-size")
@@ -339,15 +340,15 @@ def _command_apply(args: argparse.Namespace) -> int:
     ]
 
     from repro.dataset import Dataset
-    from repro.dataset.readers import read_csv_header
+    from repro.engine.parallel import ShardedTableExecutor, apply_dataset
 
     dataset = Dataset.resolve([args.csv] + (args.input or []))
-    dataset.csv_only("apply")
 
-    # The first part defines the dataset header; the executor verifies
-    # every further part against it, so drifted partitions fail loudly
+    # The first part defines the dataset field order (CSV header or the
+    # keys of the first JSONL object); the executor reconciles every
+    # further part against it, so drifted partitions fail loudly
     # instead of splicing mismatched columns into one sink.
-    header, _ = read_csv_header(dataset.parts[0].path, args.delimiter)
+    header = dataset.header(args.delimiter)
     columns = _paired_apply_columns(engines, args.column or [], header)
     if args.in_place:
         output_columns = {column: column for column in columns}
@@ -359,24 +360,6 @@ def _command_apply(args: argparse.Namespace) -> int:
             for column in columns
         }
 
-    from repro.engine.parallel import ShardedTableExecutor
-
-    output_dir = Path(args.output_dir) if args.output_dir else None
-    destination = Path(args.output) if args.output else None
-    if destination is not None:
-        # Opening the sink truncates it — refuse before destroying an
-        # input partition (easy to hit when the glob covers the
-        # destination, e.g. re-running the same apply command).
-        resolved = destination.resolve()
-        for part in dataset:
-            if resolved == part.path.resolve():
-                raise CLXError(
-                    f"--output {destination} is also an input partition; "
-                    "writing would destroy the source — choose a different "
-                    "output path"
-                )
-    flagged = 0
-    total = 0
     with ShardedTableExecutor(
         dict(zip(columns, engines)),
         header,
@@ -387,67 +370,44 @@ def _command_apply(args: argparse.Namespace) -> int:
         workers=workers,
         chunk_size=chunk_size,
     ) as executor:
-        if output_dir is not None:
-            # Partition-preserving mode: one sink per part, same stem.
-            output_dir.mkdir(parents=True, exist_ok=True)
-            names = set()
-            for part in dataset:
-                name = _partition_output_name(part, args.format)
-                if name in names:
-                    raise CLXError(
-                        f"two partitions would write the same output file {name!r}; "
-                        "rename the partitions or apply them separately"
-                    )
-                names.add(name)
-                target = output_dir / name
-                if target.resolve() == part.path.resolve():
-                    raise CLXError(
-                        f"--output-dir would overwrite input partition {part.path}; "
-                        "choose a different directory"
-                    )
-                with target.open("w", newline="", encoding="utf-8") as out_handle:
-                    out_handle.write(executor.header_text())
-                    for encoded, rows, chunk_flagged in executor.run_csv_file(part.path):
-                        out_handle.write(encoded)
-                        total += rows
-                        flagged += chunk_flagged
+        shard_bytes = validated_chunk_size(args.shard_bytes, "--shard-bytes")
+        if args.output_dir:
+            result = apply_dataset(
+                executor, dataset, output_dir=Path(args.output_dir),
+                shard_bytes=shard_bytes,
+            )
             print(
-                f"wrote {len(names)} partition(s) to {output_dir}", file=sys.stderr
+                f"wrote {len(result.outputs)} partition(s) to {args.output_dir}",
+                file=sys.stderr,
+            )
+        elif args.output:
+            result = apply_dataset(
+                executor, dataset, output=Path(args.output), shard_bytes=shard_bytes
             )
         else:
-            # Spliced mode: every part streams into one sink, in stable
-            # part order, behind a single header.
-            out_handle = (
-                destination.open("w", newline="", encoding="utf-8")
-                if destination
-                else sys.stdout
+            result = apply_dataset(
+                executor, dataset, stream=sys.stdout, shard_bytes=shard_bytes
             )
-            try:
-                out_handle.write(executor.header_text())
-                for part in dataset:
-                    for encoded, rows, chunk_flagged in executor.run_csv_file(part.path):
-                        out_handle.write(encoded)
-                        total += rows
-                        flagged += chunk_flagged
-            finally:
-                if destination:
-                    out_handle.close()
 
     branches = sum(len(engine.compiled) for engine in engines)
     print(
         f"applied {branches}-branch program{'s' if len(engines) > 1 else ''} "
-        f"to {total} rows; {flagged} flagged for review",
+        f"to {result.rows} rows; {result.flagged} flagged for review",
         file=sys.stderr,
     )
-    return 0 if flagged == 0 else 1
+    return 0 if result.flagged == 0 else 1
 
 
 def _command_artifacts(args: argparse.Namespace) -> int:
     from repro.engine.cache import ArtifactRegistry
 
     registry = ArtifactRegistry(args.cache_dir)
+    if args.action != "gc" and args.keep_days is not None:
+        raise CLXError("--keep-days only applies to 'artifacts gc'")
     if args.action == "gc":
-        report = registry.gc()
+        if args.keep_days is not None and args.keep_days < 0:
+            raise CLXError(f"--keep-days must be >= 0, got {args.keep_days}")
+        report = registry.gc(keep_days=args.keep_days)
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
         else:
@@ -581,7 +541,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     apply_cmd = subparsers.add_parser(
         "apply",
-        help="stream a CSV through saved .clx.json artifacts (no re-profiling)",
+        help="stream CSV/JSONL data through saved .clx.json artifacts "
+        "(no re-profiling)",
     )
     apply_cmd.add_argument(
         "program",
@@ -591,7 +552,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     apply_cmd.add_argument(
         "csv",
-        help="input CSV file, glob (quote it), or directory of partitions",
+        help="input file, glob (quote it), or directory of partitions — "
+        "CSV and JSONL parts mixed freely",
     )
     apply_cmd.add_argument(
         "--input",
@@ -632,7 +594,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-size",
         type=int,
         default=4096,
-        help="CSV lines per chunk while streaming (default 4096)",
+        help="physical lines per transform batch inside each worker "
+        "(default 4096)",
+    )
+    apply_cmd.add_argument(
+        "--shard-bytes",
+        type=int,
+        default=1 << 20,
+        help="split partitions larger than this many bytes into "
+        "record-aligned byte-range shards for cross-partition dispatch "
+        "(default 1 MiB)",
     )
     apply_cmd.add_argument(
         "--workers",
@@ -659,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         required=True,
         help="the cache directory holding registry.json",
+    )
+    artifacts.add_argument(
+        "--keep-days",
+        type=float,
+        default=None,
+        help="gc only: also evict artifacts not used (cache hit or "
+        "compile) in this many days",
     )
     artifacts.add_argument(
         "--json",

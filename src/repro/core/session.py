@@ -388,6 +388,68 @@ class CLXSession:
             chunk_size=chunk_size,
         )
 
+    def apply_dataset(
+        self,
+        dataset,
+        columns,
+        output=None,
+        output_dir=None,
+        stream=None,
+        out_format: str = "csv",
+        delimiter: str = ",",
+        in_place: bool = False,
+        workers: Optional[int] = None,
+        chunk_size: int = 4096,
+        shard_bytes: int = 1 << 20,
+    ):
+        """Apply this session's verified program across a partitioned dataset.
+
+        The on-disk sibling of :meth:`apply_table`: ``dataset`` may be a
+        resolved :class:`~repro.dataset.dataset.Dataset` or any spec(s)
+        (paths, globs, directories) with CSV and JSONL parts mixed
+        freely.  Partitions either splice into one ``output`` file (or
+        open ``stream``) in stable part order, or — with ``output_dir``
+        — write one output per partition, preserving names; either way
+        parts fan out across the worker pool together and the sink
+        bytes are identical at any worker count.
+
+        Args:
+            dataset: A dataset, or specs to resolve into one.
+            columns: A column name, or a sequence of column names, each
+                transformed by this session's program.
+            output: Splice everything into this one file.
+            output_dir: One output per partition into this directory.
+            stream: Splice into an open text stream.
+            out_format: ``"csv"`` (default) or ``"jsonl"``.
+            delimiter: CSV delimiter.
+            in_place: Overwrite the source columns instead of adding
+                ``<column>_transformed`` ones.
+            workers: ``None`` = all cores; 1 runs in-process.
+            chunk_size: Physical lines per transform batch per worker.
+            shard_bytes: Partitions larger than this split into
+                record-aligned byte-range shards.
+
+        Returns:
+            The :class:`~repro.engine.parallel.DatasetApplyResult`.
+
+        Raises:
+            ValidationError: If no target has been labelled, no (or not
+                exactly one) destination is given, or a knob is invalid.
+        """
+        return self.engine().apply_dataset(
+            dataset,
+            columns,
+            output=output,
+            output_dir=output_dir,
+            stream=stream,
+            out_format=out_format,
+            delimiter=delimiter,
+            in_place=in_place,
+            workers=workers,
+            chunk_size=chunk_size,
+            shard_bytes=shard_bytes,
+        )
+
     def transformed_summary(self, max_samples: int = 3) -> List[PatternSummary]:
         """Pattern clusters of the *transformed* data (Figure 2 of the paper)."""
         report = self.transform()

@@ -156,6 +156,36 @@ class Dataset:
     # ------------------------------------------------------------------
     # Schema checks
     # ------------------------------------------------------------------
+    def header(self, delimiter: str = ",") -> List[str]:
+        """The dataset-wide field order, taken from the first part.
+
+        CSV parts define it with their header row; a JSONL part defines
+        it with the **union** of its records' keys in first-seen order
+        (sparse keys are idiomatic JSONL, so the first record alone is
+        not the schema — one streaming pass over the leading part, the
+        same contract the profile side accepts).  A JSONL part with no
+        rows defers to the next part, so an empty leading partition
+        cannot blank the schema.  This is the field order ``apply``
+        encodes sinks in and reconciles every later part against.
+
+        Raises:
+            CLXError: If no part can supply a field order.
+            ValidationError: If the first CSV part has no header row.
+        """
+        from repro.dataset.readers import jsonl_key_union, read_csv_header
+
+        for part in self._parts:
+            if part.format == "csv":
+                header, _ = read_csv_header(part.path, delimiter)
+                return header
+            keys = jsonl_key_union(part.path)
+            if keys:
+                return keys
+        raise CLXError(
+            "cannot determine the dataset field order: every JSONL part is "
+            "empty and no CSV part supplies a header"
+        )
+
     def check_column(self, column: Union[str, int], delimiter: str = ",") -> None:
         """Verify every part can supply ``column``, naming failures.
 
@@ -190,15 +220,6 @@ class Dataset:
                         + ", ".join(sorted(first))
                     )
 
-    def csv_only(self, operation: str) -> None:
-        """Refuse JSONL parts for operations that parse CSV (e.g. apply)."""
-        for part in self._parts:
-            if part.format != "csv":
-                raise CLXError(
-                    f"{operation} reads CSV partitions only, but {part.path} "
-                    "is JSON Lines"
-                )
-
     # ------------------------------------------------------------------
     # Streaming
     # ------------------------------------------------------------------
@@ -219,7 +240,9 @@ def _first_jsonl_object(path: Path):
     """The first non-blank JSON object of a JSONL file, or None if empty."""
     from repro.dataset.readers import parse_jsonl_row
 
-    with path.open("r", encoding="utf-8") as handle:
+    # newline="\n": the pipeline-wide JSONL line convention (a lone
+    # "\r" is data, not a record separator).
+    with path.open("r", encoding="utf-8", newline="\n") as handle:
         for number, line in enumerate(handle, start=1):
             if not line.strip():
                 continue

@@ -31,8 +31,26 @@ def read_csv_header(
     Raises:
         ValidationError: If the file has no header row.
     """
+    header, data_start, _ = csv_data_region(path, delimiter, encoding)
+    return header, data_start
+
+
+def csv_data_region(
+    path: Union[str, Path], delimiter: str = ",", encoding: str = "utf-8"
+) -> Tuple[List[str], int, int]:
+    """Header fields, data-start byte offset, and first data line number.
+
+    The byte-range planners need all three: where the data region
+    begins and which 1-based *physical* line number that byte sits on
+    (a quoted header field containing a newline makes the header span
+    several physical lines, so it is not always line 2).
+
+    Raises:
+        ValidationError: If the file has no header row.
+    """
     source = Path(path)
     raw_header = b""
+    header_lines = 0
     record_open = False
     with source.open("rb") as handle:
         while True:
@@ -40,6 +58,7 @@ def read_csv_header(
             if not line:
                 break
             raw_header += line
+            header_lines += 1
             record_open = record_open_after(line.decode(encoding), delimiter, record_open)
             if not record_open:
                 break
@@ -48,7 +67,7 @@ def read_csv_header(
     if not text.strip():
         raise ValidationError(f"{source} has no header row")
     header = next(csv.reader([text], delimiter=delimiter))
-    return header, data_start
+    return header, data_start, header_lines + 1
 
 
 def iter_csv_values(
@@ -85,11 +104,49 @@ def parse_jsonl_row(line: str, source, number: Union[int, None] = None) -> dict:
     return payload
 
 
+def jsonl_cell(value) -> str:
+    """Stringify one JSONL value into a pipeline cell, JSON-faithfully.
+
+    The single ingestion rule shared by profiling and apply: missing
+    key and ``null`` become ``""``, strings pass through untouched, and
+    everything else keeps its *JSON* form (``true``, not Python's
+    ``True``; nested objects/arrays re-encode via ``json.dumps``) — so
+    pass-through columns survive a jsonl→jsonl apply without being
+    rewritten as Python reprs.
+    """
+    if value is None:
+        return ""
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, ensure_ascii=False)
+
+
 def jsonl_value(payload: dict, column: str) -> str:
-    """One column of a parsed JSONL row, stringified like the profiler
-    ingests CSV cells (missing key and ``null`` both become ``""``)."""
-    value = payload.get(column)
-    return "" if value is None else str(value)
+    """One column of a parsed JSONL row, stringified via :func:`jsonl_cell`
+    (missing key and ``null`` both become ``""``)."""
+    return jsonl_cell(payload.get(column))
+
+
+def jsonl_key_union(path: Union[str, Path]) -> List[str]:
+    """Every key appearing in a JSONL file, in first-seen order.
+
+    Sparse keys are idiomatic JSONL — records carry only the fields
+    they have — so a part's *schema* is the union of its records' keys,
+    not the first record's.  One sequential pass, memory bounded by the
+    number of distinct keys.
+    """
+    source = Path(path)
+    keys: List[str] = []
+    seen = set()
+    with source.open("r", encoding="utf-8", newline="\n") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            for key in parse_jsonl_row(line, source, number):
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+    return keys
 
 
 def iter_jsonl_values(path: Union[str, Path], column: str) -> Iterator[str]:
@@ -100,7 +157,11 @@ def iter_jsonl_values(path: Union[str, Path], column: str) -> Iterator[str]:
     holding the same strings.
     """
     source = Path(path)
-    with source.open("r", encoding="utf-8") as handle:
+    # newline="\n": every JSONL reader in the pipeline (profile and
+    # apply, parent-fed and byte-range alike) splits physical lines on
+    # "\n" and nothing else — a lone "\r" is data, not a line break —
+    # so a file that profiles also applies, and vice versa.
+    with source.open("r", encoding="utf-8", newline="\n") as handle:
         for number, line in enumerate(handle, start=1):
             if not line.strip():
                 continue

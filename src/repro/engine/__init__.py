@@ -17,7 +17,10 @@ production scale:
   bounded-memory results (also reachable as
   :meth:`TransformEngine.run_parallel`), and
   :class:`ShardedTableExecutor`, the pipelined multi-column table apply
-  whose workers parse and re-encode CSV/JSONL chunks themselves;
+  whose workers parse and re-encode CSV/JSONL chunks themselves —
+  including whole mixed-format datasets via
+  :meth:`ShardedTableExecutor.run_dataset` and the
+  :func:`apply_dataset` sink orchestration;
 * :mod:`repro.engine.cache` — :class:`ArtifactCache`, a
   content-addressed store of compiled artifacts keyed on (column
   fingerprint, target, flags).
@@ -36,7 +39,14 @@ Typical flow::
 from repro.engine.cache import ArtifactCache, ArtifactRegistry, RegistryEntry, cache_key
 from repro.engine.compiled import CompiledProgram, compile_program
 from repro.engine.executor import TransformEngine
-from repro.engine.parallel import ShardedExecutor, ShardedTableExecutor, TableSpec
+from repro.engine.parallel import (
+    DatasetApplyResult,
+    ShardedExecutor,
+    ShardedTableExecutor,
+    TableSpec,
+    apply_dataset,
+    partition_output_name,
+)
 from repro.engine.serialize import (
     branch_from_dict,
     branch_to_dict,
@@ -56,13 +66,16 @@ __all__ = [
     "ArtifactCache",
     "ArtifactRegistry",
     "CompiledProgram",
+    "DatasetApplyResult",
     "RegistryEntry",
     "ShardedExecutor",
     "ShardedTableExecutor",
     "TableSpec",
     "TransformEngine",
+    "apply_dataset",
     "branch_from_dict",
     "cache_key",
+    "partition_output_name",
     "branch_to_dict",
     "compile_program",
     "expression_from_dict",

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import tempfile
 import time
@@ -144,15 +145,20 @@ class ArtifactCache:
         is the authoritative path; a cache directory whose manifest was
         lost or corrupted falls back to the content-addressed file
         layout, so registry damage degrades to plain cache behavior —
-        never to an error.
+        never to an error.  A manifest-resolved hit stamps the row's
+        ``last_used_at``, which is what ``artifacts gc --keep-days N``
+        ages against.
         """
         entry = self.registry.lookup(key)
         if entry is not None and entry.artifact:
             path = self._directory / entry.artifact
             try:
-                return CompiledProgram.loads(path.read_text(encoding="utf-8"))
+                compiled = CompiledProgram.loads(path.read_text(encoding="utf-8"))
             except (OSError, UnicodeDecodeError, CLXError):
-                pass  # dangling or torn row: fall through to the store
+                compiled = None  # dangling or torn row: fall through to the store
+            if compiled is not None:
+                self.registry.touch(key, known=entry)
+                return compiled
         return self.load(key)
 
     def store_registered(
@@ -207,6 +213,9 @@ class RegistryEntry:
         source: Human-readable description of the source dataset.
         stats: Profile statistics (e.g. ``{"rows": N, "clusters": M}``).
         created_at: Unix timestamp of the recording.
+        last_used_at: Unix timestamp of the last cache hit resolved
+            through this row (0.0 until the first hit; age eviction
+            then falls back to ``created_at``).
         artifact: File name of the ``.clx.json`` entry, relative to the
             cache directory.
     """
@@ -218,10 +227,16 @@ class RegistryEntry:
     source: str = ""
     stats: Dict[str, Any] = field(default_factory=dict)
     created_at: float = 0.0
+    last_used_at: float = 0.0
     artifact: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
+
+    @property
+    def effective_last_used(self) -> float:
+        """When this artifact was last touched (falling back to creation)."""
+        return self.last_used_at or self.created_at
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RegistryEntry":
@@ -233,6 +248,7 @@ class RegistryEntry:
             source=str(payload.get("source", "")),
             stats=dict(payload.get("stats") or {}),
             created_at=float(payload.get("created_at", 0.0)),
+            last_used_at=float(payload.get("last_used_at", 0.0)),
             artifact=str(payload.get("artifact", "")),
         )
 
@@ -370,21 +386,65 @@ class ArtifactRegistry:
             self._write_entries(entries)
         return entry
 
-    def gc(self) -> Dict[str, List[str]]:
-        """Prune dangling rows and unreferenced artifact files.
+    #: Repeat hits within this window skip the manifest rewrite — age
+    #: eviction works at day granularity, so stamping the read hot path
+    #: more than hourly would be pure write amplification.
+    TOUCH_INTERVAL_SECONDS = 3600.0
+
+    def touch(self, key: str, known: Optional[RegistryEntry] = None) -> None:
+        """Stamp ``last_used_at`` on one row (no-op for unknown keys).
+
+        Called on every manifest-resolved cache hit, so
+        :meth:`gc(keep_days=N) <gc>` evicts by actual disuse rather
+        than age since compilation.  Strictly best-effort, like every
+        cache path: a row already stamped within
+        :attr:`TOUCH_INTERVAL_SECONDS` is left alone (``known`` lets
+        the caller hand over its already-parsed entry, skipping a
+        manifest re-read), and an unwritable cache directory — e.g. a
+        shared read-only mount — silently skips the stamp rather than
+        failing the hit.
+        """
+        now = time.time()
+        entry = known if known is not None else self.lookup(key)
+        if entry is None or now - entry.last_used_at < self.TOUCH_INTERVAL_SECONDS:
+            return
+        try:
+            with self._manifest_lock():
+                entries = self._read_entries()
+                entry = entries.get(key)
+                if entry is None:
+                    return
+                entries[key] = RegistryEntry(**{**entry.to_dict(), "last_used_at": now})
+                self._write_entries(entries)
+        except OSError:
+            pass  # stamping is advisory; never turn a hit into a failure
+
+    def gc(self, keep_days: Optional[float] = None) -> Dict[str, List[str]]:
+        """Prune dangling rows, unreferenced files, and (optionally) stale rows.
 
         Removes manifest rows whose artifact file is gone, and artifact
-        files (``*.clx.json``) no manifest row references.  The
-        manifest is re-read immediately before anything is deleted, so
-        an entry recorded by a concurrent writer after the first scan —
-        a *newer* manifest row — is never deleted.  A missing or
-        corrupt manifest deletes **nothing**: "no readable manifest" is
-        not "nothing is referenced" (a pre-registry cache directory has
+        files (``*.clx.json``) no manifest row references.  With
+        ``keep_days``, also evicts rows (and their artifact files)
+        whose last use — ``last_used_at`` when a hit ever stamped it,
+        ``created_at`` otherwise — is more than that many days old,
+        bounding shared cache directories over time.  The manifest is
+        re-read immediately before anything is deleted, so an entry
+        recorded by a concurrent writer after the first scan — a
+        *newer* manifest row — is never deleted.  A missing or corrupt
+        manifest deletes **nothing**: "no readable manifest" is not
+        "nothing is referenced" (a pre-registry cache directory has
         artifacts but no manifest at all).
 
         Returns:
             ``{"removed_entries": [keys...], "removed_files": [names...]}``.
         """
+        if keep_days is not None and (
+            isinstance(keep_days, bool)
+            or not math.isfinite(keep_days)  # NaN compares False to everything
+            or keep_days < 0
+        ):
+            raise CLXError(f"keep_days must be a finite number >= 0, got {keep_days!r}")
+        cutoff = None if keep_days is None else time.time() - keep_days * 86_400.0
         candidates = {
             path.name
             for path in self._directory.glob("*.clx.json")
@@ -403,9 +463,11 @@ class ArtifactRegistry:
                 removed_files.append(name)
             except OSError:
                 continue
-        # Prune dangling rows under the lock with one more fresh read,
-        # so the rewrite cannot clobber a row recorded concurrently.
+        # Prune dangling and stale rows under the lock with one more
+        # fresh read, so the rewrite cannot clobber a row recorded
+        # concurrently.
         removed_entries: List[str] = []
+        evicted_artifacts: List[str] = []
         with self._manifest_lock():
             entries, trusted = self._read_manifest()
             if trusted:
@@ -413,13 +475,23 @@ class ArtifactRegistry:
                 for key, entry in entries.items():
                     if entry.artifact and not (self._directory / entry.artifact).is_file():
                         removed_entries.append(key)
+                    elif cutoff is not None and entry.effective_last_used < cutoff:
+                        removed_entries.append(key)
+                        if entry.artifact:
+                            evicted_artifacts.append(entry.artifact)
                     else:
                         kept[key] = entry
                 if removed_entries:
                     self._write_entries(kept)
+            for name in evicted_artifacts:
+                try:
+                    (self._directory / name).unlink()
+                    removed_files.append(name)
+                except OSError:
+                    continue
         return {
             "removed_entries": sorted(removed_entries),
-            "removed_files": removed_files,
+            "removed_files": sorted(removed_files),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

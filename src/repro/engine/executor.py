@@ -13,7 +13,11 @@ shapes are supported:
 * :meth:`TransformEngine.transform_table` /
   :meth:`TransformEngine.transform_table_iter` — multi-column table
   apply, one compiled program per column, one pass over the table,
-  batch or streaming, optionally fanned across worker processes.
+  batch or streaming, optionally fanned across worker processes;
+* :meth:`TransformEngine.apply_dataset` — the same program over a whole
+  partitioned dataset on disk (CSV and JSONL parts mixed freely), into
+  one spliced sink or one output per partition, with cross-partition
+  worker fan-out.
 """
 
 from __future__ import annotations
@@ -148,6 +152,100 @@ class TransformEngine:
 
         with ShardedExecutor(self._compiled, workers=resolved, chunk_size=chunk_size) as executor:
             return executor.run(values)
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+    def apply_dataset(
+        self,
+        dataset,
+        columns: Union[str, Sequence[str]],
+        output=None,
+        output_dir=None,
+        stream=None,
+        out_format: str = "csv",
+        delimiter: str = ",",
+        in_place: bool = False,
+        output_columns: Optional[Mapping[str, str]] = None,
+        workers: Optional[int] = None,
+        chunk_size: int = 4096,
+        shard_bytes: int = 1 << 20,
+    ):
+        """Apply this engine's program across a partitioned dataset.
+
+        The compile-once/apply-anywhere path for data that lives on
+        disk: ``dataset`` may be a resolved
+        :class:`~repro.dataset.dataset.Dataset` or any spec(s) its
+        :meth:`~repro.dataset.dataset.Dataset.resolve` accepts (paths,
+        globs, directories — CSV and JSONL parts mixed freely).  Every
+        named column is transformed by this program in one pass;
+        partitions stream through the worker pool concurrently
+        (:meth:`ShardedTableExecutor.run_dataset
+        <repro.engine.parallel.ShardedTableExecutor.run_dataset>`) and
+        the sink bytes are identical at any worker count.
+
+        Args:
+            dataset: A dataset, or specs to resolve into one.
+            columns: Column name(s) this program transforms.
+            output: Splice every partition into this one file.
+            output_dir: Write one output per partition here instead,
+                preserving partition names (final extension follows
+                ``out_format``).
+            stream: Splice into an open text stream instead of a file.
+            out_format: ``"csv"`` (default) or ``"jsonl"``.
+            delimiter: CSV delimiter (parse and encode).
+            in_place: Overwrite the source columns instead of adding
+                ``<column>_transformed`` ones.
+            output_columns: Explicit input→sink column mapping,
+                overriding the default naming (ignores ``in_place``).
+            workers: Worker process count; ``None`` means all cores,
+                1 runs in-process.
+            chunk_size: Physical lines per transform batch inside each
+                worker.
+            shard_bytes: Partitions larger than this split into
+                record-aligned byte-range shards.
+
+        Returns:
+            The :class:`~repro.engine.parallel.DatasetApplyResult`
+            (rows, flagged cells, partitions, files written).
+        """
+        from repro.dataset import Dataset
+        from repro.engine.parallel import ShardedTableExecutor, apply_dataset
+
+        from repro.util.csvio import resolve_column
+
+        if not isinstance(dataset, Dataset):
+            dataset = Dataset.resolve(dataset)
+        names = [columns] if isinstance(columns, str) else list(columns)
+        if not names:
+            raise ValidationError("apply_dataset needs at least one column name")
+        header = dataset.header(delimiter)
+        # Resolve up front so index addressing ("1") and the output
+        # naming rules below agree on the real column name.
+        names = [resolve_column(header, name) for name in names]
+        if output_columns is None:
+            if in_place:
+                output_columns = {name: name for name in names}
+            else:
+                output_columns = {name: f"{name}_transformed" for name in names}
+        with ShardedTableExecutor(
+            {name: self for name in names},
+            header,
+            output_columns=output_columns,
+            out_format=out_format,
+            delimiter=delimiter,
+            source=str(dataset.parts[0].path),
+            workers=workers,
+            chunk_size=chunk_size,
+        ) as executor:
+            return apply_dataset(
+                executor,
+                dataset,
+                output=output,
+                output_dir=output_dir,
+                stream=stream,
+                shard_bytes=shard_bytes,
+            )
 
     # ------------------------------------------------------------------
     # Tables

@@ -15,12 +15,21 @@ hang — see :mod:`repro.util.pools`):
   pattern table, and the parent rehydrates real patterns from its own
   table.
 * :class:`ShardedTableExecutor` — one program per column over a stream
-  of **raw CSV lines**.  Workers do their own CSV parse *and*
-  serialize: each task carries unparsed physical lines, each result is
-  one already-encoded CSV/JSONL text chunk plus row/flagged counts, so
-  the parent does no codec work at all — it only splices ordered
-  chunks to the sink.  This is what ``repro-clx apply --workers N``
-  runs on.
+  of **raw physical lines**, CSV or JSON Lines.  Workers do their own
+  parse *and* serialize: each task carries unparsed lines plus their
+  input format, each result is one already-encoded CSV/JSONL text
+  chunk plus row/flagged counts, so the parent does no codec work at
+  all — it only splices ordered chunks to the sink.  This is what
+  ``repro-clx apply --workers N`` runs on.
+* :meth:`ShardedTableExecutor.run_dataset` — the cross-partition
+  dispatch layer: whole parts of a partitioned dataset (or byte-range
+  shards of large parts, record-aligned via
+  :func:`~repro.util.csvio.record_cut_points`) are handed to the same
+  worker pool, so small-file latencies overlap and every core stays
+  busy across partition boundaries while results still splice in
+  deterministic (part, offset) order.  :func:`apply_dataset` wraps it
+  with sink orchestration (one spliced sink, or one output per
+  partition) shared by the CLI and the session/engine APIs.
 * :func:`transform_table_parallel` — the mapping-rows counterpart
   behind :meth:`TransformEngine.transform_table(workers=N)
   <repro.engine.executor.TransformEngine.transform_table>`.
@@ -30,9 +39,10 @@ from __future__ import annotations
 
 import csv
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
+    IO,
     Any,
     Dict,
     Iterable,
@@ -51,9 +61,9 @@ from repro.engine.compiled import CompiledProgram
 from repro.engine.executor import TransformEngine
 from repro.engine.serialize import encode_rows_csv, encode_rows_jsonl
 from repro.patterns.pattern import Pattern
-from repro.util.csvio import record_open_after, resolve_column
+from repro.util.csvio import iter_record_cut_points, record_open_after, resolve_column
 from repro.util.errors import CLXError, ValidationError
-from repro.util.pools import chunked, indexed_chunks, map_ordered
+from repro.util.pools import chunked, indexed_chunks, map_ordered, map_ordered_keyed
 from repro.util.validate import validated_chunk_size, validated_workers
 
 #: Default number of values per worker task; large enough to amortize
@@ -63,8 +73,16 @@ DEFAULT_CHUNK_SIZE = 8192
 #: Default number of physical CSV lines per table-apply task.
 DEFAULT_TABLE_CHUNK_LINES = 4096
 
+#: Default byte size of one cross-partition apply shard: parts larger
+#: than this split into several record-aligned byte ranges, so one huge
+#: partition cannot serialize the whole dataset behind a single worker.
+DEFAULT_APPLY_SHARD_BYTES = 1 << 20
+
 #: Sink formats the table executor can encode worker-side.
 TABLE_FORMATS = ("csv", "jsonl")
+
+#: Input formats the table executor can parse worker-side.
+INPUT_FORMATS = ("csv", "jsonl")
 
 #: Wire format of one processed value chunk: transformed outputs plus,
 #: per value, an index into the program's pattern table (-1 = no match).
@@ -76,7 +94,7 @@ TableChunk = Tuple[str, int, int]
 
 # Per-worker state installed by the pool initializers.
 _WORKER_STATE: Optional[Tuple[CompiledProgram, Dict[Pattern, int]]] = None
-_TABLE_STATE: Optional[Tuple["TableSpec", List[Tuple[int, int, CompiledProgram]]]] = None
+_TABLE_STATE: Optional[Tuple["TableSpec", List[CompiledProgram], int]] = None
 _ROWS_STATE: Optional[List[Tuple[str, CompiledProgram]]] = None
 
 
@@ -261,39 +279,102 @@ class TableSpec:
     source: str = "<table>"
 
 
+def _rows_from_jsonl_lines(
+    spec: TableSpec, first_line: int, lines: List[str], label: str
+) -> List[List[str]]:
+    """Parse one chunk of JSON Lines into padded row lists, in field order.
+
+    One physical line is one record (a literal newline cannot occur
+    inside a JSON string), so every failure names its exact file and
+    line and can never corrupt a neighboring record.  Key
+    reconciliation against the dataset field order mirrors the CSV
+    ragged-row rules: a missing key (or ``null``) contributes ``""``
+    and values stringify JSON-faithfully
+    (:func:`~repro.dataset.readers.jsonl_cell` — the profiler's own
+    ingestion rule), while an unknown key fails fast — silently
+    dropping it would lose data in a CSV sink.
+    """
+    from repro.dataset.readers import jsonl_cell, parse_jsonl_row
+
+    width = len(spec.fieldnames)
+    out_width = len(spec.output_fields)
+    known = set(spec.fieldnames)
+    rows: List[List[str]] = []
+    for offset, line in enumerate(lines):
+        if not line.strip():
+            continue  # blank line, as the JSONL readers skip them
+        number = first_line + offset
+        payload = parse_jsonl_row(line, label, number)
+        unknown = [key for key in payload if key not in known]
+        if unknown:
+            raise CLXError(
+                f"{label} line {number}: key(s) {', '.join(map(repr, unknown))} "
+                f"not in the dataset field order ({', '.join(spec.fieldnames)}); "
+                "partitions of one dataset must share a schema"
+            )
+        row = [jsonl_cell(payload.get(name)) for name in spec.fieldnames]
+        row.extend([""] * (out_width - width))
+        rows.append(row)
+    return rows
+
+
+def _rows_from_csv_lines(
+    spec: TableSpec, first_line: int, lines: List[str], label: str
+) -> List[List[str]]:
+    """Parse one chunk of physical CSV lines into padded row lists.
+
+    Parse failures the csv module raises itself (e.g. a bare ``\\r`` in
+    an unquoted cell) are rewrapped so every malformed input surfaces
+    as a :class:`CLXError` naming the file and line, never a raw
+    ``_csv.Error`` traceback.
+    """
+    width = len(spec.fieldnames)
+    out_width = len(spec.output_fields)
+    reader = csv.reader(lines, delimiter=spec.delimiter)
+    rows: List[List[str]] = []
+    try:
+        for row in reader:
+            if not row:
+                continue  # csv.DictReader skips blank lines; so do we
+            if len(row) > width:
+                line = first_line + reader.line_num - 1
+                raise CLXError(
+                    f"{label} line {line}: row has {len(row)} cells "
+                    f"but the header has {width} columns; fix the row or "
+                    "re-export the CSV"
+                )
+            if len(row) < width:
+                row.extend([""] * (width - len(row)))
+            row.extend([""] * (out_width - width))
+            rows.append(row)
+    except csv.Error as error:
+        line = first_line + max(reader.line_num, 1) - 1
+        raise CLXError(f"{label} line {line}: invalid CSV: {error}") from None
+    return rows
+
+
 def _transform_lines(
     spec: TableSpec,
-    engines: Sequence[Tuple[int, int, CompiledProgram]],
+    engines: Sequence[CompiledProgram],
     first_line: int,
     lines: List[str],
     source: Optional[str] = None,
+    in_format: str = "csv",
 ) -> TableChunk:
-    """Parse, transform, and encode one chunk of physical CSV lines.
+    """Parse, transform, and encode one chunk of physical lines.
 
     This is the whole per-chunk pipeline and runs identically inline
     (``workers=1``) and inside a pool worker, so the serial and sharded
     paths cannot drift apart.  ``source`` overrides ``spec.source`` in
-    error messages when one executor streams several partition files.
+    error messages when one executor streams several partition files;
+    ``in_format`` picks the parse side (``"csv"`` or ``"jsonl"``) per
+    chunk, so one executor applies a mixed-format dataset.
     """
-    width = len(spec.fieldnames)
-    out_width = len(spec.output_fields)
     label = source or spec.source
-    reader = csv.reader(lines, delimiter=spec.delimiter)
-    rows: List[List[str]] = []
-    for row in reader:
-        if not row:
-            continue  # csv.DictReader skips blank lines; so do we
-        if len(row) > width:
-            line = first_line + reader.line_num - 1
-            raise CLXError(
-                f"{label} line {line}: row has {len(row)} cells "
-                f"but the header has {width} columns; fix the row or "
-                "re-export the CSV"
-            )
-        if len(row) < width:
-            row.extend([""] * (width - len(row)))
-        row.extend([""] * (out_width - width))
-        rows.append(row)
+    if in_format == "jsonl":
+        rows = _rows_from_jsonl_lines(spec, first_line, lines, label)
+    else:
+        rows = _rows_from_csv_lines(spec, first_line, lines, label)
 
     flagged = 0
     for (input_index, output_index), compiled in zip(spec.transforms, engines):
@@ -311,20 +392,32 @@ def _transform_lines(
     return encoded, len(rows), flagged
 
 
-def _init_table_worker(spec: TableSpec, artifacts: Tuple[str, ...]) -> None:
+def _init_table_worker(
+    spec: TableSpec, artifacts: Tuple[str, ...], chunk_size: int = DEFAULT_TABLE_CHUNK_LINES
+) -> None:
     """Pool initializer: rebuild every column's program once per worker."""
     global _TABLE_STATE
-    _TABLE_STATE = (spec, [CompiledProgram.loads(artifact) for artifact in artifacts])
+    _TABLE_STATE = (
+        spec,
+        [CompiledProgram.loads(artifact) for artifact in artifacts],
+        chunk_size,
+    )
 
 
-def _transform_table_chunk(task: Tuple[int, List[str], Optional[str]]) -> TableChunk:
+def _transform_table_chunk(
+    task: Tuple[int, List[str], Optional[str], str]
+) -> TableChunk:
     assert _TABLE_STATE is not None, "worker used before initialization"
-    spec, engines = _TABLE_STATE
-    return _transform_lines(spec, engines, task[0], task[1], task[2])
+    spec, engines, _ = _TABLE_STATE
+    return _transform_lines(spec, engines, task[0], task[1], task[2], task[3])
 
 
 def _record_aligned_chunks(
-    lines: Iterable[str], chunk_size: int, first_line: int, delimiter: str
+    lines: Iterable[str],
+    chunk_size: int,
+    first_line: int,
+    delimiter: str,
+    csv_quoting: bool = True,
 ) -> Iterator[Tuple[int, List[str]]]:
     """Group physical lines into chunks, never splitting a quoted record.
 
@@ -332,7 +425,9 @@ def _record_aligned_chunks(
     field is open; :func:`~repro.util.csvio.record_open_after` tracks
     that state with the csv module's own quoting rules (a stray ``"``
     in an unquoted cell is data, not a delimiter), so chunks close at
-    the first record boundary at or past ``chunk_size`` lines.
+    the first record boundary at or past ``chunk_size`` lines.  With
+    ``csv_quoting=False`` (JSON Lines) every physical line is a record
+    and chunks close exactly at ``chunk_size``.
     """
     chunk: List[str] = []
     chunk_first = first_line
@@ -341,13 +436,88 @@ def _record_aligned_chunks(
     for line in lines:
         line_number += 1
         chunk.append(line)
-        record_open = record_open_after(line, delimiter, record_open)
+        if csv_quoting:
+            record_open = record_open_after(line, delimiter, record_open)
         if len(chunk) >= chunk_size and not record_open:
             yield chunk_first, chunk
             chunk = []
             chunk_first = line_number + 1
     if chunk:
         yield chunk_first, chunk
+
+
+@dataclass(frozen=True)
+class _ApplyShard:
+    """One picklable unit of cross-partition apply work.
+
+    Both bounds are exact record boundaries (the planner aligns them
+    with a quote-parity scan), so the worker owns precisely the lines
+    beginning in ``[start, end)`` and ``first_line`` is the true
+    physical line number at ``start`` — error messages stay exact at
+    any shard geometry.
+    """
+
+    path: str
+    in_format: str
+    start: int
+    end: int
+    first_line: int
+    source: str
+
+
+def _read_shard_lines(
+    path: str, start: int, end: int, encoding: str = "utf-8"
+) -> Iterator[str]:
+    """Decoded physical lines beginning in the exact byte range [start, end)."""
+    with open(path, "rb") as handle:
+        handle.seek(start)
+        position = start
+        while position < end:
+            raw = handle.readline()
+            if not raw:
+                return
+            position += len(raw)
+            yield raw.decode(encoding)
+
+
+def _transform_shard(
+    spec: TableSpec,
+    engines: Sequence[CompiledProgram],
+    chunk_size: int,
+    shard: _ApplyShard,
+) -> TableChunk:
+    """Run one byte-range shard through the per-chunk pipeline.
+
+    The shard's lines stream through :func:`_record_aligned_chunks` at
+    ``chunk_size`` lines per transform batch — the same knob the
+    parent-fed paths honor — so a byte-planned shard never materializes
+    more than one batch of parsed rows at a time.
+    """
+    pieces: List[str] = []
+    rows = 0
+    flagged = 0
+    lines = _read_shard_lines(shard.path, shard.start, shard.end)
+    for start, chunk in _record_aligned_chunks(
+        lines,
+        chunk_size,
+        shard.first_line,
+        spec.delimiter,
+        csv_quoting=shard.in_format == "csv",
+    ):
+        encoded, chunk_rows, chunk_flagged = _transform_lines(
+            spec, engines, start, chunk, shard.source, shard.in_format
+        )
+        pieces.append(encoded)
+        rows += chunk_rows
+        flagged += chunk_flagged
+    return "".join(pieces), rows, flagged
+
+
+def _apply_file_shard(shard: _ApplyShard) -> TableChunk:
+    """Read, parse, transform, and encode one byte-range shard in a worker."""
+    assert _TABLE_STATE is not None, "worker used before initialization"
+    spec, engines, chunk_size = _TABLE_STATE
+    return _transform_shard(spec, engines, chunk_size, shard)
 
 
 class ShardedTableExecutor:
@@ -448,7 +618,7 @@ class ShardedTableExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self._workers,
                 initializer=_init_table_worker,
-                initargs=(self._spec, artifacts),
+                initargs=(self._spec, artifacts, self._chunk_size),
             )
         return self._pool
 
@@ -478,30 +648,42 @@ class ShardedTableExecutor:
         lines: Iterable[str],
         first_line: int = 2,
         source: Optional[str] = None,
+        in_format: str = "csv",
     ) -> Iterator[TableChunk]:
         """Stream raw data lines through the pipeline, in input order.
 
         Args:
-            lines: Physical lines of the CSV *data region* (no header),
+            lines: Physical lines of the *data region* (no CSV header),
                 with or without trailing newlines.
             first_line: 1-based physical line number of the first data
                 line in the source file, for error messages.
             source: Input name for error messages, overriding the
                 spec's (used when one executor streams several files).
+            in_format: How workers parse the lines — ``"csv"``
+                (default) or ``"jsonl"`` (one JSON object per line).
 
         Yields:
             ``(encoded_text, row_count, flagged_count)`` per chunk.
         """
+        if in_format not in INPUT_FORMATS:
+            raise ValidationError(
+                f"unsupported input format {in_format!r}; "
+                f"choose from {', '.join(INPUT_FORMATS)}"
+            )
         tasks = (
-            (start, chunk, source)
+            (start, chunk, source, in_format)
             for start, chunk in _record_aligned_chunks(
-                lines, self._chunk_size, first_line, self._spec.delimiter
+                lines,
+                self._chunk_size,
+                first_line,
+                self._spec.delimiter,
+                csv_quoting=in_format == "csv",
             )
         )
         if self._workers == 1:
             engines = self._programs
-            for start, chunk, label in tasks:
-                yield _transform_lines(self._spec, engines, start, chunk, label)
+            for start, chunk, label, fmt in tasks:
+                yield _transform_lines(self._spec, engines, start, chunk, label, fmt)
             return
         pool = self._ensure_pool()
         yield from map_ordered(pool, _transform_table_chunk, tasks, self._workers + 2)
@@ -520,21 +702,313 @@ class ShardedTableExecutor:
                 not match the executor's fieldnames.
         """
         source = Path(path)
-        with source.open(newline="", encoding="utf-8") as handle:
+        # newline="\n": physical lines split exactly like the byte-range
+        # shard reader (a bare "\r" is cell data for the parser to judge,
+        # not a line break), so run_part and run_dataset agree on every
+        # file.  csv.reader still handles "\r\n" terminators itself.
+        with source.open(newline="\n", encoding="utf-8") as handle:
             reader = csv.reader(handle, delimiter=self._spec.delimiter)
             try:
                 header = next(reader)
             except StopIteration:
                 raise CLXError(f"{source} has no header row") from None
-            if tuple(header) != self._spec.fieldnames:
-                raise CLXError(
-                    f"{source} header ({', '.join(header)}) does not match the "
-                    f"dataset header ({', '.join(self._spec.fieldnames)}); "
-                    "partitions of one dataset must share a header"
-                )
+            self._check_part_header(source, header)
             yield from self.run_chunks(
                 handle, first_line=reader.line_num + 1, source=str(source)
             )
+
+    def run_jsonl_file(self, path: Union[str, Path]) -> Iterator[TableChunk]:
+        """Stream one JSON Lines file through the pipeline.
+
+        JSONL parts carry no header row; instead every record's keys
+        are reconciled against the dataset field order inside the
+        workers (missing key or ``null`` → ``""``, unknown key →
+        :class:`~repro.util.errors.CLXError` naming the file and line).
+        """
+        source = Path(path)
+        # newline="\n": split physical lines exactly like the byte-range
+        # shard reader does (a lone "\r" is data, not a line break), so
+        # run_part and run_dataset see identical records.
+        with source.open("r", encoding="utf-8", newline="\n") as handle:
+            yield from self.run_chunks(
+                handle, first_line=1, source=str(source), in_format="jsonl"
+            )
+
+    def run_part(self, part: "DatasetPart") -> Iterator[TableChunk]:
+        """Stream one resolved dataset partition, dispatching on format."""
+        if part.format == "jsonl":
+            yield from self.run_jsonl_file(part.path)
+        else:
+            yield from self.run_csv_file(part.path)
+
+    def _check_part_header(self, source: Path, header: Sequence[str]) -> None:
+        if tuple(header) != self._spec.fieldnames:
+            raise CLXError(
+                f"{source} header ({', '.join(header)}) does not match the "
+                f"dataset header ({', '.join(self._spec.fieldnames)}); "
+                "partitions of one dataset must share a header"
+            )
+
+    # ------------------------------------------------------------------
+    # Cross-partition dispatch
+    # ------------------------------------------------------------------
+    def _plan_part_shards(
+        self, part: "DatasetPart", shard_bytes: int
+    ) -> Iterator[_ApplyShard]:
+        """Split one partition into record-aligned byte-range shards.
+
+        Small parts become one whole-part shard — the parent reads
+        nothing but a CSV header, so dispatching many small files
+        overlaps their open/parse latencies.  Parts larger than
+        ``shard_bytes`` are split with one
+        :func:`~repro.util.csvio.iter_record_cut_points` scan, which
+        also yields the exact first line number of every shard, so
+        error messages stay precise however the bytes were divided.
+        Shards are **yielded as cuts are found**: on a huge single
+        file, workers start transforming the head while the parent is
+        still scanning the tail — no cold-start bubble proportional to
+        file size.
+        """
+        from repro.dataset.readers import csv_data_region
+
+        path = Path(part.path)
+        size = path.stat().st_size
+        if part.format == "jsonl":
+            data_start, first_line, csv_quoting = 0, 1, False
+        else:
+            header, data_start, first_line = csv_data_region(
+                path, self._spec.delimiter
+            )
+            self._check_part_header(path, header)
+            csv_quoting = True
+        if size <= data_start:
+            return
+
+        def shard(start: int, line: int, end: int) -> _ApplyShard:
+            return _ApplyShard(
+                path=str(path),
+                in_format=part.format,
+                start=start,
+                end=end,
+                first_line=line,
+                source=str(path),
+            )
+
+        span = size - data_start
+        pieces = (span + shard_bytes - 1) // shard_bytes
+        previous = (data_start, first_line)
+        if pieces > 1:
+            step = (span + pieces - 1) // pieces
+            targets = list(range(data_start + step, size, step))
+            for cut, line in iter_record_cut_points(
+                str(path),
+                data_start,
+                size,
+                targets,
+                delimiter=self._spec.delimiter,
+                first_line=first_line,
+                csv_quoting=csv_quoting,
+            ):
+                if previous[0] < cut:
+                    yield shard(previous[0], previous[1], cut)
+                    previous = (cut, line)
+        if previous[0] < size:
+            yield shard(previous[0], previous[1], size)
+
+    def run_dataset(
+        self,
+        dataset: Iterable["DatasetPart"],
+        shard_bytes: int = DEFAULT_APPLY_SHARD_BYTES,
+    ) -> Iterator[Tuple[int, TableChunk]]:
+        """Fan a whole partitioned dataset across the worker pool.
+
+        Unlike draining :meth:`run_part` one partition at a time —
+        which barriers the pool at every part boundary — this plans
+        record-aligned shards lazily (one part ahead of the in-flight
+        window) and keeps shards of *different* partitions in flight
+        together.  Workers read their own byte ranges, parse (CSV or
+        JSONL per part), transform, and encode — in batches of the
+        executor's ``chunk_size`` lines, so both knobs keep their
+        meaning (``shard_bytes`` sizes I/O and dispatch, ``chunk_size``
+        bounds rows resident per transform batch); the parent does no
+        row I/O at all.  Results arrive strictly in (part, offset)
+        order, so the sink bytes are identical at any worker count.
+
+        Args:
+            dataset: A resolved :class:`~repro.dataset.dataset.Dataset`
+                (or any iterable of :class:`DatasetPart`).
+            shard_bytes: Byte-range size above which a part is split.
+
+        Yields:
+            ``(part_index, (encoded_text, row_count, flagged_count))``
+            per chunk, in deterministic order.
+        """
+        validated_chunk_size(shard_bytes, "shard_bytes")
+
+        def plan() -> Iterator[Tuple[int, _ApplyShard]]:
+            for index, part in enumerate(dataset):
+                for shard in self._plan_part_shards(part, shard_bytes):
+                    yield index, shard
+
+        if self._workers == 1:
+            for index, shard in plan():
+                yield index, _transform_shard(
+                    self._spec, self._programs, self._chunk_size, shard
+                )
+            return
+        pool = self._ensure_pool()
+        yield from map_ordered_keyed(
+            pool, _apply_file_shard, plan(), self._workers + 2
+        )
+
+
+# ----------------------------------------------------------------------
+# Dataset apply orchestration (shared by the CLI and the library APIs)
+# ----------------------------------------------------------------------
+def partition_output_name(part: "DatasetPart", out_format: str) -> str:
+    """The sink file name for one partition: swap only the final extension.
+
+    ``part.2024.csv`` keeps its dotted stem (``part.2024.jsonl`` under a
+    JSONL sink), and an extensionless partition gains the sink suffix.
+    """
+    return part.path.stem + (".jsonl" if out_format == "jsonl" else ".csv")
+
+
+@dataclass
+class DatasetApplyResult:
+    """What one :func:`apply_dataset` run did.
+
+    Attributes:
+        rows: Data rows written across every partition.
+        flagged: Cells no program branch matched (left unchanged).
+        parts: Number of input partitions applied.
+        outputs: Files written (empty when splicing to a stream).
+    """
+
+    rows: int = 0
+    flagged: int = 0
+    parts: int = 0
+    outputs: List[Path] = field(default_factory=list)
+
+
+def apply_dataset(
+    executor: ShardedTableExecutor,
+    dataset: "Dataset",
+    output: Optional[Union[str, Path]] = None,
+    output_dir: Optional[Union[str, Path]] = None,
+    stream: Optional[IO[str]] = None,
+    shard_bytes: int = DEFAULT_APPLY_SHARD_BYTES,
+) -> DatasetApplyResult:
+    """Apply a dataset through ``executor`` into exactly one sink shape.
+
+    The one implementation of apply-anywhere sink plumbing, shared by
+    ``repro-clx apply``, :meth:`TransformEngine.apply_dataset
+    <repro.engine.executor.TransformEngine.apply_dataset>`, and
+    :meth:`CLXSession.apply_dataset
+    <repro.core.session.CLXSession.apply_dataset>`:
+
+    * ``output`` / ``stream`` — every partition splices into one sink
+      in stable part order behind a single header;
+    * ``output_dir`` — one output file per partition, preserving
+      partition names (final extension swapped to the sink format).
+
+    Either way the chunks come from :meth:`ShardedTableExecutor.run_dataset`,
+    so partitions stream through the worker pool concurrently while the
+    sink bytes stay deterministic.
+
+    Raises:
+        ValidationError: If not exactly one destination is given.
+        CLXError: If writing would clobber an input partition, or two
+            partitions map to the same output name.
+    """
+    destinations = [value for value in (output, output_dir, stream) if value is not None]
+    if len(destinations) != 1:
+        raise ValidationError(
+            "apply_dataset needs exactly one of output, output_dir, or stream"
+        )
+    result = DatasetApplyResult(parts=len(dataset.parts))
+
+    if output_dir is not None:
+        directory = Path(output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        parts = dataset.parts
+        names = set()
+        for part in parts:
+            name = partition_output_name(part, executor.spec.out_format)
+            if name in names:
+                raise CLXError(
+                    f"two partitions would write the same output file {name!r}; "
+                    "rename the partitions or apply them separately"
+                )
+            names.add(name)
+            if (directory / name).resolve() == part.path.resolve():
+                raise CLXError(
+                    f"--output-dir would overwrite input partition {part.path}; "
+                    "choose a different directory"
+                )
+        handle: Optional[IO[str]] = None
+        open_through = -1  # highest part index whose sink has been opened
+
+        def advance_to(index: int) -> IO[str]:
+            # Open sinks for every part up to `index`, so a partition
+            # with no data rows still produces its (header-only) file.
+            nonlocal handle, open_through
+            while open_through < index:
+                if handle is not None:
+                    handle.close()
+                open_through += 1
+                part = parts[open_through]
+                target = directory / partition_output_name(
+                    part, executor.spec.out_format
+                )
+                handle = target.open("w", newline="", encoding="utf-8")
+                handle.write(executor.header_text())
+                result.outputs.append(target)
+            assert handle is not None
+            return handle
+
+        try:
+            for part_index, (encoded, rows, flagged) in executor.run_dataset(
+                dataset, shard_bytes=shard_bytes
+            ):
+                advance_to(part_index).write(encoded)
+                result.rows += rows
+                result.flagged += flagged
+            advance_to(len(parts) - 1)
+        finally:
+            if handle is not None:
+                handle.close()
+        return result
+
+    destination = Path(output) if output is not None else None
+    if destination is not None:
+        # Opening the sink truncates it — refuse before destroying an
+        # input partition (easy to hit when the glob covers the
+        # destination, e.g. re-running the same apply command).
+        resolved = destination.resolve()
+        for part in dataset.parts:
+            if resolved == part.path.resolve():
+                raise CLXError(
+                    f"--output {destination} is also an input partition; "
+                    "writing would destroy the source — choose a different "
+                    "output path"
+                )
+    sink = destination.open("w", newline="", encoding="utf-8") if destination else stream
+    assert sink is not None
+    try:
+        sink.write(executor.header_text())
+        for _, (encoded, rows, flagged) in executor.run_dataset(
+            dataset, shard_bytes=shard_bytes
+        ):
+            sink.write(encoded)
+            result.rows += rows
+            result.flagged += flagged
+    finally:
+        if destination is not None:
+            sink.close()
+    if destination is not None:
+        result.outputs.append(destination)
+    return result
 
 
 # ----------------------------------------------------------------------

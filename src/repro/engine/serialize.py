@@ -189,10 +189,35 @@ def program_from_dict(payload: Any) -> UniFiProgram:
 # parent wire so the parent never runs a codec on its hot path.  Both
 # the worker side and the serial (workers=1) path encode through these
 # two helpers, so the sink bytes are identical regardless of fan-out.
+def _quoted_cell(cell: str, delimiter: str) -> str:
+    """Minimal-quote one cell the way csv.QUOTE_MINIMAL would, plus CR."""
+    if '"' in cell:
+        return '"' + cell.replace('"', '""') + '"'
+    if delimiter in cell or "\r" in cell or "\n" in cell:
+        return '"' + cell + '"'
+    return cell
+
+
 def encode_rows_csv(rows: List[List[str]], delimiter: str = ",") -> str:
-    """Encode rows (lists of cells) as CSV text with ``\\n`` line ends."""
+    """Encode rows (lists of cells) as CSV text with ``\\n`` line ends.
+
+    With ``lineterminator="\\n"`` the stdlib writer leaves a bare ``\\r``
+    inside a cell unquoted — output the csv module itself then refuses
+    to parse back ("new-line character seen in unquoted field").  Rows
+    containing ``\\r`` therefore take a manual minimal-quoting path that
+    treats ``\\r`` like the line break it is; all other rows keep the
+    C writer's exact bytes.
+    """
     buffer = io.StringIO()
-    csv.writer(buffer, delimiter=delimiter, lineterminator="\n").writerows(rows)
+    writer = csv.writer(buffer, delimiter=delimiter, lineterminator="\n")
+    for row in rows:
+        if any(isinstance(cell, str) and "\r" in cell for cell in row):
+            buffer.write(
+                delimiter.join(_quoted_cell(str(cell), delimiter) for cell in row)
+                + "\n"
+            )
+        else:
+            writer.writerow(row)
     return buffer.getvalue()
 
 

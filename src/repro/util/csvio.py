@@ -20,11 +20,12 @@ embedded newlines.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import Iterator, List, Sequence, Tuple, Union
 
 from repro.util.errors import ValidationError
 
 QUOTE = '"'
+_QUOTE_BYTE = b'"'
 
 
 def resolve_column(header: Sequence[str], column: Union[str, int]) -> str:
@@ -123,10 +124,71 @@ def record_aligned_offsets(
         One aligned offset per target, ascending, each in
         ``[start, end]``.
     """
+    return [
+        offset
+        for offset, _ in record_cut_points(
+            path, start, end, targets, delimiter=delimiter, encoding=encoding
+        )
+    ]
+
+
+def record_cut_points(
+    path: str,
+    start: int,
+    end: int,
+    targets: Sequence[int],
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+    first_line: int = 1,
+    csv_quoting: bool = True,
+) -> List[Tuple[int, int]]:
+    """Like :func:`record_aligned_offsets`, also tracking line numbers.
+
+    Materialized form of :func:`iter_record_cut_points`.
+    """
+    return list(
+        iter_record_cut_points(
+            path, start, end, targets, delimiter, encoding, first_line, csv_quoting
+        )
+    )
+
+
+def iter_record_cut_points(
+    path: str,
+    start: int,
+    end: int,
+    targets: Sequence[int],
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+    first_line: int = 1,
+    csv_quoting: bool = True,
+) -> Iterator[Tuple[int, int]]:
+    """Stream record-aligned cuts with their line numbers, one per target.
+
+    The cross-partition apply dispatcher plans byte-range shards but
+    still owes callers exact error locations, so each aligned cut comes
+    out as ``(offset, line_number)`` — the 1-based *physical* line
+    number of the line beginning at ``offset``, counted from
+    ``first_line`` at ``start``.  Cuts are **yielded as the scan finds
+    them**, so a consumer can dispatch work on early cuts while the
+    tail of a huge file is still being scanned.  Targets at or past the
+    last record start map to ``(end, <line scanning stopped at>)``; the
+    resulting empty shard is the caller's to drop.
+
+    Two scanning modes:
+
+    * ``csv_quoting=True`` — full csv record semantics.  The quote
+      state machine only runs on lines that *contain* a quote byte (or
+      continue an open record); quote-free regions advance at
+      ``readline`` speed.
+    * ``csv_quoting=False`` — every physical line is a record (JSON
+      Lines: a literal newline cannot appear inside a JSON string), so
+      alignment is pure newline alignment plus line counting.
+    """
     remaining = list(targets)
     if any(later < earlier for earlier, later in zip(remaining, remaining[1:])):
-        raise ValidationError("record_aligned_offsets targets must be ascending")
-    aligned: List[int] = []
+        raise ValidationError("record cut-point targets must be ascending")
+    line_number = first_line
     with open(path, "rb") as handle:
         handle.seek(start)
         position = start
@@ -134,12 +196,16 @@ def record_aligned_offsets(
         while remaining and position < end:
             if not record_open:
                 while remaining and remaining[0] <= position:
-                    aligned.append(position)
+                    yield position, line_number
                     remaining.pop(0)
             line = handle.readline()
             if not line:
                 break
-            record_open = record_open_after(line.decode(encoding), delimiter, record_open)
+            if csv_quoting and (record_open or _QUOTE_BYTE in line):
+                record_open = record_open_after(
+                    line.decode(encoding), delimiter, record_open
+                )
+            line_number += 1
             position = handle.tell()
-    aligned.extend(end for _ in remaining)
-    return aligned
+    for _ in remaining:
+        yield end, line_number

@@ -22,6 +22,7 @@ from repro.util.errors import CLXError
 Task = TypeVar("Task")
 Result = TypeVar("Result")
 Item = TypeVar("Item")
+Key = TypeVar("Key")
 
 
 def chunked(items: Iterable[Item], chunk_size: int) -> Iterator[List[Item]]:
@@ -77,15 +78,35 @@ def map_ordered(
     order; a failed task raises (via :func:`checked_result`) at its
     position in the output.
     """
-    pending: Deque[Future] = deque()
-    for task in tasks:
+    keyed = ((None, task) for task in tasks)
+    return (result for _, result in map_ordered_keyed(pool, fn, keyed, window))
+
+
+def map_ordered_keyed(
+    pool: Executor,
+    fn: Callable[[Task], Result],
+    keyed_tasks: Iterable[Tuple[Key, Task]],
+    window: int,
+) -> Iterator[Tuple[Key, Result]]:
+    """:func:`map_ordered` over ``(key, task)`` pairs, yielding ``(key, result)``.
+
+    Keys never cross the process boundary: the parent pairs each
+    submitted future with its key and re-attaches it when the result
+    drains, so tags like a partition index ride along for free.  Same
+    bounded window, same strict submission order, same dead-worker
+    translation as :func:`map_ordered`.
+    """
+    pending: "Deque[Tuple[Key, Future]]" = deque()
+    for key, task in keyed_tasks:
         # submit() itself raises BrokenProcessPool once a worker has
         # died mid-stream, so it needs the same translation as results.
         try:
-            pending.append(pool.submit(fn, task))
+            pending.append((key, pool.submit(fn, task)))
         except BrokenProcessPool as error:
             raise CLXError(_BROKEN_POOL_MESSAGE) from error
         if len(pending) >= window:
-            yield checked_result(pending.popleft())
+            ready, future = pending.popleft()
+            yield ready, checked_result(future)
     while pending:
-        yield checked_result(pending.popleft())
+        ready, future = pending.popleft()
+        yield ready, checked_result(future)

@@ -138,11 +138,37 @@ class TestApplySpliced:
         err = capsys.readouterr().err
         assert "part-5.csv" in err and "header" in err
 
-    def test_jsonl_input_partition_is_rejected(self, parts_dir, artifact, capsys):
-        (parts_dir / "part-2.jsonl").write_text('{"phone": "x"}\n', encoding="utf-8")
-        code = main(["apply", str(artifact), str(parts_dir / "part-*")])
+    def test_jsonl_partition_splices_with_csv_partitions(
+        self, parts_dir, artifact, tmp_path
+    ):
+        (parts_dir / "part-2.jsonl").write_text(
+            '{"id": 4, "phone": "906.555.0000"}\n', encoding="utf-8"
+        )
+        out = tmp_path / "all.csv"
+        code = main(
+            ["apply", str(artifact), str(parts_dir / "part-*"), "--output", str(out)]
+        )
+        assert code == 0
+        assert out.read_text(encoding="utf-8").endswith(
+            "3,(734)586-7252,734-586-7252\n4,906.555.0000,906-555-0000\n"
+        )
+
+    def test_jsonl_partition_with_unknown_key_is_named(
+        self, parts_dir, artifact, tmp_path, capsys
+    ):
+        (parts_dir / "part-2.jsonl").write_text(
+            '{"id": 4, "phone": "x"}\n{"id": 5, "phone": "y", "fax": "z"}\n',
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part-*"),
+                "--output", str(tmp_path / "all.csv"),
+            ]
+        )
         assert code == 2
-        assert "JSON Lines" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "part-2.jsonl line 2" in err and "'fax'" in err
 
     def test_output_onto_an_input_partition_is_refused(
         self, parts_dir, artifact, capsys
@@ -219,6 +245,27 @@ class TestApplyOutputDir:
             {"id": "1", "phone": "734.236.3466", "phone_transformed": "734-236-3466"},
         ]
 
+    def test_dotted_stem_swaps_only_the_final_extension(
+        self, parts_dir, artifact, tmp_path
+    ):
+        # Regression: `part.2024.csv` must keep its dotted stem —
+        # swapping anything but the final extension would collapse
+        # date-stamped partitions onto each other.
+        (parts_dir / "part-0.csv").rename(parts_dir / "part.2024.csv")
+        (parts_dir / "part-1.csv").rename(parts_dir / "part.2025.csv")
+        outdir = tmp_path / "cleaned"
+        code = main(
+            [
+                "apply", str(artifact), str(parts_dir / "part*.csv"),
+                "--output-dir", str(outdir), "--format", "jsonl",
+            ]
+        )
+        assert code == 0
+        assert sorted(path.name for path in outdir.iterdir()) == [
+            "part.2024.jsonl",
+            "part.2025.jsonl",
+        ]
+
     def test_refuses_to_overwrite_an_input_partition(self, parts_dir, artifact, capsys):
         code = main(
             [
@@ -273,7 +320,7 @@ class TestArtifactsCommand:
         for entry in entries:
             assert set(entry) == {
                 "key", "fingerprint", "target", "flags", "source",
-                "stats", "created_at", "artifact",
+                "stats", "created_at", "last_used_at", "artifact",
             }
             assert entry["stats"] == {"rows": 4, "clusters": 4}
             assert entry["flags"]["column"] == "phone"
@@ -295,6 +342,52 @@ class TestArtifactsCommand:
         # The registered artifacts survived.
         assert main(["artifacts", "list", "--cache-dir", str(cache_dir), "--json"]) == 0
         assert len(json.loads(capsys.readouterr().out)) == 2
+
+    def test_gc_keep_days_evicts_by_age(self, cache_dir, capsys):
+        # Age one row far into the past, then evict everything unused
+        # for a week; the other (fresh) row must survive.
+        from repro.engine.cache import ArtifactRegistry, RegistryEntry
+
+        registry = ArtifactRegistry(cache_dir)
+        first, second = registry.entries()
+        registry.record(
+            RegistryEntry(
+                **{**first.to_dict(), "created_at": first.created_at - 30 * 86_400}
+            )
+        )
+        code = main(
+            [
+                "artifacts", "gc", "--cache-dir", str(cache_dir),
+                "--keep-days", "7", "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed_entries"] == [first.key]
+        assert report["removed_files"] == [first.artifact]
+        assert main(["artifacts", "list", "--cache-dir", str(cache_dir), "--json"]) == 0
+        remaining = json.loads(capsys.readouterr().out)
+        assert [entry["key"] for entry in remaining] == [second.key]
+
+    def test_list_rejects_keep_days(self, cache_dir, capsys):
+        code = main(
+            [
+                "artifacts", "list", "--cache-dir", str(cache_dir),
+                "--keep-days", "7",
+            ]
+        )
+        assert code == 2
+        assert "only applies to 'artifacts gc'" in capsys.readouterr().err
+
+    def test_gc_negative_keep_days_is_rejected(self, tmp_path, capsys):
+        code = main(
+            [
+                "artifacts", "gc", "--cache-dir", str(tmp_path / "cache"),
+                "--keep-days", "-3",
+            ]
+        )
+        assert code == 2
+        assert "--keep-days" in capsys.readouterr().err
 
     def test_registry_hit_across_two_separate_runs(self, parts_dir, tmp_path, capsys):
         cache = tmp_path / "cache"

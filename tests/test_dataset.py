@@ -123,12 +123,6 @@ class TestSchemaCheck:
         with pytest.raises(ValidationError, match="by name"):
             dataset.check_column(0)
 
-    def test_csv_only_refuses_jsonl_parts(self, partitioned):
-        dataset = Dataset.resolve(str(partitioned / "part-*"))
-        with pytest.raises(CLXError, match="JSON Lines"):
-            dataset.csv_only("apply")
-
-
 class TestValueStreaming:
     def test_streams_across_parts_in_order(self, partitioned):
         dataset = Dataset.resolve(str(partitioned / "part-*"))

@@ -213,3 +213,114 @@ class TestGc:
         cache.registry.path.write_text("garbage", encoding="utf-8")
         assert cache.registry.gc() == {"removed_entries": [], "removed_files": []}
         assert path.exists()
+
+
+class TestLastUsedAndKeepDays:
+    def test_registered_hit_stamps_last_used(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp-hit", "t")
+        cache.store_registered(key, compiled, fingerprint="fp-hit", target="t")
+        before = cache.registry.lookup(key)
+        assert before is not None and before.last_used_at == 0.0
+        assert before.effective_last_used == before.created_at
+
+        assert cache.load_registered(key) is not None
+        after = cache.registry.lookup(key)
+        assert after is not None and after.last_used_at >= before.created_at
+        assert after.effective_last_used == after.last_used_at
+
+    def test_touch_unknown_key_is_a_noop(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        registry.touch("missing")  # must not create a row or a manifest
+        assert registry.lookup("missing") is None
+
+    def test_keep_days_evicts_stale_rows_and_files(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        stale_key = cache_key("fp-stale", "t")
+        fresh_key = cache_key("fp-fresh", "t")
+        stale_path = cache.store_registered(
+            stale_key, compiled, fingerprint="fp-stale", target="t"
+        )
+        cache.store_registered(fresh_key, compiled, fingerprint="fp-fresh", target="t")
+        # Age the stale row ten days into the past (created, never used).
+        registry = cache.registry
+        old = registry.lookup(stale_key)
+        registry.record(
+            RegistryEntry(**{**old.to_dict(), "created_at": old.created_at - 10 * 86_400})
+        )
+        # A hit keeps the fresh row alive whatever its creation time.
+        assert cache.load_registered(fresh_key) is not None
+
+        report = registry.gc(keep_days=7)
+        assert report["removed_entries"] == [stale_key]
+        assert report["removed_files"] == [stale_path.name]
+        assert not stale_path.exists()
+        assert registry.lookup(stale_key) is None
+        assert cache.load_registered(fresh_key) is not None
+
+    def test_recent_use_shields_an_old_row(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp-old", "t")
+        cache.store_registered(key, compiled, fingerprint="fp-old", target="t")
+        registry = cache.registry
+        old = registry.lookup(key)
+        registry.record(
+            RegistryEntry(**{**old.to_dict(), "created_at": old.created_at - 30 * 86_400})
+        )
+        # The hit stamps last_used_at, which outranks the old created_at.
+        assert cache.load_registered(key) is not None
+        report = registry.gc(keep_days=7)
+        assert report == {"removed_entries": [], "removed_files": []}
+        assert cache.load_registered(key) is not None
+
+    def test_keep_days_zero_evicts_everything_unused_now(self, tmp_path, compiled):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp-now", "t")
+        cache.store_registered(key, compiled, fingerprint="fp-now", target="t")
+        registry = cache.registry
+        old = registry.lookup(key)
+        registry.record(RegistryEntry(**{**old.to_dict(), "created_at": old.created_at - 1}))
+        report = registry.gc(keep_days=0)
+        assert report["removed_entries"] == [key]
+
+    def test_negative_keep_days_is_rejected(self, tmp_path):
+        registry = ArtifactRegistry(tmp_path)
+        with pytest.raises(Exception, match="keep_days"):
+            registry.gc(keep_days=-1)
+
+    def test_pre_stamp_rows_survive_decoding(self, tmp_path):
+        # Manifests written before last_used_at existed decode with 0.0.
+        registry = ArtifactRegistry(tmp_path)
+        registry.record(_entry("k-old", artifact=""))
+        payload = json.loads(registry.path.read_text(encoding="utf-8"))
+        del payload["entries"]["k-old"]["last_used_at"]
+        registry.path.write_text(json.dumps(payload), encoding="utf-8")
+        entry = registry.lookup("k-old")
+        assert entry is not None and entry.last_used_at == 0.0
+
+    def test_hit_survives_an_unwritable_cache_directory(
+        self, tmp_path, compiled, monkeypatch
+    ):
+        # Stamping is advisory: a read-only shared cache directory must
+        # not turn a manifest-resolved hit into a crash.
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp-ro", "t")
+        cache.store_registered(key, compiled, fingerprint="fp-ro", target="t")
+
+        def denied(self):
+            raise OSError(13, "Permission denied")
+
+        monkeypatch.setattr(ArtifactRegistry, "_manifest_lock", denied)
+        assert cache.load_registered(key) is not None
+
+    def test_repeat_hits_within_the_interval_skip_the_rewrite(
+        self, tmp_path, compiled
+    ):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("fp-debounce", "t")
+        cache.store_registered(key, compiled, fingerprint="fp-debounce", target="t")
+        assert cache.load_registered(key) is not None
+        first = cache.registry.lookup(key).last_used_at
+        assert first > 0
+        assert cache.load_registered(key) is not None
+        assert cache.registry.lookup(key).last_used_at == first

@@ -1,0 +1,226 @@
+"""Fuzz the JSONL apply path against the stdlib ``json`` oracle.
+
+Adversarial JSON Lines partitions — quote/backslash escapes, unicode,
+newlines and control characters inside strings, missing keys, huge
+lines, non-string values — must round-trip through the mixed-format
+apply pipeline to exactly what parsing each line with the ``json``
+module and transforming the value by hand predicts.  Malformed lines
+(raw newlines breaking a string, truncated objects, non-object rows,
+plain garbage) must raise :class:`~repro.util.errors.CLXError` naming
+the file and the exact 1-based line, and must never corrupt the
+records around them.
+
+Seeded through ``property_rng``; replay any failure with
+``CLX_PROPERTY_SEED=<seed> pytest <test>``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench.generators import phone_numbers
+from repro.core.session import CLXSession
+from repro.dataset import Dataset
+from repro.engine.parallel import ShardedTableExecutor
+from repro.util.errors import CLXError
+
+ROUNDS = 6
+
+#: Character pool biased toward JSON-hostile content.
+_NASTY = (
+    '"\\\n\r\t\0\x1b{}[],:'
+    "abc0123456789 é中文\U0001f600  ￿"
+)
+
+
+def _nasty_string(rng, max_length=40):
+    if rng.random() < 0.05:
+        # Huge line: a single multi-kilobyte value must neither split
+        # nor starve the chunker.
+        return "x" * rng.randint(5_000, 20_000) + rng.choice('"\\\n')
+    return "".join(
+        rng.choice(_NASTY) for _ in range(rng.randint(0, max_length))
+    )
+
+
+def _nasty_value(rng):
+    roll = rng.random()
+    if roll < 0.5:
+        return _nasty_string(rng)
+    if roll < 0.62:
+        return rng.choice([None, True, False])
+    if roll < 0.74:
+        return rng.choice([0, -17, 3.5, 1e300])
+    if roll < 0.86:
+        return rng.choice([[1, "a"], {"nested": True}, {}])
+    return phone_numbers(1, ["dots"], seed=rng.randrange(10_000))[0][0]
+
+
+def _stringify(value):
+    """The shared ingestion rule (`jsonl_cell`): missing/None -> '',
+    strings untouched, everything else keeps its JSON form."""
+    if value is None:
+        return ""
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, ensure_ascii=False)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    raw, _ = phone_numbers(120, ["paren_space", "dashes", "dots"], seed=97)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    return session.engine()
+
+
+def _write_records(path, records):
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+
+
+def _random_records(rng, count):
+    records = []
+    for index in range(count):
+        record = {"id": str(index)}
+        if rng.random() < 0.9:  # ~10% of rows miss the programmed key
+            record["phone"] = _nasty_value(rng)
+        records.append(record)
+    return records
+
+
+class TestAdversarialJsonlRoundTrip:
+    def test_matches_the_json_module_oracle(self, engine, property_rng, tmp_path):
+        rng = property_rng
+        for round_index in range(ROUNDS):
+            records = _random_records(rng, rng.randint(1, 60))
+            path = tmp_path / f"round-{round_index}.jsonl"
+            _write_records(path, records)
+            # The oracle re-reads the bytes with the stdlib alone.  A
+            # JSONL physical line ends at "\n" and nothing else —
+            # splitlines() would also split on raw U+2028-style
+            # separators json.dumps(ensure_ascii=False) leaves inside
+            # strings, which no reader in the pipeline does.
+            oracle = [
+                json.loads(line)
+                for line in path.read_text(encoding="utf-8").split("\n")
+                if line
+            ]
+            assert oracle == records
+            expected = [
+                [
+                    _stringify(record.get("id")),
+                    _stringify(record.get("phone")),
+                    engine.run_one(_stringify(record.get("phone"))).output,
+                ]
+                for record in oracle
+            ]
+            dataset = Dataset.resolve(str(path))
+            workers = rng.choice([1, 2, 3])
+            context = f"seed={rng.seed_value} round={round_index} workers={workers}"
+            for out_format in ("csv", "jsonl"):
+                with ShardedTableExecutor(
+                    {"phone": engine},
+                    ["id", "phone"],
+                    out_format=out_format,
+                    workers=workers,
+                    chunk_size=rng.randint(1, 16),
+                ) as executor:
+                    encoded = executor.header_text() + "".join(
+                        chunk
+                        for _, (chunk, _, _) in executor.run_dataset(
+                            dataset, shard_bytes=rng.choice([256, 1 << 20])
+                        )
+                    )
+                if out_format == "jsonl":
+                    rows = [
+                        [row["id"], row["phone"], row["phone_transformed"]]
+                        for row in (
+                            json.loads(line) for line in encoded.split("\n") if line
+                        )
+                    ]
+                else:
+                    rows = [
+                        [row["id"], row["phone"], row["phone_transformed"]]
+                        for row in csv.DictReader(io.StringIO(encoded))
+                    ]
+                assert rows == expected, f"{context} sink={out_format}"
+
+
+def _corrupt(rng, line):
+    """Turn one valid JSONL line into something malformed."""
+    roll = rng.random()
+    if roll < 0.3:
+        return line[: rng.randint(1, max(1, len(line) - 1))]  # truncated object
+    if roll < 0.55:
+        return json.dumps([1, 2, 3])  # not an object
+    if roll < 0.8:
+        return "not json at all"
+    return line + "}"  # trailing garbage
+
+
+class TestMalformedLines:
+    def test_malformed_line_names_file_and_line(self, engine, property_rng, tmp_path):
+        rng = property_rng
+        for round_index in range(ROUNDS):
+            records = _random_records(rng, rng.randint(3, 40))
+            lines = [json.dumps(record, ensure_ascii=False) for record in records]
+            victim = rng.randrange(len(lines))
+            lines[victim] = _corrupt(rng, lines[victim])
+            path = tmp_path / f"bad-{round_index}.jsonl"
+            path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            dataset = Dataset.resolve(str(path))
+            with ShardedTableExecutor(
+                {"phone": engine},
+                ["id", "phone"],
+                workers=rng.choice([1, 2]),
+                chunk_size=rng.randint(1, 8),
+            ) as executor:
+                with pytest.raises(CLXError) as caught:
+                    list(executor.run_dataset(dataset, shard_bytes=rng.choice([128, 1 << 20])))
+            message = str(caught.value)
+            context = f"seed={rng.seed_value} round={round_index} victim={victim}"
+            assert path.name in message, context
+            assert f"line {victim + 1}" in message, context
+
+    def test_raw_newline_inside_a_string_cannot_cross_records(
+        self, engine, property_rng, tmp_path
+    ):
+        # A literal newline is illegal inside a JSON string; splitting a
+        # record across physical lines must fail on *that* line — the
+        # neighboring records still apply cleanly once it is removed.
+        rng = property_rng
+        records = _random_records(rng, 12)
+        lines = [json.dumps(record, ensure_ascii=False) for record in records]
+        victim = rng.randrange(len(lines))
+        broken = f'{{"id": "x", "phone": "b\nroken"}}'
+        lines[victim] = broken
+        path = tmp_path / "newline.jsonl"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with ShardedTableExecutor(
+            {"phone": engine}, ["id", "phone"], workers=1
+        ) as executor:
+            with pytest.raises(CLXError, match=rf"newline\.jsonl line {victim + 1}"):
+                list(executor.run_dataset(Dataset.resolve(str(path))))
+
+        # Neighbors survive: drop the broken record and every remaining
+        # row comes out exactly as the oracle predicts.
+        clean = lines[:victim] + lines[victim + 1 :]
+        path.write_text("\n".join(clean) + "\n", encoding="utf-8")
+        with ShardedTableExecutor(
+            {"phone": engine}, ["id", "phone"], workers=1
+        ) as executor:
+            encoded = executor.header_text() + "".join(
+                chunk
+                for _, (chunk, _, _) in executor.run_dataset(Dataset.resolve(str(path)))
+            )
+        rows = list(csv.DictReader(io.StringIO(encoded)))
+        survivors = records[:victim] + records[victim + 1 :]
+        assert [row["phone"] for row in rows] == [
+            _stringify(record.get("phone")) for record in survivors
+        ], f"seed={rng.seed_value}"

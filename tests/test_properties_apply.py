@@ -1,0 +1,186 @@
+"""Property-based equivalence: partitioned apply == single-stream apply.
+
+The apply half's core promise mirrors the profile half's: *how a
+column is split across files never changes the applied output*.  For
+any partition count, any split points, any mix of CSV and JSONL parts,
+any worker count, any shard geometry, and either sink format, applying
+a compiled program to the dataset must produce bytes identical to
+transforming the concatenated column through one serial stream and
+encoding it directly with the stdlib codecs — the differential oracle
+for the mixed-format apply path.
+
+Randomization flows through the shared ``property_rng`` fixture: the
+seed is fixed by default and printed for every test, so a failing draw
+replays with ``CLX_PROPERTY_SEED=<seed> pytest <test>``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.bench.generators import phone_numbers
+from repro.core.session import CLXSession
+from repro.dataset import Dataset
+from repro.engine.parallel import ShardedTableExecutor, apply_dataset
+
+#: Randomized rounds per property; each round redraws the column, the
+#: split points, the per-part formats, and the knobs.
+ROUNDS = 5
+
+#: Worker counts every equivalence draw is checked at.
+WORKER_COUNTS = (1, 2, 3)
+
+TARGET = "<D>3'-'<D>3'-'<D>4"
+FORMATS = ["paren_space", "dashes", "dots", "paren_tight"]
+
+
+def _engine():
+    raw, _ = phone_numbers(200, FORMATS, seed=1729)
+    session = CLXSession(raw)
+    session.label_target_from_notation(TARGET)
+    return session.engine()
+
+
+ENGINE = _engine()
+
+
+def _random_column(rng):
+    return phone_numbers(rng.randint(20, 160), FORMATS, seed=rng.randrange(1_000_000))[0]
+
+
+def _random_split(rng, column):
+    """Split ``column`` into 1..6 contiguous, possibly empty runs."""
+    part_count = rng.randint(1, 6)
+    cuts = sorted(rng.randint(0, len(column)) for _ in range(part_count - 1))
+    bounds = [0] + cuts + [len(column)]
+    return [column[start:end] for start, end in zip(bounds, bounds[1:])]
+
+def _write_parts(directory, rng, chunks):
+    """Write each chunk as a CSV or JSONL partition, globally numbered rows."""
+    base = 0
+    for index, chunk in enumerate(chunks):
+        if rng.random() < 0.5:
+            path = directory / f"part-{index:03d}.jsonl"
+            with path.open("w", encoding="utf-8") as handle:
+                for offset, value in enumerate(chunk):
+                    handle.write(
+                        json.dumps({"id": str(base + offset), "phone": value}) + "\n"
+                    )
+        else:
+            path = directory / f"part-{index:03d}.csv"
+            with path.open("w", newline="", encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["id", "phone"])
+                for offset, value in enumerate(chunk):
+                    writer.writerow([base + offset, value])
+        base += len(chunk)
+    return Dataset.resolve(str(directory / "part-*"))
+
+
+def _reference(column, out_format):
+    """Single-stream oracle built straight on the stdlib codecs."""
+    outputs = [ENGINE.run_one(value).output for value in column]
+    if out_format == "jsonl":
+        return "".join(
+            json.dumps(
+                {"id": str(index), "phone": value, "phone_transformed": output},
+                ensure_ascii=False,
+            )
+            + "\n"
+            for index, (value, output) in enumerate(zip(column, outputs))
+        )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["id", "phone", "phone_transformed"])
+    for index, (value, output) in enumerate(zip(column, outputs)):
+        writer.writerow([index, value, output])
+    return buffer.getvalue()
+
+
+class TestMixedFormatApplyEquivalence:
+    def test_any_split_any_workers_any_sink_matches_single_stream(
+        self, property_rng, tmp_path
+    ):
+        rng = property_rng
+        for round_index in range(ROUNDS):
+            column = _random_column(rng)
+            chunks = _random_split(rng, column)
+            scratch = tmp_path / f"round-{round_index}"
+            scratch.mkdir()
+            dataset = _write_parts(scratch, rng, chunks)
+            out_format = rng.choice(["csv", "jsonl"])
+            expected = _reference(column, out_format)
+            shard_bytes = rng.choice([64, 509, 1 << 20])
+            for workers in WORKER_COUNTS:
+                with ShardedTableExecutor(
+                    {"phone": ENGINE},
+                    ["id", "phone"],
+                    out_format=out_format,
+                    workers=workers,
+                    chunk_size=rng.randint(1, 64),
+                ) as executor:
+                    encoded = executor.header_text() + "".join(
+                        chunk
+                        for _, (chunk, _, _) in executor.run_dataset(
+                            dataset, shard_bytes=shard_bytes
+                        )
+                    )
+                context = (
+                    f"seed={rng.seed_value} round={round_index} workers={workers} "
+                    f"sink={out_format} shard_bytes={shard_bytes} "
+                    f"parts={[len(chunk) for chunk in chunks]}"
+                )
+                assert encoded == expected, context
+
+    def test_output_dir_partitions_reassemble_to_the_single_stream(
+        self, property_rng, tmp_path
+    ):
+        rng = property_rng
+        for round_index in range(ROUNDS):
+            column = _random_column(rng)
+            chunks = _random_split(rng, column)
+            scratch = tmp_path / f"round-{round_index}"
+            scratch.mkdir()
+            dataset = _write_parts(scratch, rng, chunks)
+            out_format = rng.choice(["csv", "jsonl"])
+            expected = _reference(column, out_format)
+            workers = rng.choice(WORKER_COUNTS)
+            outdir = scratch / "cleaned"
+            with ShardedTableExecutor(
+                {"phone": ENGINE},
+                ["id", "phone"],
+                out_format=out_format,
+                workers=workers,
+            ) as executor:
+                result = apply_dataset(
+                    executor,
+                    dataset,
+                    output_dir=outdir,
+                    shard_bytes=rng.choice([128, 1 << 20]),
+                )
+            context = f"seed={rng.seed_value} round={round_index} workers={workers}"
+            assert result.rows == len(column), context
+            assert len(result.outputs) == len(dataset.parts), context
+            header = "" if out_format == "jsonl" else "id,phone,phone_transformed\n"
+            reassembled = header + "".join(
+                path.read_text(encoding="utf-8")[len(header):]
+                for path in result.outputs
+            )
+            assert reassembled == expected, context
+
+    def test_spliced_file_sink_equals_stream_sink(self, property_rng, tmp_path):
+        rng = property_rng
+        column = _random_column(rng)
+        scratch = tmp_path / "parts"
+        scratch.mkdir()
+        dataset = _write_parts(scratch, rng, _random_split(rng, column))
+        destination = tmp_path / "out.csv"
+        result = ENGINE.apply_dataset(
+            dataset, "phone", output=destination, workers=rng.choice(WORKER_COUNTS)
+        )
+        assert result.outputs == [destination]
+        assert destination.read_text(encoding="utf-8") == _reference(column, "csv"), (
+            f"seed={rng.seed_value}"
+        )
