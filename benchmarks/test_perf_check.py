@@ -1,0 +1,95 @@
+"""Performance of the artifact linter's release gate.
+
+``repro-clx check --fail-on error`` over every artifact the synthesizer
+produces for the 47-task suite is the admission-control sweep CI runs
+before artifacts ship; it has to stay interactive.  This benchmark
+compiles the whole suite, runs one ``check`` invocation over all
+artifacts (static passes + ReDoS probe), asserts the gate passes, and
+records synthesis/check wall-time into ``benchmarks/BENCH_pipeline.json``
+alongside the profile/apply trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.session import CLXSession
+from repro.util.errors import SynthesisError
+from repro.util.text import format_table
+
+#: Where the check wall-time trajectory is recorded.
+BENCH_PATH = Path(__file__).resolve().parent / "BENCH_pipeline.json"
+
+#: Runs kept in the trajectory file.
+TRAJECTORY_LIMIT = 20
+
+#: The full sweep (47 artifacts, exact NFA passes + probes) must stay
+#: well inside interactive latency even on contended CI runners.
+CHECK_BUDGET_SECONDS = 30.0
+
+
+@pytest.fixture(scope="module")
+def recorder():
+    """Collects the sweep's timings and appends to the trajectory file."""
+    record = {
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.time(),
+    }
+    yield record
+    try:
+        history = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        runs = history.get("runs", [])
+    except (OSError, ValueError):
+        runs = []
+    runs.append(record)
+    BENCH_PATH.write_text(
+        json.dumps({"runs": runs[-TRAJECTORY_LIMIT:]}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def test_perf_check_suite_sweep(suite_tasks, tmp_path, recorder, capsys):
+    start = time.perf_counter()
+    paths = []
+    for task in suite_tasks:
+        session = CLXSession(task.inputs)
+        session.label_target(task.target_pattern())
+        try:
+            compiled = session.compile(metadata={"task": task.task_id})
+        except SynthesisError:
+            continue
+        path = tmp_path / f"{task.task_id}.clx.json"
+        path.write_text(compiled.dumps(), encoding="utf-8")
+        paths.append(str(path))
+    synth_seconds = time.perf_counter() - start
+    assert paths, "no suite task compiled an artifact"
+
+    start = time.perf_counter()
+    exit_code = main(["check", *paths, "--fail-on", "error"])
+    check_seconds = time.perf_counter() - start
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out
+
+    recorder["check"] = {
+        "artifacts": len(paths),
+        "synth_seconds": synth_seconds,
+        "check_seconds": check_seconds,
+        "artifacts_per_sec": len(paths) / check_seconds if check_seconds else float("inf"),
+    }
+    print(f"\nartifact lint sweep over {len(paths)} artifacts")
+    rows_table = [
+        ("compile suite", f"{synth_seconds:.2f} s", f"{len(paths) / synth_seconds:,.1f} artifacts/s"),
+        ("check --fail-on error", f"{check_seconds:.2f} s", f"{len(paths) / check_seconds:,.1f} artifacts/s"),
+    ]
+    print(format_table(["stage", "latency", "throughput"], rows_table))
+
+    assert check_seconds < CHECK_BUDGET_SECONDS, (
+        f"lint sweep took {check_seconds:.1f} s over {len(paths)} artifacts "
+        f"(budget {CHECK_BUDGET_SECONDS:.0f} s)"
+    )

@@ -1,0 +1,39 @@
+"""Static analysis of compiled CLX transform programs (the artifact linter).
+
+The analyzer audits a :class:`~repro.engine.compiled.CompiledProgram`
+*before* it is applied blindly to millions of rows: dead dispatch arms,
+order-dependent overlaps, ReDoS-prone regexes, degenerate plans and
+guards, coverage residuals against a profile, and cross-artifact
+conflicts.  Surfaced as ``repro-clx check`` and run automatically by
+``compile`` (``--strict`` turns warnings into failures).
+"""
+
+from repro.analysis.analyzer import AnalysisReport, analyze_artifacts, analyze_program
+from repro.analysis.findings import RULES, RULES_BY_ID, Finding, Rule, Severity, finding
+from repro.analysis.passes import check_conflicts, reachability_only
+from repro.analysis.report import (
+    REPORT_FORMAT,
+    REPORT_VERSION,
+    render_json,
+    render_text,
+    report_payload,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "Severity",
+    "analyze_artifacts",
+    "analyze_program",
+    "check_conflicts",
+    "finding",
+    "reachability_only",
+    "render_json",
+    "render_text",
+    "report_payload",
+]

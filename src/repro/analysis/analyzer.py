@@ -1,0 +1,98 @@
+"""Top-level analyzer entry points and the report container.
+
+:func:`analyze_program` runs every single-artifact pass over one
+compiled program; :func:`analyze_artifacts` additionally runs the
+cross-artifact conflict pass over a batch.  Both return an
+:class:`AnalysisReport`, which owns deterministic ordering, severity
+summaries, and the ``--fail-on`` exit-code contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.passes import analyze_compiled, check_conflicts
+from repro.clustering.hierarchy import PatternHierarchy
+from repro.engine.compiled import CompiledProgram
+
+
+def _location_key(location: str) -> Tuple[str, int]:
+    """Sort key putting artifact-level findings before branch findings,
+    and branches in numeric (not lexicographic) order."""
+    head, separator, tail = location.partition(":branch[")
+    if not separator:
+        return (head, -1)
+    try:
+        return (head, int(tail.rstrip("]")))
+    except ValueError:  # pragma: no cover - defensive, locations are ours
+        return (head, -1)
+
+
+class AnalysisReport:
+    """An ordered, summarizable collection of findings."""
+
+    def __init__(self, findings: Sequence[Finding]) -> None:
+        self.findings: List[Finding] = sorted(
+            findings, key=lambda f: (_location_key(f.location), f.rule_id)
+        )
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __bool__(self) -> bool:
+        return bool(self.findings)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per severity label, e.g. ``{"error": 1, "warn": 0, "info": 2}``."""
+        counts = {severity.label: 0 for severity in Severity}
+        for item in self.findings:
+            counts[item.severity.label] += 1
+        return counts
+
+    def max_severity(self) -> Optional[Severity]:
+        """The most severe finding's severity, or None when clean."""
+        if not self.findings:
+            return None
+        return max(item.severity for item in self.findings)
+
+    def at_least(self, threshold: Severity) -> List[Finding]:
+        """All findings at or above ``threshold``."""
+        return [item for item in self.findings if item.severity >= threshold]
+
+    def exit_code(self, fail_on: Severity) -> int:
+        """The ``check`` exit code: 1 when any finding reaches ``fail_on``."""
+        return 1 if self.at_least(fail_on) else 0
+
+
+def analyze_program(
+    compiled: CompiledProgram,
+    name: str = "<program>",
+    probe: bool = True,
+    hierarchy: Optional[PatternHierarchy] = None,
+) -> AnalysisReport:
+    """Analyze one compiled program (all single-artifact passes)."""
+    return AnalysisReport(
+        analyze_compiled(compiled, name=name, probe=probe, hierarchy=hierarchy)
+    )
+
+
+def analyze_artifacts(
+    named: Sequence[Tuple[str, CompiledProgram]],
+    probe: bool = True,
+    hierarchies: Optional[Dict[str, PatternHierarchy]] = None,
+) -> AnalysisReport:
+    """Analyze a batch of artifacts, including cross-artifact conflicts.
+
+    ``hierarchies`` optionally maps artifact names to profiled
+    hierarchies for the coverage audit (CLX012).
+    """
+    findings: List[Finding] = []
+    for name, compiled in named:
+        hierarchy = hierarchies.get(name) if hierarchies else None
+        findings.extend(
+            analyze_compiled(compiled, name=name, probe=probe, hierarchy=hierarchy)
+        )
+    if len(named) > 1:
+        findings.extend(check_conflicts(named))
+    return AnalysisReport(findings)

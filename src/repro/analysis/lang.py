@@ -1,0 +1,292 @@
+"""Exact language queries over token patterns (the decidable core).
+
+A :class:`~repro.patterns.pattern.Pattern` denotes a regular language of
+a very restricted shape: a concatenation of character-class tokens, each
+repeated exactly ``k`` times or one-or-more times, plus literal strings.
+Every character set involved is a union drawn from a *finite* universe —
+the five base classes of Table 2 plus the individual literal characters
+of the patterns under analysis — so language questions (inclusion,
+overlap, emptiness under a containment guard) are decidable by subset
+simulation over a small **atom alphabet**: one representative character
+per distinguishable character group.
+
+This is what makes the artifact linter's dead-arm and coverage verdicts
+*exact* rather than heuristic: ``CompiledProgram.run_one`` dispatches
+first-match over these languages, so "branch j can never fire" is
+precisely "L(branch_j) ⊆ L(target) ∪ ⋃ L(earlier unguarded branches)",
+which :func:`subsumed_by_union` decides.
+
+The machinery is deliberately tiny: patterns compile to chain NFAs (one
+state per consumed character position, a self-loop for ``+`` tokens, no
+epsilon transitions), and all queries run one breadth-first subset
+simulation over tuples of state sets (:func:`_search`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.patterns.pattern import Pattern
+from repro.tokens.token import Token
+
+#: A chain NFA: transitions[state][atom] = set of next states; state 0 is
+#: the start, ``accept`` the single accepting state.
+Transitions = List[Dict[str, Set[int]]]
+
+
+class ChainNFA:
+    """A pattern (or containment query) lowered to an NFA over atoms."""
+
+    __slots__ = ("transitions", "accept")
+
+    def __init__(self, transitions: Transitions, accept: int) -> None:
+        self.transitions = transitions
+        self.accept = accept
+
+    def step(self, states: FrozenSet[int], atom: str) -> FrozenSet[int]:
+        """All states reachable from ``states`` by consuming ``atom``."""
+        nexts: Set[int] = set()
+        transitions = self.transitions
+        for state in states:
+            nexts |= transitions[state].get(atom, _EMPTY)
+        return frozenset(nexts)
+
+    def accepts_state(self, states: FrozenSet[int]) -> bool:
+        """Whether the subset contains the accepting state."""
+        return self.accept in states
+
+
+_EMPTY: Set[int] = set()
+
+#: Representative pools per base character group.  ``-`` and ``_`` are
+#: singled out because ``<AN>`` accepts them while no other class does.
+_REPRESENTATIVE_POOLS: Tuple[str, ...] = (
+    "0123456789",
+    "abcdefghijklmnopqrstuvwxyz",
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ",
+    "-",
+    "_",
+)
+
+
+def atom_alphabet(patterns: Iterable[Pattern], extra_text: Iterable[str] = ()) -> Tuple[str, ...]:
+    """The atom alphabet distinguishing every character set in play.
+
+    One atom per literal character appearing in any pattern (or in
+    ``extra_text``, e.g. guard keywords), plus — per base character
+    group — one representative character *not* claimed by a literal, so
+    "some other digit/letter" stays expressible.  Characters outside
+    every base class only matter when a literal names them, so no
+    generic "garbage" atom is needed: no token can consume one.
+    """
+    literals: Set[str] = set()
+    for pattern in patterns:
+        for token in pattern.tokens:
+            if token.is_literal and token.literal:
+                literals.update(token.literal)
+    for text in extra_text:
+        literals.update(text)
+    atoms: Set[str] = set(literals)
+    for pool in _REPRESENTATIVE_POOLS:
+        for char in pool:
+            if char not in literals:
+                atoms.add(char)
+                break
+    return tuple(sorted(atoms))
+
+
+def pattern_nfa(pattern: Pattern, atoms: Sequence[str]) -> ChainNFA:
+    """Lower ``pattern`` to a chain NFA over the atom alphabet."""
+    transitions: Transitions = [{}]
+
+    def _new_state() -> int:
+        transitions.append({})
+        return len(transitions) - 1
+
+    def _add(source: int, atom: str, destination: int) -> None:
+        transitions[source].setdefault(atom, set()).add(destination)
+
+    current = 0
+    for token in pattern.tokens:
+        if token.is_literal:
+            assert token.literal is not None
+            for char in token.literal:
+                nxt = _new_state()
+                _add(current, char, nxt)
+                current = nxt
+            continue
+        accepted = [atom for atom in atoms if token.klass.accepts_char(atom)]
+        if token.is_plus:
+            nxt = _new_state()
+            for atom in accepted:
+                _add(current, atom, nxt)
+                _add(nxt, atom, nxt)
+            current = nxt
+        else:
+            for _ in range(int(token.quantifier)):
+                nxt = _new_state()
+                for atom in accepted:
+                    _add(current, atom, nxt)
+                current = nxt
+    return ChainNFA(transitions, accept=current)
+
+
+def contains_nfa(keyword: str, atoms: Sequence[str], case_sensitive: bool = True) -> ChainNFA:
+    """NFA for ``.*keyword.*`` over the atom alphabet (substring search)."""
+    transitions: Transitions = [{} for _ in range(len(keyword) + 1)]
+    accept = len(keyword)
+    for atom in atoms:
+        transitions[0].setdefault(atom, set()).add(0)
+        transitions[accept].setdefault(atom, set()).add(accept)
+    for index, char in enumerate(keyword):
+        if case_sensitive:
+            matching = [atom for atom in atoms if atom == char]
+        else:
+            matching = [atom for atom in atoms if atom.lower() == char.lower()]
+        for atom in matching:
+            transitions[index].setdefault(atom, set()).add(index + 1)
+    return ChainNFA(transitions, accept=accept)
+
+
+def _search(
+    machines: Sequence[ChainNFA],
+    atoms: Sequence[str],
+    hit: Callable[[Tuple[FrozenSet[int], ...]], bool],
+    prune: Callable[[Tuple[FrozenSet[int], ...]], bool],
+) -> bool:
+    """Breadth-first subset simulation of several NFAs in lockstep.
+
+    Explores every reachable tuple of state subsets; returns True as
+    soon as ``hit`` holds for one, skipping successors where ``prune``
+    holds (subsets from which no interesting string can extend).
+    """
+    start = tuple(frozenset((0,)) for _ in machines)
+    if hit(start):
+        return True
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for joint in frontier:
+            for atom in atoms:
+                advanced = tuple(
+                    machine.step(states, atom) for machine, states in zip(machines, joint)
+                )
+                if advanced in seen or prune(advanced):
+                    continue
+                if hit(advanced):
+                    return True
+                seen.add(advanced)
+                next_frontier.append(advanced)
+        frontier = next_frontier
+    return False
+
+
+def subsumed_by_union(child: ChainNFA, parents: Sequence[ChainNFA], atoms: Sequence[str]) -> bool:
+    """Whether every string of ``child`` is accepted by *some* parent.
+
+    ``L(child) ⊆ ⋃ L(parents)``.  With a single parent this is plain
+    language inclusion; with several it is the exact dead-arm /
+    coverage condition of first-match dispatch.
+    """
+    machines = [child, *parents]
+
+    def _violation(joint: Tuple[FrozenSet[int], ...]) -> bool:
+        if not child.accepts_state(joint[0]):
+            return False
+        return not any(
+            parent.accepts_state(states) for parent, states in zip(parents, joint[1:])
+        )
+
+    def _prune(joint: Tuple[FrozenSet[int], ...]) -> bool:
+        return not joint[0]  # child can no longer accept anything
+
+    return not _search(machines, atoms, hit=_violation, prune=_prune)
+
+
+def languages_overlap(
+    first: ChainNFA,
+    second: ChainNFA,
+    atoms: Sequence[str],
+    excluding: Sequence[ChainNFA] = (),
+) -> bool:
+    """Whether some string is in both languages (and in no excluded one).
+
+    ``L(first) ∩ L(second) \\ ⋃ L(excluding) ≠ ∅``.  The exclusion set
+    lets the overlap pass ignore strings the target's pass-through check
+    intercepts before any branch is consulted.
+    """
+    machines = [first, second, *excluding]
+
+    def _hit(joint: Tuple[FrozenSet[int], ...]) -> bool:
+        if not (first.accepts_state(joint[0]) and second.accepts_state(joint[1])):
+            return False
+        return not any(
+            machine.accepts_state(states) for machine, states in zip(excluding, joint[2:])
+        )
+
+    def _prune(joint: Tuple[FrozenSet[int], ...]) -> bool:
+        return not joint[0] or not joint[1]
+
+    return _search(machines, atoms, hit=_hit, prune=_prune)
+
+
+def guard_satisfiable(
+    pattern_machine: ChainNFA,
+    keyword: str,
+    atoms: Sequence[str],
+    case_sensitive: bool = True,
+) -> bool:
+    """Whether any string matching the pattern also contains ``keyword``."""
+    return languages_overlap(
+        pattern_machine, contains_nfa(keyword, atoms, case_sensitive), atoms
+    )
+
+
+def keyword_always_present(pattern: Pattern, keyword: str, case_sensitive: bool = True) -> bool:
+    """Sufficient check that every match of ``pattern`` contains ``keyword``.
+
+    True when the keyword occurs inside the concatenation of a maximal
+    run of literal tokens — constant text every matching string carries
+    verbatim.  (Sound but incomplete: a keyword spanning a literal and a
+    fixed one-character class is not detected, which only costs a missed
+    INFO finding.)
+    """
+    run: List[str] = []
+    runs: List[str] = []
+    for token in pattern.tokens:
+        if token.is_literal and token.literal:
+            run.append(token.literal)
+        else:
+            if run:
+                runs.append("".join(run))
+                run = []
+    if run:
+        runs.append("".join(run))
+    if case_sensitive:
+        return any(keyword in text for text in runs)
+    lowered = keyword.lower()
+    return any(lowered in text.lower() for text in runs)
+
+
+def sample_string(pattern: Pattern, plus_length: int = 1) -> str:
+    """A concrete string matching ``pattern`` (``+`` tokens repeated
+    ``plus_length`` times), used for counterexample hints in findings."""
+    pieces: List[str] = []
+    for token in pattern.tokens:
+        if token.is_literal:
+            assert token.literal is not None
+            pieces.append(token.literal)
+            continue
+        char = _class_representative(token)
+        count = plus_length if token.is_plus else int(token.quantifier)
+        pieces.append(char * count)
+    return "".join(pieces)
+
+
+def _class_representative(token: Token) -> str:
+    for pool in _REPRESENTATIVE_POOLS:
+        for char in pool:
+            if token.klass.accepts_char(char):
+                return char
+    raise AssertionError(f"no representative character for {token!r}")  # pragma: no cover

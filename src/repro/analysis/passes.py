@@ -1,0 +1,455 @@
+"""The analyzer's individual passes over one (or several) compiled programs.
+
+Each pass takes a :class:`~repro.engine.compiled.CompiledProgram` (plus
+shared language machinery from :mod:`repro.analysis.lang`) and yields
+:class:`~repro.analysis.findings.Finding` objects.  The passes mirror
+exactly how ``CompiledProgram.run_one`` dispatches — target pass-through
+first, then first matching branch, guards checked before patterns — so
+"dead" here means dead *in that dispatch order*, not merely similar.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # hierarchy types only flow in, never out
+    from repro.clustering.hierarchy import PatternHierarchy
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.lang import (
+    ChainNFA,
+    atom_alphabet,
+    guard_satisfiable,
+    keyword_always_present,
+    languages_overlap,
+    pattern_nfa,
+    subsumed_by_union,
+)
+from repro.analysis.redos import analyze_regex
+from repro.dsl.ast import Branch, ConstStr, Extract
+from repro.dsl.guards import ContainsGuard
+from repro.engine.compiled import CompiledProgram
+from repro.patterns.matching import compiled_with_groups
+from repro.patterns.pattern import Pattern
+from repro.patterns.regex import compile_pattern, pattern_to_regex
+
+
+def _branch_location(name: str, index: int) -> str:
+    """1-based branch anchor, matching how programs are explained."""
+    return f"{name}:branch[{index + 1}]"
+
+
+class ProgramLanguages:
+    """Shared atom alphabet + NFA cache for one program's patterns.
+
+    Built once per analyzed program; extra patterns (profiled clusters
+    for the coverage audit) can be folded in via :meth:`including`.
+    """
+
+    def __init__(self, compiled: CompiledProgram, extra_patterns: Sequence[Pattern] = ()) -> None:
+        self.compiled = compiled
+        patterns = [compiled.target, *(branch.pattern for branch in compiled.program.branches)]
+        patterns.extend(extra_patterns)
+        keywords: List[str] = []
+        for branch in compiled.program.branches:
+            guard = branch.guard
+            if isinstance(guard, ContainsGuard):
+                keywords.extend((guard.keyword, guard.keyword.lower(), guard.keyword.upper()))
+        self.atoms = atom_alphabet(patterns, extra_text=keywords)
+        self._nfas: Dict[Pattern, ChainNFA] = {}
+
+    def nfa(self, pattern: Pattern) -> ChainNFA:
+        machine = self._nfas.get(pattern)
+        if machine is None:
+            machine = pattern_nfa(pattern, self.atoms)
+            self._nfas[pattern] = machine
+        return machine
+
+    def including(self, extra_patterns: Sequence[Pattern]) -> "ProgramLanguages":
+        """A copy whose alphabet also distinguishes ``extra_patterns``."""
+        return ProgramLanguages(self.compiled, extra_patterns=extra_patterns)
+
+
+# ----------------------------------------------------------------------
+# Pass 1+2: dispatch reachability and overlap/ambiguity
+# ----------------------------------------------------------------------
+
+def check_reachability(
+    compiled: CompiledProgram, languages: ProgramLanguages, name: str
+) -> List[Finding]:
+    """Dead arms (CLX001/CLX002) under first-match dispatch — exact.
+
+    A branch is dead iff its language is contained in the union of the
+    target's language (the pass-through check runs first) and the
+    languages of all *earlier unguarded* branches (an earlier guarded
+    branch may decline a value, so it shadows nothing for sure).
+    """
+    findings: List[Finding] = []
+    atoms = languages.atoms
+    target_nfa = languages.nfa(compiled.target)
+    earlier_unguarded: List[Tuple[int, ChainNFA]] = []
+    for index, branch in enumerate(compiled.program.branches):
+        machine = languages.nfa(branch.pattern)
+        location = _branch_location(name, index)
+        if subsumed_by_union(machine, [target_nfa], atoms):
+            findings.append(
+                finding(
+                    "CLX001",
+                    location,
+                    f"branch pattern {branch.pattern.notation()} is subsumed by the "
+                    f"target {compiled.target.notation()}; every match passes through "
+                    "before this branch is consulted",
+                    pattern=branch.pattern.notation(),
+                    target=compiled.target.notation(),
+                )
+            )
+        elif earlier_unguarded and subsumed_by_union(
+            machine, [target_nfa] + [m for _, m in earlier_unguarded], atoms
+        ):
+            shadowers = [
+                i + 1
+                for i, earlier in earlier_unguarded
+                if subsumed_by_union(machine, [earlier], atoms)
+            ]
+            if shadowers:
+                reason = f"shadowed by earlier branch(es) {shadowers}"
+            else:
+                reason = "jointly shadowed by the target and earlier branches"
+            findings.append(
+                finding(
+                    "CLX002",
+                    location,
+                    f"branch pattern {branch.pattern.notation()} can never fire: {reason}",
+                    pattern=branch.pattern.notation(),
+                    shadowed_by=shadowers,
+                )
+            )
+        if branch.guard is None:
+            earlier_unguarded.append((index, machine))
+    return findings
+
+
+def check_overlap(
+    compiled: CompiledProgram, languages: ProgramLanguages, name: str,
+    dead_indices: Iterable[int] = (),
+) -> List[Finding]:
+    """Order-dependent unguarded overlaps (CLX003).
+
+    Two live unguarded branches with different plans whose languages
+    intersect *outside* the target language (pass-through values never
+    reach the dispatch table) make the program's output depend on
+    branch order — legal, but worth a warning.
+    """
+    findings: List[Finding] = []
+    dead = set(dead_indices)
+    branches = compiled.program.branches
+    target_nfa = languages.nfa(compiled.target)
+    for second in range(len(branches)):
+        if second in dead or branches[second].guard is not None:
+            continue
+        for first in range(second):
+            if first in dead or branches[first].guard is not None:
+                continue
+            if branches[first].plan == branches[second].plan:
+                continue
+            if languages_overlap(
+                languages.nfa(branches[first].pattern),
+                languages.nfa(branches[second].pattern),
+                languages.atoms,
+                excluding=[target_nfa],
+            ):
+                findings.append(
+                    finding(
+                        "CLX003",
+                        _branch_location(name, second),
+                        f"pattern {branches[second].pattern.notation()} overlaps "
+                        f"branch {first + 1} ({branches[first].pattern.notation()}) "
+                        "with a different plan; output depends on branch order",
+                        pattern=branches[second].pattern.notation(),
+                        overlaps_branch=first + 1,
+                    )
+                )
+                break  # one overlap report per branch is enough
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 3: regex safety
+# ----------------------------------------------------------------------
+
+def check_regex_safety(
+    compiled: CompiledProgram, name: str, probe: bool = True
+) -> List[Finding]:
+    """ReDoS-prone structure (CLX004/CLX005) + empirical probe (CLX006).
+
+    Walks the exact regex sources the compiled program matches with:
+    the anchored target regex and every branch's grouped dispatch
+    regex.  Only structurally flagged regexes are probed, so clean
+    programs pay nothing and the probe itself is time-bounded.
+    """
+    findings: List[Finding] = []
+    subjects: List[Tuple[str, str]] = [
+        (name, pattern_to_regex(compiled.target))
+    ]
+    for index, branch in enumerate(compiled.program.branches):
+        subjects.append(
+            (_branch_location(name, index), compiled_with_groups(branch.pattern).pattern)
+        )
+    for location, source in subjects:
+        issues, measured = analyze_regex(source)
+        if not issues:
+            continue
+        kinds = {issue.kind for issue in issues}
+        if "nested" in kinds:
+            detail = next(issue.detail for issue in issues if issue.kind == "nested")
+            findings.append(
+                finding("CLX004", location, f"ReDoS-prone regex: {detail}", regex=source)
+            )
+        if "ambiguous" in kinds:
+            detail = next(issue.detail for issue in issues if issue.kind == "ambiguous")
+            findings.append(
+                finding("CLX005", location, f"ambiguous repetition: {detail}", regex=source)
+            )
+        if probe and measured is not None and measured.slow:
+            findings.append(
+                finding(
+                    "CLX006",
+                    location,
+                    f"adversarial input of {measured.input_length} chars took "
+                    f"{measured.seconds * 1000:.0f}ms to reject; applying this "
+                    "artifact can stall on hostile values",
+                    input_length=measured.input_length,
+                    seconds=round(measured.seconds, 4),
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 4: plan and guard sanity
+# ----------------------------------------------------------------------
+
+def _plan_is_identity(branch: Branch) -> bool:
+    """Whether the plan reproduces every match verbatim (extracts 1..n)."""
+    cursor = 1
+    for expression in branch.plan.expressions:
+        if not isinstance(expression, Extract):
+            return False
+        if expression.start != cursor:
+            return False
+        cursor = expression.end + 1
+    return cursor == len(branch.pattern) + 1
+
+
+def check_plan_sanity(
+    compiled: CompiledProgram, languages: ProgramLanguages, name: str
+) -> List[Finding]:
+    """Identity plans, constant outputs, unused tokens, degenerate guards."""
+    findings: List[Finding] = []
+    target_match = compile_pattern(compiled.target).match
+    for index, branch in enumerate(compiled.program.branches):
+        location = _branch_location(name, index)
+        expressions = branch.plan.expressions
+
+        if _plan_is_identity(branch):
+            findings.append(
+                finding(
+                    "CLX007",
+                    location,
+                    f"plan rewrites every match of {branch.pattern.notation()} to "
+                    "itself; the branch only flips the matched flag",
+                    pattern=branch.pattern.notation(),
+                )
+            )
+        elif expressions and all(isinstance(e, ConstStr) for e in expressions):
+            constant = "".join(e.text for e in expressions)  # type: ignore[union-attr]
+            duplicates = target_match(constant) is not None
+            suffix = " (the constant already matches the target)" if duplicates else ""
+            findings.append(
+                finding(
+                    "CLX008",
+                    location,
+                    f"plan maps every match of {branch.pattern.notation()} to the "
+                    f"constant {constant!r}{suffix}",
+                    constant=constant,
+                    matches_target=duplicates,
+                )
+            )
+
+        used: set = set()
+        constant_only = bool(expressions) and all(
+            isinstance(e, ConstStr) for e in expressions
+        )
+        for expression in expressions:
+            if isinstance(expression, Extract):
+                used.update(range(expression.start, expression.end + 1))
+        unused = [
+            position + 1
+            for position, token in enumerate(branch.pattern.tokens)
+            if not token.is_literal and (position + 1) not in used
+        ]
+        if unused and not constant_only and not _plan_is_identity(branch):
+            notations = ", ".join(
+                branch.pattern.tokens[position - 1].notation() for position in unused
+            )
+            findings.append(
+                finding(
+                    "CLX009",
+                    location,
+                    f"data token(s) {notations} at position(s) {unused} are never "
+                    "extracted by the plan",
+                    unused_tokens=unused,
+                )
+            )
+
+        guard = branch.guard
+        if isinstance(guard, ContainsGuard):
+            machine = languages.nfa(branch.pattern)
+            if not guard_satisfiable(
+                machine, guard.keyword, languages.atoms, guard.case_sensitive
+            ):
+                findings.append(
+                    finding(
+                        "CLX010",
+                        location,
+                        f"guard {guard.describe()} can never hold for "
+                        f"{branch.pattern.notation()}; the branch is dead",
+                        keyword=guard.keyword,
+                    )
+                )
+            elif keyword_always_present(branch.pattern, guard.keyword, guard.case_sensitive):
+                findings.append(
+                    finding(
+                        "CLX011",
+                        location,
+                        f"guard {guard.describe()} holds for every match of "
+                        f"{branch.pattern.notation()}; the guard is redundant",
+                        keyword=guard.keyword,
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 5: coverage audit against a profile
+# ----------------------------------------------------------------------
+
+def check_coverage(
+    compiled: CompiledProgram,
+    hierarchy: "PatternHierarchy",
+    name: str,
+    max_samples: int = 3,
+) -> List[Finding]:
+    """Profiled clusters no branch (nor the target) matches — CLX012.
+
+    ``hierarchy`` is a :class:`~repro.clustering.hierarchy.PatternHierarchy`
+    (e.g. lowered from a :class:`~repro.clustering.incremental.ColumnProfile`).
+    Residual clusters would silently pass through an apply unchanged;
+    the finding carries row counts so drift quarantine can budget.
+    """
+    leaves = list(hierarchy.leaf_nodes)
+    languages = ProgramLanguages(compiled, extra_patterns=[leaf.pattern for leaf in leaves])
+    atoms = languages.atoms
+    unguarded = [
+        languages.nfa(branch.pattern)
+        for branch in compiled.program.branches
+        if branch.guard is None
+    ]
+    cover = [languages.nfa(compiled.target)] + unguarded
+    findings: List[Finding] = []
+    for leaf in leaves:
+        if subsumed_by_union(languages.nfa(leaf.pattern), cover, atoms):
+            continue
+        samples: List[str] = []
+        if leaf.cluster is not None:
+            samples = leaf.cluster.sample(max_samples)
+        findings.append(
+            finding(
+                "CLX012",
+                name,
+                f"profiled cluster {leaf.pattern.notation()} ({leaf.size} row(s)) "
+                "matches no branch; those rows pass through unchanged",
+                pattern=leaf.pattern.notation(),
+                rows=leaf.size,
+                samples=samples,
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Pass 6: multi-artifact conflicts
+# ----------------------------------------------------------------------
+
+def check_conflicts(named: Sequence[Tuple[str, CompiledProgram]]) -> List[Finding]:
+    """Cross-artifact conflicts when several artifacts apply together.
+
+    CLX013: two artifacts record the same source column — a joint apply
+    refuses this outright.  CLX014: one artifact's source column equals
+    another's default output column (``<column>_transformed``), so the
+    result depends on which artifact ran first.
+    """
+    findings: List[Finding] = []
+    columns: Dict[str, List[str]] = {}
+    for name, compiled in named:
+        column = compiled.metadata.get("column")
+        if isinstance(column, str) and column:
+            columns.setdefault(column, []).append(name)
+    for column, owners in sorted(columns.items()):
+        if len(owners) > 1:
+            findings.append(
+                finding(
+                    "CLX013",
+                    owners[0],
+                    f"column {column!r} is targeted by {len(owners)} artifacts "
+                    f"({', '.join(owners)}); applying them together is rejected",
+                    column=column,
+                    artifacts=owners,
+                )
+            )
+    for column, owners in sorted(columns.items()):
+        produced = f"{column}_transformed"
+        consumers = columns.get(produced)
+        if consumers:
+            findings.append(
+                finding(
+                    "CLX014",
+                    consumers[0],
+                    f"artifact reads column {produced!r}, which is the default "
+                    f"output column of {owners[0]} (source {column!r}); results "
+                    "depend on apply order",
+                    column=produced,
+                    produced_by=owners,
+                )
+            )
+    return findings
+
+
+def reachability_only(
+    compiled: CompiledProgram, name: str
+) -> List[Finding]:
+    """The cheap pre-flight used by ``apply``: reachability, no probes."""
+    languages = ProgramLanguages(compiled)
+    return check_reachability(compiled, languages, name)
+
+
+def analyze_compiled(
+    compiled: CompiledProgram,
+    name: str = "<program>",
+    probe: bool = True,
+    hierarchy: "PatternHierarchy | None" = None,
+) -> List[Finding]:
+    """Run every single-artifact pass over ``compiled``."""
+    languages = ProgramLanguages(compiled)
+    findings = check_reachability(compiled, languages, name)
+    dead = {
+        int(f.location.rsplit("[", 1)[1].rstrip("]")) - 1
+        for f in findings
+        if f.rule_id in ("CLX001", "CLX002")
+    }
+    findings.extend(check_overlap(compiled, languages, name, dead_indices=dead))
+    findings.extend(check_regex_safety(compiled, name, probe=probe))
+    findings.extend(check_plan_sanity(compiled, languages, name))
+    if hierarchy is not None:
+        findings.extend(check_coverage(compiled, hierarchy, name))
+    return findings

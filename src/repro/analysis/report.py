@@ -1,0 +1,56 @@
+"""Text and JSON reporters for analysis reports.
+
+Both render from the same :class:`~repro.analysis.analyzer.AnalysisReport`
+so the two formats can never disagree; the JSON payload carries a format
+marker + version like every other serialized CLX artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.analysis.analyzer import AnalysisReport
+from repro.analysis.findings import Severity
+
+#: Format marker embedded in every JSON report.
+REPORT_FORMAT = "clx/analysis-report"
+REPORT_VERSION = 1
+
+
+def render_text(report: AnalysisReport, show: Optional[Severity] = None) -> str:
+    """Human-readable report: one line per finding plus a summary line.
+
+    ``show`` hides findings below the given severity (the summary line
+    still counts everything, so nothing is silently lost).
+    """
+    shown = report.findings if show is None else report.at_least(show)
+    lines = [item.render() for item in shown]
+    summary = report.summary()
+    if not report.findings:
+        lines.append("OK: no findings")
+    else:
+        counts = ", ".join(
+            f"{summary[severity.label]} {severity.label}"
+            for severity in sorted(Severity, reverse=True)
+            if summary[severity.label]
+        )
+        hidden = len(report.findings) - len(shown)
+        suffix = f" ({hidden} below threshold not shown)" if hidden else ""
+        lines.append(f"{len(report.findings)} finding(s): {counts}{suffix}")
+    return "\n".join(lines)
+
+
+def report_payload(report: AnalysisReport) -> Dict[str, Any]:
+    """The JSON-serializable payload of the ``--json`` reporter."""
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "summary": report.summary(),
+        "findings": [item.to_dict() for item in report.findings],
+    }
+
+
+def render_json(report: AnalysisReport) -> str:
+    """The ``--json`` reporter output (stable key order, 2-space indent)."""
+    return json.dumps(report_payload(report), indent=2, sort_keys=True)

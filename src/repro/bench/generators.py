@@ -11,7 +11,7 @@ mix*, size and heterogeneity, which these generators preserve.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.util.rand import digits, letters, make_rng
 

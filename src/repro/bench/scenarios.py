@@ -21,7 +21,7 @@ paper's failures are:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.bench import generators as gen
 from repro.bench.task import TransformationTask

@@ -8,7 +8,7 @@ row, and how the target pattern is labelled in CLX.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.patterns.generalize import GENERALIZATION_STRATEGIES

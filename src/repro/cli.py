@@ -35,6 +35,17 @@ library can be used without writing Python:
     ``--output-dir`` — write one output per partition, preserving
     partition names (final extension follows the sink format).
 
+``repro-clx check phone.clx.json [--json] [--fail-on warn]``
+    Statically analyze saved artifacts *before* trusting them with a
+    blind apply: dead dispatch arms (subsumed or shadowed branches),
+    order-dependent overlaps, ReDoS-prone regexes (structural scan plus
+    a bounded empirical probe), degenerate plans and guards, and — with
+    ``--profile data.csv --column C`` — profiled clusters no branch
+    matches.  Several artifacts are also checked for cross-artifact
+    conflicts.  Findings carry stable rule ids (``CLX001``…); the exit
+    code is 1 when any finding reaches ``--fail-on`` (default
+    ``error``), 0 otherwise.
+
 ``repro-clx artifacts list --cache-dir DIR`` / ``artifacts gc``
     Inspect and garbage-collect a compile cache through its
     ``registry.json`` manifest: ``list`` shows every compiled artifact
@@ -248,6 +259,7 @@ def _command_compile(args: argparse.Namespace) -> int:
         key = cache_key(profile.fingerprint(), target_spec, flags)
         compiled = cache.load_registered(key)
 
+    cache_hit = compiled is not None
     if compiled is None:
         session = CLXSession.from_profile(profile)
         if not _label_session(session, args):
@@ -259,24 +271,49 @@ def _command_compile(args: argparse.Namespace) -> int:
                 "source_rows": profile.row_count,
             }
         )
-        if cache is not None:
-            assert key is not None
-            stored = cache.store_registered(
-                key,
-                compiled,
-                fingerprint=profile.fingerprint(),
-                target=target_spec,
-                flags=flags,
-                source=dataset.describe(),
-                stats={"rows": profile.row_count, "clusters": profile.cluster_count},
-            )
-            print(f"cached artifact at {stored}", file=sys.stderr)
-    else:
+
+    # Lint the artifact before it is cached or written: dead arms,
+    # order-dependent overlaps, ReDoS-prone regexes, and clusters of
+    # this very profile the program does not cover.  Warnings go to
+    # stderr; --strict refuses to emit an artifact with any of them.
+    from repro.analysis import Severity, analyze_program
+
+    artifact_name = Path(args.output).name if args.output else "<compile>"
+    analysis = analyze_program(
+        compiled, name=artifact_name, hierarchy=profile.to_hierarchy()
+    )
+    flagged = analysis.at_least(Severity.WARN)
+    if flagged:
+        print("analysis findings:", file=sys.stderr)
+        for item in flagged:
+            print(f"  {item.render()}", file=sys.stderr)
+    if args.strict and flagged:
+        print(
+            f"error: --strict compile refused: {len(flagged)} finding(s) at "
+            "warn severity or above (see above); no artifact written",
+            file=sys.stderr,
+        )
+        return 1
+
+    if cache_hit:
         assert cache is not None and key is not None
         print(
             f"cache hit: reusing artifact {cache.path(key)} (no synthesis)",
             file=sys.stderr,
         )
+    elif cache is not None:
+        assert key is not None
+        stored = cache.store_registered(
+            key,
+            compiled,
+            fingerprint=profile.fingerprint(),
+            target=target_spec,
+            flags=flags,
+            source=dataset.describe(),
+            stats={"rows": profile.row_count, "clusters": profile.cluster_count},
+            analysis=analysis.summary(),
+        )
+        print(f"cached artifact at {stored}", file=sys.stderr)
 
     from repro.dsl.explain import explain_program
 
@@ -339,6 +376,32 @@ def _command_apply(args: argparse.Namespace) -> int:
         for program in args.program
     ]
 
+    # Cheap pre-flight lint: conflicting artifacts abort before any row
+    # streams; dead dispatch arms are only a hint (the artifact still
+    # works, it just carries baggage), so they go to stderr.  No regex
+    # probes here — apply startup must stay fast.
+    from repro.analysis import check_conflicts, reachability_only
+
+    if not args.column:
+        # Explicit --column flags override artifact metadata, so the
+        # metadata-level conflict check only applies without them (the
+        # resolved-column duplicate check below still guards both paths).
+        preflight = check_conflicts(
+            [(path, engine.compiled) for path, engine in zip(args.program, engines)]
+        )
+        conflicts = [item for item in preflight if item.rule_id == "CLX013"]
+        if conflicts:
+            raise CLXError(
+                "; ".join(item.message for item in conflicts)
+                + " (run 'repro-clx check' on these artifacts for details)"
+            )
+        for item in preflight:
+            if item.rule_id != "CLX013":
+                print(f"warning: {item.render()}", file=sys.stderr)
+    for path, engine in zip(args.program, engines):
+        for item in reachability_only(engine.compiled, path):
+            print(f"warning: {item.render()}", file=sys.stderr)
+
     from repro.dataset import Dataset
     from repro.engine.parallel import ShardedTableExecutor, apply_dataset
 
@@ -398,6 +461,63 @@ def _command_apply(args: argparse.Namespace) -> int:
     return 0 if result.flagged == 0 else 1
 
 
+def _load_artifact(path_str: str):
+    """Load one ``.clx.json`` artifact as a CompiledProgram."""
+    from repro.engine.compiled import CompiledProgram
+
+    return CompiledProgram.loads(Path(path_str).read_text(encoding="utf-8"))
+
+
+def _command_check(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, analyze_artifacts, render_json, render_text
+
+    fail_on = Severity.parse(args.fail_on)
+    if args.profile and not args.column:
+        raise CLXError("--profile requires --column (the column to profile)")
+    if args.column and not args.profile:
+        raise CLXError("--column only applies together with --profile")
+
+    named = [(path, _load_artifact(path)) for path in args.artifact]
+
+    hierarchies = None
+    if args.profile:
+        from repro.dataset import Dataset
+
+        dataset = Dataset.resolve(args.profile)
+        dataset.check_column(args.column, args.delimiter)
+        profile = IncrementalProfiler().profile(
+            dataset.iter_values(args.column, args.delimiter)
+        )
+        hierarchy = profile.to_hierarchy()
+        hierarchies = {name: hierarchy for name, _ in named}
+
+    report = analyze_artifacts(
+        named, probe=not args.no_probe, hierarchies=hierarchies
+    )
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(fail_on)
+
+
+def _analysis_cell(analysis: dict) -> str:
+    """Compact lint status for the artifacts table, e.g. ``1E/2W``."""
+    if not analysis:
+        return "-"
+    errors = analysis.get("error", 0)
+    warns = analysis.get("warn", 0)
+    infos = analysis.get("info", 0)
+    if not (errors or warns or infos):
+        return "clean"
+    parts = [
+        f"{count}{letter}"
+        for count, letter in ((errors, "E"), (warns, "W"), (infos, "I"))
+        if count
+    ]
+    return "/".join(parts)
+
+
 def _command_artifacts(args: argparse.Namespace) -> int:
     from repro.engine.cache import ArtifactRegistry
 
@@ -427,12 +547,18 @@ def _command_artifacts(args: argparse.Namespace) -> int:
             entry.target,
             entry.flags.get("column", ""),
             entry.stats.get("rows", ""),
+            _analysis_cell(entry.analysis),
             entry.source,
             entry.artifact,
         )
         for entry in entries
     ]
-    print(format_table(["fingerprint", "target", "column", "rows", "source", "artifact"], table))
+    print(
+        format_table(
+            ["fingerprint", "target", "column", "rows", "lint", "source", "artifact"],
+            table,
+        )
+    )
     return 0
 
 
@@ -537,7 +663,57 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact when the column distribution, target, and flags match "
         "(zero synthesis on a hit)",
     )
+    compile_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="refuse to emit an artifact with any analysis finding at warn "
+        "severity or above (dead branches, overlaps, ReDoS-prone "
+        "regexes, uncovered clusters)",
+    )
     compile_cmd.set_defaults(handler=_command_compile)
+
+    check = subparsers.add_parser(
+        "check",
+        help="statically analyze .clx.json artifacts (dead branches, "
+        "overlaps, ReDoS-prone regexes, coverage residuals, conflicts)",
+    )
+    check.add_argument(
+        "artifact",
+        nargs="+",
+        help=".clx.json artifact(s) written by 'compile'; several artifacts "
+        "are additionally checked for cross-artifact conflicts",
+    )
+    check.add_argument(
+        "--profile",
+        nargs="+",
+        metavar="input",
+        help="profile these CSV/JSONL inputs and audit coverage: report "
+        "clusters that no branch matches (requires --column)",
+    )
+    check.add_argument(
+        "--column",
+        help="column to profile for the coverage audit (name or zero-based "
+        "index; only with --profile)",
+    )
+    check.add_argument("--delimiter", default=",", help="CSV delimiter (default ',')")
+    check.add_argument(
+        "--fail-on",
+        default="error",
+        metavar="SEVERITY",
+        help="exit 1 when any finding is at or above this severity: "
+        "info, warn, or error (default error)",
+    )
+    check.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the empirical ReDoS probe (structural findings only)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON report (format clx/analysis-report)",
+    )
+    check.set_defaults(handler=_command_check)
 
     apply_cmd = subparsers.add_parser(
         "apply",

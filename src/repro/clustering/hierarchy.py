@@ -10,7 +10,7 @@ covers so the transformer can apply per-pattern programs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 from repro.clustering.cluster import PatternCluster
 from repro.patterns.pattern import Pattern

@@ -41,7 +41,7 @@ import csv
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.clustering.hierarchy import PatternHierarchy
 from repro.clustering.incremental import ColumnProfile, IncrementalProfiler

@@ -321,6 +321,25 @@ class CLXSession:
         result = self.synthesize()
         return CompiledProgram(result.program, result.target, metadata=metadata)
 
+    def analyze(self, name: str = "<session>", probe: bool = True):
+        """Lint the synthesized program against the session's own profile.
+
+        Runs the full artifact analyzer (dead arms, overlaps, regex
+        safety, plan sanity) plus the coverage audit over this session's
+        pattern hierarchy — the exemplars the program was synthesized
+        from.  Returns an :class:`~repro.analysis.analyzer.AnalysisReport`.
+
+        Args:
+            name: Location prefix used in findings.
+            probe: Whether to run the empirical ReDoS probe on
+                structurally flagged regexes.
+        """
+        from repro.analysis import analyze_program
+
+        return analyze_program(
+            self.compile(), name=name, probe=probe, hierarchy=self._hierarchy
+        )
+
     def engine(self) -> TransformEngine:
         """The (cached) stateless engine executing the current program.
 

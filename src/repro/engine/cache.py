@@ -40,7 +40,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 try:  # POSIX advisory locking; absent on some platforms
     import fcntl
@@ -170,6 +170,7 @@ class ArtifactCache:
         flags: Optional[Mapping[str, Any]] = None,
         source: str = "",
         stats: Optional[Mapping[str, Any]] = None,
+        analysis: Optional[Mapping[str, int]] = None,
     ) -> Path:
         """Persist ``compiled`` and record its manifest row in one call."""
         path = self.store(key, compiled)
@@ -181,6 +182,7 @@ class ArtifactCache:
                 flags=dict(flags or {}),
                 source=source,
                 stats=dict(stats or {}),
+                analysis=dict(analysis or {}),
                 artifact=path.name,
             )
         )
@@ -212,6 +214,9 @@ class RegistryEntry:
         flags: The synthesis flags that shaped the program.
         source: Human-readable description of the source dataset.
         stats: Profile statistics (e.g. ``{"rows": N, "clusters": M}``).
+        analysis: Linter summary recorded at compile time (severity
+            counts, e.g. ``{"error": 0, "warn": 1, "info": 2}``); empty
+            for rows written before the analyzer existed.
         created_at: Unix timestamp of the recording.
         last_used_at: Unix timestamp of the last cache hit resolved
             through this row (0.0 until the first hit; age eviction
@@ -226,6 +231,7 @@ class RegistryEntry:
     flags: Dict[str, Any] = field(default_factory=dict)
     source: str = ""
     stats: Dict[str, Any] = field(default_factory=dict)
+    analysis: Dict[str, int] = field(default_factory=dict)
     created_at: float = 0.0
     last_used_at: float = 0.0
     artifact: str = ""
@@ -247,6 +253,9 @@ class RegistryEntry:
             flags=dict(payload.get("flags") or {}),
             source=str(payload.get("source", "")),
             stats=dict(payload.get("stats") or {}),
+            analysis={
+                str(k): int(v) for k, v in (payload.get("analysis") or {}).items()
+            },
             created_at=float(payload.get("created_at", 0.0)),
             last_used_at=float(payload.get("last_used_at", 0.0)),
             artifact=str(payload.get("artifact", "")),
@@ -330,7 +339,7 @@ class ArtifactRegistry:
     # Writing
     # ------------------------------------------------------------------
     @contextmanager
-    def _manifest_lock(self):
+    def _manifest_lock(self) -> Iterator[None]:
         """Serialize manifest read-merge-write cycles across processes.
 
         POSIX advisory locking on a sibling ``.lock`` file; where

@@ -111,6 +111,18 @@ class CompiledProgram:
         self._program = program
         self._target = target
         self._metadata: Dict[str, Any] = dict(metadata) if metadata else {}
+        # Validate serializability up front: a bad metadata value must
+        # fail here, at the call site that supplied it, not later inside
+        # dumps() deep in a compile --cache-dir store.
+        if self._metadata:
+            try:
+                # allow_nan=False: NaN/Infinity serialize to non-JSON
+                # literals that other readers reject.
+                json.dumps(self._metadata, allow_nan=False)
+            except (TypeError, ValueError) as error:
+                raise SerializationError(
+                    f"artifact metadata must be JSON-serializable: {error}"
+                ) from error
         self._target_match = compile_pattern(target).match
         self._branches = tuple(_CompiledBranch(branch) for branch in program.branches)
 

@@ -22,7 +22,25 @@ shapes are supported:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+    Union,
+)
+
+if TYPE_CHECKING:  # circular at runtime: dataset/parallel import engines
+    from pathlib import Path
+
+    from repro.dataset import Dataset
+    from repro.engine.parallel import DatasetApplyResult
 
 from repro.core.result import TransformReport
 from repro.dsl.ast import UniFiProgram
@@ -158,11 +176,11 @@ class TransformEngine:
     # ------------------------------------------------------------------
     def apply_dataset(
         self,
-        dataset,
+        dataset: Union["Dataset", str, "Path", Sequence[Union[str, "Path"]]],
         columns: Union[str, Sequence[str]],
-        output=None,
-        output_dir=None,
-        stream=None,
+        output: Union[str, "Path", None] = None,
+        output_dir: Union[str, "Path", None] = None,
+        stream: Optional[TextIO] = None,
         out_format: str = "csv",
         delimiter: str = ",",
         in_place: bool = False,
@@ -170,7 +188,7 @@ class TransformEngine:
         workers: Optional[int] = None,
         chunk_size: int = 4096,
         shard_bytes: int = 1 << 20,
-    ):
+    ) -> "DatasetApplyResult":
         """Apply this engine's program across a partitioned dataset.
 
         The compile-once/apply-anywhere path for data that lives on

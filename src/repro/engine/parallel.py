@@ -196,7 +196,7 @@ class ShardedExecutor:
     def __enter__(self) -> "ShardedExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -631,7 +631,7 @@ class ShardedTableExecutor:
     def __enter__(self) -> "ShardedTableExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ structure of the Appendix C questionnaire.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.bench.task import TransformationTask
 from repro.clustering.profiler import PatternProfiler

@@ -20,7 +20,7 @@ can swap the default plan without re-running synthesis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.clustering.hierarchy import HierarchyNode, PatternHierarchy
 from repro.dsl.ast import AtomicPlan, Branch, UniFiProgram

@@ -1,0 +1,151 @@
+"""Analyzer soundness over the full benchmark suite.
+
+The property tying the analyzer to the dispatch semantics: a program is
+reachability-clean exactly when every branch is load-bearing on the
+exemplars it was synthesized from.
+
+- Forward: the synthesizer's output for every suite task has no
+  CLX001/CLX002/CLX010 findings, and deleting *any* branch changes the
+  outputs or the matched patterns on the task's own inputs.
+- Backward (seeded mutation): appending a duplicate of an unguarded
+  branch makes the analyzer flag exactly that arm as shadowed — and
+  deleting the flagged arm changes nothing, i.e. the analyzer's "dead"
+  verdict is semantically exact.
+
+Plus the release gate itself: one ``check --fail-on error`` run over all
+47 compiled artifacts exits 0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, analyze_program
+from repro.bench.suite import benchmark_suite
+from repro.cli import main
+from repro.core.session import CLXSession
+from repro.dsl.ast import Branch, UniFiProgram
+from repro.engine.compiled import CompiledProgram
+from repro.util.errors import SynthesisError
+
+DEAD_ARM_RULES = ("CLX001", "CLX002", "CLX010")
+
+TASKS = benchmark_suite()
+
+
+@pytest.fixture(scope="module")
+def suite_programs():
+    """(task, compiled, run report) for every synthesizable suite task.
+
+    Synthesis over the whole suite runs once per module; the tests below
+    slice it different ways.
+    """
+    programs = []
+    for task in TASKS:
+        session = CLXSession(task.inputs)
+        session.label_target(task.target_pattern())
+        try:
+            report = session.transform()
+        except SynthesisError:
+            continue
+        programs.append((task, session.compile(), report))
+    assert programs, "no suite task synthesized a program"
+    return programs
+
+
+def _pruned(compiled, index):
+    branches = compiled.program.branches
+    return CompiledProgram(
+        UniFiProgram(branches[:index] + branches[index + 1 :]), compiled.target
+    )
+
+
+def _same_behavior(candidate, baseline, inputs):
+    run = candidate.run(inputs)
+    return (
+        run.outputs == baseline.outputs
+        and run.matched_pattern == baseline.matched_pattern
+    )
+
+
+class TestEveryBranchLoadBearing:
+    def test_suite_programs_are_reachability_clean(self, suite_programs):
+        for task, compiled, _ in suite_programs:
+            report = analyze_program(compiled, name=task.task_id, probe=False)
+            dead = [f for f in report.findings if f.rule_id in DEAD_ARM_RULES]
+            assert dead == [], f"{task.task_id}: analyzer reports dead arms"
+
+    def test_deleting_any_branch_changes_the_task_outputs(self, suite_programs):
+        for task, compiled, baseline in suite_programs:
+            for index in range(len(compiled.program.branches)):
+                assert not _same_behavior(
+                    _pruned(compiled, index), baseline, task.inputs
+                ), (
+                    f"{task.task_id}: branch[{index + 1}] is analyzer-live "
+                    "but deleting it changes nothing on the task inputs"
+                )
+
+
+class TestSeededDeadArm:
+    def _mutant(self, compiled):
+        """Append a duplicate of the first unguarded branch, if any."""
+        branches = compiled.program.branches
+        for branch in branches:
+            if branch.guard is None:
+                duplicate = Branch(branch.pattern, branch.plan)
+                return CompiledProgram(
+                    UniFiProgram(branches + (duplicate,)), compiled.target
+                )
+        return None
+
+    def test_duplicated_branch_is_flagged_and_semantically_dead(
+        self, suite_programs
+    ):
+        exercised = 0
+        for task, compiled, _ in suite_programs:
+            mutant = self._mutant(compiled)
+            if mutant is None:
+                continue
+            exercised += 1
+            report = analyze_program(mutant, name=task.task_id, probe=False)
+            dead_locations = [
+                f.location
+                for f in report.findings
+                if f.rule_id in ("CLX001", "CLX002")
+            ]
+            last = f"{task.task_id}:branch[{len(mutant.program.branches)}]"
+            assert last in dead_locations, (
+                f"{task.task_id}: duplicated arm not flagged dead"
+            )
+            # The analyzer's verdict is exact: deleting the flagged arm
+            # is a no-op on the task's own inputs.
+            baseline = mutant.run(task.inputs)
+            pruned = _pruned(mutant, len(mutant.program.branches) - 1)
+            assert _same_behavior(pruned, baseline, task.inputs)
+        assert exercised, "no suite program has an unguarded branch"
+
+
+class TestSuiteGate:
+    def test_all_artifacts_pass_check_fail_on_error(
+        self, suite_programs, tmp_path, capsys
+    ):
+        paths = []
+        for task, compiled, _ in suite_programs:
+            path = tmp_path / f"{task.task_id}.clx.json"
+            path.write_text(compiled.dumps())
+            paths.append(str(path))
+        exit_code = main(["check", *paths, "--fail-on", "error", "--no-probe"])
+        captured = capsys.readouterr()
+        assert exit_code == 0, captured.out
+
+
+class TestSessionAnalyzeApi:
+    def test_session_analyze_threads_the_session_hierarchy(self):
+        session = CLXSession(["555.1234", "555.9999", "not a phone"])
+        session.label_target_from_notation("<D>3'-'<D>4")
+        session.transform()
+        report = session.analyze(name="interactive")
+        residual = [f for f in report.findings if f.rule_id == "CLX012"]
+        assert residual, "session hierarchy not threaded into coverage audit"
+        assert residual[0].location == "interactive"
+        assert report.max_severity() >= Severity.WARN

@@ -1,0 +1,331 @@
+"""Golden-file CLI tests for ``repro-clx check`` and its integrations.
+
+The fixture artifacts are hand-built to trip one rule each (dead arm,
+overlap, ReDoS shape, coverage residual, column conflict), and the text
+and JSON reports are pinned verbatim — the reporter's exact output is
+part of the CLI contract.  Probing is disabled (``--no-probe``) in the
+golden runs so no timing-dependent CLX006 line can flake them; the probe
+escalation has its own non-golden test.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.engine.compiled import CompiledProgram
+from repro.patterns.parse import parse_pattern as P
+
+TARGET = P("<D>3'-'<D>4")
+
+DOT_BRANCH = Branch(
+    P("<D>3'.'<D>4"), AtomicPlan([Extract(1), ConstStr("-"), Extract(3)])
+)
+
+
+def _write(path, branches, target=TARGET, metadata=None):
+    compiled = CompiledProgram(UniFiProgram(branches), target, metadata=metadata)
+    path.write_text(compiled.dumps(indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    """Run the CLI from tmp_path so finding locations are bare names."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+@pytest.fixture
+def clean_artifact(workdir):
+    return _write(workdir / "clean.clx.json", [DOT_BRANCH], metadata={"column": "phone"})
+
+
+@pytest.fixture
+def dirty_artifact(workdir):
+    """One dead arm (vs target), one overlapping constant branch."""
+    return _write(
+        workdir / "dirty.clx.json",
+        [
+            DOT_BRANCH,
+            Branch(P("<D>3'-'<D>4"), AtomicPlan([Extract(1, 3)])),
+            Branch(P("<D>+'.'<D>4"), AtomicPlan([ConstStr("000-0000")])),
+        ],
+        metadata={"column": "phone"},
+    )
+
+
+@pytest.fixture
+def redos_artifact(workdir):
+    """Eight adjacent overlapping '+' tokens: C(n-1,7) backtracking."""
+    return _write(
+        workdir / "redos.clx.json",
+        [Branch(P("<A>+" * 8), AtomicPlan([Extract(1, 8)]))],
+        target=P("<D>3"),
+        metadata={"column": "code"},
+    )
+
+
+@pytest.fixture
+def phones_csv(workdir):
+    (workdir / "phones.csv").write_text(
+        "id,phone\n1,555-1234\n2,555.1234\n3,(555) 1234\n",
+        encoding="utf-8",
+    )
+    return workdir / "phones.csv"
+
+
+GOLDEN_DIRTY_TEXT = """\
+ERROR CLX001 dirty.clx.json:branch[2]: branch pattern <D>3'-'<D>4 is subsumed by the target <D>3'-'<D>4; every match passes through before this branch is consulted
+INFO  CLX007 dirty.clx.json:branch[2]: plan rewrites every match of <D>3'-'<D>4 to itself; the branch only flips the matched flag
+WARN  CLX003 dirty.clx.json:branch[3]: pattern <D>+'.'<D>4 overlaps branch 1 (<D>3'.'<D>4) with a different plan; output depends on branch order
+WARN  CLX008 dirty.clx.json:branch[3]: plan maps every match of <D>+'.'<D>4 to the constant '000-0000' (the constant already matches the target)
+4 finding(s): 1 error, 2 warn, 1 info
+"""
+
+GOLDEN_DIRTY_JSON = {
+    "format": "clx/analysis-report",
+    "version": 1,
+    "summary": {"error": 1, "warn": 2, "info": 1},
+    "findings": [
+        {
+            "rule": "CLX001",
+            "severity": "error",
+            "location": "dirty.clx.json:branch[2]",
+            "message": "branch pattern <D>3'-'<D>4 is subsumed by the target "
+            "<D>3'-'<D>4; every match passes through before this branch is "
+            "consulted",
+            "data": {"pattern": "<D>3'-'<D>4", "target": "<D>3'-'<D>4"},
+        },
+        {
+            "rule": "CLX007",
+            "severity": "info",
+            "location": "dirty.clx.json:branch[2]",
+            "message": "plan rewrites every match of <D>3'-'<D>4 to itself; "
+            "the branch only flips the matched flag",
+            "data": {"pattern": "<D>3'-'<D>4"},
+        },
+        {
+            "rule": "CLX003",
+            "severity": "warn",
+            "location": "dirty.clx.json:branch[3]",
+            "message": "pattern <D>+'.'<D>4 overlaps branch 1 (<D>3'.'<D>4) "
+            "with a different plan; output depends on branch order",
+            "data": {"pattern": "<D>+'.'<D>4", "overlaps_branch": 1},
+        },
+        {
+            "rule": "CLX008",
+            "severity": "warn",
+            "location": "dirty.clx.json:branch[3]",
+            "message": "plan maps every match of <D>+'.'<D>4 to the constant "
+            "'000-0000' (the constant already matches the target)",
+            "data": {"constant": "000-0000", "matches_target": True},
+        },
+    ],
+}
+
+GOLDEN_REDOS_TEXT = """\
+WARN  CLX005 redos.clx.json:branch[1]: ambiguous repetition: adjacent unbounded repetitions over overlapping character sets
+INFO  CLX007 redos.clx.json:branch[1]: plan rewrites every match of <A>+<A>+<A>+<A>+<A>+<A>+<A>+<A>+ to itself; the branch only flips the matched flag
+2 finding(s): 1 warn, 1 info
+"""
+
+GOLDEN_COVERAGE_TEXT = """\
+WARN  CLX012 clean.clx.json: profiled cluster '('<D>3')'' '<D>4 (1 row(s)) matches no branch; those rows pass through unchanged
+1 finding(s): 1 warn
+"""
+
+
+class TestGoldenReports:
+    def test_dirty_artifact_text_report(self, dirty_artifact, capsys):
+        code = main(["check", "dirty.clx.json", "--no-probe"])
+        assert capsys.readouterr().out == GOLDEN_DIRTY_TEXT
+        assert code == 1  # CLX001 is an error; default --fail-on error
+
+    def test_dirty_artifact_json_report(self, dirty_artifact, capsys):
+        code = main(["check", "dirty.clx.json", "--no-probe", "--json"])
+        assert json.loads(capsys.readouterr().out) == GOLDEN_DIRTY_JSON
+        assert code == 1
+
+    def test_redos_artifact_text_report(self, redos_artifact, capsys):
+        code = main(["check", "redos.clx.json", "--no-probe"])
+        assert capsys.readouterr().out == GOLDEN_REDOS_TEXT
+        assert code == 0  # structural ambiguity alone is a warning
+
+    def test_coverage_residual_text_report(self, clean_artifact, phones_csv, capsys):
+        code = main(
+            ["check", "clean.clx.json", "--profile", "phones.csv", "--column", "phone"]
+        )
+        assert capsys.readouterr().out == GOLDEN_COVERAGE_TEXT
+        assert code == 0
+
+    def test_conflict_across_artifacts(self, clean_artifact, workdir, capsys):
+        _write(workdir / "again.clx.json", [DOT_BRANCH], metadata={"column": "phone"})
+        code = main(["check", "again.clx.json", "clean.clx.json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CLX013" in out
+        assert "column 'phone' is targeted by 2 artifacts" in out
+
+    def test_clean_artifact_reports_ok(self, clean_artifact, capsys):
+        code = main(["check", "clean.clx.json"])
+        assert capsys.readouterr().out == "OK: no findings\n"
+        assert code == 0
+
+
+class TestProbeEscalation:
+    def test_redos_artifact_probe_confirms_clx006(self, redos_artifact, capsys):
+        code = main(["check", "redos.clx.json", "--fail-on", "error"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CLX006" in out and "adversarial input" in out
+
+
+class TestFailOnContract:
+    def test_warnings_pass_under_fail_on_error(self, redos_artifact):
+        assert main(["check", "redos.clx.json", "--no-probe"]) == 0
+
+    def test_warnings_fail_under_fail_on_warn(self, redos_artifact):
+        assert main(["check", "redos.clx.json", "--no-probe", "--fail-on", "warn"]) == 1
+
+    def test_info_fails_only_under_fail_on_info(self, redos_artifact, workdir):
+        _write(
+            workdir / "identity.clx.json",
+            [Branch(P("<D>+'/'<D>+"), AtomicPlan([Extract(1, 3)]))],
+        )
+        assert main(["check", "identity.clx.json", "--fail-on", "warn"]) == 0
+        assert main(["check", "identity.clx.json", "--fail-on", "info"]) == 1
+
+    def test_warning_alias_is_accepted(self, redos_artifact):
+        code = main(["check", "redos.clx.json", "--no-probe", "--fail-on", "warning"])
+        assert code == 1
+
+    def test_unknown_severity_is_a_usage_error(self, clean_artifact, capsys):
+        code = main(["check", "clean.clx.json", "--fail-on", "banana"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown severity 'banana'" in err
+        assert "Traceback" not in err
+
+    def test_profile_requires_column(self, clean_artifact, phones_csv, capsys):
+        code = main(["check", "clean.clx.json", "--profile", "phones.csv"])
+        assert code == 2
+        assert "--column" in capsys.readouterr().err
+
+    def test_missing_artifact_is_a_clean_error(self, workdir, capsys):
+        code = main(["check", "nope.clx.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class _BrokenStdout:
+    def write(self, text):
+        raise BrokenPipeError(32, "Broken pipe")
+
+    def flush(self):
+        pass
+
+
+class TestBrokenPipe:
+    def test_check_exits_with_sigpipe_code(self, dirty_artifact, monkeypatch):
+        monkeypatch.setattr(sys, "stdout", _BrokenStdout())
+        assert main(["check", "dirty.clx.json", "--no-probe", "--json"]) == 141
+
+    def test_artifacts_list_json_exits_with_sigpipe_code(
+        self, workdir, phones_csv, monkeypatch
+    ):
+        assert (
+            main(
+                [
+                    "compile", "phones.csv", "--column", "phone",
+                    "--target-pattern", "<D>3'-'<D>4",
+                    "--output", "phone.clx.json", "--cache-dir", "cache",
+                ]
+            )
+            == 0
+        )
+        monkeypatch.setattr(sys, "stdout", _BrokenStdout())
+        assert main(["artifacts", "list", "--cache-dir", "cache", "--json"]) == 141
+
+
+class TestCompileIntegration:
+    def test_compile_prints_warnings_and_records_lint_status(self, workdir, capsys):
+        # The free-text cluster has no plan to the target -> a CLX012
+        # coverage residual at compile time.
+        (workdir / "messy.csv").write_text(
+            "id,phone\n1,555.1234\n2,313.9999\n3,not a phone\n", encoding="utf-8"
+        )
+        code = main(
+            [
+                "compile", "messy.csv", "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>4",
+                "--output", "phone.clx.json", "--cache-dir", "cache",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "analysis findings:" in captured.err
+        assert "CLX012" in captured.err
+        assert (workdir / "phone.clx.json").exists()
+
+        assert main(["artifacts", "list", "--cache-dir", "cache"]) == 0
+        out = capsys.readouterr().out
+        assert "lint" in out.splitlines()[0]
+        assert "1W" in out
+
+    def test_strict_compile_refuses_warnings(self, workdir, capsys):
+        (workdir / "messy.csv").write_text(
+            "id,phone\n1,555.1234\n2,not a phone\n", encoding="utf-8"
+        )
+        code = main(
+            [
+                "compile", "messy.csv", "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>4",
+                "--strict", "--output", "strict.clx.json",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "--strict compile refused" in err
+        assert not (workdir / "strict.clx.json").exists()
+
+    def test_strict_compile_passes_when_clean(self, workdir, capsys):
+        (workdir / "dots.csv").write_text(
+            "id,phone\n1,555.1234\n2,313.9999\n", encoding="utf-8"
+        )
+        code = main(
+            [
+                "compile", "dots.csv", "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>4",
+                "--strict", "--output", "dots.clx.json",
+            ]
+        )
+        assert code == 0
+        assert (workdir / "dots.clx.json").exists()
+
+
+class TestApplyPreflight:
+    def test_conflicting_artifacts_abort_before_streaming(
+        self, clean_artifact, workdir, phones_csv, capsys
+    ):
+        _write(workdir / "again.clx.json", [DOT_BRANCH], metadata={"column": "phone"})
+        code = main(["apply", "clean.clx.json", "again.clx.json", "phones.csv"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "targeted by 2 artifacts" in err
+        assert "repro-clx check" in err
+
+    def test_dead_arm_warns_but_apply_proceeds(
+        self, dirty_artifact, workdir, phones_csv, capsys
+    ):
+        code = main(
+            ["apply", "dirty.clx.json", "phones.csv", "--output", "out.csv"]
+        )
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "warning: ERROR CLX001" in captured.err
+        assert (workdir / "out.csv").exists()

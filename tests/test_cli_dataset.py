@@ -321,9 +321,13 @@ class TestArtifactsCommand:
             assert set(entry) == {
                 "key", "fingerprint", "target", "flags", "source",
                 "stats", "created_at", "last_used_at", "artifact",
+                "analysis",
             }
             assert entry["stats"] == {"rows": 4, "clusters": 4}
             assert entry["flags"]["column"] == "phone"
+            # The finding summary the compile-time analyzer recorded.
+            assert set(entry["analysis"]) == {"info", "warn", "error"}
+            assert entry["analysis"]["error"] == 0
         # Stable ordering: (created_at, key) ascending.
         marks = [(entry["created_at"], entry["key"]) for entry in entries]
         assert marks == sorted(marks)

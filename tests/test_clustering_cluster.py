@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.clustering.cluster import PatternCluster, initial_clusters
 from repro.patterns.matching import matches
 from repro.patterns.parse import parse_pattern

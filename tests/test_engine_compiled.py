@@ -150,3 +150,36 @@ class TestSerialization:
             phone_session.program, phone_values, phone_session.target
         )
         assert compiled.run(phone_values).outputs == reference.outputs
+
+
+class TestMetadataValidation:
+    def _program(self):
+        return UniFiProgram(
+            (Branch(parse_pattern("<D>3'.'<D>4"), AtomicPlan([Extract(1)])),)
+        )
+
+    def test_unserializable_metadata_rejected_at_construction(self):
+        # The old behavior deferred the failure to dumps(), long after
+        # the caller that supplied the bad value has left the stack.
+        with pytest.raises(SerializationError, match="JSON-serializable"):
+            CompiledProgram(
+                self._program(),
+                parse_pattern("<D>3'-'<D>4"),
+                metadata={"column": object()},
+            )
+
+    def test_non_string_safe_values_rejected(self):
+        with pytest.raises(SerializationError):
+            CompiledProgram(
+                self._program(),
+                parse_pattern("<D>3'-'<D>4"),
+                metadata={"nan": float("nan")},
+            )
+
+    def test_serializable_metadata_accepted(self):
+        compiled = CompiledProgram(
+            self._program(),
+            parse_pattern("<D>3'-'<D>4"),
+            metadata={"column": "phone", "rows": 3, "nested": {"ok": [1, 2]}},
+        )
+        assert CompiledProgram.loads(compiled.dumps()).metadata == compiled.metadata

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.session import CLXSession
-from repro.engine.compiled import CompiledProgram
 from repro.engine.executor import TransformEngine
 from repro.util.errors import ValidationError
 

@@ -16,7 +16,6 @@ import pytest
 from repro.bench.phone import phone_dataset
 from repro.bench.suite import benchmark_suite
 from repro.core.session import CLXSession
-from repro.engine.executor import TransformEngine
 from repro.engine.parallel import ShardedExecutor
 from repro.util.errors import CLXError, SynthesisError, ValidationError
 

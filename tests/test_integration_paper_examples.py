@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro import CLXSession
 from repro.dsl.replace import apply_replacements
 from repro.patterns.matching import matches

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.patterns.parse import parse_pattern
 from repro.patterns.pattern import Pattern
 from repro.tokens.classes import TokenClass
-from repro.tokens.token import PLUS, Token
+from repro.tokens.token import Token
 
 
 class TestBasics:

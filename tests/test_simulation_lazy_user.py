@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.scenarios import blinkfill_tasks, flashfill_tasks
-from repro.bench.task import TransformationTask
 from repro.simulation.lazy_user import (
     simulate_all,
     simulate_clx,
