@@ -3,20 +3,46 @@
 The analyzer audits a :class:`~repro.engine.compiled.CompiledProgram`
 *before* it is applied blindly to millions of rows: dead dispatch arms,
 order-dependent overlaps, ReDoS-prone regexes, degenerate plans and
-guards, coverage residuals against a profile, and cross-artifact
-conflicts.  Surfaced as ``repro-clx check`` and run automatically by
-``compile`` (``--strict`` turns warnings into failures).
+guards, coverage residuals against a profile, cross-artifact conflicts,
+and — via the output-language flow analysis — target conformance
+(``verified`` proofs), idempotence, and static pipeline composition.
+Surfaced as ``repro-clx check`` / ``repro-clx verify`` and run
+automatically by ``compile`` (``--strict`` turns warnings into failures
+and refuses unverifiable artifacts).
 """
 
-from repro.analysis.analyzer import AnalysisReport, analyze_artifacts, analyze_program
-from repro.analysis.findings import RULES, RULES_BY_ID, Finding, Rule, Severity, finding
+from repro.analysis.analyzer import (
+    AnalysisReport,
+    analyze_artifacts,
+    analyze_program,
+    verify_artifacts,
+    verify_program,
+)
+from repro.analysis.findings import (
+    RULES,
+    RULES_BY_ID,
+    RULESET_VERSION,
+    Finding,
+    Rule,
+    Severity,
+    finding,
+)
+from repro.analysis.flow import (
+    branch_output_pattern,
+    check_composition,
+    check_flow,
+    is_verified,
+)
 from repro.analysis.passes import check_conflicts, reachability_only
 from repro.analysis.report import (
     REPORT_FORMAT,
     REPORT_VERSION,
     render_json,
     render_text,
+    render_verify_json,
+    render_verify_text,
     report_payload,
+    verify_payload,
 )
 
 __all__ = [
@@ -26,14 +52,24 @@ __all__ = [
     "REPORT_VERSION",
     "RULES",
     "RULES_BY_ID",
+    "RULESET_VERSION",
     "Rule",
     "Severity",
     "analyze_artifacts",
     "analyze_program",
+    "branch_output_pattern",
+    "check_composition",
     "check_conflicts",
+    "check_flow",
     "finding",
+    "is_verified",
     "reachability_only",
     "render_json",
     "render_text",
+    "render_verify_json",
+    "render_verify_text",
     "report_payload",
+    "verify_artifacts",
+    "verify_payload",
+    "verify_program",
 ]

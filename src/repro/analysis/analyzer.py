@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow import check_composition, check_flow, is_verified
 from repro.analysis.passes import analyze_compiled, check_conflicts
 from repro.clustering.hierarchy import PatternHierarchy
 from repro.engine.compiled import CompiledProgram
@@ -95,4 +96,39 @@ def analyze_artifacts(
         )
     if len(named) > 1:
         findings.extend(check_conflicts(named))
+        findings.extend(check_composition(named))
     return AnalysisReport(findings)
+
+
+def verify_program(
+    compiled: CompiledProgram, name: str = "<program>"
+) -> Tuple[AnalysisReport, bool]:
+    """Run only the output-language flow verdicts over one program.
+
+    Returns the flow report (CLX015–CLX018) and the ``verified`` proof
+    bit: True iff every live branch provably emits only target-shaped
+    values (see :func:`repro.analysis.flow.is_verified`).
+    """
+    findings = check_flow(compiled, name)
+    return AnalysisReport(findings), is_verified(findings)
+
+
+def verify_artifacts(
+    named: Sequence[Tuple[str, CompiledProgram]],
+) -> Tuple[AnalysisReport, Dict[str, bool]]:
+    """Flow + composition verdicts for a batch of artifacts.
+
+    Returns one combined report (CLX015–CLX021) and the per-artifact
+    ``verified`` map.  Composition findings (pipeline checks between
+    chained artifacts) never affect the per-artifact proof — they
+    describe the chain, not a single transform.
+    """
+    findings: List[Finding] = []
+    verified: Dict[str, bool] = {}
+    for name, compiled in named:
+        flow_findings = check_flow(compiled, name)
+        verified[name] = is_verified(flow_findings)
+        findings.extend(flow_findings)
+    if len(named) > 1:
+        findings.extend(check_composition(named))
+    return AnalysisReport(findings), verified

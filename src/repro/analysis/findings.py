@@ -75,9 +75,29 @@ RULES: Tuple[Rule, ...] = (
                                    "artifacts"),
     Rule("CLX014", Severity.WARN, "artifact chain: a source column collides with another artifact's "
                                   "output column"),
+    Rule("CLX015", Severity.ERROR, "output nonconformance: a reachable branch can produce output "
+                                   "outside the target language"),
+    Rule("CLX016", Severity.WARN, "unverified branch: guarded branch whose over-approximated output "
+                                  "language escapes the target (conformance undecided)"),
+    Rule("CLX017", Severity.WARN, "non-idempotent: branch output re-enters another branch's dispatch "
+                                  "with a non-identity plan (apply twice ≠ apply once)"),
+    Rule("CLX018", Severity.WARN, "divergent fixpoint: branch output re-enters its own dispatch with "
+                                  "a non-identity plan (repeated apply keeps rewriting)"),
+    Rule("CLX019", Severity.ERROR, "broken pipeline: a chained artifact can never accept anything "
+                                   "its producer emits"),
+    Rule("CLX020", Severity.WARN, "leaky pipeline: some producer outputs pass through the chained "
+                                  "artifact unmatched"),
+    Rule("CLX021", Severity.WARN, "pipeline re-transform: a chained artifact rewrites values already "
+                                  "conforming to its producer's target"),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}
+
+#: Version of the rule table above.  Bumped whenever rules are added or a
+#: verdict's meaning changes; stamped into ``RegistryEntry.analysis`` so
+#: ``artifacts list`` can flag summaries produced by an older analyzer as
+#: ``stale`` instead of presenting them as current verdicts.
+RULESET_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,433 @@
+"""Output-language flow analysis: what a compiled program *produces*.
+
+The passes in :mod:`repro.analysis.passes` reason about the **input**
+side of each branch (which values reach it).  This module adds the
+output side: a symbolic interpreter lifts each branch's
+:class:`~repro.dsl.ast.AtomicPlan` into an output *pattern* — and hence,
+via :mod:`repro.analysis.lang`, into an output-language ChainNFA:
+
+* ``ConstStr(s)`` contributes the literal token ``'s'``;
+* ``Extract(i, j)`` contributes source tokens ``i..j`` of the branch
+  pattern verbatim — the extracted text ranges exactly over the language
+  of those tokens.
+
+The concatenation of these contributions is a plain
+:class:`~repro.patterns.pattern.Pattern`, so every decidable query of
+the input-side machinery applies unchanged to outputs.  Three verdict
+families build on it:
+
+**Target conformance (CLX015/CLX016).**  ``L(output_j) ⊆ L(target)``
+for every reachable branch is the paper's headline guarantee: the
+transform provably emits only target-shaped values.  For *unguarded*
+branches the computed output language is exact, so a violation is an
+ERROR with a shortest counterexample output.  For *guarded* branches the
+plan only sees values the guard admits, so the computed language is an
+over-approximation; an escape there is reported as "conformance
+undecided" (WARN), never as a false proof.  Identity-plan branches are
+exempt: they re-emit their input verbatim, so — exactly like an
+unmatched value passing through — they cannot *corrupt* anything; their
+coverage gap is CLX007/CLX012's story.  An artifact is **verified** iff
+no live branch raises either finding: apply provably never emits a
+malformed value it didn't already receive.
+
+**Idempotence / fixpoint safety (CLX017/CLX018).**  A conforming branch
+is automatically idempotent: its outputs hit the target pass-through on
+a second apply.  A *non*-conforming output that re-enters some branch's
+dispatch language (outside the target) with a non-identity plan means
+``apply ∘ apply ≠ apply`` — re-runs and streaming tails double-transform.
+
+**Pipeline composition (CLX019–CLX021).**  When several artifacts apply
+together and artifact C reads the default output column of artifact P
+(``<col>_transformed``), the statically known components P can emit —
+its target language (pass-through) and every live branch's output
+language — are checked against what C accepts, so a mis-ordered chain
+fails in the pre-flight instead of corrupting data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, finding
+from repro.analysis.lang import (
+    ChainNFA,
+    atom_alphabet,
+    difference_witness,
+    guard_satisfiable,
+    overlap_witness,
+    pattern_nfa,
+    sample_string,
+    subsumed_by_union,
+)
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract
+from repro.dsl.guards import ContainsGuard
+from repro.engine.compiled import CompiledProgram
+from repro.patterns.pattern import Pattern
+from repro.tokens.token import Token
+
+VERIFY_RULES: Tuple[str, ...] = ("CLX015", "CLX016")
+
+
+def plan_is_identity(branch: Branch) -> bool:
+    """Whether the plan reproduces every match verbatim (extracts 1..n)."""
+    cursor = 1
+    for expression in branch.plan.expressions:
+        if not isinstance(expression, Extract):
+            return False
+        if expression.start != cursor:
+            return False
+        cursor = expression.end + 1
+    return cursor == len(branch.pattern) + 1
+
+
+def branch_output_pattern(branch: Branch) -> Pattern:
+    """The symbolic output of ``branch``'s plan, as a pattern.
+
+    Exact for unguarded branches: the plan's output over all matches of
+    the branch pattern is precisely the language of this pattern.  For
+    guarded branches it over-approximates (the guard restricts which
+    matches the plan ever sees).
+    """
+    tokens: List[Token] = []
+    for expression in branch.plan.expressions:
+        if isinstance(expression, ConstStr):
+            tokens.append(Token.lit(expression.text))
+        else:
+            tokens.extend(branch.pattern.tokens[expression.start - 1 : expression.end])
+    return Pattern(tokens)
+
+
+def plan_conforms(pattern: Pattern, plan: AtomicPlan, target: Pattern) -> bool:
+    """Whether ``plan``'s symbolic output over ``pattern`` provably lies
+    inside ``target`` — the per-branch verified condition, ignoring guards.
+
+    Used by the synthesizer to prefer provably conforming candidate plans
+    (and hierarchy refinements) so that compiled artifacts earn the
+    ``verified`` proof whenever the data admits one.
+    """
+    output = branch_output_pattern(Branch(pattern=pattern, plan=plan))
+    atoms = atom_alphabet([output, target])
+    return subsumed_by_union(
+        pattern_nfa(output, atoms), [pattern_nfa(target, atoms)], atoms
+    )
+
+
+def _branch_location(name: str, index: int) -> str:
+    return f"{name}:branch[{index + 1}]"
+
+
+def _guard_keywords(branches: Iterable[Branch]) -> List[str]:
+    keywords: List[str] = []
+    for branch in branches:
+        guard = branch.guard
+        if isinstance(guard, ContainsGuard):
+            keywords.extend((guard.keyword, guard.keyword.lower(), guard.keyword.upper()))
+    return keywords
+
+
+def _live_indices(
+    compiled: CompiledProgram,
+    nfas: Sequence[ChainNFA],
+    target_nfa: ChainNFA,
+    atoms: Sequence[str],
+) -> List[int]:
+    """Branches that can fire under first-match dispatch.
+
+    Mirrors ``check_reachability`` (subsumption by the target plus
+    earlier unguarded branches) and additionally drops branches whose
+    guard is unsatisfiable on their pattern — both kinds are reported by
+    their own rules; the flow verdicts only speak about live arms.
+    """
+    live: List[int] = []
+    earlier_unguarded: List[ChainNFA] = []
+    for index, branch in enumerate(compiled.program.branches):
+        machine = nfas[index]
+        dead = subsumed_by_union(machine, [target_nfa, *earlier_unguarded], atoms)
+        guard = branch.guard
+        if not dead and isinstance(guard, ContainsGuard):
+            dead = not guard_satisfiable(machine, guard.keyword, atoms, guard.case_sensitive)
+        if not dead:
+            live.append(index)
+        if branch.guard is None:
+            earlier_unguarded.append(machine)
+    return live
+
+
+class FlowAnalysis:
+    """Shared machinery for one program's output-language verdicts.
+
+    Builds a single atom alphabet distinguishing the target, every
+    branch pattern, every symbolic output pattern, and every guard
+    keyword, so all queries below run over one consistent quotient.
+    """
+
+    def __init__(self, compiled: CompiledProgram) -> None:
+        self.compiled = compiled
+        branches = compiled.program.branches
+        self.outputs: Tuple[Pattern, ...] = tuple(
+            branch_output_pattern(branch) for branch in branches
+        )
+        patterns = [compiled.target, *(branch.pattern for branch in branches), *self.outputs]
+        self.atoms = atom_alphabet(patterns, extra_text=_guard_keywords(branches))
+        self.target_nfa = pattern_nfa(compiled.target, self.atoms)
+        self.branch_nfas: Tuple[ChainNFA, ...] = tuple(
+            pattern_nfa(branch.pattern, self.atoms) for branch in branches
+        )
+        self.output_nfas: Tuple[ChainNFA, ...] = tuple(
+            pattern_nfa(output, self.atoms) for output in self.outputs
+        )
+        self.live: List[int] = _live_indices(
+            compiled, self.branch_nfas, self.target_nfa, self.atoms
+        )
+
+    def conformance_witness(self, index: int) -> Optional[str]:
+        """Shortest output of branch ``index`` outside the target language."""
+        return difference_witness(self.output_nfas[index], [self.target_nfa], self.atoms)
+
+    def reentry(self, index: int) -> Optional[Tuple[int, str]]:
+        """First live branch whose dispatch captures branch ``index``'s output.
+
+        Only captures *outside* the target language count — a conforming
+        output hits the pass-through before any branch is consulted.
+        Branches with identity plans are skipped (re-matching them
+        rewrites nothing).  Returns ``(capturing_index, witness)``.
+        """
+        branches = self.compiled.program.branches
+        for other in self.live:
+            if plan_is_identity(branches[other]):
+                continue
+            witness = overlap_witness(
+                self.output_nfas[index],
+                self.branch_nfas[other],
+                self.atoms,
+                excluding=[self.target_nfa],
+            )
+            if witness is not None:
+                return other, witness
+        return None
+
+
+def check_flow(compiled: CompiledProgram, name: str) -> List[Finding]:
+    """Per-artifact flow verdicts: CLX015–CLX018."""
+    analysis = FlowAnalysis(compiled)
+    branches = compiled.program.branches
+    target = compiled.target.notation()
+    findings: List[Finding] = []
+    for index in analysis.live:
+        branch = branches[index]
+        if plan_is_identity(branch):
+            continue  # re-emits its input verbatim; cannot corrupt
+        location = _branch_location(name, index)
+        output = analysis.outputs[index]
+        witness = analysis.conformance_witness(index)
+        if witness is None:
+            continue  # conforming, hence also idempotent
+        if branch.guard is None:
+            findings.append(
+                finding(
+                    "CLX015",
+                    location,
+                    f"plan output {output.notation() or '(empty)'} escapes the target "
+                    f"{target}: e.g. input {sample_string(branch.pattern)!r} can "
+                    f"produce {witness!r}",
+                    output=output.notation(),
+                    target=target,
+                    witness=witness,
+                )
+            )
+        else:
+            findings.append(
+                finding(
+                    "CLX016",
+                    location,
+                    f"guarded branch output {output.notation() or '(empty)'} is not "
+                    f"provably inside the target {target} (e.g. {witness!r}); "
+                    "conformance is undecided",
+                    output=output.notation(),
+                    target=target,
+                    witness=witness,
+                )
+            )
+        reentry = analysis.reentry(index)
+        if reentry is not None:
+            other, captured = reentry
+            if other == index:
+                findings.append(
+                    finding(
+                        "CLX018",
+                        location,
+                        f"output {captured!r} re-enters this branch's own dispatch "
+                        f"({branch.pattern.notation()}); repeated applies keep "
+                        "rewriting the value",
+                        witness=captured,
+                    )
+                )
+            else:
+                findings.append(
+                    finding(
+                        "CLX017",
+                        location,
+                        f"output {captured!r} re-enters branch {other + 1} "
+                        f"({branches[other].pattern.notation()}); applying the "
+                        "artifact twice transforms it twice",
+                        reenters_branch=other + 1,
+                        witness=captured,
+                    )
+                )
+    return findings
+
+
+def is_verified(findings: Iterable[Finding]) -> bool:
+    """The per-artifact ``verified`` proof: no conformance finding.
+
+    True iff no live branch raised CLX015 (output provably escapes the
+    target) or CLX016 (guarded, conformance undecided) — i.e. applying
+    the artifact provably never emits a malformed value it didn't
+    already receive (identity branches and pass-through re-emit inputs
+    verbatim; every transforming branch emits only target-shaped
+    values).
+    """
+    return not any(f.rule_id in VERIFY_RULES for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Pipeline composition (multi-artifact)
+# ----------------------------------------------------------------------
+
+def check_composition(named: Sequence[Tuple[str, CompiledProgram]]) -> List[Finding]:
+    """Static producer→consumer checks for chained artifacts: CLX019–CLX021.
+
+    An artifact C whose source column is ``<col>_transformed`` consumes
+    the default output column of the artifact P with source column
+    ``<col>``.  The statically known components P emits — its target
+    language (pass-through) plus each live branch's output language —
+    are checked against C's dispatch.
+    """
+    findings: List[Finding] = []
+    producers: Dict[str, Tuple[str, CompiledProgram]] = {}
+    for name, compiled in named:
+        column = compiled.metadata.get("column")
+        if isinstance(column, str) and column:
+            producers.setdefault(f"{column}_transformed", (name, compiled))
+    for name, compiled in named:
+        column = compiled.metadata.get("column")
+        if not (isinstance(column, str) and column):
+            continue
+        producer = producers.get(column)
+        if producer is None or producer[0] == name:
+            continue
+        findings.extend(_check_chain(producer[0], producer[1], name, compiled))
+    return findings
+
+
+def _check_chain(
+    producer_name: str,
+    producer: CompiledProgram,
+    consumer_name: str,
+    consumer: CompiledProgram,
+) -> List[Finding]:
+    producer_flow = FlowAnalysis(producer)
+    consumer_branches = consumer.program.branches
+
+    # One joint alphabet so producer outputs and consumer dispatch share
+    # a quotient.
+    patterns = [
+        producer.target,
+        *(branch.pattern for branch in producer.program.branches),
+        *producer_flow.outputs,
+        consumer.target,
+        *(branch.pattern for branch in consumer_branches),
+    ]
+    keywords = _guard_keywords(producer.program.branches) + _guard_keywords(consumer_branches)
+    atoms = atom_alphabet(patterns, extra_text=keywords)
+
+    producer_target_nfa = pattern_nfa(producer.target, atoms)
+    producer_branch_nfas = [pattern_nfa(b.pattern, atoms) for b in producer.program.branches]
+    producer_live = _live_indices(producer, producer_branch_nfas, producer_target_nfa, atoms)
+
+    consumer_target_nfa = pattern_nfa(consumer.target, atoms)
+    consumer_branch_nfas = [pattern_nfa(b.pattern, atoms) for b in consumer_branches]
+    consumer_live = _live_indices(consumer, consumer_branch_nfas, consumer_target_nfa, atoms)
+
+    # What P provably emits: pass-through (target) + live branch outputs.
+    components: List[Tuple[str, ChainNFA, Pattern]] = [
+        ("target pass-through", producer_target_nfa, producer.target)
+    ]
+    for index in producer_live:
+        output = producer_flow.outputs[index]
+        components.append(
+            (f"branch {index + 1} output", pattern_nfa(output, atoms), output)
+        )
+
+    # What C can match at all (guarded arms included: over-approximation
+    # keeps "never accepts" sound) vs. what it *surely* matches
+    # (unguarded arms only).
+    accepts_any = [consumer_target_nfa] + [consumer_branch_nfas[i] for i in consumer_live]
+    accepts_surely = [consumer_target_nfa] + [
+        consumer_branch_nfas[i]
+        for i in consumer_live
+        if consumer_branches[i].guard is None
+    ]
+
+    findings: List[Finding] = []
+    feeds = any(
+        any(overlap_witness(machine, accepted, atoms) is not None for accepted in accepts_any)
+        for _, machine, _ in components
+    )
+    if not feeds:
+        example = sample_string(components[0][2])
+        findings.append(
+            finding(
+                "CLX019",
+                consumer_name,
+                f"chained artifact (reads {consumer.metadata.get('column')!r}) can "
+                f"never match anything {producer_name} emits — e.g. {example!r} "
+                "hits no branch and no pass-through; the chain is mis-ordered "
+                "or mismatched",
+                producer=producer_name,
+                example=example,
+            )
+        )
+        return findings  # leak/re-transform verdicts are vacuous here
+
+    for label, machine, pattern in components:
+        witness = difference_witness(machine, accepts_surely, atoms)
+        if witness is not None:
+            findings.append(
+                finding(
+                    "CLX020",
+                    consumer_name,
+                    f"{producer_name} {label} ({pattern.notation() or '(empty)'}) is "
+                    f"not fully consumed: e.g. {witness!r} passes through "
+                    "unmatched",
+                    producer=producer_name,
+                    component=pattern.notation(),
+                    witness=witness,
+                )
+            )
+            break  # one leak report per chain is enough
+
+    for index in consumer_live:
+        branch = consumer_branches[index]
+        if plan_is_identity(branch):
+            continue
+        witness = overlap_witness(
+            producer_target_nfa,
+            consumer_branch_nfas[index],
+            atoms,
+            excluding=[consumer_target_nfa],
+        )
+        if witness is not None:
+            findings.append(
+                finding(
+                    "CLX021",
+                    _branch_location(consumer_name, index),
+                    f"branch rewrites values already conforming to {producer_name}'s "
+                    f"target ({producer.target.notation()}): e.g. {witness!r} is "
+                    "transformed again",
+                    producer=producer_name,
+                    witness=witness,
+                )
+            )
+            break  # one re-transform report per chain is enough
+    return findings

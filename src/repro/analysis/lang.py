@@ -24,7 +24,8 @@ simulation over tuples of state sets (:func:`_search`).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+import random
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.patterns.pattern import Pattern
 from repro.tokens.token import Token
@@ -153,41 +154,47 @@ def _search(
     atoms: Sequence[str],
     hit: Callable[[Tuple[FrozenSet[int], ...]], bool],
     prune: Callable[[Tuple[FrozenSet[int], ...]], bool],
-) -> bool:
+) -> Optional[str]:
     """Breadth-first subset simulation of several NFAs in lockstep.
 
-    Explores every reachable tuple of state subsets; returns True as
-    soon as ``hit`` holds for one, skipping successors where ``prune``
-    holds (subsets from which no interesting string can extend).
+    Explores every reachable tuple of state subsets; returns a
+    *shortest* witness string (over the atom alphabet) as soon as
+    ``hit`` holds for one, skipping successors where ``prune`` holds
+    (subsets from which no interesting string can extend).  Returns
+    ``None`` when no reachable joint state satisfies ``hit``.
     """
     start = tuple(frozenset((0,)) for _ in machines)
     if hit(start):
-        return True
+        return ""
     seen = {start}
-    frontier = [start]
+    frontier: List[Tuple[Tuple[FrozenSet[int], ...], str]] = [(start, "")]
     while frontier:
-        next_frontier = []
-        for joint in frontier:
+        next_frontier: List[Tuple[Tuple[FrozenSet[int], ...], str]] = []
+        for joint, prefix in frontier:
             for atom in atoms:
                 advanced = tuple(
                     machine.step(states, atom) for machine, states in zip(machines, joint)
                 )
                 if advanced in seen or prune(advanced):
                     continue
+                text = prefix + atom
                 if hit(advanced):
-                    return True
+                    return text
                 seen.add(advanced)
-                next_frontier.append(advanced)
+                next_frontier.append((advanced, text))
         frontier = next_frontier
-    return False
+    return None
 
 
-def subsumed_by_union(child: ChainNFA, parents: Sequence[ChainNFA], atoms: Sequence[str]) -> bool:
-    """Whether every string of ``child`` is accepted by *some* parent.
+def difference_witness(
+    child: ChainNFA, parents: Sequence[ChainNFA], atoms: Sequence[str]
+) -> Optional[str]:
+    """A shortest string in ``L(child) \\ ⋃ L(parents)``, or ``None``.
 
-    ``L(child) ⊆ ⋃ L(parents)``.  With a single parent this is plain
-    language inclusion; with several it is the exact dead-arm /
-    coverage condition of first-match dispatch.
+    The witness-producing form of :func:`subsumed_by_union`: ``None``
+    means the child language is covered; a string is a concrete
+    counterexample (over the atom alphabet) usable directly in finding
+    messages.
     """
     machines = [child, *parents]
 
@@ -201,20 +208,29 @@ def subsumed_by_union(child: ChainNFA, parents: Sequence[ChainNFA], atoms: Seque
     def _prune(joint: Tuple[FrozenSet[int], ...]) -> bool:
         return not joint[0]  # child can no longer accept anything
 
-    return not _search(machines, atoms, hit=_violation, prune=_prune)
+    return _search(machines, atoms, hit=_violation, prune=_prune)
 
 
-def languages_overlap(
+def subsumed_by_union(child: ChainNFA, parents: Sequence[ChainNFA], atoms: Sequence[str]) -> bool:
+    """Whether every string of ``child`` is accepted by *some* parent.
+
+    ``L(child) ⊆ ⋃ L(parents)``.  With a single parent this is plain
+    language inclusion; with several it is the exact dead-arm /
+    coverage condition of first-match dispatch.
+    """
+    return difference_witness(child, parents, atoms) is None
+
+
+def overlap_witness(
     first: ChainNFA,
     second: ChainNFA,
     atoms: Sequence[str],
     excluding: Sequence[ChainNFA] = (),
-) -> bool:
-    """Whether some string is in both languages (and in no excluded one).
+) -> Optional[str]:
+    """A shortest string in ``L(first) ∩ L(second) \\ ⋃ L(excluding)``.
 
-    ``L(first) ∩ L(second) \\ ⋃ L(excluding) ≠ ∅``.  The exclusion set
-    lets the overlap pass ignore strings the target's pass-through check
-    intercepts before any branch is consulted.
+    The witness-producing form of :func:`languages_overlap`; ``None``
+    means the (residual) intersection is empty.
     """
     machines = [first, second, *excluding]
 
@@ -231,6 +247,21 @@ def languages_overlap(
     return _search(machines, atoms, hit=_hit, prune=_prune)
 
 
+def languages_overlap(
+    first: ChainNFA,
+    second: ChainNFA,
+    atoms: Sequence[str],
+    excluding: Sequence[ChainNFA] = (),
+) -> bool:
+    """Whether some string is in both languages (and in no excluded one).
+
+    ``L(first) ∩ L(second) \\ ⋃ L(excluding) ≠ ∅``.  The exclusion set
+    lets the overlap pass ignore strings the target's pass-through check
+    intercepts before any branch is consulted.
+    """
+    return overlap_witness(first, second, atoms, excluding=excluding) is not None
+
+
 def guard_satisfiable(
     pattern_machine: ChainNFA,
     keyword: str,
@@ -244,29 +275,64 @@ def guard_satisfiable(
 
 
 def keyword_always_present(pattern: Pattern, keyword: str, case_sensitive: bool = True) -> bool:
-    """Sufficient check that every match of ``pattern`` contains ``keyword``.
+    """Exact check that every match of ``pattern`` contains ``keyword``.
 
-    True when the keyword occurs inside the concatenation of a maximal
-    run of literal tokens — constant text every matching string carries
-    verbatim.  (Sound but incomplete: a keyword spanning a literal and a
-    fixed one-character class is not detected, which only costs a missed
-    INFO finding.)
+    Decides ``L(pattern) ⊆ L(.*keyword.*)`` by subset simulation over an
+    atom alphabet that distinguishes every keyword character (and, for
+    case-insensitive guards, both its case foldings), so keywords that
+    span literal runs *and* class tokens are handled, not just keywords
+    inside a single literal run.
     """
-    run: List[str] = []
-    runs: List[str] = []
-    for token in pattern.tokens:
-        if token.is_literal and token.literal:
-            run.append(token.literal)
-        else:
-            if run:
-                runs.append("".join(run))
-                run = []
-    if run:
-        runs.append("".join(run))
+    if not keyword:
+        return True
     if case_sensitive:
-        return any(keyword in text for text in runs)
-    lowered = keyword.lower()
-    return any(lowered in text.lower() for text in runs)
+        variants: Tuple[str, ...] = (keyword,)
+    else:
+        variants = (keyword, keyword.lower(), keyword.upper())
+    atoms = atom_alphabet([pattern], extra_text=variants)
+    machine = pattern_nfa(pattern, atoms)
+    return subsumed_by_union(machine, [contains_nfa(keyword, atoms, case_sensitive)], atoms)
+
+
+def nfa_accepts(nfa: ChainNFA, text: str) -> bool:
+    """Concrete membership: whether ``nfa`` accepts ``text``.
+
+    Only meaningful when every character of ``text`` is an atom of the
+    alphabet the NFA was built over — pass ``extra_text=[text]`` to
+    :func:`atom_alphabet` when building it.  (Extra literal atoms only
+    refine the quotient, so this never changes the language denoted.)
+    """
+    states = frozenset((0,))
+    for char in text:
+        states = nfa.step(states, char)
+        if not states:
+            return False
+    return nfa.accepts_state(states)
+
+
+def random_sample_string(pattern: Pattern, rng: random.Random, plus_cap: int = 4) -> str:
+    """A random concrete string matching ``pattern``.
+
+    Class tokens draw uniformly from all accepted base-class characters;
+    ``+`` tokens repeat between 1 and ``plus_cap`` times.  Used by the
+    differential property suites to exercise the language machinery on
+    inputs :func:`sample_string` would never produce.
+    """
+    pieces: List[str] = []
+    for token in pattern.tokens:
+        if token.is_literal:
+            assert token.literal is not None
+            pieces.append(token.literal)
+            continue
+        accepted = [
+            char
+            for pool in _REPRESENTATIVE_POOLS
+            for char in pool
+            if token.klass.accepts_char(char)
+        ]
+        count = rng.randint(1, plus_cap) if token.is_plus else int(token.quantifier)
+        pieces.append("".join(rng.choice(accepted) for _ in range(count)))
+    return "".join(pieces)
 
 
 def sample_string(pattern: Pattern, plus_length: int = 1) -> str:

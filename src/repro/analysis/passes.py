@@ -16,6 +16,7 @@ if TYPE_CHECKING:  # hierarchy types only flow in, never out
     from repro.clustering.hierarchy import PatternHierarchy
 
 from repro.analysis.findings import Finding, finding
+from repro.analysis.flow import check_flow, plan_is_identity
 from repro.analysis.lang import (
     ChainNFA,
     atom_alphabet,
@@ -26,7 +27,7 @@ from repro.analysis.lang import (
     subsumed_by_union,
 )
 from repro.analysis.redos import analyze_regex
-from repro.dsl.ast import Branch, ConstStr, Extract
+from repro.dsl.ast import ConstStr, Extract
 from repro.dsl.guards import ContainsGuard
 from repro.engine.compiled import CompiledProgram
 from repro.patterns.matching import compiled_with_groups
@@ -229,18 +230,6 @@ def check_regex_safety(
 # Pass 4: plan and guard sanity
 # ----------------------------------------------------------------------
 
-def _plan_is_identity(branch: Branch) -> bool:
-    """Whether the plan reproduces every match verbatim (extracts 1..n)."""
-    cursor = 1
-    for expression in branch.plan.expressions:
-        if not isinstance(expression, Extract):
-            return False
-        if expression.start != cursor:
-            return False
-        cursor = expression.end + 1
-    return cursor == len(branch.pattern) + 1
-
-
 def check_plan_sanity(
     compiled: CompiledProgram, languages: ProgramLanguages, name: str
 ) -> List[Finding]:
@@ -251,7 +240,7 @@ def check_plan_sanity(
         location = _branch_location(name, index)
         expressions = branch.plan.expressions
 
-        if _plan_is_identity(branch):
+        if plan_is_identity(branch):
             findings.append(
                 finding(
                     "CLX007",
@@ -288,7 +277,7 @@ def check_plan_sanity(
             for position, token in enumerate(branch.pattern.tokens)
             if not token.is_literal and (position + 1) not in used
         ]
-        if unused and not constant_only and not _plan_is_identity(branch):
+        if unused and not constant_only and not plan_is_identity(branch):
             notations = ", ".join(
                 branch.pattern.tokens[position - 1].notation() for position in unused
             )
@@ -448,6 +437,7 @@ def analyze_compiled(
         if f.rule_id in ("CLX001", "CLX002")
     }
     findings.extend(check_overlap(compiled, languages, name, dead_indices=dead))
+    findings.extend(check_flow(compiled, name))
     findings.extend(check_regex_safety(compiled, name, probe=probe))
     findings.extend(check_plan_sanity(compiled, languages, name))
     if hierarchy is not None:

@@ -8,7 +8,7 @@ marker + version like every other serialized CLX artifact.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.analysis.analyzer import AnalysisReport
 from repro.analysis.findings import Severity
@@ -54,3 +54,33 @@ def report_payload(report: AnalysisReport) -> Dict[str, Any]:
 def render_json(report: AnalysisReport) -> str:
     """The ``--json`` reporter output (stable key order, 2-space indent)."""
     return json.dumps(report_payload(report), indent=2, sort_keys=True)
+
+
+def render_verify_text(
+    report: AnalysisReport,
+    verified: Mapping[str, bool],
+    show: Optional[Severity] = None,
+) -> str:
+    """``verify`` text report: one verdict line per artifact, then findings.
+
+    Verdicts render as ``verified <name>`` / ``UNVERIFIED <name>`` (the
+    upper case makes failures stand out in a scan), in the order the
+    artifacts were given.
+    """
+    lines = [
+        f"{'verified' if ok else 'UNVERIFIED'} {name}" for name, ok in verified.items()
+    ]
+    lines.append(render_text(report, show=show))
+    return "\n".join(lines)
+
+
+def verify_payload(report: AnalysisReport, verified: Mapping[str, bool]) -> Dict[str, Any]:
+    """The ``verify --json`` payload: the report payload + verdict map."""
+    payload = report_payload(report)
+    payload["verified"] = dict(verified)
+    return payload
+
+
+def render_verify_json(report: AnalysisReport, verified: Mapping[str, bool]) -> str:
+    """The ``verify --json`` reporter output."""
+    return json.dumps(verify_payload(report, verified), indent=2, sort_keys=True)

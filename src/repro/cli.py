@@ -39,17 +39,31 @@ library can be used without writing Python:
     Statically analyze saved artifacts *before* trusting them with a
     blind apply: dead dispatch arms (subsumed or shadowed branches),
     order-dependent overlaps, ReDoS-prone regexes (structural scan plus
-    a bounded empirical probe), degenerate plans and guards, and — with
-    ``--profile data.csv --column C`` — profiled clusters no branch
-    matches.  Several artifacts are also checked for cross-artifact
-    conflicts.  Findings carry stable rule ids (``CLX001``…); the exit
-    code is 1 when any finding reaches ``--fail-on`` (default
-    ``error``), 0 otherwise.
+    a bounded empirical probe), degenerate plans and guards, the
+    output-language flow verdicts, and — with ``--profile data.csv
+    --column C`` — profiled clusters no branch matches.  Several
+    artifacts are also checked for cross-artifact conflicts and static
+    pipeline composition.  Findings carry stable rule ids (``CLX001``…);
+    the exit code is 1 when any finding reaches ``--fail-on`` (default
+    ``error``), 0 otherwise.  With ``--cache-dir DIR`` an artifact may
+    be named by its registry fingerprint prefix (the ``fingerprint``
+    column of ``artifacts list``) instead of a file path.
+
+``repro-clx verify phone.clx.json [--json] [--fail-on warn]``
+    The flow verdicts alone, with one verdict line per artifact:
+    ``verified`` means every live transforming branch provably emits
+    only target-shaped values (rules CLX015/CLX016), so applying the
+    artifact never produces a malformed value it didn't already
+    receive.  Several artifacts are additionally checked as a pipeline
+    (CLX019–CLX021: broken, leaky, or re-transforming chains).  Accepts
+    registry fingerprint prefixes with ``--cache-dir`` like ``check``.
 
 ``repro-clx artifacts list --cache-dir DIR`` / ``artifacts gc``
     Inspect and garbage-collect a compile cache through its
     ``registry.json`` manifest: ``list`` shows every compiled artifact
-    (column fingerprint, target, stats; ``--json`` for machines), ``gc``
+    (column fingerprint, target, stats, lint summary, and the
+    ``verified`` proof bit — ``stale`` when the row was stamped by an
+    older analyzer ruleset; ``--json`` for machines), ``gc``
     prunes dangling manifest rows and unreferenced artifact files — and
     with ``--keep-days N`` also evicts artifacts whose last use (cache
     hits stamp ``last_used_at``) is older than N days.
@@ -70,7 +84,12 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.dataset.dataset import Dataset
+    from repro.engine.cache import ArtifactCache
+    from repro.engine.compiled import CompiledProgram
 
 from repro.clustering.incremental import DEFAULT_EXEMPLAR_CAP, IncrementalProfiler
 from repro.core.session import CLXSession
@@ -117,7 +136,7 @@ def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], L
     return rows, header, _resolve_column(header, column)
 
 
-def _dataset_column_name(dataset, column: str, delimiter: str) -> str:
+def _dataset_column_name(dataset: "Dataset", column: str, delimiter: str) -> str:
     """The resolved column name recorded on artifacts, per the dataset.
 
     Resolved against the first CSV part's header (so a zero-based index
@@ -234,11 +253,11 @@ def _command_compile(args: argparse.Namespace) -> int:
     # target + same flags = same program, so a hit skips synthesis.
     # Hits resolve through the registry manifest, so separate sessions
     # (and hosts sharing the directory) discover each other's programs.
-    cache = None
-    key = None
-    compiled = None
+    cache: Optional["ArtifactCache"] = None
+    key: Optional[str] = None
+    compiled: Optional["CompiledProgram"] = None
     target_spec = ""
-    flags = {}
+    flags: Dict[str, Any] = {}
     if args.cache_dir:
         from repro.engine.cache import ArtifactCache, cache_key
 
@@ -273,20 +292,30 @@ def _command_compile(args: argparse.Namespace) -> int:
         )
 
     # Lint the artifact before it is cached or written: dead arms,
-    # order-dependent overlaps, ReDoS-prone regexes, and clusters of
-    # this very profile the program does not cover.  Warnings go to
-    # stderr; --strict refuses to emit an artifact with any of them.
-    from repro.analysis import Severity, analyze_program
+    # order-dependent overlaps, ReDoS-prone regexes, flow verdicts, and
+    # clusters of this very profile the program does not cover.
+    # Warnings go to stderr; --strict refuses to emit an artifact with
+    # any of them — in particular an unverifiable one.
+    from repro.analysis import RULESET_VERSION, Severity, analyze_program, is_verified
 
     artifact_name = Path(args.output).name if args.output else "<compile>"
     analysis = analyze_program(
         compiled, name=artifact_name, hierarchy=profile.to_hierarchy()
     )
+    verified = is_verified(analysis.findings)
     flagged = analysis.at_least(Severity.WARN)
     if flagged:
         print("analysis findings:", file=sys.stderr)
         for item in flagged:
             print(f"  {item.render()}", file=sys.stderr)
+    if args.strict and not verified:
+        print(
+            "error: --strict compile refused: the artifact is not verifiable — "
+            "some live branch may emit a value outside the target (CLX015/"
+            "CLX016, see above); no artifact written",
+            file=sys.stderr,
+        )
+        return 1
     if args.strict and flagged:
         print(
             f"error: --strict compile refused: {len(flagged)} finding(s) at "
@@ -303,6 +332,13 @@ def _command_compile(args: argparse.Namespace) -> int:
         )
     elif cache is not None:
         assert key is not None
+        # The manifest row carries the severity counts plus the flow
+        # verdict and the ruleset version that produced them, so
+        # `artifacts list` can surface the proof — and flag summaries
+        # stamped by an older analyzer as stale.
+        analysis_summary = analysis.summary()
+        analysis_summary["verified"] = int(verified)
+        analysis_summary["rules"] = RULESET_VERSION
         stored = cache.store_registered(
             key,
             compiled,
@@ -311,7 +347,7 @@ def _command_compile(args: argparse.Namespace) -> int:
             flags=flags,
             source=dataset.describe(),
             stats={"rows": profile.row_count, "clusters": profile.cluster_count},
-            analysis=analysis.summary(),
+            analysis=analysis_summary,
         )
         print(f"cached artifact at {stored}", file=sys.stderr)
 
@@ -380,15 +416,17 @@ def _command_apply(args: argparse.Namespace) -> int:
     # streams; dead dispatch arms are only a hint (the artifact still
     # works, it just carries baggage), so they go to stderr.  No regex
     # probes here — apply startup must stay fast.
-    from repro.analysis import check_conflicts, reachability_only
+    from repro.analysis import check_composition, check_conflicts, reachability_only
 
     if not args.column:
         # Explicit --column flags override artifact metadata, so the
-        # metadata-level conflict check only applies without them (the
-        # resolved-column duplicate check below still guards both paths).
-        preflight = check_conflicts(
-            [(path, engine.compiled) for path, engine in zip(args.program, engines)]
-        )
+        # metadata-level conflict and composition checks only apply
+        # without them (the resolved-column duplicate check below still
+        # guards both paths).
+        named_programs = [
+            (path, engine.compiled) for path, engine in zip(args.program, engines)
+        ]
+        preflight = check_conflicts(named_programs)
         conflicts = [item for item in preflight if item.rule_id == "CLX013"]
         if conflicts:
             raise CLXError(
@@ -397,6 +435,21 @@ def _command_apply(args: argparse.Namespace) -> int:
             )
         for item in preflight:
             if item.rule_id != "CLX013":
+                print(f"warning: {item.render()}", file=sys.stderr)
+        if len(named_programs) > 1:
+            # Static pipeline composition: an artifact reading another's
+            # <col>_transformed output forms a chain.  A provably broken
+            # chain (CLX019: nothing the producer emits can ever match)
+            # aborts before any row streams; leaks and re-transforms are
+            # warnings — data still flows, just not the way intended.
+            composition = check_composition(named_programs)
+            broken = [item for item in composition if item.rule_id == "CLX019"]
+            if broken:
+                raise CLXError(
+                    "; ".join(item.message for item in broken)
+                    + " (run 'repro-clx verify' on these artifacts for details)"
+                )
+            for item in composition:
                 print(f"warning: {item.render()}", file=sys.stderr)
     for path, engine in zip(args.program, engines):
         for item in reachability_only(engine.compiled, path):
@@ -461,11 +514,64 @@ def _command_apply(args: argparse.Namespace) -> int:
     return 0 if result.flagged == 0 else 1
 
 
-def _load_artifact(path_str: str):
+def _load_artifact(path_str: str) -> "CompiledProgram":
     """Load one ``.clx.json`` artifact as a CompiledProgram."""
     from repro.engine.compiled import CompiledProgram
 
     return CompiledProgram.loads(Path(path_str).read_text(encoding="utf-8"))
+
+
+def _resolve_artifacts(
+    specs: Sequence[str], cache_dir: Optional[str]
+) -> List[Tuple[str, "CompiledProgram"]]:
+    """Resolve artifact specs — file paths or registry fingerprint prefixes.
+
+    A spec naming an existing file loads as a ``.clx.json`` artifact.
+    Anything else is treated (with ``--cache-dir``) as a prefix of a
+    column fingerprint from the cache's registry manifest — the form
+    ``artifacts list`` prints — and must match exactly one row; the
+    resolved artifact is then named after the row's artifact file, so
+    findings point at something that exists on disk.
+    """
+    named: List[Tuple[str, "CompiledProgram"]] = []
+    registry = None
+    for spec in specs:
+        path = Path(spec)
+        if path.is_file():
+            named.append((spec, _load_artifact(spec)))
+            continue
+        if not cache_dir:
+            raise CLXError(
+                f"artifact {spec!r} is not a file; to address a cached artifact "
+                "by registry fingerprint prefix, pass --cache-dir"
+            )
+        if registry is None:
+            from repro.engine.cache import ArtifactRegistry
+
+            registry = ArtifactRegistry(cache_dir)
+        matches = registry.lookup_fingerprint_prefix(spec)
+        if not matches:
+            raise CLXError(
+                f"no registry row in {cache_dir} matches fingerprint prefix "
+                f"{spec!r} (see 'repro-clx artifacts list --cache-dir {cache_dir}')"
+            )
+        if len(matches) > 1:
+            listing = ", ".join(
+                f"{entry.fingerprint[:12]} -> {entry.artifact or '?'}"
+                for entry in matches[:5]
+            )
+            raise CLXError(
+                f"fingerprint prefix {spec!r} is ambiguous in {cache_dir} "
+                f"({len(matches)} rows: {listing}); use a longer prefix or "
+                "the artifact path"
+            )
+        entry = matches[0]
+        if not entry.artifact:
+            raise CLXError(
+                f"registry row {entry.fingerprint[:12]} records no artifact file"
+            )
+        named.append((entry.artifact, _load_artifact(str(Path(cache_dir) / entry.artifact))))
+    return named
 
 
 def _command_check(args: argparse.Namespace) -> int:
@@ -477,7 +583,7 @@ def _command_check(args: argparse.Namespace) -> int:
     if args.column and not args.profile:
         raise CLXError("--column only applies together with --profile")
 
-    named = [(path, _load_artifact(path)) for path in args.artifact]
+    named = _resolve_artifacts(args.artifact, args.cache_dir)
 
     hierarchies = None
     if args.profile:
@@ -501,6 +607,24 @@ def _command_check(args: argparse.Namespace) -> int:
     return report.exit_code(fail_on)
 
 
+def _command_verify(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Severity,
+        render_verify_json,
+        render_verify_text,
+        verify_artifacts,
+    )
+
+    fail_on = Severity.parse(args.fail_on)
+    named = _resolve_artifacts(args.artifact, args.cache_dir)
+    report, verified = verify_artifacts(named)
+    if args.json:
+        print(render_verify_json(report, verified))
+    else:
+        print(render_verify_text(report, verified))
+    return report.exit_code(fail_on)
+
+
 def _analysis_cell(analysis: dict) -> str:
     """Compact lint status for the artifacts table, e.g. ``1E/2W``."""
     if not analysis:
@@ -516,6 +640,22 @@ def _analysis_cell(analysis: dict) -> str:
         if count
     ]
     return "/".join(parts)
+
+
+def _verified_cell(analysis: dict) -> str:
+    """Flow-verdict status for the artifacts table.
+
+    ``-`` for pre-analyzer rows, ``stale`` when the summary was stamped
+    by a different ruleset than the current analyzer (re-compile to
+    refresh the proof), otherwise the recorded verdict.
+    """
+    from repro.analysis import RULESET_VERSION
+
+    if not analysis:
+        return "-"
+    if analysis.get("rules") != RULESET_VERSION:
+        return "stale"
+    return "yes" if analysis.get("verified") else "no"
 
 
 def _command_artifacts(args: argparse.Namespace) -> int:
@@ -548,6 +688,7 @@ def _command_artifacts(args: argparse.Namespace) -> int:
             entry.flags.get("column", ""),
             entry.stats.get("rows", ""),
             _analysis_cell(entry.analysis),
+            _verified_cell(entry.analysis),
             entry.source,
             entry.artifact,
         )
@@ -555,7 +696,16 @@ def _command_artifacts(args: argparse.Namespace) -> int:
     ]
     print(
         format_table(
-            ["fingerprint", "target", "column", "rows", "lint", "source", "artifact"],
+            [
+                "fingerprint",
+                "target",
+                "column",
+                "rows",
+                "lint",
+                "verified",
+                "source",
+                "artifact",
+            ],
             table,
         )
     )
@@ -680,8 +830,15 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "artifact",
         nargs="+",
-        help=".clx.json artifact(s) written by 'compile'; several artifacts "
+        help=".clx.json artifact(s) written by 'compile', or — with "
+        "--cache-dir — registry fingerprint prefixes; several artifacts "
         "are additionally checked for cross-artifact conflicts",
+    )
+    check.add_argument(
+        "--cache-dir",
+        help="resolve non-file artifact specs as fingerprint prefixes "
+        "against this cache's registry manifest (the 'fingerprint' "
+        "column of 'artifacts list')",
     )
     check.add_argument(
         "--profile",
@@ -714,6 +871,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable JSON report (format clx/analysis-report)",
     )
     check.set_defaults(handler=_command_check)
+
+    verify = subparsers.add_parser(
+        "verify",
+        help="flow-verify .clx.json artifacts: prove every live branch "
+        "emits only target-shaped values, and statically check "
+        "multi-artifact pipeline composition",
+    )
+    verify.add_argument(
+        "artifact",
+        nargs="+",
+        help=".clx.json artifact(s) written by 'compile', or — with "
+        "--cache-dir — registry fingerprint prefixes; several artifacts "
+        "are additionally checked as a pipeline (broken/leaky/"
+        "re-transforming chains)",
+    )
+    verify.add_argument(
+        "--cache-dir",
+        help="resolve non-file artifact specs as fingerprint prefixes "
+        "against this cache's registry manifest (the 'fingerprint' "
+        "column of 'artifacts list')",
+    )
+    verify.add_argument(
+        "--fail-on",
+        default="error",
+        metavar="SEVERITY",
+        help="exit 1 when any finding is at or above this severity: "
+        "info, warn, or error (default error)",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON report (format clx/analysis-report "
+        "plus a per-artifact 'verified' map)",
+    )
+    verify.set_defaults(handler=_command_verify)
 
     apply_cmd = subparsers.add_parser(
         "apply",

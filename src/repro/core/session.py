@@ -340,6 +340,24 @@ class CLXSession:
             self.compile(), name=name, probe=probe, hierarchy=self._hierarchy
         )
 
+    def verify(self, name: str = "<session>"):
+        """Flow-verify the synthesized program: the ``verified`` proof.
+
+        Runs only the output-language flow verdicts (rules
+        CLX015–CLX018) over the compiled program and returns
+        ``(report, verified)``: an
+        :class:`~repro.analysis.analyzer.AnalysisReport` plus the proof
+        bit — ``True`` iff every live transforming branch provably emits
+        only target-shaped values, so applying the program never
+        produces a malformed value it didn't already receive.
+
+        Args:
+            name: Location prefix used in findings.
+        """
+        from repro.analysis import verify_program
+
+        return verify_program(self.compile(), name=name)
+
     def engine(self) -> TransformEngine:
         """The (cached) stateless engine executing the current program.
 

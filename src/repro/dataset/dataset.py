@@ -19,7 +19,7 @@ from __future__ import annotations
 import glob as globlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.util.errors import CLXError, ValidationError
 
@@ -236,7 +236,7 @@ class Dataset:
             yield from iter_part_values(part, column, delimiter)
 
 
-def _first_jsonl_object(path: Path):
+def _first_jsonl_object(path: Path) -> Optional[Dict[str, object]]:
     """The first non-blank JSON object of a JSONL file, or None if empty."""
     from repro.dataset.readers import parse_jsonl_row
 

@@ -12,10 +12,13 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterator, List, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple, Union
 
 from repro.util.csvio import record_open_after, resolve_column
 from repro.util.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.dataset.dataset import DatasetPart
 
 
 def read_csv_header(
@@ -85,7 +88,9 @@ def iter_csv_values(
             yield row[index] if index < len(row) else ""
 
 
-def parse_jsonl_row(line: str, source, number: Union[int, None] = None) -> dict:
+def parse_jsonl_row(
+    line: str, source: Union[str, Path], number: Union[int, None] = None
+) -> Dict[str, object]:
     """Parse one JSONL line into an object, with file context on errors.
 
     The single definition of what a JSONL row is — shared by the
@@ -104,7 +109,7 @@ def parse_jsonl_row(line: str, source, number: Union[int, None] = None) -> dict:
     return payload
 
 
-def jsonl_cell(value) -> str:
+def jsonl_cell(value: object) -> str:
     """Stringify one JSONL value into a pipeline cell, JSON-faithfully.
 
     The single ingestion rule shared by profiling and apply: missing
@@ -121,7 +126,7 @@ def jsonl_cell(value) -> str:
     return json.dumps(value, ensure_ascii=False)
 
 
-def jsonl_value(payload: dict, column: str) -> str:
+def jsonl_value(payload: Dict[str, object], column: str) -> str:
     """One column of a parsed JSONL row, stringified via :func:`jsonl_cell`
     (missing key and ``null`` both become ``""``)."""
     return jsonl_cell(payload.get(column))
@@ -168,7 +173,9 @@ def iter_jsonl_values(path: Union[str, Path], column: str) -> Iterator[str]:
             yield jsonl_value(parse_jsonl_row(line, source, number), column)
 
 
-def iter_part_values(part, column: Union[str, int], delimiter: str = ",") -> Iterator[str]:
+def iter_part_values(
+    part: "DatasetPart", column: Union[str, int], delimiter: str = ","
+) -> Iterator[str]:
     """Stream ``column`` out of one :class:`~repro.dataset.dataset.DatasetPart`."""
     if part.format == "jsonl":
         if not isinstance(column, str) or column.isdigit():

@@ -214,9 +214,14 @@ class RegistryEntry:
         flags: The synthesis flags that shaped the program.
         source: Human-readable description of the source dataset.
         stats: Profile statistics (e.g. ``{"rows": N, "clusters": M}``).
-        analysis: Linter summary recorded at compile time (severity
-            counts, e.g. ``{"error": 0, "warn": 1, "info": 2}``); empty
-            for rows written before the analyzer existed.
+        analysis: Linter summary recorded at compile time: severity
+            counts plus the flow-analysis verdict, e.g. ``{"error": 0,
+            "warn": 1, "info": 2, "verified": 1, "rules": 2}`` —
+            ``verified`` is the artifact's conformance proof bit and
+            ``rules`` the :data:`repro.analysis.findings.RULESET_VERSION`
+            that produced the summary (``artifacts list`` shows rows
+            stamped by an older ruleset as *stale*).  Empty for rows
+            written before the analyzer existed.
         created_at: Unix timestamp of the recording.
         last_used_at: Unix timestamp of the last cache hit resolved
             through this row (0.0 until the first hit; age eviction
@@ -333,6 +338,21 @@ class ArtifactRegistry:
         """
         return [
             entry for entry in self.entries() if entry.fingerprint == fingerprint
+        ]
+
+    def lookup_fingerprint_prefix(self, prefix: str) -> List[RegistryEntry]:
+        """Every row whose column fingerprint starts with ``prefix``.
+
+        ``artifacts list`` shows the first 12 hex characters of each
+        fingerprint; ``check``/``verify`` accept that prefix (with
+        ``--cache-dir``) in place of an artifact path, and this is how
+        the pasted prefix resolves back to the full row.  An empty
+        prefix matches nothing — it would "resolve" to the whole cache.
+        """
+        if not prefix:
+            return []
+        return [
+            entry for entry in self.entries() if entry.fingerprint.startswith(prefix)
         ]
 
     # ------------------------------------------------------------------

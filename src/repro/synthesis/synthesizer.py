@@ -12,6 +12,18 @@ the synthesizer traverses the hierarchy top-down.  A node is
   leaves that can never be solved are reported as *uncovered* (the data
   they describe is left unchanged and flagged, per Section 6.1).
 
+Synthesis is additionally **verification-guided**: candidate plans whose
+symbolic output language provably lies inside the target (see
+:func:`repro.analysis.flow.plan_conforms`) are preferred over equally
+ranked plans that don't, and a node whose best plan is *not* provably
+conforming is first **narrowed** — ``+`` tokens tighten to the fixed
+quantifier every leaf descendant agrees on, keeping one generalized
+branch that still covers all profiled rows — and, failing that, refined
+into its children when the whole subtree can be covered by provably
+conforming branches.  This is what turns the paper's verifiability claim
+into a default: artifacts earn the analyzer's ``verified`` proof
+whenever the profiled data admits one.
+
 The result carries, for every solved source pattern, the full ranked and
 deduplicated list of candidate plans so that program repair (Section 6.4)
 can swap the default plan without re-running synthesis.
@@ -20,8 +32,9 @@ can swap the default plan without re-running synthesis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.flow import plan_conforms
 from repro.clustering.hierarchy import HierarchyNode, PatternHierarchy
 from repro.dsl.ast import AtomicPlan, Branch, UniFiProgram
 from repro.patterns.pattern import Pattern
@@ -29,6 +42,7 @@ from repro.synthesis.alignment import align_tokens
 from repro.synthesis.equivalence import deduplicate_plans
 from repro.synthesis.plans import enumerate_plans, rank_plans
 from repro.synthesis.validate import validate_source
+from repro.tokens.token import Token
 from repro.util.errors import SynthesisError
 
 
@@ -130,6 +144,17 @@ class Synthesizer:
                 continue
             plans = self._plans_for(pattern, target)
             if plans:
+                if not plan_conforms(pattern, plans[0], target):
+                    cover = self._verified_resolution(node, target)
+                    if cover is not None:
+                        covered_solved, covered_already = cover
+                        for covered_pattern, covered_plans in covered_solved:
+                            if covered_pattern in seen_sources:
+                                continue
+                            seen_sources.add(covered_pattern)
+                            solved.append((covered_pattern, covered_plans))
+                        already_target.extend(covered_already)
+                        continue
                 seen_sources.add(pattern)
                 solved.append((pattern, plans))
                 continue
@@ -155,8 +180,100 @@ class Synthesizer:
         )
 
     # ------------------------------------------------------------------
+    def _verified_resolution(
+        self, node: HierarchyNode, target: Pattern
+    ) -> Optional[Tuple[List[Tuple[Pattern, List[AtomicPlan]]], List[Pattern]]]:
+        """Replace an unverifiable node solution with a provable one.
+
+        Tries, in order: the *narrowed* node pattern (one branch, still
+        covering every profiled row), then a cover of the subtree by
+        provably conforming descendant branches.  Returns
+        ``(solved, already_target)`` or ``None`` when neither works —
+        the caller then keeps the node's own (unverifiable) solution
+        rather than losing coverage.
+        """
+        narrowed = self._narrowed_pattern(node)
+        if narrowed != node.pattern:
+            if target == narrowed or target.subsumes(narrowed):
+                # Every profiled row under this node is already in the
+                # desired form; the pass-through handles it.
+                return [], [narrowed]
+            plans = self._plans_for(narrowed, target)
+            if plans and plan_conforms(narrowed, plans[0], target):
+                return [(narrowed, plans)], []
+        return self._conforming_cover(node, target)
+
+    @staticmethod
+    def _narrowed_pattern(node: HierarchyNode) -> Pattern:
+        """Tighten ``+`` tokens to the width every leaf descendant shares.
+
+        The result still subsumes every leaf under ``node`` (narrowing
+        only happens where all leaves agree), so swapping it in for the
+        node's pattern never drops a profiled row — it only stops the
+        branch from matching *unseen* widths the plan could transform
+        into non-target-shaped output.  Patterns are compared
+        positionally; any length mismatch disables narrowing.
+        """
+        leaves: List[Pattern] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.children:
+                stack.extend(current.children)
+            else:
+                leaves.append(current.pattern)
+        pattern = node.pattern
+        if not leaves or any(len(leaf) != len(pattern) for leaf in leaves):
+            return pattern
+        tokens: List[Token] = []
+        for position, token in enumerate(pattern.tokens):
+            if token.is_plus:
+                widths = {leaf.tokens[position].fixed_length for leaf in leaves}
+                if len(widths) == 1 and None not in widths:
+                    width = widths.pop()
+                    assert width is not None
+                    tokens.append(Token.base(token.klass, width))
+                    continue
+            tokens.append(token)
+        return Pattern(tokens)
+
+    def _conforming_cover(
+        self, node: HierarchyNode, target: Pattern
+    ) -> Optional[Tuple[List[Tuple[Pattern, List[AtomicPlan]]], List[Pattern]]]:
+        """Cover ``node``'s subtree with provably conforming branches.
+
+        Returns ``(solved, already_target)`` when every descendant either
+        already matches the target or admits a default plan whose output
+        language provably lies inside it — or ``None`` when no such cover
+        exists.
+        """
+        pattern = node.pattern
+        if pattern == target or target.subsumes(pattern):
+            return [], [pattern]
+        plans = self._plans_for(pattern, target)
+        if plans and plan_conforms(pattern, plans[0], target):
+            return [(pattern, plans)], []
+        if not node.children:
+            return None
+        solved: List[Tuple[Pattern, List[AtomicPlan]]] = []
+        already: List[Pattern] = []
+        for child in node.children:
+            sub = self._conforming_cover(child, target)
+            if sub is None:
+                return None
+            solved.extend(sub[0])
+            already.extend(sub[1])
+        return solved, already
+
     def _plans_for(self, source: Pattern, target: Pattern) -> List[AtomicPlan]:
-        """Validated + aligned + ranked + deduplicated plans for one source."""
+        """Validated + aligned + ranked + deduplicated plans for one source.
+
+        When the MDL-best plan is not provably conforming but some other
+        candidate is, the conforming candidates are stably moved to the
+        front — verification breaks ranking ties the description length
+        cannot see (e.g. which of several ``<D>+`` tokens feeds a
+        ``<D>3`` target).
+        """
         if not validate_source(source, target):
             return []
         dag = align_tokens(source, target)
@@ -167,7 +284,13 @@ class Synthesizer:
             return []
         ranked = rank_plans(plans, source)
         deduped = deduplicate_plans(ranked[: self.dedup_window], source)
-        return deduped[: self.keep_candidates]
+        kept = deduped[: self.keep_candidates]
+        if kept and not plan_conforms(source, kept[0], target):
+            conforming = [plan for plan in kept if plan_conforms(source, plan, target)]
+            if conforming:
+                chosen = set(conforming)
+                kept = conforming + [plan for plan in kept if plan not in chosen]
+        return kept
 
 
 def synthesize(

@@ -12,10 +12,14 @@ import pytest
 from repro.analysis.lang import (
     atom_alphabet,
     contains_nfa,
+    difference_witness,
     guard_satisfiable,
     keyword_always_present,
     languages_overlap,
+    nfa_accepts,
+    overlap_witness,
     pattern_nfa,
+    random_sample_string,
     sample_string,
     subsumed_by_union,
 )
@@ -127,6 +131,50 @@ class TestGuards:
         assert keyword_always_present(P("'lbs.'<D>+"), "lbs")
         assert keyword_always_present(P("<D>+' lbs'"), "LBS", case_sensitive=False)
         assert not keyword_always_present(P("<L>3"), "lbs")
+
+    def test_always_present_across_adjacent_literal_tokens(self):
+        # The keyword spans two literal tokens — the single-literal scan
+        # used to miss this (a documented false negative); the exact
+        # inclusion check does not.
+        assert keyword_always_present(P("'lb''s.'<D>+"), "lbs")
+        assert keyword_always_present(P("<D>+'k''g'"), "kg")
+
+    def test_never_present_through_class_tokens_is_exact(self):
+        # '0.' is NOT always present: <D>1 can be another digit.  But
+        # every match of '0'<D>1 does contain '0'.
+        assert not keyword_always_present(P("'0'<D>1'.'"), "0.")
+        assert keyword_always_present(P("'0'<D>1'.'"), "0")
+
+    def test_empty_keyword_is_trivially_present(self):
+        assert keyword_always_present(P("<D>3"), "")
+
+    def test_exactness_against_witness_search(self):
+        # keyword_always_present must agree with the witness machinery:
+        # when it says "not always", a concrete pattern match without
+        # the keyword exists (and really matches the pattern's regex).
+        from repro.patterns.regex import compile_pattern
+
+        cases = [
+            ("'lbs.'<D>+", "lbs"),
+            ("'lb''s.'<D>+", "lbs"),
+            ("<L>3", "lbs"),
+            ("'0'<D>1'.'", "0."),
+            ("<D>+' kg'", "kg"),
+            ("<U>2'-'<D>2", "A-"),
+        ]
+        for notation, keyword in cases:
+            pattern = P(notation)
+            atoms = atom_alphabet([pattern], extra_text=[keyword])
+            witness = difference_witness(
+                pattern_nfa(pattern, atoms),
+                [contains_nfa(keyword, atoms)],
+                atoms,
+            )
+            always = keyword_always_present(pattern, keyword)
+            assert always == (witness is None), (notation, keyword, witness)
+            if witness is not None:
+                assert compile_pattern(pattern).match(witness)
+                assert keyword not in witness
 
 
 class TestContainsNfa:

@@ -325,9 +325,13 @@ class TestArtifactsCommand:
             }
             assert entry["stats"] == {"rows": 4, "clusters": 4}
             assert entry["flags"]["column"] == "phone"
-            # The finding summary the compile-time analyzer recorded.
-            assert set(entry["analysis"]) == {"info", "warn", "error"}
+            # The finding summary the compile-time analyzer recorded,
+            # plus the verified-proof stamp and its ruleset version.
+            assert set(entry["analysis"]) == {
+                "info", "warn", "error", "verified", "rules"
+            }
             assert entry["analysis"]["error"] == 0
+            assert entry["analysis"]["verified"] == 1
         # Stable ordering: (created_at, key) ascending.
         marks = [(entry["created_at"], entry["key"]) for entry in entries]
         assert marks == sorted(marks)

@@ -1,0 +1,301 @@
+"""Golden-file CLI tests for ``repro-clx verify`` and its integrations.
+
+Covers the verify reporters (text + JSON with the per-artifact verdict
+map), the ``--fail-on`` contract, registry-fingerprint artifact specs
+(``--cache-dir``), the stamped ``verified``/``rules`` registry keys and
+their ``artifacts list`` column, ``compile --strict`` refusing
+unverifiable artifacts, and the ``apply`` pipeline-composition
+pre-flight.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.analysis.findings import RULESET_VERSION
+from repro.cli import main
+from repro.dsl.ast import AtomicPlan, Branch, ConstStr, Extract, UniFiProgram
+from repro.dsl.guards import ContainsGuard
+from repro.engine.cache import ArtifactRegistry, RegistryEntry
+from repro.engine.compiled import CompiledProgram
+from repro.patterns.parse import parse_pattern as P
+
+TARGET = P("<D>3'-'<D>4")
+
+GOOD_BRANCH = Branch(
+    P("<D>3'.'<D>4"), AtomicPlan([Extract(1), ConstStr("-"), Extract(3)])
+)
+BAD_BRANCH = Branch(P("<D>3'.'<D>4"), AtomicPlan([Extract(1)]))
+
+
+def _write(path, branches, target=TARGET, metadata=None):
+    compiled = CompiledProgram(UniFiProgram(branches), target, metadata=metadata)
+    path.write_text(compiled.dumps(indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    """Run the CLI from tmp_path so finding locations are bare names."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+@pytest.fixture
+def good_artifact(workdir):
+    return _write(workdir / "good.clx.json", [GOOD_BRANCH], metadata={"column": "phone"})
+
+
+@pytest.fixture
+def bad_artifact(workdir):
+    return _write(workdir / "bad.clx.json", [BAD_BRANCH], metadata={"column": "phone"})
+
+
+GOLDEN_BAD_TEXT = """\
+UNVERIFIED bad.clx.json
+ERROR CLX015 bad.clx.json:branch[1]: plan output <D>3 escapes the target <D>3'-'<D>4: e.g. input '000.0000' can produce '000'
+1 finding(s): 1 error
+"""
+
+
+class TestVerifyReports:
+    def test_verified_artifact_text_report(self, good_artifact, capsys):
+        code = main(["verify", "good.clx.json"])
+        assert capsys.readouterr().out == "verified good.clx.json\nOK: no findings\n"
+        assert code == 0
+
+    def test_unverified_artifact_text_report(self, bad_artifact, capsys):
+        code = main(["verify", "bad.clx.json"])
+        assert capsys.readouterr().out == GOLDEN_BAD_TEXT
+        assert code == 1  # CLX015 is an error; default --fail-on error
+
+    def test_json_report_carries_verdict_map(self, good_artifact, bad_artifact, capsys):
+        code = main(["verify", "good.clx.json", "bad.clx.json", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["format"] == "clx/analysis-report"
+        assert payload["verified"] == {"good.clx.json": True, "bad.clx.json": False}
+        assert [f["rule"] for f in payload["findings"]] == ["CLX015"]
+
+    def test_guarded_branch_is_unverified_but_warn(self, workdir, capsys):
+        _write(
+            workdir / "guarded.clx.json",
+            [Branch(P("<D>3'.'<D>4"), AtomicPlan([Extract(1)]), guard=ContainsGuard("1"))],
+        )
+        assert main(["verify", "guarded.clx.json"]) == 0  # WARN < error
+        assert "UNVERIFIED guarded.clx.json" in capsys.readouterr().out
+        assert main(["verify", "guarded.clx.json", "--fail-on", "warn"]) == 1
+
+    def test_misordered_chain_fails_verify(self, workdir, capsys):
+        _write(workdir / "p.clx.json", [GOOD_BRANCH], metadata={"column": "code"})
+        _write(
+            workdir / "c.clx.json",
+            [Branch(P("<U>+'.'<U>+"), AtomicPlan([Extract(1), ConstStr("-"), Extract(3)]))],
+            target=P("<U>+'-'<U>+"),
+            metadata={"column": "code_transformed"},
+        )
+        code = main(["verify", "p.clx.json", "c.clx.json"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "verified p.clx.json" in out
+        assert "verified c.clx.json" in out
+        assert "CLX019" in out and "mis-ordered" in out
+
+    def test_broken_pipe_exits_with_sigpipe_code(self, bad_artifact, monkeypatch):
+        class _BrokenStdout:
+            def write(self, text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):
+                pass
+
+        monkeypatch.setattr(sys, "stdout", _BrokenStdout())
+        assert main(["verify", "bad.clx.json", "--json"]) == 141
+
+
+@pytest.fixture
+def cached_artifact(workdir, capsys):
+    """Compile one artifact into a cache and return its registry entry."""
+    (workdir / "dots.csv").write_text(
+        "id,phone\n1,555.1234\n2,313.9999\n", encoding="utf-8"
+    )
+    assert (
+        main(
+            [
+                "compile", "dots.csv", "--column", "phone",
+                "--target-pattern", "<D>3'-'<D>4",
+                "--output", "phone.clx.json", "--cache-dir", "cache",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()  # drop compile chatter
+    entries = ArtifactRegistry(workdir / "cache").entries()
+    assert len(entries) == 1
+    return entries[0]
+
+
+class TestFingerprintSpecs:
+    def test_verify_accepts_fingerprint_prefix(self, cached_artifact, capsys):
+        code = main(
+            ["verify", cached_artifact.fingerprint[:12], "--cache-dir", "cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # Findings are named after the resolved artifact file on disk.
+        assert f"verified {cached_artifact.artifact}" in out
+
+    def test_check_accepts_fingerprint_prefix(self, cached_artifact, capsys):
+        code = main(
+            ["check", cached_artifact.fingerprint[:12], "--cache-dir", "cache"]
+        )
+        assert code == 0
+        assert "OK: no findings" in capsys.readouterr().out
+
+    def test_unknown_prefix_is_a_clean_error(self, cached_artifact, capsys):
+        code = main(["verify", "ffffffffffff", "--cache-dir", "cache"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no registry row" in err
+
+    def test_ambiguous_prefix_is_a_clean_error(self, workdir, cached_artifact, capsys):
+        # A second row with the same fingerprint (different target) makes
+        # the bare prefix ambiguous.
+        registry = ArtifactRegistry(workdir / "cache")
+        clone = RegistryEntry(
+            key="other-key",
+            fingerprint=cached_artifact.fingerprint,
+            target="pattern:<D>+",
+            artifact=cached_artifact.artifact,
+        )
+        registry.record(clone)
+        code = main(
+            ["verify", cached_artifact.fingerprint[:12], "--cache-dir", "cache"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "ambiguous" in err
+
+    def test_nonfile_spec_without_cache_dir_is_an_error(self, workdir, capsys):
+        code = main(["verify", "deadbeef"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--cache-dir" in err
+
+
+class TestRegistryStamping:
+    def test_compile_stamps_verified_and_ruleset(self, cached_artifact):
+        assert cached_artifact.analysis["verified"] == 1
+        assert cached_artifact.analysis["rules"] == RULESET_VERSION
+
+    def test_artifacts_list_shows_verified_column(self, cached_artifact, capsys):
+        assert main(["artifacts", "list", "--cache-dir", "cache"]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out.splitlines()[0]
+        assert " yes " in out
+
+    def test_stale_ruleset_shows_as_stale(self, workdir, cached_artifact, capsys):
+        registry = ArtifactRegistry(workdir / "cache")
+        old = RegistryEntry(
+            **{
+                **cached_artifact.to_dict(),
+                "key": "old-key",
+                "analysis": {**cached_artifact.analysis, "rules": RULESET_VERSION - 1},
+            }
+        )
+        registry.record(old)
+        assert main(["artifacts", "list", "--cache-dir", "cache"]) == 0
+        out = capsys.readouterr().out
+        assert "stale" in out
+
+    def test_pre_analyzer_rows_show_a_dash(self, workdir, cached_artifact, capsys):
+        registry = ArtifactRegistry(workdir / "cache")
+        bare = RegistryEntry(
+            **{**cached_artifact.to_dict(), "key": "bare-key", "analysis": {}}
+        )
+        registry.record(bare)
+        assert main(["artifacts", "list", "--cache-dir", "cache"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        verified_column = lines[0].index("verified")
+        cells = {line[verified_column:].split()[0] for line in lines[2:]}
+        assert "-" in cells
+
+
+class TestStrictCompile:
+    def test_strict_refuses_unverifiable_artifact(self, workdir, capsys):
+        # Leaves of widths 1 and 2 admit no narrowing and no conforming
+        # cover toward a fixed-width target: the best plan's output
+        # '#'<D>+ provably escapes '#'<D>2.
+        (workdir / "mixed.csv").write_text(
+            "id,val\n1,1.2\n2,12.34\n3,7.8\n4,34.56\n", encoding="utf-8"
+        )
+        code = main(
+            [
+                "compile", "mixed.csv", "--column", "val",
+                "--target-pattern", "'#'<D>2",
+                "--strict", "--output", "strict.clx.json",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "not verifiable" in err
+        assert "CLX015" in err
+        assert not (workdir / "strict.clx.json").exists()
+
+
+class TestApplyCompositionPreflight:
+    def _chain(self, workdir):
+        _write(workdir / "p.clx.json", [GOOD_BRANCH], metadata={"column": "code"})
+        (workdir / "codes.csv").write_text("code\n123.4567\n", encoding="utf-8")
+
+    def test_broken_chain_aborts_apply(self, workdir, capsys):
+        self._chain(workdir)
+        _write(
+            workdir / "c.clx.json",
+            [Branch(P("<U>+'.'<U>+"), AtomicPlan([Extract(1), ConstStr("-"), Extract(3)]))],
+            target=P("<U>+'-'<U>+"),
+            metadata={"column": "code_transformed"},
+        )
+        code = main(["apply", "p.clx.json", "c.clx.json", "codes.csv"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "mis-ordered" in err
+        assert "repro-clx verify" in err
+
+    def test_retransform_chain_warns_but_proceeds(self, workdir, capsys):
+        # Both columns already exist (the chain's intermediate included),
+        # so the in-place pass can actually stream; the re-transform
+        # verdict is advisory.
+        self._chain(workdir)
+        (workdir / "chained.csv").write_text(
+            "code,code_transformed\n123.4567,555-1234\n", encoding="utf-8"
+        )
+        _write(
+            workdir / "c.clx.json",
+            [Branch(P("<D>3'-'<D>4"), AtomicPlan([ConstStr("#"), Extract(1, 3)]))],
+            target=P("'#'<D>3'-'<D>4"),
+            metadata={"column": "code_transformed"},
+        )
+        code = main(
+            [
+                "apply", "p.clx.json", "c.clx.json", "chained.csv",
+                "--in-place", "--output", "out.csv",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "CLX021" in captured.err
+        assert (workdir / "out.csv").exists()
+
+
+class TestSessionVerify:
+    def test_session_verify_returns_proof(self):
+        from repro.core.session import CLXSession
+
+        session = CLXSession(["555.1234", "313.9999"])
+        session.label_target_from_notation("<D>3'-'<D>4")
+        report, verified = session.verify()
+        assert verified and len(report) == 0

@@ -1,0 +1,176 @@
+"""Differential property suite for the output-language flow analysis.
+
+The symbolic claim under test: for every branch, the *computed* output
+pattern (:func:`~repro.analysis.flow.branch_output_pattern`) denotes a
+language containing every *concrete* output the interpreter produces.
+The suite compiles all 47 benchmark tasks, samples strings from each
+branch's input language (deterministic and seeded-random), runs them
+through ``CompiledProgram.run_one``, and checks the concrete output
+against the symbolic output NFA — any divergence means the verifier
+reasons about a different machine than the one that runs.
+
+Seeded mutants close the loop from the other side: corrupting a plan
+constant must cost the artifact its ``verified`` proof (CLX015 names
+the corrupted branch), so the proof is falsifiable, not vacuous.
+
+Run with ``CLX_PROPERTY_SEED=random`` for a fresh seed per run, or
+``CLX_PROPERTY_SEED=<n>`` to replay a failure (see conftest).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.analyzer import verify_program
+from repro.analysis.flow import branch_output_pattern, check_flow, is_verified
+from repro.analysis.lang import (
+    atom_alphabet,
+    nfa_accepts,
+    pattern_nfa,
+    random_sample_string,
+    sample_string,
+)
+from repro.bench.suite import benchmark_suite
+from repro.core.session import CLXSession
+from repro.engine.compiled import CompiledProgram
+
+#: Random input samples drawn per branch pattern.
+RANDOM_SAMPLES_PER_BRANCH = 5
+
+
+@pytest.fixture(scope="module")
+def suite_artifacts():
+    """Every benchmark task compiled through the full session flow."""
+    artifacts = {}
+    for task in benchmark_suite():
+        session = CLXSession(task.inputs)
+        session.label_target(task.target_pattern())
+        artifacts[task.task_id] = session.compile(metadata={"column": task.task_id})
+    return artifacts
+
+
+def _branch_inputs(compiled, rng):
+    """Sampled concrete inputs per branch: deterministic + seeded-random."""
+    for branch in compiled.program.branches:
+        yield branch, sample_string(branch.pattern)
+        yield branch, sample_string(branch.pattern, plus_length=3)
+        for _ in range(RANDOM_SAMPLES_PER_BRANCH):
+            yield branch, random_sample_string(branch.pattern, rng)
+
+
+def _accepted_by_symbolic_output(compiled, outcome, concrete_output):
+    """Whether some branch with the matched pattern explains the output."""
+    candidates = [
+        branch
+        for branch in compiled.program.branches
+        if branch.pattern == outcome.pattern
+    ]
+    assert candidates, f"matched pattern {outcome.pattern!r} is no branch's"
+    for branch in candidates:
+        output_pattern = branch_output_pattern(branch)
+        atoms = atom_alphabet([output_pattern], extra_text=[concrete_output])
+        if nfa_accepts(pattern_nfa(output_pattern, atoms), concrete_output):
+            return True
+    return False
+
+
+class TestSuiteVerification:
+    def test_all_suite_artifacts_are_verified(self, suite_artifacts):
+        """The headline acceptance fact: every benchmark program proves out."""
+        unverified = [
+            task_id
+            for task_id, compiled in suite_artifacts.items()
+            if not verify_program(compiled, task_id)[1]
+        ]
+        assert unverified == []
+
+
+class TestDifferentialOutputs:
+    def test_concrete_outputs_lie_in_symbolic_output_language(
+        self, suite_artifacts, property_rng
+    ):
+        """run_one's output is always inside the computed output NFA."""
+        checked = 0
+        for task_id, compiled in suite_artifacts.items():
+            for branch, value in _branch_inputs(compiled, property_rng):
+                outcome = compiled.run_one(value)
+                if not outcome.matched or outcome.pattern == compiled.target:
+                    # Pass-through (or unmatched): nothing symbolic to check.
+                    continue
+                assert _accepted_by_symbolic_output(compiled, outcome, outcome.output), (
+                    f"{task_id}: input {value!r} produced {outcome.output!r}, "
+                    f"outside the symbolic output language of the matched "
+                    f"branch {outcome.pattern.notation()}"
+                )
+                checked += 1
+        assert checked > 100  # the property must actually have bitten
+
+    def test_verified_artifacts_emit_target_or_echo(self, suite_artifacts, property_rng):
+        """On a verified artifact, every matched transform lands in the target.
+
+        Identity branches echo their input (that is their exemption), so
+        the claim is: output conforms to the target, or output == input.
+        """
+        for task_id, compiled in suite_artifacts.items():
+            if not verify_program(compiled, task_id)[1]:  # pragma: no cover
+                continue
+            target = compiled.target
+            target_atoms_base = [target]
+            for branch, value in _branch_inputs(compiled, property_rng):
+                outcome = compiled.run_one(value)
+                if not outcome.matched:
+                    continue
+                if outcome.output == value:
+                    continue
+                atoms = atom_alphabet(target_atoms_base, extra_text=[outcome.output])
+                assert nfa_accepts(pattern_nfa(target, atoms), outcome.output), (
+                    f"{task_id}: verified artifact transformed {value!r} to "
+                    f"{outcome.output!r}, which is outside the target "
+                    f"{target.notation()}"
+                )
+
+
+def _mutate_first_constant(compiled):
+    """A wrong-constant mutant via the JSON wire format, or None.
+
+    Serializing and corrupting the first ``const`` op mimics an artifact
+    edited (or corrupted) after compile — exactly what ``verify`` exists
+    to catch.
+    """
+    payload = json.loads(compiled.dumps())
+    for branch in payload["program"]["branches"]:
+        for op in branch["plan"]:
+            if op.get("op") == "const":
+                op["text"] = "~corrupt~"
+                return CompiledProgram.loads(json.dumps(payload))
+    return None
+
+
+class TestSeededMutants:
+    def test_wrong_constant_mutants_lose_the_proof(self, suite_artifacts):
+        mutated = 0
+        for task_id, compiled in suite_artifacts.items():
+            if not verify_program(compiled, task_id)[1]:  # pragma: no cover
+                continue
+            mutant = _mutate_first_constant(compiled)
+            if mutant is None:
+                continue  # all-extract program: no constant to corrupt
+            findings = check_flow(mutant, task_id)
+            assert not is_verified(findings), (
+                f"{task_id}: corrupting a plan constant kept the proof"
+            )
+            assert any(f.rule_id in ("CLX015", "CLX016") for f in findings)
+            mutated += 1
+        assert mutated >= 10  # the mutant family must be well represented
+
+    def test_mutant_names_the_corrupted_branch(self, suite_artifacts):
+        compiled = suite_artifacts["flashfill-phone"]
+        mutant = _mutate_first_constant(compiled)
+        assert mutant is not None
+        findings = [
+            f for f in check_flow(mutant, "mutant") if f.rule_id == "CLX015"
+        ]
+        assert findings
+        assert "~corrupt~" in findings[0].data["output"]
