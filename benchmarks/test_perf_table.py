@@ -294,7 +294,7 @@ def test_perf_cross_partition_apply_speedup(mixed_apply_parts, recorder):
             encoded = "".join(
                 chunk
                 for part in dataset
-                for chunk, _, _ in executor.run_part(part)
+                for chunk, _, _, _ in executor.run_part(part)
             )
             return encoded, time.perf_counter() - start
 
@@ -302,7 +302,7 @@ def test_perf_cross_partition_apply_speedup(mixed_apply_parts, recorder):
         with build(workers) as executor:
             start = time.perf_counter()
             encoded = "".join(
-                chunk for _, (chunk, _, _) in executor.run_dataset(dataset)
+                chunk for _, (chunk, _, _, _) in executor.run_dataset(dataset)
             )
             return encoded, time.perf_counter() - start
 
@@ -383,7 +383,7 @@ def test_perf_pipelined_table_apply_speedup(recorder):
             {"phone": engine}, ["id", "phone"], workers=workers
         ) as executor:
             start = time.perf_counter()
-            encoded = "".join(chunk for chunk, _, _ in executor.run_chunks(iter(lines)))
+            encoded = "".join(chunk for chunk, _, _, _ in executor.run_chunks(iter(lines)))
             return encoded, time.perf_counter() - start
 
     serial_output, serial_seconds = run(1)
@@ -417,4 +417,63 @@ def test_perf_pipelined_table_apply_speedup(recorder):
             f"pipelined table apply ({parallel_seconds:.2f} s) not >=2x faster "
             f"than serial ({serial_seconds:.2f} s) with {WORKERS} workers on "
             f"{os.cpu_count()} CPUs"
+        )
+
+
+def test_perf_quarantine_mode_overhead(phone_csv, recorder):
+    # Robustness must be close to free on clean data: quarantine mode's
+    # only happy-path cost is the strict-first try/except around each
+    # chunk (salvage replays run only after a failure), so its
+    # throughput has to stay within 10% of abort mode's.
+    from repro.dataset import Dataset
+    from repro.engine.parallel import ShardedTableExecutor
+
+    raw, _expected = phone_dataset(count=300, format_count=6, seed=331)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    engine = session.engine()
+    dataset = Dataset.resolve(str(phone_csv))
+
+    def run(on_error):
+        with ShardedTableExecutor(
+            {"phone": engine}, ["id", "phone"], workers=WORKERS, on_error=on_error
+        ) as executor:
+            start = time.perf_counter()
+            encoded = "".join(
+                chunk for _, (chunk, _, _, _) in executor.run_dataset(dataset)
+            )
+            return encoded, time.perf_counter() - start
+
+    abort_output, abort_seconds = run("abort")
+    quarantine_output, quarantine_seconds = run("quarantine")
+
+    # On clean data the error mode must never change the sink bytes.
+    assert quarantine_output == abort_output
+
+    abort_rate = ROWS / abort_seconds
+    quarantine_rate = ROWS / quarantine_seconds
+    ratio = quarantine_rate / abort_rate if abort_rate else float("inf")
+    recorder["quarantine_overhead"] = {
+        "abort_seconds": abort_seconds,
+        "quarantine_seconds": quarantine_seconds,
+        "abort_rows_per_sec": abort_rate,
+        "quarantine_rows_per_sec": quarantine_rate,
+        "quarantine_vs_abort": ratio,
+    }
+    print(f"\nquarantine-mode overhead over {ROWS} rows on {os.cpu_count()} CPU(s)")
+    rows_table = [
+        ("apply --on-error abort", f"{abort_seconds:.2f} s", f"{abort_rate:,.0f} rows/s", "1.00x"),
+        (
+            "apply --on-error quarantine",
+            f"{quarantine_seconds:.2f} s",
+            f"{quarantine_rate:,.0f} rows/s",
+            f"{ratio:.2f}x",
+        ),
+    ]
+    print(format_table(["error mode", "latency", "throughput", "relative"], rows_table))
+
+    if _speedup_assertable():
+        assert ratio >= 0.9, (
+            f"quarantine mode ({quarantine_rate:,.0f} rows/s) more than 10% "
+            f"slower than abort mode ({abort_rate:,.0f} rows/s) on clean data"
         )

@@ -33,7 +33,15 @@ library can be used without writing Python:
     pool *concurrently*, so small-file latencies overlap.  Partitions
     either splice into one sink in stable order, or — with
     ``--output-dir`` — write one output per partition, preserving
-    partition names (final extension follows the sink format).
+    partition names (final extension follows the sink format).  File
+    sinks are crash-safe (same-directory temp + atomic rename), and
+    ``--output-dir`` runs keep a ``.clx-apply.json`` manifest so
+    ``--resume`` skips already-complete partitions.  ``--on-error
+    quarantine --quarantine-dir DIR`` diverts bad records (and, with
+    ``--max-retries``/``--shard-timeout``, poison shards) to
+    per-partition JSONL quarantine files instead of aborting; exit
+    codes: 0 clean, 1 rows flagged for review, 2 error, 3 records
+    quarantined.
 
 ``repro-clx check phone.clx.json [--json] [--fail-on warn]``
     Statically analyze saved artifacts *before* trusting them with a
@@ -407,6 +415,12 @@ def _command_apply(args: argparse.Namespace) -> int:
         )
     if args.output and args.output_dir:
         raise CLXError("--output and --output-dir are mutually exclusive")
+    if args.on_error == "quarantine" and not args.quarantine_dir:
+        raise CLXError("--on-error quarantine needs --quarantine-dir")
+    if args.quarantine_dir and args.on_error != "quarantine":
+        raise CLXError("--quarantine-dir is only meaningful with --on-error quarantine")
+    if args.resume and not args.output_dir:
+        raise CLXError("--resume needs --output-dir (it reads the run manifest there)")
     engines = [
         TransformEngine.loads(Path(program).read_text(encoding="utf-8"))
         for program in args.program
@@ -463,8 +477,11 @@ def _command_apply(args: argparse.Namespace) -> int:
     # The first part defines the dataset field order (CSV header or the
     # keys of the first JSONL object); the executor reconciles every
     # further part against it, so drifted partitions fail loudly
-    # instead of splicing mismatched columns into one sink.
-    header = dataset.header(args.delimiter)
+    # instead of splicing mismatched columns into one sink.  Quarantine
+    # mode relaxes the pre-flight key scan: a malformed JSONL line must
+    # end up quarantined by the apply pass, not abort the run before it
+    # starts.
+    header = dataset.header(args.delimiter, strict=args.on_error != "quarantine")
     columns = _paired_apply_columns(engines, args.column or [], header)
     if args.in_place:
         output_columns = {column: column for column in columns}
@@ -476,6 +493,11 @@ def _command_apply(args: argparse.Namespace) -> int:
             for column in columns
         }
 
+    from repro.util.pools import FaultPolicy
+
+    fault_policy = FaultPolicy(
+        max_retries=args.max_retries, shard_timeout=args.shard_timeout
+    )
     with ShardedTableExecutor(
         dict(zip(columns, engines)),
         header,
@@ -485,24 +507,36 @@ def _command_apply(args: argparse.Namespace) -> int:
         source=str(dataset.parts[0].path),
         workers=workers,
         chunk_size=chunk_size,
+        on_error=args.on_error,
+        fault_policy=fault_policy,
     ) as executor:
         shard_bytes = validated_chunk_size(args.shard_bytes, "--shard-bytes")
         if args.output_dir:
             result = apply_dataset(
                 executor, dataset, output_dir=Path(args.output_dir),
                 shard_bytes=shard_bytes,
+                quarantine_dir=args.quarantine_dir,
+                resume=args.resume,
             )
+            if result.skipped_parts:
+                print(
+                    f"resume: skipped {result.skipped_parts} already-complete "
+                    "partition(s) recorded in the run manifest",
+                    file=sys.stderr,
+                )
             print(
                 f"wrote {len(result.outputs)} partition(s) to {args.output_dir}",
                 file=sys.stderr,
             )
         elif args.output:
             result = apply_dataset(
-                executor, dataset, output=Path(args.output), shard_bytes=shard_bytes
+                executor, dataset, output=Path(args.output), shard_bytes=shard_bytes,
+                quarantine_dir=args.quarantine_dir,
             )
         else:
             result = apply_dataset(
-                executor, dataset, stream=sys.stdout, shard_bytes=shard_bytes
+                executor, dataset, stream=sys.stdout, shard_bytes=shard_bytes,
+                quarantine_dir=args.quarantine_dir,
             )
 
     branches = sum(len(engine.compiled) for engine in engines)
@@ -511,6 +545,15 @@ def _command_apply(args: argparse.Namespace) -> int:
         f"to {result.rows} rows; {result.flagged} flagged for review",
         file=sys.stderr,
     )
+    if result.quarantined:
+        print(
+            f"quarantined {result.quarantined} record(s) across "
+            f"{len(result.quarantine_files)} partition(s) into {args.quarantine_dir}",
+            file=sys.stderr,
+        )
+        if result.hint:
+            print(f"hint: {result.hint}", file=sys.stderr)
+        return 3
     return 0 if result.flagged == 0 else 1
 
 
@@ -980,6 +1023,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan raw CSV chunks across this many worker processes that "
         "parse, transform, and re-encode worker-side (default 1, "
         "single-process)",
+    )
+    apply_cmd.add_argument(
+        "--on-error",
+        choices=("abort", "quarantine"),
+        default="abort",
+        help="what a bad record does: abort the run (default), or divert "
+        "the record to --quarantine-dir and keep going — the run then "
+        "exits 3 when anything was quarantined",
+    )
+    apply_cmd.add_argument(
+        "--quarantine-dir",
+        help="directory collecting quarantined records, one "
+        "<partition>.quarantine.jsonl per source partition "
+        "(required with --on-error quarantine)",
+    )
+    apply_cmd.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="seconds before an in-flight shard counts as hung and its "
+        "worker is replaced (default: no limit)",
+    )
+    apply_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retries per shard on infrastructure faults (dead or hung "
+        "worker, with jittered exponential backoff) before the shard "
+        "is declared poison (default 0)",
+    )
+    apply_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --output-dir: skip partitions the .clx-apply.json run "
+        "manifest already records as complete",
     )
     apply_cmd.set_defaults(handler=_command_apply)
 

@@ -438,6 +438,11 @@ class CLXSession:
         workers: Optional[int] = None,
         chunk_size: int = 4096,
         shard_bytes: int = 1 << 20,
+        on_error: str = "abort",
+        quarantine_dir=None,
+        shard_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        resume: bool = False,
     ):
         """Apply this session's verified program across a partitioned dataset.
 
@@ -465,6 +470,14 @@ class CLXSession:
             chunk_size: Physical lines per transform batch per worker.
             shard_bytes: Partitions larger than this split into
                 record-aligned byte-range shards.
+            on_error: ``"abort"`` or ``"quarantine"`` (divert bad
+                records to ``quarantine_dir`` instead of failing).
+            quarantine_dir: Quarantine sink directory (one JSONL file
+                per partition); required with quarantine mode.
+            shard_timeout: Seconds before an in-flight shard counts as
+                hung (``None`` = no limit).
+            max_retries: Infrastructure-fault retries per shard.
+            resume: With ``output_dir``, skip manifest-complete parts.
 
         Returns:
             The :class:`~repro.engine.parallel.DatasetApplyResult`.
@@ -485,6 +498,11 @@ class CLXSession:
             workers=workers,
             chunk_size=chunk_size,
             shard_bytes=shard_bytes,
+            on_error=on_error,
+            quarantine_dir=quarantine_dir,
+            shard_timeout=shard_timeout,
+            max_retries=max_retries,
+            resume=resume,
         )
 
     def transformed_summary(self, max_samples: int = 3) -> List[PatternSummary]:

@@ -156,7 +156,7 @@ class Dataset:
     # ------------------------------------------------------------------
     # Schema checks
     # ------------------------------------------------------------------
-    def header(self, delimiter: str = ",") -> List[str]:
+    def header(self, delimiter: str = ",", strict: bool = True) -> List[str]:
         """The dataset-wide field order, taken from the first part.
 
         CSV parts define it with their header row; a JSONL part defines
@@ -168,6 +168,10 @@ class Dataset:
         cannot blank the schema.  This is the field order ``apply``
         encodes sinks in and reconciles every later part against.
 
+        With ``strict=False`` unparsable JSONL lines are skipped during
+        the key scan (quarantine-mode pre-flight: those lines fail again
+        during apply and are quarantined there, with context).
+
         Raises:
             CLXError: If no part can supply a field order.
             ValidationError: If the first CSV part has no header row.
@@ -178,7 +182,7 @@ class Dataset:
             if part.format == "csv":
                 header, _ = read_csv_header(part.path, delimiter)
                 return header
-            keys = jsonl_key_union(part.path)
+            keys = jsonl_key_union(part.path, strict=strict)
             if keys:
                 return keys
         raise CLXError(

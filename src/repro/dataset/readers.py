@@ -132,13 +132,18 @@ def jsonl_value(payload: Dict[str, object], column: str) -> str:
     return jsonl_cell(payload.get(column))
 
 
-def jsonl_key_union(path: Union[str, Path]) -> List[str]:
+def jsonl_key_union(path: Union[str, Path], strict: bool = True) -> List[str]:
     """Every key appearing in a JSONL file, in first-seen order.
 
     Sparse keys are idiomatic JSONL — records carry only the fields
     they have — so a part's *schema* is the union of its records' keys,
     not the first record's.  One sequential pass, memory bounded by the
     number of distinct keys.
+
+    With ``strict=False`` unparsable lines contribute no keys instead
+    of aborting the scan — the lenient pre-flight quarantine mode
+    needs, where those same lines are quarantined during apply rather
+    than failing the run before it starts.
     """
     source = Path(path)
     keys: List[str] = []
@@ -147,7 +152,13 @@ def jsonl_key_union(path: Union[str, Path]) -> List[str]:
         for number, line in enumerate(handle, start=1):
             if not line.strip():
                 continue
-            for key in parse_jsonl_row(line, source, number):
+            try:
+                row = parse_jsonl_row(line, source, number)
+            except ValidationError:
+                if strict:
+                    raise
+                continue
+            for key in row:
                 if key not in seen:
                     seen.add(key)
                     keys.append(key)

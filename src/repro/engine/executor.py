@@ -188,6 +188,11 @@ class TransformEngine:
         workers: Optional[int] = None,
         chunk_size: int = 4096,
         shard_bytes: int = 1 << 20,
+        on_error: str = "abort",
+        quarantine_dir: Union[str, "Path", None] = None,
+        shard_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        resume: bool = False,
     ) -> "DatasetApplyResult":
         """Apply this engine's program across a partitioned dataset.
 
@@ -222,13 +227,26 @@ class TransformEngine:
                 worker.
             shard_bytes: Partitions larger than this split into
                 record-aligned byte-range shards.
+            on_error: ``"abort"`` (default) or ``"quarantine"`` —
+                divert bad records to ``quarantine_dir`` instead of
+                failing the run.
+            quarantine_dir: Where quarantined records land (one JSONL
+                file per partition); required with quarantine mode.
+            shard_timeout: Seconds before an in-flight shard counts as
+                hung and its worker is replaced (``None`` = no limit).
+            max_retries: Infrastructure-fault retries per shard before
+                it is declared poison.
+            resume: With ``output_dir``, skip partitions the run
+                manifest records as complete.
 
         Returns:
             The :class:`~repro.engine.parallel.DatasetApplyResult`
-            (rows, flagged cells, partitions, files written).
+            (rows, flagged cells, partitions, files written,
+            quarantine summary).
         """
         from repro.dataset import Dataset
         from repro.engine.parallel import ShardedTableExecutor, apply_dataset
+        from repro.util.pools import FaultPolicy
 
         from repro.util.csvio import resolve_column
 
@@ -237,7 +255,7 @@ class TransformEngine:
         names = [columns] if isinstance(columns, str) else list(columns)
         if not names:
             raise ValidationError("apply_dataset needs at least one column name")
-        header = dataset.header(delimiter)
+        header = dataset.header(delimiter, strict=on_error != "quarantine")
         # Resolve up front so index addressing ("1") and the output
         # naming rules below agree on the real column name.
         names = [resolve_column(header, name) for name in names]
@@ -255,6 +273,8 @@ class TransformEngine:
             source=str(dataset.parts[0].path),
             workers=workers,
             chunk_size=chunk_size,
+            on_error=on_error,
+            fault_policy=FaultPolicy(max_retries=max_retries, shard_timeout=shard_timeout),
         ) as executor:
             return apply_dataset(
                 executor,
@@ -263,6 +283,8 @@ class TransformEngine:
                 output_dir=output_dir,
                 stream=stream,
                 shard_bytes=shard_bytes,
+                quarantine_dir=quarantine_dir,
+                resume=resume,
             )
 
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ import csv
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
+from types import TracebackType
 from typing import (
     IO,
     Any,
@@ -49,9 +50,11 @@ from typing import (
     Iterator,
     List,
     Mapping,
+    NamedTuple,
     Optional,
     Sequence,
     Tuple,
+    Type,
     Union,
 )
 
@@ -59,11 +62,25 @@ from repro.core.result import TransformReport
 from repro.dsl.interpreter import TransformOutcome
 from repro.engine.compiled import CompiledProgram
 from repro.engine.executor import TransformEngine
+from repro.engine.resilience import (
+    QuarantinedRecord,
+    QuarantineWriter,
+    RunManifest,
+    resynthesis_hint,
+)
 from repro.engine.serialize import encode_rows_csv, encode_rows_jsonl
 from repro.patterns.pattern import Pattern
 from repro.util.csvio import iter_record_cut_points, record_open_after, resolve_column
 from repro.util.errors import CLXError, ValidationError
-from repro.util.pools import chunked, indexed_chunks, map_ordered, map_ordered_keyed
+from repro.util.faults import maybe_fire
+from repro.util.pools import (
+    FaultPolicy,
+    ResilientPool,
+    chunked,
+    indexed_chunks,
+    map_ordered,
+)
+from repro.util.sinks import AtomicSink
 from repro.util.validate import validated_chunk_size, validated_workers
 
 #: Default number of values per worker task; large enough to amortize
@@ -84,13 +101,28 @@ TABLE_FORMATS = ("csv", "jsonl")
 #: Input formats the table executor can parse worker-side.
 INPUT_FORMATS = ("csv", "jsonl")
 
+#: Error modes for record-level failures during a table apply.
+ERROR_MODES = ("abort", "quarantine")
+
 #: Wire format of one processed value chunk: transformed outputs plus,
 #: per value, an index into the program's pattern table (-1 = no match).
 ChunkResult = Tuple[List[str], List[int]]
 
-#: Wire format of one processed table chunk: the already-encoded sink
-#: text plus the row and flagged-cell counts it covers.
-TableChunk = Tuple[str, int, int]
+
+class TableChunk(NamedTuple):
+    """Wire format of one processed table chunk.
+
+    ``text`` is the already-encoded sink text, ``rows``/``flagged`` the
+    row and flagged-cell counts it covers, and ``quarantined`` the
+    records diverted from the sink (always empty in abort mode).  The
+    quarantine tuple rides the same ordered result stream as the good
+    bytes, so both stay deterministic at any worker count.
+    """
+
+    text: str
+    rows: int
+    flagged: int
+    quarantined: Tuple[QuarantinedRecord, ...] = ()
 
 # Per-worker state installed by the pool initializers.
 _WORKER_STATE: Optional[Tuple[CompiledProgram, Dict[Pattern, int]]] = None
@@ -269,6 +301,9 @@ class TableSpec:
         delimiter: CSV delimiter for both parse and encode.
         out_format: ``"csv"`` or ``"jsonl"``.
         source: Input name used in error messages (e.g. the CSV path).
+        on_error: ``"abort"`` (first bad record raises) or
+            ``"quarantine"`` (bad records are diverted into the chunk's
+            ``quarantined`` tuple and the rest of the chunk survives).
     """
 
     fieldnames: Tuple[str, ...]
@@ -277,6 +312,7 @@ class TableSpec:
     delimiter: str = ","
     out_format: str = "csv"
     source: str = "<table>"
+    on_error: str = "abort"
 
 
 def _rows_from_jsonl_lines(
@@ -353,6 +389,120 @@ def _rows_from_csv_lines(
     return rows
 
 
+def _encode_rows(spec: TableSpec, rows: List[List[str]]) -> str:
+    if spec.out_format == "jsonl":
+        return encode_rows_jsonl(spec.output_fields, rows)
+    return encode_rows_csv(rows, delimiter=spec.delimiter)
+
+
+def _transform_lines_strict(
+    spec: TableSpec,
+    engines: Sequence[CompiledProgram],
+    first_line: int,
+    lines: List[str],
+    label: str,
+    in_format: str,
+) -> TableChunk:
+    """The fast whole-chunk pipeline: first bad record raises."""
+    if in_format == "jsonl":
+        rows = _rows_from_jsonl_lines(spec, first_line, lines, label)
+    else:
+        rows = _rows_from_csv_lines(spec, first_line, lines, label)
+
+    flagged = 0
+    for (input_index, output_index), compiled in zip(spec.transforms, engines):
+        run_one = compiled.run_one
+        for row in rows:
+            outcome = run_one(row[input_index])
+            row[output_index] = outcome.output
+            if not outcome.matched:
+                flagged += 1
+
+    return TableChunk(_encode_rows(spec, rows), len(rows), flagged)
+
+
+def _iter_records(
+    lines: List[str],
+    first_line: int,
+    delimiter: str,
+    csv_quoting: bool,
+) -> Iterator[Tuple[int, List[str]]]:
+    """Group physical lines into records, tagged with their first line.
+
+    A CSV record spans several physical lines only while a quoted field
+    is open; with ``csv_quoting=False`` (JSONL) every line is a record.
+    """
+    record: List[str] = []
+    number = first_line
+    line_number = first_line - 1
+    record_open = False
+    for line in lines:
+        line_number += 1
+        if not record:
+            number = line_number
+        record.append(line)
+        if csv_quoting:
+            record_open = record_open_after(line, delimiter, record_open)
+        if not record_open:
+            yield number, record
+            record = []
+    if record:
+        yield number, record
+
+
+def _record_raw(record_lines: List[str]) -> str:
+    """A record's raw text with its final line terminator stripped."""
+    raw = "".join(record_lines)
+    if raw.endswith("\n"):
+        raw = raw[:-1]
+    return raw
+
+
+def _transform_lines_salvage(
+    spec: TableSpec,
+    engines: Sequence[CompiledProgram],
+    first_line: int,
+    lines: List[str],
+    label: str,
+    in_format: str,
+) -> TableChunk:
+    """Record-by-record replay of a failed chunk in quarantine mode.
+
+    Runs only after :func:`_transform_lines_strict` raised, so the
+    common all-clean chunk never pays per-record dispatch.  Each record
+    parses and transforms in isolation; a failure quarantines exactly
+    that record (absolute line number, original error, raw text) and
+    every clean record lands in the sink bytes exactly as the strict
+    path would have emitted it.
+    """
+    good: List[List[str]] = []
+    flagged = 0
+    quarantined: List[QuarantinedRecord] = []
+    for number, record_lines in _iter_records(
+        lines, first_line, spec.delimiter, csv_quoting=in_format == "csv"
+    ):
+        try:
+            if in_format == "jsonl":
+                rows = _rows_from_jsonl_lines(spec, number, record_lines, label)
+            else:
+                rows = _rows_from_csv_lines(spec, number, record_lines, label)
+            record_flagged = 0
+            for (input_index, output_index), compiled in zip(spec.transforms, engines):
+                for row in rows:
+                    outcome = compiled.run_one(row[input_index])
+                    row[output_index] = outcome.output
+                    if not outcome.matched:
+                        record_flagged += 1
+        except CLXError as error:
+            quarantined.append(
+                QuarantinedRecord(label, number, str(error), _record_raw(record_lines))
+            )
+            continue
+        good.extend(rows)
+        flagged += record_flagged
+    return TableChunk(_encode_rows(spec, good), len(good), flagged, tuple(quarantined))
+
+
 def _transform_lines(
     spec: TableSpec,
     engines: Sequence[CompiledProgram],
@@ -369,27 +519,20 @@ def _transform_lines(
     error messages when one executor streams several partition files;
     ``in_format`` picks the parse side (``"csv"`` or ``"jsonl"``) per
     chunk, so one executor applies a mixed-format dataset.
+
+    In quarantine mode a chunk with at least one bad record falls back
+    to a record-by-record salvage pass; since chunk boundaries depend
+    only on ``chunk_size`` (never on worker count), the surviving sink
+    bytes and the quarantine tuple are deterministic at any parallelism.
     """
     label = source or spec.source
-    if in_format == "jsonl":
-        rows = _rows_from_jsonl_lines(spec, first_line, lines, label)
-    else:
-        rows = _rows_from_csv_lines(spec, first_line, lines, label)
-
-    flagged = 0
-    for (input_index, output_index), compiled in zip(spec.transforms, engines):
-        run_one = compiled.run_one
-        for row in rows:
-            outcome = run_one(row[input_index])
-            row[output_index] = outcome.output
-            if not outcome.matched:
-                flagged += 1
-
-    if spec.out_format == "jsonl":
-        encoded = encode_rows_jsonl(spec.output_fields, rows)
-    else:
-        encoded = encode_rows_csv(rows, delimiter=spec.delimiter)
-    return encoded, len(rows), flagged
+    maybe_fire("worker.chunk", key=f"{label}:{first_line}")
+    try:
+        return _transform_lines_strict(spec, engines, first_line, lines, label, in_format)
+    except CLXError:
+        if spec.on_error != "quarantine":
+            raise
+        return _transform_lines_salvage(spec, engines, first_line, lines, label, in_format)
 
 
 def _init_table_worker(
@@ -397,6 +540,7 @@ def _init_table_worker(
 ) -> None:
     """Pool initializer: rebuild every column's program once per worker."""
     global _TABLE_STATE
+    maybe_fire("worker.init")
     _TABLE_STATE = (
         spec,
         [CompiledProgram.loads(artifact) for artifact in artifacts],
@@ -496,6 +640,7 @@ def _transform_shard(
     pieces: List[str] = []
     rows = 0
     flagged = 0
+    quarantined: List[QuarantinedRecord] = []
     lines = _read_shard_lines(shard.path, shard.start, shard.end)
     for start, chunk in _record_aligned_chunks(
         lines,
@@ -504,19 +649,19 @@ def _transform_shard(
         spec.delimiter,
         csv_quoting=shard.in_format == "csv",
     ):
-        encoded, chunk_rows, chunk_flagged = _transform_lines(
-            spec, engines, start, chunk, shard.source, shard.in_format
-        )
-        pieces.append(encoded)
-        rows += chunk_rows
-        flagged += chunk_flagged
-    return "".join(pieces), rows, flagged
+        piece = _transform_lines(spec, engines, start, chunk, shard.source, shard.in_format)
+        pieces.append(piece.text)
+        rows += piece.rows
+        flagged += piece.flagged
+        quarantined.extend(piece.quarantined)
+    return TableChunk("".join(pieces), rows, flagged, tuple(quarantined))
 
 
 def _apply_file_shard(shard: _ApplyShard) -> TableChunk:
     """Read, parse, transform, and encode one byte-range shard in a worker."""
     assert _TABLE_STATE is not None, "worker used before initialization"
     spec, engines, chunk_size = _TABLE_STATE
+    maybe_fire("worker.shard", key=f"{shard.source}:{shard.start}")
     return _transform_shard(spec, engines, chunk_size, shard)
 
 
@@ -545,6 +690,14 @@ class ShardedTableExecutor:
         source: Input name used in error messages.
         workers: Worker process count; ``None`` means ``os.cpu_count()``.
         chunk_size: Physical lines per worker task.
+        on_error: ``"abort"`` (default — first bad record raises) or
+            ``"quarantine"`` (bad records divert into each chunk's
+            ``quarantined`` tuple; the run continues).
+        fault_policy: Retry/timeout policy for infrastructure faults
+            (dead or hung workers).  The default retries nothing, which
+            is the historical behaviour.  A policy with retries or a
+            timeout forces pool execution even at ``workers=1`` so the
+            knobs keep their meaning.
     """
 
     def __init__(
@@ -557,6 +710,8 @@ class ShardedTableExecutor:
         source: str = "<table>",
         workers: Optional[int] = None,
         chunk_size: int = DEFAULT_TABLE_CHUNK_LINES,
+        on_error: str = "abort",
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         if not programs:
             raise ValidationError("ShardedTableExecutor needs at least one column program")
@@ -564,8 +719,13 @@ class ShardedTableExecutor:
             raise ValidationError(
                 f"unsupported output format {out_format!r}; choose from {', '.join(TABLE_FORMATS)}"
             )
+        if on_error not in ERROR_MODES:
+            raise ValidationError(
+                f"unsupported error mode {on_error!r}; choose from {', '.join(ERROR_MODES)}"
+            )
         self._workers = validated_workers(workers)
         self._chunk_size = validated_chunk_size(chunk_size)
+        self._fault_policy = fault_policy or FaultPolicy()
 
         fieldnames = tuple(header)
         named_outputs = dict(output_columns or {})
@@ -595,9 +755,10 @@ class ShardedTableExecutor:
             delimiter=delimiter,
             out_format=out_format,
             source=source,
+            on_error=on_error,
         )
         self._programs = compiled_programs
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._rpool: Optional[ResilientPool[Any, TableChunk]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -612,27 +773,116 @@ class ShardedTableExecutor:
         """Number of worker processes (1 = inline, no pool)."""
         return self._workers
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            artifacts = tuple(program.dumps() for program in self._programs)
-            self._pool = ProcessPoolExecutor(
-                max_workers=self._workers,
-                initializer=_init_table_worker,
-                initargs=(self._spec, artifacts, self._chunk_size),
-            )
-        return self._pool
+    @property
+    def fault_policy(self) -> FaultPolicy:
+        """The infrastructure-fault retry/timeout policy."""
+        return self._fault_policy
+
+    def _build_pool(self) -> ProcessPoolExecutor:
+        artifacts = tuple(program.dumps() for program in self._programs)
+        return ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_init_table_worker,
+            initargs=(self._spec, artifacts, self._chunk_size),
+        )
+
+    def _ensure_pool(self) -> ResilientPool[Any, TableChunk]:
+        if self._rpool is None:
+            self._rpool = ResilientPool(self._build_pool, self._fault_policy)
+        return self._rpool
+
+    @property
+    def _use_pool(self) -> bool:
+        # A fault policy with teeth needs out-of-process execution even
+        # at workers=1: you cannot time out or retry your own process.
+        return self._workers > 1 or self._fault_policy.wants_pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
+        """Shut the worker pool down gracefully (idempotent)."""
+        if self._rpool is not None:
+            self._rpool.close()
+            self._rpool = None
+
+    def kill(self) -> None:
+        """Hard-kill the worker pool without waiting on running tasks."""
+        if self._rpool is not None:
+            self._rpool.kill()
+            self._rpool = None
 
     def __enter__(self) -> "ShardedTableExecutor":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        # On KeyboardInterrupt/SystemExit a graceful shutdown would wait
+        # on (possibly hung) running tasks; tear down hard instead so
+        # Ctrl-C never orphans workers or hangs the parent.
+        if exc_type is not None and not issubclass(exc_type, Exception):
+            self.kill()
+        else:
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Poison-work handling (a task that still fails after its retries)
+    # ------------------------------------------------------------------
+    def _fault_reason(self, kind: str, attempts: int) -> str:
+        if kind == "hung":
+            timeout = self._fault_policy.shard_timeout
+            return (
+                f"a worker exceeded the {timeout:g}s shard timeout "
+                f"{attempts} time(s)"
+            )
+        return f"a worker process died running it {attempts} time(s)"
+
+    def _quarantine_whole(
+        self,
+        first_line: int,
+        lines: List[str],
+        label: str,
+        in_format: str,
+        reason: str,
+    ) -> TableChunk:
+        """Quarantine every record of a poison chunk/shard, parent-side."""
+        error = f"poison work quarantined whole: {reason}"
+        records = tuple(
+            QuarantinedRecord(label, number, error, _record_raw(record_lines))
+            for number, record_lines in _iter_records(
+                lines, first_line, self._spec.delimiter, csv_quoting=in_format == "csv"
+            )
+        )
+        return TableChunk("", 0, 0, records)
+
+    def _chunk_failure(
+        self, key: Any, task: Tuple[int, List[str], Optional[str], str], kind: str, attempts: int
+    ) -> TableChunk:
+        first_line, lines, source, in_format = task
+        label = source or self._spec.source
+        reason = self._fault_reason(kind, attempts)
+        if self._spec.on_error == "quarantine":
+            return self._quarantine_whole(first_line, lines, label, in_format, reason)
+        raise CLXError(
+            f"{label} lines {first_line}..{first_line + len(lines) - 1}: {reason}; "
+            "the chunk looks poisoned and the run was aborted"
+        )
+
+    def _shard_failure(
+        self, key: Any, shard: _ApplyShard, kind: str, attempts: int
+    ) -> TableChunk:
+        reason = self._fault_reason(kind, attempts)
+        if self._spec.on_error == "quarantine":
+            lines = list(_read_shard_lines(shard.path, shard.start, shard.end))
+            return self._quarantine_whole(
+                shard.first_line, lines, shard.source, shard.in_format, reason
+            )
+        raise CLXError(
+            f"{shard.source} bytes [{shard.start}, {shard.end}) "
+            f"(line {shard.first_line} onward): {reason}; "
+            "the shard looks poisoned and the run was aborted"
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -663,7 +913,9 @@ class ShardedTableExecutor:
                 (default) or ``"jsonl"`` (one JSON object per line).
 
         Yields:
-            ``(encoded_text, row_count, flagged_count)`` per chunk.
+            One :class:`TableChunk` per chunk (encoded sink text, row
+            and flagged counts, quarantined records if in quarantine
+            mode).
         """
         if in_format not in INPUT_FORMATS:
             raise ValidationError(
@@ -680,13 +932,17 @@ class ShardedTableExecutor:
                 csv_quoting=in_format == "csv",
             )
         )
-        if self._workers == 1:
+        if not self._use_pool:
             engines = self._programs
             for start, chunk, label, fmt in tasks:
                 yield _transform_lines(self._spec, engines, start, chunk, label, fmt)
             return
+        keyed = ((task[0], task) for task in tasks)
         pool = self._ensure_pool()
-        yield from map_ordered(pool, _transform_table_chunk, tasks, self._workers + 2)
+        for _, result in pool.map_ordered_keyed(
+            _transform_table_chunk, keyed, self._workers + 2, on_failure=self._chunk_failure
+        ):
+            yield result
 
     def run_csv_file(self, path: Union[str, Path]) -> Iterator[TableChunk]:
         """Stream one CSV file through the pipeline, checking its header.
@@ -840,8 +1096,8 @@ class ShardedTableExecutor:
             shard_bytes: Byte-range size above which a part is split.
 
         Yields:
-            ``(part_index, (encoded_text, row_count, flagged_count))``
-            per chunk, in deterministic order.
+            ``(part_index, TableChunk)`` per chunk, in deterministic
+            order.
         """
         validated_chunk_size(shard_bytes, "shard_bytes")
 
@@ -850,15 +1106,15 @@ class ShardedTableExecutor:
                 for shard in self._plan_part_shards(part, shard_bytes):
                     yield index, shard
 
-        if self._workers == 1:
+        if not self._use_pool:
             for index, shard in plan():
                 yield index, _transform_shard(
                     self._spec, self._programs, self._chunk_size, shard
                 )
             return
         pool = self._ensure_pool()
-        yield from map_ordered_keyed(
-            pool, _apply_file_shard, plan(), self._workers + 2
+        yield from pool.map_ordered_keyed(
+            _apply_file_shard, plan(), self._workers + 2, on_failure=self._shard_failure
         )
 
 
@@ -883,12 +1139,23 @@ class DatasetApplyResult:
         flagged: Cells no program branch matched (left unchanged).
         parts: Number of input partitions applied.
         outputs: Files written (empty when splicing to a stream).
+        quarantined: Records diverted to the quarantine sink.
+        quarantine_files: Quarantine files written (one per partition
+            that quarantined at least one record).
+        skipped_parts: Partitions skipped by ``resume`` because the run
+            manifest already records them as complete.
+        hint: A re-synthesis hint when the quarantined records share a
+            token pattern, else ``None``.
     """
 
     rows: int = 0
     flagged: int = 0
     parts: int = 0
     outputs: List[Path] = field(default_factory=list)
+    quarantined: int = 0
+    quarantine_files: List[Path] = field(default_factory=list)
+    skipped_parts: int = 0
+    hint: Optional[str] = None
 
 
 def apply_dataset(
@@ -898,6 +1165,8 @@ def apply_dataset(
     output_dir: Optional[Union[str, Path]] = None,
     stream: Optional[IO[str]] = None,
     shard_bytes: int = DEFAULT_APPLY_SHARD_BYTES,
+    quarantine_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> DatasetApplyResult:
     """Apply a dataset through ``executor`` into exactly one sink shape.
 
@@ -916,8 +1185,23 @@ def apply_dataset(
     so partitions stream through the worker pool concurrently while the
     sink bytes stay deterministic.
 
+    File sinks are crash-safe: every output (and quarantine) file is
+    written to a same-directory temp file and atomically renamed into
+    place on completion, so a failed or interrupted run never leaves a
+    partial file at a final path.  In ``output_dir`` mode a
+    ``.clx-apply.json`` manifest records each completed partition;
+    ``resume=True`` skips partitions the manifest still vouches for
+    (same source path and size, output present).
+
+    With the executor in quarantine mode (``on_error="quarantine"``),
+    ``quarantine_dir`` collects one JSONL file per partition that had
+    failing records; sink bytes and quarantine contents are both
+    deterministic at any worker count.
+
     Raises:
-        ValidationError: If not exactly one destination is given.
+        ValidationError: If not exactly one destination is given, if
+            quarantine mode and ``quarantine_dir`` are not paired, or
+            if ``resume`` is used without ``output_dir``.
         CLXError: If writing would clobber an input partition, or two
             partitions map to the same output name.
     """
@@ -926,12 +1210,38 @@ def apply_dataset(
         raise ValidationError(
             "apply_dataset needs exactly one of output, output_dir, or stream"
         )
-    result = DatasetApplyResult(parts=len(dataset.parts))
+    quarantining = executor.spec.on_error == "quarantine"
+    if quarantining and quarantine_dir is None:
+        raise ValidationError(
+            "on_error='quarantine' needs a quarantine_dir to divert records into"
+        )
+    if quarantine_dir is not None and not quarantining:
+        raise ValidationError(
+            "quarantine_dir is only meaningful with on_error='quarantine'"
+        )
+    if resume and output_dir is None:
+        raise ValidationError(
+            "resume only applies to output_dir runs (they keep the run manifest)"
+        )
+    parts = dataset.parts
+    result = DatasetApplyResult(parts=len(parts))
+    quarantine = QuarantineWriter(Path(quarantine_dir)) if quarantine_dir is not None else None
+
+    def record_quarantined(part: "DatasetPart", chunk: TableChunk) -> None:
+        if quarantine is not None and chunk.quarantined:
+            quarantine.add(part.name, str(part.path), chunk.quarantined)
+
+    def finish_quarantine() -> None:
+        if quarantine is not None:
+            quarantine.finish()
+            result.quarantined = quarantine.total
+            result.quarantine_files = quarantine.files
+            if quarantine.samples:
+                result.hint = resynthesis_hint(quarantine.samples)
 
     if output_dir is not None:
         directory = Path(output_dir)
         directory.mkdir(parents=True, exist_ok=True)
-        parts = dataset.parts
         names = set()
         for part in parts:
             name = partition_output_name(part, executor.spec.out_format)
@@ -946,68 +1256,124 @@ def apply_dataset(
                     f"--output-dir would overwrite input partition {part.path}; "
                     "choose a different directory"
                 )
-        handle: Optional[IO[str]] = None
-        open_through = -1  # highest part index whose sink has been opened
+        manifest = RunManifest(directory, executor.spec.out_format, resume=resume)
+        pending: List["DatasetPart"] = []
+        for part in parts:
+            name = partition_output_name(part, executor.spec.out_format)
+            if resume and manifest.completed(name, str(part.path), part.size) is not None:
+                result.skipped_parts += 1
+                continue
+            pending.append(part)
 
-        def advance_to(index: int) -> IO[str]:
+        sink: Optional[AtomicSink] = None
+        open_through = -1  # highest pending-part index whose sink is open
+        part_rows = part_flagged = part_quarantined = 0
+
+        def finalize_open_part() -> None:
+            # Commit the finished partition's output, then its manifest
+            # entry and quarantine file — in that order, so the manifest
+            # never vouches for bytes that have not landed.
+            nonlocal sink
+            assert sink is not None
+            part = pending[open_through]
+            sink.commit()
+            sink = None
+            manifest.mark(
+                partition_output_name(part, executor.spec.out_format),
+                str(part.path),
+                part.size,
+                part_rows,
+                part_flagged,
+                part_quarantined,
+            )
+            if quarantine is not None:
+                quarantine.finish_part(part.name)
+
+        def advance_to(index: int) -> AtomicSink:
             # Open sinks for every part up to `index`, so a partition
             # with no data rows still produces its (header-only) file.
-            nonlocal handle, open_through
+            nonlocal sink, open_through, part_rows, part_flagged, part_quarantined
             while open_through < index:
-                if handle is not None:
-                    handle.close()
+                if sink is not None:
+                    finalize_open_part()
                 open_through += 1
-                part = parts[open_through]
+                part = pending[open_through]
                 target = directory / partition_output_name(
                     part, executor.spec.out_format
                 )
-                handle = target.open("w", newline="", encoding="utf-8")
-                handle.write(executor.header_text())
+                sink = AtomicSink(target).open()
+                sink.write(executor.header_text())
                 result.outputs.append(target)
-            assert handle is not None
-            return handle
+                part_rows = part_flagged = part_quarantined = 0
+            assert sink is not None
+            return sink
 
         try:
-            for part_index, (encoded, rows, flagged) in executor.run_dataset(
-                dataset, shard_bytes=shard_bytes
+            for part_index, chunk in executor.run_dataset(
+                pending, shard_bytes=shard_bytes
             ):
-                advance_to(part_index).write(encoded)
-                result.rows += rows
-                result.flagged += flagged
-            advance_to(len(parts) - 1)
-        finally:
-            if handle is not None:
-                handle.close()
+                maybe_fire("sink.write", key=pending[part_index].name)
+                advance_to(part_index).write(chunk.text)
+                result.rows += chunk.rows
+                result.flagged += chunk.flagged
+                part_rows += chunk.rows
+                part_flagged += chunk.flagged
+                part_quarantined += len(chunk.quarantined)
+                record_quarantined(pending[part_index], chunk)
+            if pending:
+                advance_to(len(pending) - 1)
+                finalize_open_part()
+        except BaseException:
+            if sink is not None:
+                sink.abort()
+            if quarantine is not None:
+                quarantine.abort()
+            raise
+        finish_quarantine()
         return result
 
     destination = Path(output) if output is not None else None
     if destination is not None:
-        # Opening the sink truncates it — refuse before destroying an
-        # input partition (easy to hit when the glob covers the
-        # destination, e.g. re-running the same apply command).
+        # The sink replaces the destination on success — refuse before
+        # destroying an input partition (easy to hit when the glob
+        # covers the destination, e.g. re-running the same command).
         resolved = destination.resolve()
-        for part in dataset.parts:
+        for part in parts:
             if resolved == part.path.resolve():
                 raise CLXError(
                     f"--output {destination} is also an input partition; "
                     "writing would destroy the source — choose a different "
                     "output path"
                 )
-    sink = destination.open("w", newline="", encoding="utf-8") if destination else stream
-    assert sink is not None
+    atomic = AtomicSink(destination).open() if destination is not None else None
+    if atomic is not None:
+        sink_handle: IO[str] = atomic.handle
+    else:
+        assert stream is not None
+        sink_handle = stream
     try:
-        sink.write(executor.header_text())
-        for _, (encoded, rows, flagged) in executor.run_dataset(
+        sink_handle.write(executor.header_text())
+        for part_index, chunk in executor.run_dataset(
             dataset, shard_bytes=shard_bytes
         ):
-            sink.write(encoded)
-            result.rows += rows
-            result.flagged += flagged
-    finally:
-        if destination is not None:
-            sink.close()
-    if destination is not None:
+            maybe_fire("sink.write", key=parts[part_index].name)
+            sink_handle.write(chunk.text)
+            result.rows += chunk.rows
+            result.flagged += chunk.flagged
+            record_quarantined(parts[part_index], chunk)
+    except BaseException:
+        # A failed spliced run must never leave a partial output file:
+        # the temp is unlinked and the final path stays untouched.
+        if atomic is not None:
+            atomic.abort()
+        if quarantine is not None:
+            quarantine.abort()
+        raise
+    if atomic is not None:
+        atomic.commit()
+        assert destination is not None
         result.outputs.append(destination)
+    finish_quarantine()
     return result
 
 

@@ -1,0 +1,239 @@
+"""Resilient-apply support: quarantine sinks, run manifests, hints.
+
+The pieces :func:`~repro.engine.parallel.apply_dataset` leans on when a
+run must survive bad records or bad infrastructure:
+
+* :class:`QuarantinedRecord` — the per-record diagnostic a worker
+  returns alongside its good output bytes in quarantine mode.
+* :class:`QuarantineWriter` — one crash-safe JSONL file per source
+  partition under ``--quarantine-dir``, each line recording the source
+  file, absolute line number, error, and the raw record text, so a
+  quarantined record can be re-examined, re-profiled, or replayed.
+* :class:`RunManifest` — the ``.clx-apply.json`` completion record an
+  ``--output-dir`` run keeps, so ``--resume`` skips partitions whose
+  outputs already landed (matched by source path and size).
+* :func:`resynthesis_hint` — when the quarantined raw records cluster
+  under one token pattern, say so: the fix is usually to re-profile and
+  re-synthesize with that shape included, not to eyeball N rejects.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Sequence
+
+from repro.util.errors import CLXError
+from repro.util.sinks import AtomicSink, write_json_atomic
+
+#: File name of the per-directory apply-run manifest.
+MANIFEST_NAME = ".clx-apply.json"
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_VERSION = 1
+
+
+class QuarantinedRecord(NamedTuple):
+    """One record diverted from the sink instead of aborting the run.
+
+    Attributes:
+        source: The original partition path (never a shard-relative name).
+        line: Absolute 1-based physical line number of the record's
+            first line in ``source``.
+        error: The error message that disqualified the record.
+        record: The raw record text, trailing newline stripped.
+    """
+
+    source: str
+    line: int
+    error: str
+    record: str
+
+
+def quarantine_file_name(part_name: str) -> str:
+    """The quarantine file for one partition: full name + marker suffix.
+
+    The full partition file name (extension included) is kept so
+    ``a.csv`` and ``a.jsonl`` quarantine separately.
+    """
+    return f"{part_name}.quarantine.jsonl"
+
+
+class QuarantineWriter:
+    """Crash-safe per-partition quarantine sinks under one directory.
+
+    Each partition's records stream into an :class:`AtomicSink`, so a
+    quarantine file appears only once its partition finishes cleanly —
+    an aborted run leaves no partial quarantine files, matching the
+    contract of the data sinks.  Records are JSONL::
+
+        {"source": "...", "line": 7, "error": "...", "record": "..."}
+    """
+
+    def __init__(self, directory: Path, sample_limit: int = 128) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._open: Dict[str, AtomicSink] = {}
+        self._owner: Dict[str, str] = {}
+        self.counts: Dict[str, int] = {}
+        self.files: List[Path] = []
+        self.samples: List[str] = []
+        self._sample_limit = sample_limit
+
+    @property
+    def total(self) -> int:
+        """Quarantined records across every partition so far."""
+        return sum(self.counts.values())
+
+    @property
+    def parts(self) -> int:
+        """Number of partitions that quarantined at least one record."""
+        return len(self.counts)
+
+    def add(self, part_name: str, source: str, records: Iterable[QuarantinedRecord]) -> None:
+        """Append ``records`` to the quarantine file for one partition."""
+        batch = list(records)
+        if not batch:
+            return
+        name = quarantine_file_name(part_name)
+        owner = self._owner.setdefault(name, source)
+        if owner != source:
+            raise CLXError(
+                f"two partitions ({owner} and {source}) would share quarantine "
+                f"file {name!r}; rename the partitions or quarantine them separately"
+            )
+        sink = self._open.get(name)
+        if sink is None:
+            sink = AtomicSink(self.directory / name).open()
+            self._open[name] = sink
+        for record in batch:
+            sink.write(
+                json.dumps(
+                    {
+                        "source": record.source,
+                        "line": record.line,
+                        "error": record.error,
+                        "record": record.record,
+                    },
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+            if len(self.samples) < self._sample_limit:
+                self.samples.append(record.record)
+        self.counts[name] = self.counts.get(name, 0) + len(batch)
+
+    def finish_part(self, part_name: str) -> None:
+        """Commit the quarantine file of a finished partition (if any)."""
+        sink = self._open.pop(quarantine_file_name(part_name), None)
+        if sink is not None:
+            sink.commit()
+            self.files.append(sink.path)
+
+    def finish(self) -> None:
+        """Commit every still-open quarantine file (end of a clean run)."""
+        for name in sorted(self._open):
+            sink = self._open.pop(name)
+            sink.commit()
+            self.files.append(sink.path)
+
+    def abort(self) -> None:
+        """Discard every uncommitted quarantine file (failed run)."""
+        for sink in self._open.values():
+            sink.abort()
+        self._open.clear()
+
+
+class RunManifest:
+    """Per-partition completion record for ``--output-dir`` apply runs.
+
+    Written atomically after every finished partition, so however the
+    run dies, the manifest names exactly the partitions whose outputs
+    are complete.  A ``--resume`` run trusts an entry only when the
+    source path and byte size still match and the output file exists.
+    """
+
+    def __init__(self, directory: Path, out_format: str, resume: bool = False) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / MANIFEST_NAME
+        self._out_format = out_format
+        self._entries: Dict[str, Any] = {}
+        if resume and self.path.exists():
+            try:
+                payload = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                payload = {}
+            if (
+                isinstance(payload, dict)
+                and payload.get("version") == MANIFEST_VERSION
+                and payload.get("out_format") == out_format
+                and isinstance(payload.get("parts"), dict)
+            ):
+                self._entries = payload["parts"]
+
+    def completed(self, output_name: str, source: str, size: int) -> Optional[Dict[str, Any]]:
+        """The matching completion entry for a partition, if trustworthy."""
+        entry = self._entries.get(output_name)
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("source") != source or entry.get("size") != size:
+            return None
+        if not (self.directory / output_name).exists():
+            return None
+        return entry
+
+    def mark(
+        self,
+        output_name: str,
+        source: str,
+        size: int,
+        rows: int,
+        flagged: int,
+        quarantined: int,
+    ) -> None:
+        """Record one finished partition and atomically rewrite the file."""
+        self._entries[output_name] = {
+            "source": source,
+            "size": size,
+            "rows": rows,
+            "flagged": flagged,
+            "quarantined": quarantined,
+        }
+        write_json_atomic(
+            self.path,
+            {
+                "version": MANIFEST_VERSION,
+                "out_format": self._out_format,
+                "parts": self._entries,
+            },
+        )
+
+
+def resynthesis_hint(samples: Sequence[str], threshold: float = 0.5) -> Optional[str]:
+    """A one-line hint when quarantined records share a token pattern.
+
+    Tokenizes each sampled raw record the way the profiler would; when
+    one pattern covers at least ``threshold`` of the sample (and at
+    least two records), the shared shape is worth a re-profile +
+    re-synthesis pass rather than record-by-record triage.
+    """
+    from repro.patterns.pattern import Pattern
+    from repro.tokens.tokenizer import tokenize
+
+    shapes: "Counter[str]" = Counter()
+    for sample in samples:
+        try:
+            shapes[Pattern(tokenize(sample)).notation()] += 1
+        except Exception:  # noqa: BLE001 - a hint must never fail the run
+            continue
+    if not shapes:
+        return None
+    notation, count = shapes.most_common(1)[0]
+    total = sum(shapes.values())
+    if count < 2 or count < threshold * total:
+        return None
+    return (
+        f"{count}/{total} sampled quarantined records share the pattern {notation}; "
+        "consider re-profiling with these records and re-synthesizing the program"
+    )

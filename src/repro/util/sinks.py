@@ -1,0 +1,124 @@
+"""Crash-safe file sinks: same-directory temp file + atomic rename.
+
+A sink that writes directly to its final path can leave a truncated
+file behind when the writer dies mid-run.  :class:`AtomicSink` writes
+to a hidden temp file *in the same directory* (so the final rename is
+within one filesystem and therefore atomic), fsyncs, and renames into
+place only on :meth:`commit`.  Any other exit unlinks the temp file,
+leaving whatever was previously at the final path untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from types import TracebackType
+from typing import IO, Any, Iterable, Optional, Type
+
+_SINK_COUNTER = itertools.count()
+
+
+def fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory so a rename survives power loss."""
+    try:
+        handle = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(handle)
+    except OSError:  # pragma: no cover - filesystem refuses dir fsync
+        pass
+    finally:
+        os.close(handle)
+
+
+class AtomicSink:
+    """A text-file writer whose final path appears only on commit.
+
+    Usable as a context manager (commit on clean exit, abort on
+    exception) or driven manually via :meth:`open` / :meth:`commit` /
+    :meth:`abort` when one orchestrator juggles several sinks.
+    """
+
+    def __init__(self, path: Path, encoding: str = "utf-8", newline: str = "") -> None:
+        self.path = Path(path)
+        self._tmp = self.path.parent / (
+            f".{self.path.name}.clx-tmp.{os.getpid()}.{next(_SINK_COUNTER)}"
+        )
+        self._encoding = encoding
+        self._newline = newline
+        self._handle: Optional[IO[str]] = None
+        self._done = False
+
+    @property
+    def handle(self) -> IO[str]:
+        if self._handle is None:
+            raise ValueError(f"sink for {self.path} is not open")
+        return self._handle
+
+    def open(self) -> "AtomicSink":
+        if self._handle is None and not self._done:
+            self._handle = open(
+                self._tmp, "w", encoding=self._encoding, newline=self._newline
+            )
+        return self
+
+    def write(self, text: str) -> None:
+        self.handle.write(text)
+
+    def commit(self) -> None:
+        """Flush, fsync, and atomically rename the temp file into place."""
+        if self._done:
+            return
+        self.open()  # an empty commit still produces the (empty) file
+        handle = self.handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        self._handle = None
+        os.replace(self._tmp, self.path)
+        fsync_dir(self.path.parent)
+        self._done = True
+
+    def abort(self) -> None:
+        """Discard the temp file; the final path is left untouched."""
+        if self._done:
+            return
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close of a dead handle
+                pass
+            self._handle = None
+        self._tmp.unlink(missing_ok=True)
+        self._done = True
+
+    def __enter__(self) -> "AtomicSink":
+        return self.open()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+def write_json_atomic(path: Path, payload: Any) -> None:
+    """Serialize ``payload`` as JSON and atomically replace ``path``."""
+    with AtomicSink(path) as sink:
+        sink.write(json.dumps(payload, indent=2, sort_keys=True))
+        sink.write("\n")
+
+
+def write_lines_atomic(path: Path, lines: Iterable[str]) -> None:
+    """Write pre-terminated lines and atomically replace ``path``."""
+    with AtomicSink(path) as sink:
+        for line in lines:
+            sink.write(line)

@@ -208,7 +208,9 @@ class TestApplyOutputDir:
             ]
         )
         assert code == 0
-        assert sorted(path.name for path in outdir.iterdir()) == [
+        assert sorted(
+            path.name for path in outdir.iterdir() if not path.name.startswith(".")
+        ) == [
             "part-0.csv",
             "part-1.csv",
         ]
@@ -232,7 +234,9 @@ class TestApplyOutputDir:
             ]
         )
         assert code == 0
-        assert sorted(path.name for path in outdir.iterdir()) == [
+        assert sorted(
+            path.name for path in outdir.iterdir() if not path.name.startswith(".")
+        ) == [
             "part-0.jsonl",
             "part-1.jsonl",
         ]
@@ -261,7 +265,9 @@ class TestApplyOutputDir:
             ]
         )
         assert code == 0
-        assert sorted(path.name for path in outdir.iterdir()) == [
+        assert sorted(
+            path.name for path in outdir.iterdir() if not path.name.startswith(".")
+        ) == [
             "part.2024.jsonl",
             "part.2025.jsonl",
         ]

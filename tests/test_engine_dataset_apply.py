@@ -94,7 +94,7 @@ class TestRunPart:
             {"phone": phone_engine}, ["id", "phone"], workers=1
         ) as executor:
             encoded = "".join(
-                chunk for chunk, _, _ in executor.run_part(dataset.parts[0])
+                chunk for chunk, _, _, _ in executor.run_part(dataset.parts[0])
             )
         rows = list(csv.DictReader(io.StringIO(executor.header_text() + encoded)))
         assert [row["phone_transformed"] for row in rows] == [
@@ -110,7 +110,7 @@ class TestRunPart:
             {"phone": phone_engine}, ["id", "phone"], workers=1
         ) as executor:
             encoded = "".join(
-                chunk for chunk, _, _ in executor.run_part(dataset.parts[0])
+                chunk for chunk, _, _, _ in executor.run_part(dataset.parts[0])
             )
         rows = list(csv.DictReader(io.StringIO(executor.header_text() + encoded)))
         assert [row["phone"] for row in rows] == ["", ""]
@@ -131,7 +131,7 @@ class TestRunPart:
             {"phone": phone_engine}, ["id", "phone"], out_format="jsonl", workers=1
         ) as executor:
             encoded = "".join(
-                chunk for chunk, _, _ in executor.run_part(dataset.parts[0])
+                chunk for chunk, _, _, _ in executor.run_part(dataset.parts[0])
             )
         rows = [json.loads(line) for line in encoded.splitlines()]
         assert [row["id"] for row in rows] == ["true", '{"a": 1}']
@@ -221,7 +221,7 @@ class TestRunDataset:
                 {"phone": phone_engine}, ["id", "phone"], workers=workers
             ) as executor:
                 encoded = executor.header_text() + "".join(
-                    chunk for _, (chunk, _, _) in executor.run_dataset(dataset)
+                    chunk for _, (chunk, _, _, _) in executor.run_dataset(dataset)
                 )
             assert encoded == expected, f"workers={workers}"
 
@@ -234,7 +234,7 @@ class TestRunDataset:
             ) as executor:
                 encoded = executor.header_text() + "".join(
                     chunk
-                    for _, (chunk, _, _) in executor.run_dataset(
+                    for _, (chunk, _, _, _) in executor.run_dataset(
                         dataset, shard_bytes=shard_bytes
                     )
                 )
@@ -290,7 +290,7 @@ class TestRunDataset:
                 outputs.append(
                     "".join(
                         chunk
-                        for _, (chunk, _, _) in executor.run_dataset(
+                        for _, (chunk, _, _, _) in executor.run_dataset(
                             dataset, shard_bytes=shard_bytes
                         )
                     )
@@ -463,7 +463,9 @@ class TestEngineAndSessionApplyDataset:
             out_format="jsonl", workers=2,
         )
         assert result.rows == 60
-        assert sorted(path.name for path in outdir.iterdir()) == [
+        assert sorted(
+            path.name for path in outdir.iterdir() if not path.name.startswith(".")
+        ) == [
             "part-0.jsonl",
             "part-1.jsonl",
         ]

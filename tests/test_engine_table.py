@@ -90,7 +90,7 @@ class TestSuiteEquivalence:
                 workers=1,
                 chunk_size=5,
             ) as executor:
-                encoded = "".join(chunk for chunk, _, _ in executor.run_chunks(lines))
+                encoded = "".join(chunk for chunk, _, _, _ in executor.run_chunks(lines))
             decoded = list(csv.DictReader(io.StringIO(executor.header_text() + encoded)))
             assert decoded == [
                 {"id": row["id"], "value": row["value"]} for row in batch
@@ -149,7 +149,7 @@ class TestShardedTableExecutor:
             {"a": phone_engine, "b": phone_engine}, header, workers=2, chunk_size=4
         ) as executor:
             encoded = "".join(
-                chunk for chunk, _, _ in executor.run_chunks(_csv_lines(header, data))
+                chunk for chunk, _, _, _ in executor.run_chunks(_csv_lines(header, data))
             )
         rows = list(csv.DictReader(io.StringIO(executor.header_text() + encoded)))
         assert set(rows[0]) == {"a", "b", "a_transformed", "b_transformed"}
@@ -164,7 +164,7 @@ class TestShardedTableExecutor:
             {"phone": phone_engine}, header, out_format="jsonl", workers=1
         ) as executor:
             assert executor.header_text() == ""
-            encoded, rows, flagged = next(executor.run_chunks(_csv_lines(header, data)))
+            encoded, rows, flagged, _ = next(executor.run_chunks(_csv_lines(header, data)))
         assert rows == 2 and flagged == 0
         objects = [json.loads(line) for line in encoded.splitlines()]
         assert objects[0] == {
@@ -182,10 +182,10 @@ class TestShardedTableExecutor:
             {"phone": phone_engine}, header, workers=1, chunk_size=1
         ) as executor:
             chunks = list(executor.run_chunks(lines))
-        assert sum(rows for _, rows, _ in chunks) == 7
+        assert sum(rows for _, rows, _, _ in chunks) == 7
         decoded = list(
             csv.DictReader(
-                io.StringIO(executor.header_text() + "".join(chunk for chunk, _, _ in chunks))
+                io.StringIO(executor.header_text() + "".join(chunk for chunk, _, _, _ in chunks))
             )
         )
         assert all(row["note"] == "line one\nline two" for row in decoded)
@@ -204,7 +204,7 @@ class TestShardedTableExecutor:
             {"phone": phone_engine}, header, workers=1, chunk_size=1
         ) as executor:
             chunks = list(executor.run_chunks(list(lines)))
-            encoded = executor.header_text() + "".join(chunk for chunk, _, _ in chunks)
+            encoded = executor.header_text() + "".join(chunk for chunk, _, _, _ in chunks)
         decoded = list(csv.DictReader(io.StringIO(encoded)))
         assert [row["note"] for row in decoded] == ['6" nail', "begin\nend", "a"]
         assert [row["phone_transformed"] for row in decoded] == [
@@ -222,7 +222,7 @@ class TestShardedTableExecutor:
         ) as executor:
             chunks = list(executor.run_chunks(lines))
         assert len(chunks) == 5  # 10 rows at chunk_size=2, no latching
-        assert sum(rows for _, rows, _ in chunks) == 10
+        assert sum(rows for _, rows, _, _ in chunks) == 10
 
     def test_ragged_row_raises_with_line_number(self, phone_engine):
         lines = ["1,734-422-8073\n", "2,906-555-1234,stray\n"]
@@ -237,7 +237,7 @@ class TestShardedTableExecutor:
         with ShardedTableExecutor(
             {"phone": phone_engine}, ["id", "phone"], workers=1
         ) as executor:
-            _, rows, flagged = next(executor.run_chunks(lines))
+            _, rows, flagged, _ = next(executor.run_chunks(lines))
         assert rows == 2 and flagged == 1
 
     def test_rejects_bad_configuration(self, phone_engine):
@@ -266,7 +266,7 @@ class TestShardedTableExecutor:
             with ShardedTableExecutor(
                 {"phone": phone_engine}, header, workers=workers, chunk_size=16
             ) as executor:
-                return "".join(chunk for chunk, _, _ in executor.run_chunks(list(lines)))
+                return "".join(chunk for chunk, _, _, _ in executor.run_chunks(list(lines)))
 
         assert run(1) == run(2)
 

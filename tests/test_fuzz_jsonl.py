@@ -133,7 +133,7 @@ class TestAdversarialJsonlRoundTrip:
                 ) as executor:
                     encoded = executor.header_text() + "".join(
                         chunk
-                        for _, (chunk, _, _) in executor.run_dataset(
+                        for _, (chunk, _, _, _) in executor.run_dataset(
                             dataset, shard_bytes=rng.choice([256, 1 << 20])
                         )
                     )
@@ -217,7 +217,7 @@ class TestMalformedLines:
         ) as executor:
             encoded = executor.header_text() + "".join(
                 chunk
-                for _, (chunk, _, _) in executor.run_dataset(Dataset.resolve(str(path)))
+                for _, (chunk, _, _, _) in executor.run_dataset(Dataset.resolve(str(path)))
             )
         rows = list(csv.DictReader(io.StringIO(encoded)))
         survivors = records[:victim] + records[victim + 1 :]

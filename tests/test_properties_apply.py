@@ -123,7 +123,7 @@ class TestMixedFormatApplyEquivalence:
                 ) as executor:
                     encoded = executor.header_text() + "".join(
                         chunk
-                        for _, (chunk, _, _) in executor.run_dataset(
+                        for _, (chunk, _, _, _) in executor.run_dataset(
                             dataset, shard_bytes=shard_bytes
                         )
                     )
