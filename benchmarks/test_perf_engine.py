@@ -111,3 +111,51 @@ def test_perf_engine_streaming_overhead(benchmark):
     # but it must stay the same order of magnitude as batch apply.
     if not SMOKE:
         assert stream_seconds < batch_seconds * 6
+
+
+def test_perf_memo_on_repeated_values(benchmark):
+    """The value memo must make repeated values nearly free.
+
+    The 300(6) program applied to a stream where every distinct value
+    appears many times (the heavy-hitter shape of real columns): the
+    default memoized hot loop has to beat the same program reloaded
+    with the memo and merged regex disabled.
+    """
+    raw, _expected = phone_dataset(count=300, format_count=6, seed=331)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    artifact = session.compile().dumps()
+
+    fast = CompiledProgram.loads(artifact)
+    naive = CompiledProgram.loads(artifact, memo_size=0, merged_dispatch=False)
+
+    # 300 distinct values repeated to the apply size, deterministic order.
+    distinct, _ = phone_dataset(count=300, format_count=6, seed=97)
+    values = (distinct * (APPLY_ROWS // len(distinct) + 1))[:APPLY_ROWS]
+
+    benchmark.pedantic(fast.run, args=(values,), rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    naive_report = naive.run(values)
+    naive_seconds = time.perf_counter() - start
+
+    fast.clear_memo()
+    start = time.perf_counter()
+    fast_report = fast.run(values)
+    fast_seconds = time.perf_counter() - start
+
+    assert fast_report.outputs == naive_report.outputs
+    stats = fast.memo_stats()
+    hit_rate = stats["hits"] / (stats["hits"] + stats["misses"])
+    speedup = naive_seconds / fast_seconds if fast_seconds else float("inf")
+    print(
+        f"\nmemoized {fast_seconds * 1000:.1f} ms vs naive {naive_seconds * 1000:.1f} ms "
+        f"({APPLY_ROWS} rows, {len(distinct)} distinct, hit rate {hit_rate:.3f}, "
+        f"{speedup:.1f}x)"
+    )
+    assert hit_rate > 0.9
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            f"memoized run only {speedup:.2f}x faster than the naive loop "
+            f"({fast_seconds * 1000:.1f} ms vs {naive_seconds * 1000:.1f} ms)"
+        )

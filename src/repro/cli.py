@@ -101,11 +101,17 @@ if TYPE_CHECKING:
 
 from repro.clustering.incremental import DEFAULT_EXEMPLAR_CAP, IncrementalProfiler
 from repro.core.session import CLXSession
+from repro.engine.compiled import DEFAULT_MEMO_SIZE
 from repro.engine.executor import TransformEngine
 from repro.util.csvio import resolve_column
 from repro.util.errors import CLXError
 from repro.util.text import format_table
-from repro.util.validate import validated_chunk_size, validated_workers
+from repro.util.validate import (
+    validated_adaptive_target,
+    validated_chunk_size,
+    validated_memo_size,
+    validated_workers,
+)
 
 
 # Column addressing (name or zero-based index) resolves through the
@@ -408,6 +414,10 @@ def _paired_apply_columns(
 def _command_apply(args: argparse.Namespace) -> int:
     workers = validated_workers(args.workers, "--workers")
     chunk_size = validated_chunk_size(args.chunk_size, "--chunk-size")
+    memo_size = validated_memo_size(args.memo_size, "--memo-size")
+    adaptive_target_ms = validated_adaptive_target(
+        args.adaptive_chunks, "--adaptive-chunks"
+    )
     if args.output_column and len(args.program) > 1:
         raise CLXError(
             "--output-column is ambiguous with multiple programs; "
@@ -422,7 +432,9 @@ def _command_apply(args: argparse.Namespace) -> int:
     if args.resume and not args.output_dir:
         raise CLXError("--resume needs --output-dir (it reads the run manifest there)")
     engines = [
-        TransformEngine.loads(Path(program).read_text(encoding="utf-8"))
+        TransformEngine.loads(
+            Path(program).read_text(encoding="utf-8"), memo_size=memo_size
+        )
         for program in args.program
     ]
 
@@ -509,6 +521,7 @@ def _command_apply(args: argparse.Namespace) -> int:
         chunk_size=chunk_size,
         on_error=args.on_error,
         fault_policy=fault_policy,
+        adaptive_target_ms=adaptive_target_ms,
     ) as executor:
         shard_bytes = validated_chunk_size(args.shard_bytes, "--shard-bytes")
         if args.output_dir:
@@ -1058,6 +1071,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --output-dir: skip partitions the .clx-apply.json run "
         "manifest already records as complete",
+    )
+    apply_cmd.add_argument(
+        "--memo-size",
+        type=int,
+        default=DEFAULT_MEMO_SIZE,
+        help="bound on each program's value->output dispatch memo; repeated "
+        "values skip regex work entirely (default "
+        f"{DEFAULT_MEMO_SIZE}; 0 disables memoization)",
+    )
+    apply_cmd.add_argument(
+        "--adaptive-chunks",
+        type=int,
+        default=None,
+        metavar="TARGET_MS",
+        help="adapt chunk/shard sizes toward this per-task latency target "
+        "in milliseconds, instead of the static --chunk-size/--shard-bytes "
+        "(default: off; sink bytes are identical either way)",
     )
     apply_cmd.set_defaults(handler=_command_apply)
 

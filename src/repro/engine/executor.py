@@ -45,7 +45,7 @@ if TYPE_CHECKING:  # circular at runtime: dataset/parallel import engines
 from repro.core.result import TransformReport
 from repro.dsl.ast import UniFiProgram
 from repro.dsl.interpreter import TransformOutcome
-from repro.engine.compiled import CompiledProgram
+from repro.engine.compiled import DEFAULT_MEMO_SIZE, CompiledProgram
 from repro.patterns.pattern import Pattern
 from repro.util.errors import ValidationError
 from repro.util.pools import chunked, indexed_chunks
@@ -85,9 +85,25 @@ class TransformEngine:
         return cls(CompiledProgram(program, target, metadata=metadata))
 
     @classmethod
-    def loads(cls, text: str) -> "TransformEngine":
-        """Rebuild an engine from a serialized compiled-program artifact."""
-        return cls(CompiledProgram.loads(text))
+    def loads(
+        cls,
+        text: str,
+        *,
+        memo_size: int = DEFAULT_MEMO_SIZE,
+        merged_dispatch: bool = True,
+    ) -> "TransformEngine":
+        """Rebuild an engine from a serialized compiled-program artifact.
+
+        ``memo_size`` / ``merged_dispatch`` configure the rebuilt
+        program's hot-loop dispatch (see
+        :class:`~repro.engine.compiled.CompiledProgram`); they are
+        runtime knobs, not part of the artifact.
+        """
+        return cls(
+            CompiledProgram.loads(
+                text, memo_size=memo_size, merged_dispatch=merged_dispatch
+            )
+        )
 
     def dumps(self, indent: Optional[int] = None) -> str:
         """Serialize the underlying compiled program."""
@@ -193,6 +209,7 @@ class TransformEngine:
         shard_timeout: Optional[float] = None,
         max_retries: int = 0,
         resume: bool = False,
+        adaptive_target_ms: Optional[int] = None,
     ) -> "DatasetApplyResult":
         """Apply this engine's program across a partitioned dataset.
 
@@ -238,6 +255,9 @@ class TransformEngine:
                 it is declared poison.
             resume: With ``output_dir``, skip partitions the run
                 manifest records as complete.
+            adaptive_target_ms: When set, chunk/shard sizes adapt
+                toward this per-task latency target instead of staying
+                at the static knobs (sink bytes are unaffected).
 
         Returns:
             The :class:`~repro.engine.parallel.DatasetApplyResult`
@@ -275,6 +295,7 @@ class TransformEngine:
             chunk_size=chunk_size,
             on_error=on_error,
             fault_policy=FaultPolicy(max_retries=max_retries, shard_timeout=shard_timeout),
+            adaptive_target_ms=adaptive_target_ms,
         ) as executor:
             return apply_dataset(
                 executor,

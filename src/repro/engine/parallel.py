@@ -38,6 +38,7 @@ hang — see :mod:`repro.util.pools`):
 from __future__ import annotations
 
 import csv
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -81,7 +82,12 @@ from repro.util.pools import (
     map_ordered,
 )
 from repro.util.sinks import AtomicSink
-from repro.util.validate import validated_chunk_size, validated_workers
+from repro.util.timing import Stopwatch
+from repro.util.validate import (
+    validated_adaptive_target,
+    validated_chunk_size,
+    validated_workers,
+)
 
 #: Default number of values per worker task; large enough to amortize
 #: pickling and dispatch, small enough to keep the pipeline busy.
@@ -124,6 +130,79 @@ class TableChunk(NamedTuple):
     flagged: int
     quarantined: Tuple[QuarantinedRecord, ...] = ()
 
+class AdaptiveChunker:
+    """Latency-driven task sizing for the parallel apply pipeline.
+
+    The static ``chunk_size`` / ``shard_bytes`` knobs assume every
+    column costs the same per row; a slow program (deep backtracking,
+    many guarded branches) can turn a "reasonable" chunk into a
+    multi-second task that starves the ordered drain.  An
+    ``AdaptiveChunker`` instead steers the next task's size toward a
+    per-task latency band around ``target_seconds``: a task slower than
+    twice the target halves the size, one faster than half the target
+    doubles it, both clamped to ``[minimum, maximum]``.  Every observed
+    latency is also recorded into a :class:`~repro.util.timing.Stopwatch`
+    so callers can report what the pipeline actually saw.
+
+    Sizing never changes *what* is computed — chunk boundaries only
+    group rows into tasks, and the sink bytes are an ordered
+    concatenation of per-row encodings — so adaptive runs stay
+    byte-identical to static ones.
+    """
+
+    __slots__ = ("_size", "_minimum", "_maximum", "_target", "stopwatch", "name")
+
+    def __init__(
+        self,
+        initial: int,
+        minimum: int,
+        maximum: int,
+        target_seconds: float,
+        name: str = "chunk",
+    ) -> None:
+        if minimum < 1 or maximum < minimum:
+            raise ValidationError(
+                f"adaptive bounds must satisfy 1 <= minimum <= maximum, "
+                f"got [{minimum}, {maximum}]"
+            )
+        if target_seconds <= 0:
+            raise ValidationError(
+                f"adaptive target must be positive, got {target_seconds}"
+            )
+        self._size = min(max(initial, minimum), maximum)
+        self._minimum = minimum
+        self._maximum = maximum
+        self._target = target_seconds
+        self.stopwatch = Stopwatch()
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        """The size the next task should use."""
+        return self._size
+
+    @property
+    def target_seconds(self) -> float:
+        """Center of the per-task latency band."""
+        return self._target
+
+    def observe(self, seconds: float) -> None:
+        """Feed one observed per-task latency back into the sizer."""
+        self.stopwatch.record(self.name, seconds)
+        if seconds > self._target * 2 and self._size > self._minimum:
+            self._size = max(self._minimum, self._size // 2)
+        elif seconds < self._target / 2 and self._size < self._maximum:
+            self._size = min(self._maximum, self._size * 2)
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate view: samples seen, mean latency, current size."""
+        return {
+            "samples": float(self.stopwatch.count(self.name)),
+            "mean_seconds": self.stopwatch.mean(self.name),
+            "size": float(self._size),
+        }
+
+
 # Per-worker state installed by the pool initializers.
 _WORKER_STATE: Optional[Tuple[CompiledProgram, Dict[Pattern, int]]] = None
 _TABLE_STATE: Optional[Tuple["TableSpec", List[CompiledProgram], int]] = None
@@ -146,10 +225,28 @@ def _pattern_table(compiled: CompiledProgram) -> List[Pattern]:
     return [compiled.target] + [branch.pattern for branch in compiled.program.branches]
 
 
-def _init_worker(artifact: str) -> None:
+#: Wire form of one program for a pool initializer: the JSON artifact
+#: plus the runtime dispatch knobs (memo bound, merged dispatch), which
+#: are not part of the artifact but must match the parent's program so
+#: every worker runs the same hot path.
+ProgramWire = Tuple[str, int, bool]
+
+
+def _program_wire(compiled: CompiledProgram) -> ProgramWire:
+    return (compiled.dumps(), compiled.memo_size, compiled.merged_dispatch)
+
+
+def _program_from_wire(wire: ProgramWire) -> CompiledProgram:
+    artifact, memo_size, merged_dispatch = wire
+    return CompiledProgram.loads(
+        artifact, memo_size=memo_size, merged_dispatch=merged_dispatch
+    )
+
+
+def _init_worker(wire: ProgramWire) -> None:
     """Pool initializer: rebuild the compiled program once per worker."""
     global _WORKER_STATE
-    compiled = CompiledProgram.loads(artifact)
+    compiled = _program_from_wire(wire)
     index: Dict[Pattern, int] = {}
     for position, pattern in enumerate(_pattern_table(compiled)):
         index.setdefault(pattern, position)
@@ -193,7 +290,7 @@ class ShardedExecutor:
         self._workers = validated_workers(workers)
         self._chunk_size = validated_chunk_size(chunk_size)
         self._compiled = program
-        self._artifact = program.dumps()
+        self._wire = _program_wire(program)
         self._table = _pattern_table(program)
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -215,7 +312,7 @@ class ShardedExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self._workers,
                 initializer=_init_worker,
-                initargs=(self._artifact,),
+                initargs=(self._wire,),
             )
         return self._pool
 
@@ -536,14 +633,21 @@ def _transform_lines(
 
 
 def _init_table_worker(
-    spec: TableSpec, artifacts: Tuple[str, ...], chunk_size: int = DEFAULT_TABLE_CHUNK_LINES
+    spec: TableSpec,
+    wires: Tuple[ProgramWire, ...],
+    chunk_size: int = DEFAULT_TABLE_CHUNK_LINES,
 ) -> None:
-    """Pool initializer: rebuild every column's program once per worker."""
+    """Pool initializer: rebuild every column's program once per worker.
+
+    Each worker gets its own dispatch memo (the wire form carries the
+    parent's ``memo_size`` / ``merged_dispatch`` knobs), so memoization
+    scales with the pool instead of being a parent-only optimization.
+    """
     global _TABLE_STATE
     maybe_fire("worker.init")
     _TABLE_STATE = (
         spec,
-        [CompiledProgram.loads(artifact) for artifact in artifacts],
+        [_program_from_wire(wire) for wire in wires],
         chunk_size,
     )
 
@@ -558,7 +662,7 @@ def _transform_table_chunk(
 
 def _record_aligned_chunks(
     lines: Iterable[str],
-    chunk_size: int,
+    chunk_size: Union[int, AdaptiveChunker],
     first_line: int,
     delimiter: str,
     csv_quoting: bool = True,
@@ -572,7 +676,14 @@ def _record_aligned_chunks(
     the first record boundary at or past ``chunk_size`` lines.  With
     ``csv_quoting=False`` (JSON Lines) every physical line is a record
     and chunks close exactly at ``chunk_size``.
+
+    ``chunk_size`` may be an :class:`AdaptiveChunker`, whose current
+    size is re-read at every chunk boundary — latency feedback observed
+    while this generator is being drained resizes the *next* chunk.
     """
+    sizer = chunk_size if isinstance(chunk_size, AdaptiveChunker) else None
+    limit = sizer.size if sizer is not None else chunk_size
+    assert isinstance(limit, int)
     chunk: List[str] = []
     chunk_first = first_line
     line_number = first_line - 1
@@ -582,10 +693,12 @@ def _record_aligned_chunks(
         chunk.append(line)
         if csv_quoting:
             record_open = record_open_after(line, delimiter, record_open)
-        if len(chunk) >= chunk_size and not record_open:
+        if len(chunk) >= limit and not record_open:
             yield chunk_first, chunk
             chunk = []
             chunk_first = line_number + 1
+            if sizer is not None:
+                limit = sizer.size
     if chunk:
         yield chunk_first, chunk
 
@@ -698,6 +811,12 @@ class ShardedTableExecutor:
             is the historical behaviour.  A policy with retries or a
             timeout forces pool execution even at ``workers=1`` so the
             knobs keep their meaning.
+        adaptive_target_ms: When set, ``chunk_size`` and ``shard_bytes``
+            become starting points instead of fixed sizes: an
+            :class:`AdaptiveChunker` resizes tasks toward this per-task
+            latency target from observed pipeline latencies.  ``None``
+            (default) keeps the static knobs.  Sink bytes are identical
+            either way — sizing only regroups rows into tasks.
     """
 
     def __init__(
@@ -712,6 +831,7 @@ class ShardedTableExecutor:
         chunk_size: int = DEFAULT_TABLE_CHUNK_LINES,
         on_error: str = "abort",
         fault_policy: Optional[FaultPolicy] = None,
+        adaptive_target_ms: Optional[int] = None,
     ) -> None:
         if not programs:
             raise ValidationError("ShardedTableExecutor needs at least one column program")
@@ -726,6 +846,19 @@ class ShardedTableExecutor:
         self._workers = validated_workers(workers)
         self._chunk_size = validated_chunk_size(chunk_size)
         self._fault_policy = fault_policy or FaultPolicy()
+        self._adaptive_target_ms = validated_adaptive_target(
+            adaptive_target_ms, "adaptive_target_ms"
+        )
+        self._line_sizer: Optional[AdaptiveChunker] = None
+        self._shard_sizer: Optional[AdaptiveChunker] = None
+        if self._adaptive_target_ms is not None:
+            self._line_sizer = AdaptiveChunker(
+                initial=self._chunk_size,
+                minimum=max(1, self._chunk_size // 16),
+                maximum=self._chunk_size * 64,
+                target_seconds=self._adaptive_target_ms / 1000.0,
+                name="chunk",
+            )
 
         fieldnames = tuple(header)
         named_outputs = dict(output_columns or {})
@@ -778,12 +911,26 @@ class ShardedTableExecutor:
         """The infrastructure-fault retry/timeout policy."""
         return self._fault_policy
 
+    @property
+    def adaptive_target_ms(self) -> Optional[int]:
+        """The adaptive latency target, or ``None`` for static sizing."""
+        return self._adaptive_target_ms
+
+    def adaptive_stats(self) -> Dict[str, Dict[str, float]]:
+        """Observed latency + current size per adaptive sizer (if any)."""
+        stats: Dict[str, Dict[str, float]] = {}
+        if self._line_sizer is not None:
+            stats["chunk_lines"] = self._line_sizer.stats()
+        if self._shard_sizer is not None:
+            stats["shard_bytes"] = self._shard_sizer.stats()
+        return stats
+
     def _build_pool(self) -> ProcessPoolExecutor:
-        artifacts = tuple(program.dumps() for program in self._programs)
+        wires = tuple(_program_wire(program) for program in self._programs)
         return ProcessPoolExecutor(
             max_workers=self._workers,
             initializer=_init_table_worker,
-            initargs=(self._spec, artifacts, self._chunk_size),
+            initargs=(self._spec, wires, self._chunk_size),
         )
 
     def _ensure_pool(self) -> ResilientPool[Any, TableChunk]:
@@ -922,11 +1069,12 @@ class ShardedTableExecutor:
                 f"unsupported input format {in_format!r}; "
                 f"choose from {', '.join(INPUT_FORMATS)}"
             )
+        sizer = self._line_sizer
         tasks = (
             (start, chunk, source, in_format)
             for start, chunk in _record_aligned_chunks(
                 lines,
-                self._chunk_size,
+                sizer if sizer is not None else self._chunk_size,
                 first_line,
                 self._spec.delimiter,
                 csv_quoting=in_format == "csv",
@@ -935,13 +1083,22 @@ class ShardedTableExecutor:
         if not self._use_pool:
             engines = self._programs
             for start, chunk, label, fmt in tasks:
-                yield _transform_lines(self._spec, engines, start, chunk, label, fmt)
+                began = time.perf_counter()
+                result = _transform_lines(self._spec, engines, start, chunk, label, fmt)
+                if sizer is not None:
+                    sizer.observe(time.perf_counter() - began)
+                yield result
             return
-        keyed = ((task[0], task) for task in tasks)
+        # The key carries the submission stamp parent-side (the wire
+        # format stays untouched); the ordered drain turns it into the
+        # per-task pipeline latency the sizer steers on.
+        keyed = (((task[0], time.perf_counter()), task) for task in tasks)
         pool = self._ensure_pool()
-        for _, result in pool.map_ordered_keyed(
+        for key, result in pool.map_ordered_keyed(
             _transform_table_chunk, keyed, self._workers + 2, on_failure=self._chunk_failure
         ):
+            if sizer is not None:
+                sizer.observe(time.perf_counter() - key[1])
             yield result
 
     def run_csv_file(self, path: Union[str, Path]) -> Iterator[TableChunk]:
@@ -1100,22 +1257,50 @@ class ShardedTableExecutor:
             order.
         """
         validated_chunk_size(shard_bytes, "shard_bytes")
+        sizer: Optional[AdaptiveChunker] = None
+        if self._adaptive_target_ms is not None:
+            sizer = AdaptiveChunker(
+                initial=shard_bytes,
+                minimum=max(1, shard_bytes // 16),
+                maximum=shard_bytes * 64,
+                target_seconds=self._adaptive_target_ms / 1000.0,
+                name="shard",
+            )
+            self._shard_sizer = sizer
 
         def plan() -> Iterator[Tuple[int, _ApplyShard]]:
             for index, part in enumerate(dataset):
-                for shard in self._plan_part_shards(part, shard_bytes):
+                # Shard geometry is fixed within a part (the cut targets
+                # are planned in one scan), so the sizer steers between
+                # parts; chunk-line adaptation handles intra-part pacing.
+                size = sizer.size if sizer is not None else shard_bytes
+                for shard in self._plan_part_shards(part, size):
                     yield index, shard
 
         if not self._use_pool:
             for index, shard in plan():
-                yield index, _transform_shard(
+                began = time.perf_counter()
+                chunk = _transform_shard(
                     self._spec, self._programs, self._chunk_size, shard
                 )
+                if sizer is not None:
+                    sizer.observe(time.perf_counter() - began)
+                yield index, chunk
             return
         pool = self._ensure_pool()
-        yield from pool.map_ordered_keyed(
-            _apply_file_shard, plan(), self._workers + 2, on_failure=self._shard_failure
+        if sizer is None:
+            yield from pool.map_ordered_keyed(
+                _apply_file_shard, plan(), self._workers + 2, on_failure=self._shard_failure
+            )
+            return
+        stamped = (
+            ((index, time.perf_counter()), shard) for index, shard in plan()
         )
+        for key, chunk in pool.map_ordered_keyed(
+            _apply_file_shard, stamped, self._workers + 2, on_failure=self._shard_failure
+        ):
+            sizer.observe(time.perf_counter() - key[1])
+            yield key[0], chunk
 
 
 # ----------------------------------------------------------------------
@@ -1380,9 +1565,9 @@ def apply_dataset(
 # ----------------------------------------------------------------------
 # Mapping-rows fan-out behind TransformEngine.transform_table(workers=N)
 # ----------------------------------------------------------------------
-def _init_rows_worker(payload: Tuple[Tuple[str, str], ...]) -> None:
+def _init_rows_worker(payload: Tuple[Tuple[str, ProgramWire], ...]) -> None:
     global _ROWS_STATE
-    _ROWS_STATE = [(column, CompiledProgram.loads(artifact)) for column, artifact in payload]
+    _ROWS_STATE = [(column, _program_from_wire(wire)) for column, wire in payload]
 
 
 def _transform_rows_chunk(task: Tuple[int, List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
@@ -1420,7 +1605,7 @@ def transform_table_parallel(
     callers that hold row dicts rather than a CSV file.  Used by
     :meth:`TransformEngine.transform_table` when ``workers > 1``.
     """
-    payload = tuple((column, compiled.dumps()) for column, compiled in programs)
+    payload = tuple((column, _program_wire(compiled)) for column, compiled in programs)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_rows_worker,

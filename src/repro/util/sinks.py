@@ -55,11 +55,30 @@ class AtomicSink:
     @property
     def handle(self) -> IO[str]:
         if self._handle is None:
+            if self._done:
+                raise ValueError(
+                    f"sink for {self.path} is already committed/aborted"
+                )
             raise ValueError(f"sink for {self.path} is not open")
         return self._handle
 
     def open(self) -> "AtomicSink":
-        if self._handle is None and not self._done:
+        """Open the temp file for writing (idempotent while live).
+
+        A sink is single-use: once :meth:`commit` or :meth:`abort` has
+        run, its temp file is gone, so re-opening would silently hand
+        back a handleless sink whose next ``write()`` fails with a
+        misleading "not open".  Fail here instead, at the reuse site.
+
+        Raises:
+            ValueError: If the sink was already committed or aborted.
+        """
+        if self._done:
+            raise ValueError(
+                f"sink for {self.path} is already committed/aborted; "
+                f"create a new AtomicSink to write again"
+            )
+        if self._handle is None:
             self._handle = open(
                 self._tmp, "w", encoding=self._encoding, newline=self._newline
             )

@@ -38,6 +38,15 @@ class Stopwatch:
             elapsed = time.perf_counter() - start
             self.samples.setdefault(name, []).append(elapsed)
 
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally-measured sample under ``name``.
+
+        For callers that cannot wrap the timed region in
+        :meth:`measure` — e.g. a pipelined executor that stamps a task
+        at submission and observes it at the ordered drain.
+        """
+        self.samples.setdefault(name, []).append(seconds)
+
     def total(self, name: str) -> float:
         """Total seconds accumulated under ``name`` (0.0 if never used)."""
         return sum(self.samples.get(name, []))

@@ -50,3 +50,39 @@ def validated_chunk_size(chunk_size: int, name: str = "chunk_size") -> int:
     if chunk_size < 1:
         raise ValidationError(f"{name} must be >= 1, got {chunk_size}")
     return chunk_size
+
+
+def validated_memo_size(memo_size: int, name: str = "memo_size") -> int:
+    """Validate a dispatch-memo bound.
+
+    Unlike ``workers``/``chunk_size``, zero is a meaningful value here —
+    it disables memoization rather than asking for an empty cache — so
+    only negative values and non-integers are rejected.
+    """
+    if isinstance(memo_size, bool) or not isinstance(memo_size, int):
+        raise ValidationError(
+            f"{name} must be a non-negative integer, got {type(memo_size).__name__}"
+        )
+    if memo_size < 0:
+        raise ValidationError(f"{name} must be >= 0, got {memo_size}")
+    return memo_size
+
+
+def validated_adaptive_target(
+    target_ms: Optional[int], name: str = "adaptive_target_ms"
+) -> Optional[int]:
+    """Validate an adaptive-chunking latency target in milliseconds.
+
+    ``None`` means adaptive sizing is off (the static ``chunk_size`` /
+    ``shard_bytes`` knobs apply); an explicit target must be a positive
+    integer — a zero or negative latency band is meaningless.
+    """
+    if target_ms is None:
+        return None
+    if isinstance(target_ms, bool) or not isinstance(target_ms, int):
+        raise ValidationError(
+            f"{name} must be a positive integer, got {type(target_ms).__name__}"
+        )
+    if target_ms < 1:
+        raise ValidationError(f"{name} must be >= 1, got {target_ms}")
+    return target_ms

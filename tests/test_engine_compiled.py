@@ -11,7 +11,16 @@ from repro.dsl.guards import ContainsGuard
 from repro.dsl.interpreter import apply_program
 from repro.engine.compiled import CompiledProgram, compile_program
 from repro.patterns.parse import parse_pattern
-from repro.util.errors import SerializationError, TransformError
+from repro.util.errors import SerializationError, TransformError, ValidationError
+
+
+def _bypassed_extract(start, end):
+    """An Extract built around the AST validator, as a corrupted wire
+    artifact (or any out-of-band construction) could produce."""
+    expression = object.__new__(Extract)
+    object.__setattr__(expression, "start", start)
+    object.__setattr__(expression, "end", end)
+    return expression
 
 
 @pytest.fixture
@@ -183,3 +192,277 @@ class TestMetadataValidation:
             metadata={"column": "phone", "rows": 3, "nested": {"ok": [1, 2]}},
         )
         assert CompiledProgram.loads(compiled.dumps()).metadata == compiled.metadata
+
+
+class TestPlanRangeValidation:
+    """The start<1 / end<start guard in _compile_plan_ops.
+
+    ``Extract.__init__`` validates its indices, but the compile path
+    must not trust it: a corrupted wire artifact or out-of-band
+    construction that smuggles ``start < 1`` past the AST would compile
+    to a negative group slice that silently emits wrong output.
+    """
+
+    def _program_with(self, expression):
+        branch = Branch(
+            pattern=parse_pattern("<D>3'.'<D>4"),
+            plan=AtomicPlan([expression]),
+        )
+        return UniFiProgram([branch])
+
+    def test_start_below_one_rejected_naming_branch(self):
+        program = self._program_with(_bypassed_extract(0, 1))
+        with pytest.raises(TransformError, match="branch 1"):
+            CompiledProgram(program, parse_pattern("<D>3'-'<D>4"))
+
+    def test_negative_start_rejected(self):
+        program = self._program_with(_bypassed_extract(-2, 1))
+        with pytest.raises(TransformError, match="invalid token range"):
+            CompiledProgram(program, parse_pattern("<D>3'-'<D>4"))
+
+    def test_end_before_start_rejected(self):
+        program = self._program_with(_bypassed_extract(3, 1))
+        with pytest.raises(TransformError, match="branch 1"):
+            CompiledProgram(program, parse_pattern("<D>3'-'<D>4"))
+
+    def test_error_names_the_offending_branch(self):
+        pattern = parse_pattern("<D>3'.'<D>4")
+        program = UniFiProgram(
+            [
+                Branch(pattern=pattern, plan=AtomicPlan([Extract(1)])),
+                Branch(pattern=pattern, plan=AtomicPlan([_bypassed_extract(0, 1)])),
+            ]
+        )
+        with pytest.raises(TransformError, match="branch 2"):
+            CompiledProgram(program, parse_pattern("<D>3'-'<D>4"))
+
+    def test_wire_format_mutant_rejected_on_load(self, phone_session):
+        # The wire format's own deserializer also refuses a corrupt
+        # range (Extract validates on construction); either way the
+        # artifact must never load into a silently-wrong program.
+        import json as json_module
+
+        payload = json_module.loads(phone_session.compile().dumps())
+        corrupted = False
+        for branch in payload["program"]["branches"]:
+            for op in branch["plan"]:
+                if op.get("op") == "extract":
+                    op["start"] = 0
+                    corrupted = True
+                    break
+            if corrupted:
+                break
+        assert corrupted, "phone program has no extract op to corrupt"
+        with pytest.raises((SerializationError, TransformError)):
+            CompiledProgram.loads(json_module.dumps(payload))
+
+
+class TestMemoDispatch:
+    def test_memoized_outcomes_match_naive(self, phone_session, phone_values):
+        artifact = phone_session.compile().dumps()
+        fast = CompiledProgram.loads(artifact)
+        naive = CompiledProgram.loads(artifact, memo_size=0, merged_dispatch=False)
+        stream = list(phone_values) * 3 + ["nonsense", "nonsense"]
+        fast_report = fast.run(stream)
+        naive_report = naive.run(stream)
+        assert fast_report.outputs == naive_report.outputs
+        assert fast_report.matched_pattern == naive_report.matched_pattern
+        stats = fast.memo_stats()
+        assert stats["hits"] > 0
+        assert stats["hits"] + stats["misses"] == len(stream)
+
+    def test_batch_bypasses_memo_when_values_never_repeat(self, phone_session):
+        # A mostly-distinct batch is the memo's worst case (pure dict
+        # churn), so run() stops consulting it once a warm-up window
+        # shows the hit rate stuck near zero — without changing outputs
+        # or the stats contract.
+        artifact = phone_session.compile().dumps()
+        fast = CompiledProgram.loads(artifact)
+        naive = CompiledProgram.loads(artifact, memo_size=0, merged_dispatch=False)
+        stream = [f"({700 + i % 300}) {100 + i % 900}-{1000 + i}" for i in range(3000)]
+        fast_report = fast.run(stream)
+        assert fast_report.outputs == naive.run(stream).outputs
+        stats = fast.memo_stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == len(stream)  # bypassed values still count
+        assert stats["entries"] <= fast.memo_size
+
+    def test_run_one_uses_memo(self, phone_session):
+        compiled = CompiledProgram.loads(phone_session.compile().dumps())
+        first = compiled.run_one("(734) 330-9426")
+        second = compiled.run_one("(734) 330-9426")
+        assert first == second
+        assert compiled.memo_stats()["hits"] == 1
+        assert compiled.memo_stats()["misses"] == 1
+
+    def test_memo_size_zero_disables_memo(self, phone_session, phone_values):
+        compiled = CompiledProgram.loads(phone_session.compile().dumps(), memo_size=0)
+        assert compiled.memo_size == 0
+        compiled.run(list(phone_values) * 2)
+        stats = compiled.memo_stats()
+        assert stats == {"hits": 0, "misses": 0, "entries": 0, "size": 0}
+
+    def test_memo_is_bounded_lru(self, phone_session):
+        compiled = CompiledProgram.loads(phone_session.compile().dumps(), memo_size=2)
+        values = ["(111) 111-1111", "(222) 222-2222", "(333) 333-3333"]
+        for value in values:
+            compiled.run_one(value)
+        assert compiled.memo_stats()["entries"] == 2
+        # The least-recently-used entry (the first value) was evicted:
+        # re-running it is a miss, while the most recent two still hit.
+        compiled.run_one(values[2])
+        assert compiled.memo_stats()["hits"] == 1
+        compiled.run_one(values[0])
+        assert compiled.memo_stats()["misses"] == 4
+
+    def test_lru_reinsertion_protects_hot_values(self, phone_session):
+        compiled = CompiledProgram.loads(phone_session.compile().dumps(), memo_size=2)
+        compiled.run_one("(111) 111-1111")
+        compiled.run_one("(222) 222-2222")
+        compiled.run_one("(111) 111-1111")  # hit: moves to MRU position
+        compiled.run_one("(333) 333-3333")  # evicts (222), not (111)
+        hits_before = compiled.memo_stats()["hits"]
+        compiled.run_one("(111) 111-1111")
+        assert compiled.memo_stats()["hits"] == hits_before + 1
+
+    def test_clear_memo_resets_entries_and_counters(self, phone_session, phone_values):
+        compiled = CompiledProgram.loads(phone_session.compile().dumps())
+        compiled.run(list(phone_values) * 2)
+        assert compiled.memo_stats()["entries"] > 0
+        compiled.clear_memo()
+        assert compiled.memo_stats() == {
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+            "size": compiled.memo_size,
+        }
+
+    def test_memo_excluded_from_equality_and_serialization(self, phone_session):
+        artifact = phone_session.compile().dumps()
+        default = CompiledProgram.loads(artifact)
+        tuned = CompiledProgram.loads(artifact, memo_size=7, merged_dispatch=False)
+        assert default == tuned
+        assert hash(default) == hash(tuned)
+        assert tuned.dumps() == default.dumps()
+
+    @pytest.mark.parametrize("bad", [-1, -4096, 1.5, "16", True])
+    def test_invalid_memo_size_rejected(self, phone_session, bad):
+        artifact = phone_session.compile().dumps()
+        with pytest.raises(ValidationError, match="memo_size"):
+            CompiledProgram.loads(artifact, memo_size=bad)
+
+
+class TestMergedDispatch:
+    def _two_branch_program(self):
+        return UniFiProgram(
+            [
+                Branch(
+                    pattern=parse_pattern("<D>3'.'<D>4"),
+                    plan=AtomicPlan([Extract(1), ConstStr("-"), Extract(3)]),
+                ),
+                Branch(
+                    pattern=parse_pattern("'('<D>3')'' '<D>3'-'<D>4"),
+                    plan=AtomicPlan([Extract(2), ConstStr("-"), Extract(5), ConstStr("-"), Extract(7)]),
+                ),
+            ]
+        )
+
+    def test_merged_regex_built_for_unguarded_branches(self):
+        compiled = CompiledProgram(
+            self._two_branch_program(), parse_pattern("<D>3'-'<D>4")
+        )
+        assert compiled.merged_dispatch
+        assert compiled.merged_prefix == 2
+
+    def test_merged_dispatch_can_be_disabled(self):
+        compiled = CompiledProgram(
+            self._two_branch_program(),
+            parse_pattern("<D>3'-'<D>4"),
+            merged_dispatch=False,
+        )
+        assert not compiled.merged_dispatch
+        assert compiled.merged_prefix == 0
+
+    def test_single_branch_stays_on_the_loop(self):
+        program = UniFiProgram(
+            [Branch(parse_pattern("<D>3'.'<D>4"), AtomicPlan([Extract(1)]))]
+        )
+        compiled = CompiledProgram(program, parse_pattern("<D>3'-'<D>4"))
+        assert not compiled.merged_dispatch
+        assert compiled.run_one("123.4567").output == "123"
+
+    def test_merged_outputs_match_naive_loop(self, phone_session, phone_values):
+        artifact = phone_session.compile().dumps()
+        merged = CompiledProgram.loads(artifact, memo_size=0)
+        naive = CompiledProgram.loads(artifact, memo_size=0, merged_dispatch=False)
+        probes = list(phone_values) + ["nope", "", "734.236.3466", "(734) 645-8397"]
+        for value in probes:
+            fast = merged.run_one(value)
+            slow = naive.run_one(value)
+            assert (fast.output, fast.matched, fast.pattern) == (
+                slow.output,
+                slow.matched,
+                slow.pattern,
+            ), value
+
+    def test_first_match_wins_order_preserved(self):
+        # Both branches match "abc"; the merged alternation must pick
+        # the first, exactly like the sequential loop.
+        pattern = parse_pattern("<L>+")
+        program = UniFiProgram(
+            [
+                Branch(pattern=pattern, plan=AtomicPlan([ConstStr("FIRST")])),
+                Branch(pattern=pattern, plan=AtomicPlan([ConstStr("SECOND")])),
+            ]
+        )
+        compiled = CompiledProgram(program, parse_pattern("<U>+"))
+        assert compiled.merged_prefix == 2
+        assert compiled.run_one("abc").output == "FIRST"
+        assert compiled.run_one("abc").pattern is program.branches[0].pattern
+
+    def test_guard_in_front_disables_merging(self):
+        pattern = parse_pattern("<L>+")
+        program = UniFiProgram(
+            [
+                Branch(
+                    pattern=pattern,
+                    plan=AtomicPlan([ConstStr("PIC")]),
+                    guard=ContainsGuard("picture"),
+                ),
+                Branch(pattern=pattern, plan=AtomicPlan([Extract(1)])),
+                Branch(pattern=parse_pattern("<D>+"), plan=AtomicPlan([ConstStr("NUM")])),
+            ]
+        )
+        compiled = CompiledProgram(program, parse_pattern("<U>+"))
+        assert not compiled.merged_dispatch
+        assert compiled.run_one("picture").output == "PIC"
+        assert compiled.run_one("words").output == "words"
+        assert compiled.run_one("123").output == "NUM"
+
+    def test_unguarded_prefix_merges_guarded_tail_falls_back(self):
+        program = UniFiProgram(
+            [
+                Branch(parse_pattern("<D>+"), AtomicPlan([ConstStr("NUM")])),
+                Branch(parse_pattern("<U>+"), AtomicPlan([ConstStr("CAPS")])),
+                Branch(
+                    pattern=parse_pattern("<L>+"),
+                    plan=AtomicPlan([ConstStr("PIC")]),
+                    guard=ContainsGuard("picture"),
+                ),
+                Branch(parse_pattern("<L>+"), AtomicPlan([Extract(1)])),
+            ]
+        )
+        compiled = CompiledProgram(program, parse_pattern("'#'"))
+        assert compiled.merged_prefix == 2
+        assert compiled.run_one("123").output == "NUM"
+        assert compiled.run_one("ABC").output == "CAPS"
+        assert compiled.run_one("picture").output == "PIC"
+        assert compiled.run_one("words").output == "words"
+
+    def test_merged_dispatch_with_multi_token_extracts(self):
+        compiled = CompiledProgram(
+            self._two_branch_program(), parse_pattern("<D>3'-'<D>4")
+        )
+        assert compiled.run_one("555.0199").output == "555-0199"
+        assert compiled.run_one("(734) 555-0199").output == "734-555-0199"
+        assert not compiled.run_one("not a phone").matched

@@ -6,8 +6,10 @@ import pytest
 
 from repro.util.errors import CLXError, PatternParseError, SynthesisError, TransformError, ValidationError
 from repro.util.rand import DEFAULT_SEED, digits, letters, make_rng, weighted_choice
+from repro.util.sinks import AtomicSink
 from repro.util.text import common_prefix_length, format_table, truncate
 from repro.util.timing import Stopwatch
+from repro.util.validate import validated_adaptive_target, validated_memo_size
 
 
 class TestErrors:
@@ -85,3 +87,104 @@ class TestStopwatch:
         assert watch.total("nothing") == 0.0
         assert watch.mean("nothing") == 0.0
         assert watch.count("nothing") == 0
+
+    def test_record_external_samples(self):
+        watch = Stopwatch()
+        watch.record("chunk", 0.5)
+        watch.record("chunk", 1.5)
+        assert watch.count("chunk") == 2
+        assert watch.total("chunk") == 2.0
+        assert watch.mean("chunk") == 1.0
+
+
+class TestValidators:
+    @pytest.mark.parametrize("good", [0, 1, 4096])
+    def test_memo_size_accepts_non_negative_ints(self, good):
+        assert validated_memo_size(good) == good
+
+    @pytest.mark.parametrize("bad", [-1, -4096, 1.5, "16", None, True, False])
+    def test_memo_size_rejects_bad_values(self, bad):
+        with pytest.raises(ValidationError, match="--memo-size"):
+            validated_memo_size(bad, "--memo-size")
+
+    def test_adaptive_target_none_means_off(self):
+        assert validated_adaptive_target(None) is None
+
+    @pytest.mark.parametrize("good", [1, 50, 10_000])
+    def test_adaptive_target_accepts_positive_ints(self, good):
+        assert validated_adaptive_target(good) == good
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "50", True])
+    def test_adaptive_target_rejects_bad_values(self, bad):
+        with pytest.raises(ValidationError, match="--adaptive-chunks"):
+            validated_adaptive_target(bad, "--adaptive-chunks")
+
+
+class TestAtomicSink:
+    def test_commit_renames_into_place(self, tmp_path):
+        target = tmp_path / "out.txt"
+        sink = AtomicSink(target).open()
+        sink.write("hello\n")
+        assert not target.exists()  # nothing at the final path until commit
+        sink.commit()
+        assert target.read_text() == "hello\n"
+
+    def test_abort_leaves_final_path_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("original")
+        sink = AtomicSink(target).open()
+        sink.write("replacement")
+        sink.abort()
+        assert target.read_text() == "original"
+        assert not list(tmp_path.glob(".out.txt.clx-tmp.*"))
+
+    def test_open_after_commit_raises_clearly(self, tmp_path):
+        sink = AtomicSink(tmp_path / "out.txt").open()
+        sink.write("x")
+        sink.commit()
+        with pytest.raises(ValueError, match="already committed/aborted"):
+            sink.open()
+
+    def test_open_after_abort_raises_clearly(self, tmp_path):
+        sink = AtomicSink(tmp_path / "out.txt").open()
+        sink.abort()
+        with pytest.raises(ValueError, match="already committed/aborted"):
+            sink.open()
+
+    def test_write_after_commit_names_the_real_cause(self, tmp_path):
+        # The old message was a misleading "sink for X is not open".
+        sink = AtomicSink(tmp_path / "out.txt").open()
+        sink.commit()
+        with pytest.raises(ValueError, match="already committed/aborted"):
+            sink.write("late")
+
+    def test_context_reuse_raises_clearly(self, tmp_path):
+        sink = AtomicSink(tmp_path / "out.txt")
+        with sink as handle:
+            handle.write("first\n")
+        with pytest.raises(ValueError, match="already committed/aborted"):
+            with sink:
+                pass  # pragma: no cover - open() raises before the body
+
+    def test_commit_and_abort_stay_idempotent(self, tmp_path):
+        target = tmp_path / "out.txt"
+        sink = AtomicSink(target).open()
+        sink.write("once\n")
+        sink.commit()
+        sink.commit()  # second commit is a no-op, not an error
+        sink.abort()  # abort after commit is also a no-op
+        assert target.read_text() == "once\n"
+
+    def test_open_while_live_is_idempotent(self, tmp_path):
+        target = tmp_path / "out.txt"
+        sink = AtomicSink(target).open()
+        sink.write("a")
+        sink.open()  # re-open before commit keeps the same handle
+        sink.write("b")
+        sink.commit()
+        assert target.read_text() == "ab"
+
+    def test_empty_commit_produces_empty_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        AtomicSink(target).commit()
+        assert target.exists() and target.read_text() == ""
