@@ -565,3 +565,61 @@ def test_perf_hot_loop_dispatch_speedup(recorder):
             f"memoized dispatch ({fast_seconds:.2f} s) not >=2x faster than the "
             f"naive branch loop ({naive_seconds:.2f} s) over {ROWS} rows"
         )
+
+
+@pytest.fixture(scope="module")
+def phone_parquet(tmp_path_factory):
+    """The ROWS-row (id, phone) column as one multi-row-group parquet part."""
+    from repro.dataset.backends import pyarrow_available
+
+    if not pyarrow_available():
+        pytest.skip("pyarrow not installed (arrow extra)")
+    import pyarrow as pa
+    import pyarrow.parquet as pq
+
+    path = tmp_path_factory.mktemp("perf_parquet") / "phones.parquet"
+    ids, phones = [], []
+    for index, value in enumerate(phone_number_stream(ROWS, seed=77)):
+        ids.append(str(index))
+        phones.append(value)
+    pq.write_table(
+        pa.table({"id": ids, "phone": phones}), path, row_group_size=8192
+    )
+    return path
+
+
+def test_perf_parquet_apply(phone_parquet, recorder):
+    # Columnar in/out through the backend registry: row-group shards fan
+    # out like byte ranges and the parent re-encodes the wire into one
+    # parquet sink.  Records the parquet_apply rows/sec trajectory row.
+    from repro.dataset import Dataset
+    from repro.engine.parallel import ShardedTableExecutor, apply_dataset
+
+    raw, _expected = phone_dataset(count=300, format_count=6, seed=331)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    engine = session.engine()
+    dataset = Dataset.resolve(str(phone_parquet))
+    target = phone_parquet.parent / "out.parquet"
+
+    start = time.perf_counter()
+    with ShardedTableExecutor(
+        {"phone": engine}, ["id", "phone"], workers=WORKERS, out_format="parquet"
+    ) as executor:
+        result = apply_dataset(executor, dataset, output=target)
+    seconds = time.perf_counter() - start
+
+    assert result.rows == ROWS
+    rate = ROWS / seconds if seconds else float("inf")
+    recorder["parquet_apply"] = {
+        "seconds": seconds,
+        "rows_per_sec": rate,
+        "workers": WORKERS,
+    }
+    print(f"\nparquet apply over {ROWS} rows on {os.cpu_count()} CPU(s)")
+    print(
+        format_table(
+            ["apply path", "latency", "throughput"],
+            [(f"parquet apply (workers={WORKERS})", f"{seconds:.2f} s", f"{rate:,.0f} rows/s")],
+        )
+    )

@@ -74,7 +74,9 @@ library can be used without writing Python:
     older analyzer ruleset; ``--json`` for machines), ``gc``
     prunes dangling manifest rows and unreferenced artifact files — and
     with ``--keep-days N`` also evicts artifacts whose last use (cache
-    hits stamp ``last_used_at``) is older than N days.
+    hits stamp ``last_used_at``) is older than N days, while
+    ``--max-bytes N`` evicts least-recently-used artifacts until the
+    survivors fit an N-byte budget.
 
 ``repro-clx suite``
     Print the statistics of the bundled 47-task benchmark suite (Table 6).
@@ -153,16 +155,16 @@ def _read_column(path: Path, column: str, delimiter: str) -> tuple[List[dict], L
 def _dataset_column_name(dataset: "Dataset", column: str, delimiter: str) -> str:
     """The resolved column name recorded on artifacts, per the dataset.
 
-    Resolved against the first CSV part's header (so a zero-based index
-    becomes a name); an all-JSONL dataset addresses keys by name
-    already.
+    Resolved against the first part whose backend exposes column names
+    (a CSV header, a parquet schema) so a zero-based index becomes a
+    name; an all-JSONL dataset addresses keys by name already.
     """
-    from repro.dataset.readers import read_csv_header
+    from repro.dataset.backends import backend_by_name
 
     for part in dataset.parts:
-        if part.format == "csv":
-            header, _ = read_csv_header(part.path, delimiter)
-            return _resolve_column(header, column)
+        names = backend_by_name(part.format).column_names(part, delimiter)
+        if names is not None:
+            return _resolve_column(names, column)
     return str(column)
 
 
@@ -177,7 +179,7 @@ def _command_profile(args: argparse.Namespace) -> int:
     from repro.clustering.parallel import ParallelProfiler
     from repro.dataset import Dataset
 
-    dataset = Dataset.resolve(args.inputs)
+    dataset = Dataset.resolve(args.inputs, assume_csv=args.assume_csv)
     parallel = ParallelProfiler(profiler=profiler, workers=workers)
     profile = parallel.profile_dataset(dataset, args.column, delimiter=args.delimiter)
     session = CLXSession.from_profile(profile)
@@ -256,7 +258,7 @@ def _command_compile(args: argparse.Namespace) -> int:
     # compile exactly like a single CSV.
     from repro.dataset import Dataset
 
-    dataset = Dataset.resolve(args.inputs)
+    dataset = Dataset.resolve(args.inputs, assume_csv=args.assume_csv)
     dataset.check_column(args.column, args.delimiter)
     column = _dataset_column_name(dataset, args.column, args.delimiter)
     profile = IncrementalProfiler().profile(
@@ -484,7 +486,9 @@ def _command_apply(args: argparse.Namespace) -> int:
     from repro.dataset import Dataset
     from repro.engine.parallel import ShardedTableExecutor, apply_dataset
 
-    dataset = Dataset.resolve([args.csv] + (args.input or []))
+    dataset = Dataset.resolve(
+        [args.csv] + (args.input or []), assume_csv=args.assume_csv
+    )
 
     # The first part defines the dataset field order (CSV header or the
     # keys of the first JSONL object); the executor reconciles every
@@ -720,10 +724,14 @@ def _command_artifacts(args: argparse.Namespace) -> int:
     registry = ArtifactRegistry(args.cache_dir)
     if args.action != "gc" and args.keep_days is not None:
         raise CLXError("--keep-days only applies to 'artifacts gc'")
+    if args.action != "gc" and args.max_bytes is not None:
+        raise CLXError("--max-bytes only applies to 'artifacts gc'")
     if args.action == "gc":
         if args.keep_days is not None and args.keep_days < 0:
             raise CLXError(f"--keep-days must be >= 0, got {args.keep_days}")
-        report = registry.gc(keep_days=args.keep_days)
+        if args.max_bytes is not None and args.max_bytes < 0:
+            raise CLXError(f"--max-bytes must be >= 0, got {args.max_bytes}")
+        report = registry.gc(keep_days=args.keep_days, max_bytes=args.max_bytes)
         if args.json:
             print(json.dumps(report, indent=2, sort_keys=True))
         else:
@@ -815,6 +823,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile byte-range shards of the file across this many worker "
         "processes and merge (default 1, single-process streaming)",
     )
+    profile.add_argument(
+        "--assume-csv",
+        action="store_true",
+        help="treat extensionless input files as CSV instead of refusing "
+        "them (files with a known extension keep their format)",
+    )
     profile.set_defaults(handler=_command_profile)
 
     transform = subparsers.add_parser("transform", help="normalize a CSV column to a target pattern")
@@ -875,6 +889,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="refuse to emit an artifact with any analysis finding at warn "
         "severity or above (dead branches, overlaps, ReDoS-prone "
         "regexes, uncovered clusters)",
+    )
+    compile_cmd.add_argument(
+        "--assume-csv",
+        action="store_true",
+        help="treat extensionless input files as CSV instead of refusing "
+        "them (files with a known extension keep their format)",
     )
     compile_cmd.set_defaults(handler=_command_compile)
 
@@ -998,12 +1018,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one output file per input partition into this directory "
         "(preserving partition names) instead of one spliced sink",
     )
+    from repro.dataset.backends import sink_format_names
+
     apply_cmd.add_argument(
         "--format",
-        choices=("csv", "jsonl"),
+        choices=sink_format_names(),
         default="csv",
-        help="sink format: csv (default) or jsonl (one JSON object per row, "
-        "no header)",
+        help="sink format: csv (default), jsonl (one JSON object per row, "
+        "no header), or a columnar format from the backend registry "
+        "(parquet/arrow need the pyarrow extra)",
+    )
+    apply_cmd.add_argument(
+        "--assume-csv",
+        action="store_true",
+        help="treat extensionless input files as CSV instead of refusing "
+        "them (files with a known extension keep their format)",
     )
     destination_group = apply_cmd.add_mutually_exclusive_group()
     destination_group.add_argument(
@@ -1113,6 +1142,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="gc only: also evict artifacts not used (cache hit or "
         "compile) in this many days",
+    )
+    artifacts.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc only: also evict least-recently-used artifacts until "
+        "the surviving files total at most this many bytes",
     )
     artifacts.add_argument(
         "--json",

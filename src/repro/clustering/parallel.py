@@ -25,9 +25,14 @@ Three shard sources are supported:
   :func:`~repro.util.csvio.record_aligned_offsets`), so such files
   profile correctly at any worker count;
 * **partitioned datasets** (:meth:`ParallelProfiler.profile_dataset`) —
-  every CSV/JSONL part of a :class:`~repro.dataset.dataset.Dataset`
-  becomes one or more byte-range shards (worker slots are allotted to
-  parts by size), merged in stable part order.
+  every part of a :class:`~repro.dataset.dataset.Dataset` becomes one
+  or more shards (worker slots are allotted to parts by size), merged
+  in stable part order.  Line-record parts (CSV/JSONL) shard on byte
+  ranges; rowgroup parts (parquet/arrow) shard on row-group index
+  ranges through their IO backend
+  (:meth:`~repro.dataset.backends.base.Backend.plan_shards`), and
+  remote parts stream through the opener seam — the shard worker never
+  cares which it got.
 
 With one worker every entry point degrades to the serial profiler in
 process — no pool is spawned.  A worker process that dies mid-shard
@@ -45,10 +50,11 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.clustering.hierarchy import PatternHierarchy
 from repro.clustering.incremental import ColumnProfile, IncrementalProfiler
+from repro.dataset.backends import backend_by_name, open_locator
 from repro.dataset.dataset import Dataset
 from repro.dataset.readers import jsonl_value, parse_jsonl_row, read_csv_header
 from repro.util.csvio import record_aligned_offsets, record_open_after, resolve_column
-from repro.util.errors import ValidationError
+from repro.util.errors import CLXError, ValidationError
 from repro.util.pools import chunked, map_ordered
 from repro.util.validate import validated_chunk_size, validated_workers
 
@@ -98,8 +104,14 @@ def _shard_lines(
     * ``exact=True`` — ``start`` and ``end`` are known record
       boundaries (from a quote-parity scan): the shard owns exactly the
       lines beginning in ``[start, end)``, no skipping, no overshoot.
+
+    Opens through the locator seam (local path or registered URL
+    scheme).  An undecodable byte is rewrapped as a
+    :class:`~repro.util.errors.CLXError` naming the file and the
+    absolute byte offset of the offending byte, never a bare
+    ``UnicodeDecodeError``.
     """
-    with open(path, "rb") as handle:
+    with open_locator(path) as handle:
         handle.seek(start)
         if skip_first and not exact:
             handle.readline()
@@ -110,7 +122,15 @@ def _shard_lines(
             raw = handle.readline()
             if not raw:
                 return
-            yield raw.decode(encoding)
+            try:
+                yield raw.decode(encoding)
+            except UnicodeDecodeError as error:
+                bad = raw[error.start] if error.start < len(raw) else 0
+                raise CLXError(
+                    f"{path}: invalid {encoding} byte 0x{bad:02x} at byte "
+                    f"offset {position + error.start}; re-encode the file "
+                    f"as {encoding} before profiling"
+                ) from None
 
 
 def _single_record_lines(lines: Iterable[str], delimiter: str, source: str) -> Iterator[str]:
@@ -139,16 +159,18 @@ def _single_record_lines(lines: Iterable[str], delimiter: str, source: str) -> I
 
 @dataclass(frozen=True)
 class _FileShard:
-    """One picklable unit of byte-range profiling work.
+    """One picklable unit of shard profiling work.
 
     Attributes:
-        path: File the shard reads.
-        format: ``"csv"`` or ``"jsonl"``.
-        column: Column index (CSV) or key name (JSONL) to profile.
-        delimiter: CSV delimiter (ignored for JSONL).
-        encoding: Text encoding.
-        start: First byte of the shard.
-        end: First byte past the shard.
+        path: Locator the shard reads (path or URL).
+        format: The part's IO backend name (``"csv"``, ``"jsonl"``,
+            ``"parquet"``, ...).
+        column: Column index (CSV) or key/column name to profile.
+        delimiter: CSV delimiter (ignored elsewhere).
+        encoding: Text encoding (line backends).
+        start: First byte of the shard — or, for rowgroup backends,
+            the first row-group index of the span.
+        end: First byte (row-group index) past the shard.
         skip_first: Newline-aligned ownership rule (see
             :func:`_shard_lines`).
         exact: Both bounds are known record boundaries.
@@ -169,18 +191,20 @@ class _FileShard:
 
 
 def _profile_file_shard(shard: _FileShard) -> ColumnProfile:
-    """Profile one byte-range shard in a worker."""
+    """Profile one shard in a worker, dispatching through the backend."""
     assert _WORKER_PROFILER is not None, "worker used before initialization"
     profile = _WORKER_PROFILER.new_profile()
+    backend = backend_by_name(shard.format)
+    if not backend.line_records:
+        # Rowgroup shard: the backend streams one column of the row
+        # groups [start, end) already stringified.
+        return profile.observe_all(
+            backend.iter_shard_values(shard.path, shard.start, shard.end, shard.column)
+        )
     lines = _shard_lines(
         shard.path, shard.start, shard.end, shard.encoding, shard.skip_first, shard.exact
     )
-    if shard.format == "jsonl":
-        for line in lines:
-            if not line.strip():
-                continue
-            profile.observe(jsonl_value(parse_jsonl_row(line, shard.path), shard.column))
-    else:
+    if backend.csv_quoting:
         if shard.check_multiline:
             lines = _single_record_lines(lines, shard.delimiter, shard.path)
         column_index = shard.column
@@ -189,6 +213,11 @@ def _profile_file_shard(shard: _FileShard) -> ColumnProfile:
             if not row:
                 continue  # blank line, as csv.DictReader skips them
             profile.observe(row[column_index] if column_index < len(row) else "")
+    else:
+        for line in lines:
+            if not line.strip():
+                continue
+            profile.observe(jsonl_value(parse_jsonl_row(line, shard.path), shard.column))
     return profile
 
 
@@ -422,7 +451,7 @@ class ParallelProfiler:
 
     def _csv_shards(
         self,
-        source: Path,
+        source: Union[str, Path],
         data_start: int,
         size: int,
         column_index: int,
@@ -434,15 +463,17 @@ class ParallelProfiler:
         """Byte-range shards over one CSV file's data region."""
         if size <= data_start:
             return []
+        locator = str(source)
         starts = _split_points(data_start, size, spans)
         if record_aligned:
             starts = [data_start] + record_aligned_offsets(
-                str(source), data_start, size, starts[1:], delimiter, encoding
+                locator, data_start, size, starts[1:], delimiter, encoding,
+                opener=open_locator,
             )
         bounds = starts + [size]
         return [
             _FileShard(
-                path=str(source),
+                path=locator,
                 format="csv",
                 column=column_index,
                 delimiter=delimiter,
@@ -465,37 +496,45 @@ class ParallelProfiler:
         encoding: str,
         record_aligned: bool = False,
     ) -> List[_FileShard]:
-        """One or more byte-range shards per dataset part, in part order."""
+        """One or more shards per dataset part, in stable part order.
+
+        Line-record parts shard on byte ranges; rowgroup parts shard on
+        row-group index ranges through
+        :meth:`~repro.dataset.backends.base.Backend.plan_shards`, sized
+        so each part still contributes roughly its allotted span count.
+        """
         parts = dataset.parts
         counts = _allot_spans([part.size for part in parts], self.workers)
         shards: List[_FileShard] = []
         for part, spans in zip(parts, counts):
-            if part.format == "jsonl":
-                if part.size <= 0:
-                    continue
-                starts = _split_points(0, part.size, spans)
-                bounds = starts + [part.size]
+            backend = backend_by_name(part.format)
+            backend.require()
+            locator = part.locator
+            if part.size <= 0:
+                continue
+            if not backend.line_records:
+                target_bytes = max(1, -(-part.size // spans))
                 shards.extend(
                     _FileShard(
-                        path=str(part.path),
-                        format="jsonl",
+                        path=locator,
+                        format=part.format,
                         column=column,
                         delimiter=delimiter,
                         encoding=encoding,
                         start=start,
                         end=end,
-                        skip_first=start != 0,
-                        exact=False,
+                        skip_first=False,
+                        exact=True,
                         check_multiline=False,
                     )
-                    for start, end in zip(bounds, bounds[1:])
-                    if start < end
+                    for start, end, _ in backend.plan_shards(locator, target_bytes)
                 )
-            else:
-                header, data_start = read_csv_header(part.path, delimiter, encoding)
+                continue
+            if backend.has_header_row:
+                header, data_start = read_csv_header(locator, delimiter, encoding)
                 shards.extend(
                     self._csv_shards(
-                        part.path,
+                        locator,
                         data_start,
                         part.size,
                         _resolve_column_index(header, column),
@@ -505,6 +544,25 @@ class ParallelProfiler:
                         record_aligned=record_aligned,
                     )
                 )
+                continue
+            starts = _split_points(0, part.size, spans)
+            bounds = starts + [part.size]
+            shards.extend(
+                _FileShard(
+                    path=locator,
+                    format=part.format,
+                    column=column,
+                    delimiter=delimiter,
+                    encoding=encoding,
+                    start=start,
+                    end=end,
+                    skip_first=start != 0,
+                    exact=False,
+                    check_multiline=False,
+                )
+                for start, end in zip(bounds, bounds[1:])
+                if start < end
+            )
         return shards
 
     # ------------------------------------------------------------------

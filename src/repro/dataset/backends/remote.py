@@ -1,0 +1,152 @@
+"""The URL-scheme opener seam: remote partitions behind one function.
+
+Every reader in the pipeline — schema scans, value streaming, byte-range
+shard workers, record-cut planning — opens its input through
+:func:`open_locator`, which dispatches on the locator's shape:
+
+* a plain path opens with the builtin ``open(path, "rb")`` — the local
+  fast path is untouched, byte for byte;
+* ``file://`` URLs resolve to local paths (handled at dataset
+  resolution, so globs and directories keep working);
+* any other ``scheme://`` URL resolves through the opener registry:
+  a :class:`PartOpener` registered for the scheme (tests register
+  in-memory fakes this way), falling back to an fsspec-backed opener
+  when the optional ``fsspec`` dependency is installed, and otherwise
+  failing with a :class:`CLXError` naming the missing extra.
+
+Openers return **seekable binary handles**, the only contract the
+byte-range planners and shard readers need — record-aligned cut scans
+and shard reads then stream against object stores exactly like local
+files.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from typing import IO, Callable, Dict, NamedTuple, Optional
+from urllib.parse import urlsplit
+from urllib.request import url2pathname
+
+from repro.util.errors import CLXError
+
+#: What makes a spec a URL rather than a path.  The scheme must be at
+#: least two characters so Windows drive letters (``C:\...``) never
+#: parse as schemes.
+_URL_RE = re.compile(r"^(?P<scheme>[A-Za-z][A-Za-z0-9+.-]+)://")
+
+
+class PartOpener(NamedTuple):
+    """How to reach partitions of one URL scheme.
+
+    Attributes:
+        open: ``url -> seekable binary handle``.
+        size: ``url -> size in bytes`` (what ``stat().st_size`` is to a
+            local part; drives shard planning and resume keys).
+    """
+
+    open: Callable[[str], IO[bytes]]
+    size: Callable[[str], int]
+
+
+_OPENERS: Dict[str, PartOpener] = {}
+_OPENERS_LOCK = threading.Lock()
+
+
+def is_url(spec: str) -> bool:
+    """Whether ``spec`` is a ``scheme://`` URL rather than a local path."""
+    return _URL_RE.match(spec) is not None
+
+
+def url_scheme(url: str) -> str:
+    """The lower-cased scheme of a URL spec."""
+    match = _URL_RE.match(url)
+    if match is None:
+        raise CLXError(f"{url!r} is not a scheme:// URL")
+    return match.group("scheme").lower()
+
+
+def file_url_to_path(url: str) -> str:
+    """Resolve a ``file://`` URL to its local filesystem path."""
+    parts = urlsplit(url)
+    if parts.netloc not in ("", "localhost"):
+        raise CLXError(
+            f"file:// URL {url!r} names a remote host {parts.netloc!r}; "
+            "only local file:// URLs are supported"
+        )
+    return url2pathname(parts.path)
+
+
+def register_opener(scheme: str, opener: PartOpener) -> None:
+    """Register (or replace) the opener serving one URL scheme.
+
+    The extension point the fsspec fallback mirrors: anything that can
+    produce a seekable binary handle and a byte size can serve
+    partitions — object-store clients, archive members, test fakes.
+    """
+    if not scheme or not scheme.isalnum():
+        raise CLXError(f"invalid URL scheme {scheme!r}")
+    with _OPENERS_LOCK:
+        _OPENERS[scheme.lower()] = opener
+
+
+def unregister_opener(scheme: str) -> None:
+    """Remove a registered opener (primarily for test isolation)."""
+    with _OPENERS_LOCK:
+        _OPENERS.pop(scheme.lower(), None)
+
+
+def _fsspec_opener(scheme: str) -> Optional[PartOpener]:
+    """An fsspec-backed opener for ``scheme``, or None without fsspec."""
+    try:
+        import fsspec  # type: ignore[import-not-found,import-untyped]
+    except ImportError:
+        return None
+
+    def open_url(url: str) -> IO[bytes]:
+        handle: IO[bytes] = fsspec.open(url, "rb").open()
+        return handle
+
+    def size_of(url: str) -> int:
+        fs, path = fsspec.core.url_to_fs(url)
+        return int(fs.size(path))
+
+    return PartOpener(open=open_url, size=size_of)
+
+
+def opener_for(scheme: str) -> PartOpener:
+    """The opener serving one URL scheme.
+
+    Raises:
+        CLXError: When no opener is registered and fsspec is absent —
+            naming the extra to install and the registration hook.
+    """
+    scheme = scheme.lower()
+    with _OPENERS_LOCK:
+        opener = _OPENERS.get(scheme)
+    if opener is not None:
+        return opener
+    opener = _fsspec_opener(scheme)
+    if opener is not None:
+        return opener
+    raise CLXError(
+        f"no opener serves {scheme}:// partitions and the optional "
+        "dependency 'fsspec' is not installed; install the remote extra "
+        "(pip install repro-clx[remote]) or register one with "
+        "repro.dataset.backends.remote.register_opener"
+    )
+
+
+def open_locator(locator: str) -> IO[bytes]:
+    """A seekable binary handle for one part locator (path or URL)."""
+    if is_url(locator):
+        return opener_for(url_scheme(locator)).open(locator)
+    return open(locator, "rb")
+
+
+def locator_size(locator: str) -> int:
+    """Byte size of one part locator (path or URL)."""
+    if is_url(locator):
+        return opener_for(url_scheme(locator)).size(locator)
+    return os.stat(locator).st_size

@@ -1,0 +1,289 @@
+"""The line-record backends: CSV and JSON Lines.
+
+These carry the historical pipeline semantics byte for byte — the same
+header scans, the same ragged-row and unknown-key rules, the same
+encoded sink bytes — just reachable through the
+:class:`~repro.dataset.backends.base.Backend` protocol instead of
+``format == "csv"`` string dispatch.  Both read through the locator
+seam (:func:`~repro.dataset.backends.remote.open_locator`), so local
+paths and remote partitions share one code path, and both decode via
+:func:`~repro.util.textio.decode_line`, so a non-UTF-8 byte names its
+file, line, and byte offset — or rides through as a
+:class:`~repro.util.textio.BadLine` in quarantine mode until the parse
+stage diverts exactly that record.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.dataset.backends.base import Backend, RowSpec
+from repro.dataset.backends.remote import open_locator
+from repro.dataset.readers import (
+    csv_data_region,
+    first_jsonl_object,
+    iter_csv_values,
+    iter_jsonl_values,
+    jsonl_cell,
+    jsonl_key_union,
+    parse_jsonl_row,
+)
+from repro.util.csvio import resolve_column
+from repro.util.errors import CLXError, ValidationError
+from repro.util.textio import BadLine, decode_line
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.dataset.dataset import DatasetPart
+
+
+def iter_line_shard(
+    locator: str,
+    start: int,
+    end: Optional[int],
+    collect_bad: bool = False,
+    first_line: int = 1,
+) -> Iterator[str]:
+    """Decoded physical lines beginning in the exact byte range [start, end).
+
+    Both bounds are record boundaries from the shard planner, so the
+    worker owns precisely these lines; ``end=None`` streams to EOF.
+    Decode failures carry the true physical line number and absolute
+    byte offset (``first_line`` names the line sitting at ``start``).
+    """
+    with open_locator(locator) as handle:
+        handle.seek(start)
+        position = start
+        number = first_line - 1
+        while end is None or position < end:
+            raw = handle.readline()
+            if not raw:
+                return
+            number += 1
+            yield decode_line(raw, locator, number, position, collect_bad)
+            position += len(raw)
+
+
+def parse_csv_chunk(
+    spec: RowSpec, first_line: int, lines: List[str], label: str
+) -> List[List[str]]:
+    """Parse one chunk of physical CSV lines into padded row lists.
+
+    Parse failures the csv module raises itself (e.g. a bare ``\\r`` in
+    an unquoted cell) are rewrapped so every malformed input surfaces
+    as a :class:`CLXError` naming the file and line, never a raw
+    ``_csv.Error`` traceback.
+    """
+    for line in lines:
+        if isinstance(line, BadLine):
+            raise CLXError(line.error)
+    width = len(spec.fieldnames)
+    out_width = len(spec.output_fields)
+    reader = csv.reader(lines, delimiter=spec.delimiter)
+    rows: List[List[str]] = []
+    try:
+        for row in reader:
+            if not row:
+                continue  # csv.DictReader skips blank lines; so do we
+            if len(row) > width:
+                line_number = first_line + reader.line_num - 1
+                raise CLXError(
+                    f"{label} line {line_number}: row has {len(row)} cells "
+                    f"but the header has {width} columns; fix the row or "
+                    "re-export the CSV"
+                )
+            if len(row) < width:
+                row.extend([""] * (width - len(row)))
+            row.extend([""] * (out_width - width))
+            rows.append(row)
+    except csv.Error as error:
+        line_number = first_line + max(reader.line_num, 1) - 1
+        raise CLXError(f"{label} line {line_number}: invalid CSV: {error}") from None
+    return rows
+
+
+def parse_jsonl_chunk(
+    spec: RowSpec, first_line: int, lines: List[str], label: str
+) -> List[List[str]]:
+    """Parse one chunk of JSON Lines into padded row lists, in field order.
+
+    One physical line is one record (a literal newline cannot occur
+    inside a JSON string), so every failure names its exact file and
+    line and can never corrupt a neighboring record.  Key
+    reconciliation against the dataset field order mirrors the CSV
+    ragged-row rules: a missing key (or ``null``) contributes ``""``
+    and values stringify JSON-faithfully
+    (:func:`~repro.dataset.readers.jsonl_cell` — the profiler's own
+    ingestion rule), while an unknown key fails fast — silently
+    dropping it would lose data in a CSV sink.
+    """
+    width = len(spec.fieldnames)
+    out_width = len(spec.output_fields)
+    known = set(spec.fieldnames)
+    rows: List[List[str]] = []
+    for offset, line in enumerate(lines):
+        if isinstance(line, BadLine):
+            raise CLXError(line.error)
+        if not line.strip():
+            continue  # blank line, as the JSONL readers skip them
+        number = first_line + offset
+        payload = parse_jsonl_row(line, label, number)
+        unknown = [key for key in payload if key not in known]
+        if unknown:
+            raise CLXError(
+                f"{label} line {number}: key(s) {', '.join(map(repr, unknown))} "
+                f"not in the dataset field order ({', '.join(spec.fieldnames)}); "
+                "partitions of one dataset must share a schema"
+            )
+        row = [jsonl_cell(payload.get(name)) for name in spec.fieldnames]
+        row.extend([""] * (out_width - width))
+        rows.append(row)
+    return rows
+
+
+class CsvBackend(Backend):
+    """Header-rowed delimiter-separated text; the pipeline's default."""
+
+    name = "csv"
+    suffixes = (".csv",)
+    line_records = True
+    csv_quoting = True
+    has_header_row = True
+    binary_sink = False
+    sink_suffix = ".csv"
+
+    def field_order(
+        self, part: "DatasetPart", delimiter: str, strict: bool = True
+    ) -> Optional[List[str]]:
+        header, _, _ = csv_data_region(part.locator, delimiter)
+        return header
+
+    def column_names(
+        self, part: "DatasetPart", delimiter: str
+    ) -> Optional[List[str]]:
+        header, _, _ = csv_data_region(part.locator, delimiter)
+        return header
+
+    def check_column(
+        self, part: "DatasetPart", column: Union[str, int], delimiter: str
+    ) -> None:
+        header, _, _ = csv_data_region(part.locator, delimiter)
+        try:
+            resolve_column(header, column)
+        except ValidationError as error:
+            raise ValidationError(f"{part.locator}: {error}") from None
+
+    def iter_values(
+        self, part: "DatasetPart", column: Union[str, int], delimiter: str
+    ) -> Iterator[str]:
+        return iter_csv_values(part.locator, column, delimiter)
+
+    def data_region(
+        self, locator: str, delimiter: str
+    ) -> Tuple[Optional[List[str]], int, int]:
+        return csv_data_region(locator, delimiter)
+
+    def read_shard_lines(
+        self,
+        locator: str,
+        start: int,
+        end: Optional[int],
+        collect_bad: bool = False,
+        first_line: int = 1,
+    ) -> Iterator[str]:
+        return iter_line_shard(locator, start, end, collect_bad, first_line)
+
+    def parse_rows(
+        self, spec: RowSpec, first_line: int, lines: List[str], label: str
+    ) -> List[List[str]]:
+        return parse_csv_chunk(spec, first_line, lines, label)
+
+    def encode_rows(
+        self, output_fields: Sequence[str], rows: List[List[str]], delimiter: str
+    ) -> str:
+        # Lazy: repro.engine imports this package via engine.parallel, so
+        # the reverse edge must resolve at call time, not import time.
+        from repro.engine.serialize import encode_rows_csv
+
+        return encode_rows_csv(rows, delimiter=delimiter)
+
+    def header_text(self, output_fields: Sequence[str], delimiter: str) -> str:
+        from repro.engine.serialize import encode_rows_csv
+
+        return encode_rows_csv([list(output_fields)], delimiter=delimiter)
+
+
+class JsonlBackend(Backend):
+    """JSON Lines: one object per physical line, schema = key union."""
+
+    name = "jsonl"
+    suffixes = (".jsonl", ".ndjson")
+    line_records = True
+    csv_quoting = False
+    has_header_row = False
+    binary_sink = False
+    sink_suffix = ".jsonl"
+
+    def field_order(
+        self, part: "DatasetPart", delimiter: str, strict: bool = True
+    ) -> Optional[List[str]]:
+        keys = jsonl_key_union(part.locator, strict=strict)
+        return keys or None  # an empty part defers to the next partition
+
+    def column_names(
+        self, part: "DatasetPart", delimiter: str
+    ) -> Optional[List[str]]:
+        return None  # JSONL addresses columns by name, never by index
+
+    def _check_column_name(
+        self, part: "DatasetPart", column: Union[str, int]
+    ) -> str:
+        if not isinstance(column, str) or column.isdigit():
+            raise ValidationError(
+                f"{part.locator}: JSONL parts address columns by name, "
+                f"not index ({column!r})"
+            )
+        return column
+
+    def check_column(
+        self, part: "DatasetPart", column: Union[str, int], delimiter: str
+    ) -> None:
+        name = self._check_column_name(part, column)
+        first = first_jsonl_object(part.locator)
+        if first is not None and name not in first:
+            raise ValidationError(
+                f"{part.locator}: column {name!r} not found; available: "
+                + ", ".join(sorted(first))
+            )
+
+    def iter_values(
+        self, part: "DatasetPart", column: Union[str, int], delimiter: str
+    ) -> Iterator[str]:
+        return iter_jsonl_values(part.locator, self._check_column_name(part, column))
+
+    def data_region(
+        self, locator: str, delimiter: str
+    ) -> Tuple[Optional[List[str]], int, int]:
+        return None, 0, 1  # no header row; data starts at byte 0, line 1
+
+    def read_shard_lines(
+        self,
+        locator: str,
+        start: int,
+        end: Optional[int],
+        collect_bad: bool = False,
+        first_line: int = 1,
+    ) -> Iterator[str]:
+        return iter_line_shard(locator, start, end, collect_bad, first_line)
+
+    def parse_rows(
+        self, spec: RowSpec, first_line: int, lines: List[str], label: str
+    ) -> List[List[str]]:
+        return parse_jsonl_chunk(spec, first_line, lines, label)
+
+    def encode_rows(
+        self, output_fields: Sequence[str], rows: List[List[str]], delimiter: str
+    ) -> str:
+        from repro.engine.serialize import encode_rows_jsonl
+
+        return encode_rows_jsonl(output_fields, rows)

@@ -1,14 +1,22 @@
-"""Resolving globs, directories, and path lists into ordered partitions.
+"""Resolving globs, directories, path lists, and URLs into partitions.
 
 A :class:`Dataset` is nothing more than an ordered list of
 :class:`DatasetPart` entries plus the rules that make partitioned inputs
 predictable everywhere:
 
-* **stable ordering** — parts are sorted by path string and
+* **stable ordering** — parts are sorted by locator string and
   deduplicated, so ``part-2.csv`` never profiles before ``part-1.csv``
   whatever order the shell expanded the glob in;
-* **format per file** — ``.jsonl`` / ``.ndjson`` parts are JSON Lines,
-  everything else is CSV, so mixed partitions work;
+* **format per file** — every suffix resolves through the IO backend
+  registry (:func:`~repro.dataset.backends.backend_for_path`): ``.csv``
+  is CSV, ``.jsonl``/``.ndjson`` is JSON Lines, ``.parquet`` /
+  ``.arrow`` are columnar, and an *unregistered* suffix is a loud
+  :class:`~repro.util.errors.CLXError` instead of the historical silent
+  fall-back to CSV;
+* **remote partitions** — ``scheme://`` specs resolve through the
+  opener seam (``file://`` URLs become local paths, so globs and
+  directories keep working; other schemes become single URL-addressed
+  parts sized by the opener);
 * **per-file schema check** — :meth:`Dataset.check_column` resolves the
   requested column against every part up front and names the offending
   file, instead of failing mid-stream three partitions in.
@@ -19,11 +27,13 @@ from __future__ import annotations
 import glob as globlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Union
+from urllib.parse import urlsplit
 
-from repro.util.errors import CLXError, ValidationError
+from repro.util.errors import CLXError
 
-#: File suffixes treated as JSON Lines partitions.
+#: File suffixes treated as JSON Lines partitions (kept for backward
+#: compatibility; the backend registry is the source of truth).
 JSONL_SUFFIXES = (".jsonl", ".ndjson")
 
 #: Characters that make a spec a glob pattern rather than a literal path.
@@ -35,23 +45,30 @@ class DatasetPart:
     """One file of a partitioned dataset.
 
     Attributes:
-        path: The resolved file path.
-        format: ``"csv"`` or ``"jsonl"``, inferred from the suffix.
+        path: The resolved file path (for a remote part, the URL's path
+            component — it carries the partition's *name* for output
+            naming; the bytes live behind :attr:`locator`).
+        format: A backend name (``"csv"``, ``"jsonl"``, ``"parquet"``,
+            ...), inferred from the suffix.
         size: File size in bytes at resolution time.
+        url: The part's URL for remote partitions, ``None`` for local
+            files.
     """
 
     path: Path
     format: str
     size: int
+    url: Optional[str] = None
 
     @property
     def name(self) -> str:
         """The partition's file name (used to preserve names on output)."""
         return self.path.name
 
-
-def _part_format(path: Path) -> str:
-    return "jsonl" if path.suffix.lower() in JSONL_SUFFIXES else "csv"
+    @property
+    def locator(self) -> str:
+        """What readers open: the URL for remote parts, else the path."""
+        return self.url if self.url is not None else str(self.path)
 
 
 def _expand_spec(spec: str) -> List[Path]:
@@ -81,6 +98,25 @@ def _expand_spec(spec: str) -> List[Path]:
     raise CLXError(f"dataset input {spec!r} matches no file, directory, or glob")
 
 
+def _remote_part(url: str, assume_csv: bool) -> DatasetPart:
+    """Resolve one non-``file://`` URL spec into a URL-addressed part."""
+    from repro.dataset.backends import backend_for_path, locator_size
+
+    name_path = urlsplit(url).path
+    if not name_path or name_path.endswith("/"):
+        raise CLXError(
+            f"dataset input {url!r} does not name a partition file; "
+            "remote specs must address one object each"
+        )
+    backend = backend_for_path(name_path, assume_csv=assume_csv)
+    return DatasetPart(
+        path=Path(name_path),
+        format=backend.name,
+        size=locator_size(url),
+        url=url,
+    )
+
+
 class Dataset:
     """An ordered, deduplicated list of partition files.
 
@@ -95,35 +131,65 @@ class Dataset:
         self._parts = list(parts)
 
     @classmethod
-    def resolve(cls, specs: Union[str, Sequence[Union[str, Path]]]) -> "Dataset":
-        """Resolve path/glob/directory specs into a dataset.
+    def resolve(
+        cls,
+        specs: Union[str, Sequence[Union[str, Path]]],
+        assume_csv: bool = False,
+    ) -> "Dataset":
+        """Resolve path/glob/directory/URL specs into a dataset.
 
         Args:
             specs: One spec or a sequence of specs.  A spec containing
                 ``*``, ``?`` or ``[`` is a glob pattern; a directory
-                spec takes every regular file directly inside it; any
-                other spec must name an existing file.
+                spec takes every regular file directly inside it; a
+                ``scheme://`` spec resolves through the opener seam
+                (``file://`` becomes a local path spec); any other spec
+                must name an existing file.
+            assume_csv: Read *extensionless* partition files as CSV
+                instead of failing on the unknown format — the
+                one-release escape hatch for suffixless layouts.
 
         Raises:
-            CLXError: If a spec matches nothing, or nothing at all
-                resolved.
+            CLXError: If a spec matches nothing, nothing at all
+                resolved, or a partition's suffix matches no registered
+                IO backend.
         """
+        from repro.dataset.backends import (
+            backend_for_path,
+            file_url_to_path,
+            is_url,
+            url_scheme,
+        )
+
         if isinstance(specs, (str, Path)):
             specs = [specs]
         matched: List[Path] = []
+        remote: List[DatasetPart] = []
         for spec in specs:
-            matched.extend(_expand_spec(str(spec)))
+            text = str(spec)
+            if is_url(text):
+                if url_scheme(text) == "file":
+                    matched.extend(_expand_spec(file_url_to_path(text)))
+                else:
+                    remote.append(_remote_part(text, assume_csv))
+                continue
+            matched.extend(_expand_spec(text))
         unique = sorted({str(path): path for path in matched}.values(), key=str)
-        if not unique:
+        parts = {
+            str(path): DatasetPart(
+                path=path,
+                format=backend_for_path(path, assume_csv=assume_csv).name,
+                size=path.stat().st_size,
+            )
+            for path in unique
+        }
+        for part in remote:
+            parts.setdefault(part.locator, part)
+        if not parts:
             raise CLXError(
                 "no input files resolved from: " + ", ".join(str(spec) for spec in specs)
             )
-        return cls(
-            [
-                DatasetPart(path=path, format=_part_format(path), size=path.stat().st_size)
-                for path in unique
-            ]
-        )
+        return cls(sorted(parts.values(), key=lambda part: part.locator))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -159,14 +225,16 @@ class Dataset:
     def header(self, delimiter: str = ",", strict: bool = True) -> List[str]:
         """The dataset-wide field order, taken from the first part.
 
-        CSV parts define it with their header row; a JSONL part defines
-        it with the **union** of its records' keys in first-seen order
-        (sparse keys are idiomatic JSONL, so the first record alone is
-        not the schema — one streaming pass over the leading part, the
-        same contract the profile side accepts).  A JSONL part with no
-        rows defers to the next part, so an empty leading partition
-        cannot blank the schema.  This is the field order ``apply``
-        encodes sinks in and reconciles every later part against.
+        CSV parts define it with their header row, columnar parts with
+        their file schema; a JSONL part defines it with the **union** of
+        its records' keys in first-seen order (sparse keys are idiomatic
+        JSONL, so the first record alone is not the schema — one
+        streaming pass over the leading part, the same contract the
+        profile side accepts).  A part that cannot supply a field order
+        (an empty JSONL file) defers to the next part, so an empty
+        leading partition cannot blank the schema.  This is the field
+        order ``apply`` encodes sinks in and reconciles every later
+        part against.
 
         With ``strict=False`` unparsable JSONL lines are skipped during
         the key scan (quarantine-mode pre-flight: those lines fail again
@@ -176,15 +244,14 @@ class Dataset:
             CLXError: If no part can supply a field order.
             ValidationError: If the first CSV part has no header row.
         """
-        from repro.dataset.readers import jsonl_key_union, read_csv_header
+        from repro.dataset.backends import backend_by_name
 
         for part in self._parts:
-            if part.format == "csv":
-                header, _ = read_csv_header(part.path, delimiter)
-                return header
-            keys = jsonl_key_union(part.path, strict=strict)
-            if keys:
-                return keys
+            backend = backend_by_name(part.format)
+            backend.require()
+            order = backend.field_order(part, delimiter, strict=strict)
+            if order is not None:
+                return order
         raise CLXError(
             "cannot determine the dataset field order: every JSONL part is "
             "empty and no CSV part supplies a header"
@@ -193,36 +260,21 @@ class Dataset:
     def check_column(self, column: Union[str, int], delimiter: str = ",") -> None:
         """Verify every part can supply ``column``, naming failures.
 
-        CSV parts must have a header containing the column (by name or
-        index); JSONL parts must parse a first object carrying the key
-        when addressed by name (an index is meaningless for JSONL).
+        CSV and columnar parts must have a header/schema containing the
+        column (by name or index); JSONL parts must parse a first
+        object carrying the key when addressed by name (an index is
+        meaningless for JSONL).
 
         Raises:
             ValidationError: Naming the first part that cannot supply
                 the column.
         """
-        from repro.dataset.readers import read_csv_header
-        from repro.util.csvio import resolve_column
+        from repro.dataset.backends import backend_by_name
 
         for part in self._parts:
-            if part.format == "csv":
-                header, _ = read_csv_header(part.path, delimiter)
-                try:
-                    resolve_column(header, column)
-                except ValidationError as error:
-                    raise ValidationError(f"{part.path}: {error}") from None
-            else:
-                if not isinstance(column, str) or column.isdigit():
-                    raise ValidationError(
-                        f"{part.path}: JSONL parts address columns by name, "
-                        f"not index ({column!r})"
-                    )
-                first = _first_jsonl_object(part.path)
-                if first is not None and column not in first:
-                    raise ValidationError(
-                        f"{part.path}: column {column!r} not found; available: "
-                        + ", ".join(sorted(first))
-                    )
+            backend = backend_by_name(part.format)
+            backend.require()
+            backend.check_column(part, column, delimiter)
 
     # ------------------------------------------------------------------
     # Streaming
@@ -230,9 +282,10 @@ class Dataset:
     def iter_values(self, column: Union[str, int], delimiter: str = ",") -> Iterator[str]:
         """Stream ``column`` across every part, in part order.
 
-        Constant memory: each part is read line by line with the same
-        missing-column semantics as the byte-range profiling path (a
-        short row contributes ``""``).
+        Constant memory: each part is read line by line (row group by
+        row group for columnar parts) with the same missing-column
+        semantics as the byte-range profiling path (a short row
+        contributes ``""``).
         """
         from repro.dataset.readers import iter_part_values
 
@@ -240,20 +293,8 @@ class Dataset:
             yield from iter_part_values(part, column, delimiter)
 
 
-def _first_jsonl_object(path: Path) -> Optional[Dict[str, object]]:
-    """The first non-blank JSON object of a JSONL file, or None if empty."""
-    from repro.dataset.readers import parse_jsonl_row
-
-    # newline="\n": the pipeline-wide JSONL line convention (a lone
-    # "\r" is data, not a record separator).
-    with path.open("r", encoding="utf-8", newline="\n") as handle:
-        for number, line in enumerate(handle, start=1):
-            if not line.strip():
-                continue
-            return parse_jsonl_row(line, path, number)
-    return None
-
-
-def resolve_dataset(specs: Union[str, Sequence[Union[str, Path]]]) -> Dataset:
+def resolve_dataset(
+    specs: Union[str, Sequence[Union[str, Path]]], assume_csv: bool = False
+) -> Dataset:
     """Shorthand for :meth:`Dataset.resolve`."""
-    return Dataset.resolve(specs)
+    return Dataset.resolve(specs, assume_csv=assume_csv)

@@ -5,6 +5,13 @@ These are the single-process readers behind
 and the schema checks; the multi-process byte-range readers live with
 the profiler in :mod:`repro.clustering.parallel` and share the header
 scan defined here.
+
+Every open goes through
+:func:`~repro.dataset.backends.remote.open_locator` (binary mode, lines
+decoded by :func:`~repro.util.textio.decode_line`), so the same readers
+serve local paths and remote ``scheme://`` partitions, and a non-UTF-8
+byte always surfaces as a :class:`~repro.util.errors.CLXError` naming
+the file, line, and byte offset instead of a bare ``UnicodeDecodeError``.
 """
 
 from __future__ import annotations
@@ -12,13 +19,22 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple, Union
+from typing import IO, TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.util.csvio import record_open_after, resolve_column
 from repro.util.errors import ValidationError
+from repro.util.textio import BadLine, decode_line, iter_decoded_lines
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.dataset.dataset import DatasetPart
+
+
+def _open_binary(path: Union[str, Path]) -> IO[bytes]:
+    # Function-level import: backends package imports this module at its
+    # own import time, so the reverse edge must resolve lazily.
+    from repro.dataset.backends.remote import open_locator
+
+    return open_locator(str(path))
 
 
 def read_csv_header(
@@ -50,26 +66,29 @@ def csv_data_region(
 
     Raises:
         ValidationError: If the file has no header row.
+        CLXError: If the header contains a non-UTF-8 byte.
     """
-    source = Path(path)
-    raw_header = b""
+    source = str(path)
+    header_text = ""
     header_lines = 0
     record_open = False
-    with source.open("rb") as handle:
+    with _open_binary(path) as handle:
+        offset = 0
         while True:
             line = handle.readline()
             if not line:
                 break
-            raw_header += line
             header_lines += 1
-            record_open = record_open_after(line.decode(encoding), delimiter, record_open)
+            decoded = decode_line(line, source, header_lines, offset)
+            offset += len(line)
+            header_text += decoded
+            record_open = record_open_after(decoded, delimiter, record_open)
             if not record_open:
                 break
         data_start = handle.tell()
-    text = raw_header.decode(encoding)
-    if not text.strip():
+    if not header_text.strip():
         raise ValidationError(f"{source} has no header row")
-    header = next(csv.reader([text], delimiter=delimiter))
+    header = next(csv.reader([header_text], delimiter=delimiter))
     return header, data_start, header_lines + 1
 
 
@@ -77,12 +96,12 @@ def iter_csv_values(
     path: Union[str, Path], column: Union[str, int], delimiter: str = ","
 ) -> Iterator[str]:
     """Stream one column of a CSV file, ``""`` for rows missing it."""
-    header, _ = read_csv_header(path, delimiter)
+    header, data_start, first_line = csv_data_region(path, delimiter)
     index = header.index(resolve_column(header, column))
-    with Path(path).open(newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        next(reader)  # the header just scanned
-        for row in reader:
+    with _open_binary(path) as handle:
+        handle.seek(data_start)
+        lines = iter_decoded_lines(handle, str(path), first_line=first_line)
+        for row in csv.reader(lines, delimiter=delimiter):
             if not row:
                 continue  # blank line, as csv.DictReader skips them
             yield row[index] if index < len(row) else ""
@@ -140,16 +159,19 @@ def jsonl_key_union(path: Union[str, Path], strict: bool = True) -> List[str]:
     not the first record's.  One sequential pass, memory bounded by the
     number of distinct keys.
 
-    With ``strict=False`` unparsable lines contribute no keys instead
-    of aborting the scan — the lenient pre-flight quarantine mode
-    needs, where those same lines are quarantined during apply rather
-    than failing the run before it starts.
+    With ``strict=False`` unparsable (or undecodable) lines contribute
+    no keys instead of aborting the scan — the lenient pre-flight
+    quarantine mode needs, where those same lines are quarantined
+    during apply rather than failing the run before it starts.
     """
-    source = Path(path)
+    source = str(path)
     keys: List[str] = []
     seen = set()
-    with source.open("r", encoding="utf-8", newline="\n") as handle:
-        for number, line in enumerate(handle, start=1):
+    with _open_binary(path) as handle:
+        lines = iter_decoded_lines(handle, source, collect_bad=not strict)
+        for number, line in enumerate(lines, start=1):
+            if isinstance(line, BadLine):
+                continue  # collect_bad only in lenient mode; skip like a bad parse
             if not line.strip():
                 continue
             try:
@@ -165,6 +187,17 @@ def jsonl_key_union(path: Union[str, Path], strict: bool = True) -> List[str]:
     return keys
 
 
+def first_jsonl_object(path: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """The first non-blank JSON object of a JSONL file, or None if empty."""
+    source = str(path)
+    with _open_binary(path) as handle:
+        for number, line in enumerate(iter_decoded_lines(handle, source), start=1):
+            if not line.strip():
+                continue
+            return parse_jsonl_row(line, source, number)
+    return None
+
+
 def iter_jsonl_values(path: Union[str, Path], column: str) -> Iterator[str]:
     """Stream one key of a JSONL file, ``""`` for rows missing it.
 
@@ -172,13 +205,12 @@ def iter_jsonl_values(path: Union[str, Path], column: str) -> Iterator[str]:
     becomes ``""``), so a JSONL part profiles identically to a CSV part
     holding the same strings.
     """
-    source = Path(path)
-    # newline="\n": every JSONL reader in the pipeline (profile and
-    # apply, parent-fed and byte-range alike) splits physical lines on
-    # "\n" and nothing else — a lone "\r" is data, not a line break —
-    # so a file that profiles also applies, and vice versa.
-    with source.open("r", encoding="utf-8", newline="\n") as handle:
-        for number, line in enumerate(handle, start=1):
+    source = str(path)
+    # Binary readline splits physical lines on "\n" and nothing else —
+    # the pipeline-wide JSONL convention (a lone "\r" is data, not a
+    # line break) — so a file that profiles also applies, and vice versa.
+    with _open_binary(path) as handle:
+        for number, line in enumerate(iter_decoded_lines(handle, source), start=1):
             if not line.strip():
                 continue
             yield jsonl_value(parse_jsonl_row(line, source, number), column)
@@ -188,11 +220,8 @@ def iter_part_values(
     part: "DatasetPart", column: Union[str, int], delimiter: str = ","
 ) -> Iterator[str]:
     """Stream ``column`` out of one :class:`~repro.dataset.dataset.DatasetPart`."""
-    if part.format == "jsonl":
-        if not isinstance(column, str) or column.isdigit():
-            raise ValidationError(
-                f"{part.path}: JSONL parts address columns by name, not index ({column!r})"
-            )
-        yield from iter_jsonl_values(part.path, column)
-    else:
-        yield from iter_csv_values(part.path, column, delimiter)
+    from repro.dataset.backends import backend_by_name
+
+    backend = backend_by_name(part.format)
+    backend.require()
+    yield from backend.iter_values(part, column, delimiter)

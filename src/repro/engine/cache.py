@@ -448,7 +448,11 @@ class ArtifactRegistry:
         except OSError:
             pass  # stamping is advisory; never turn a hit into a failure
 
-    def gc(self, keep_days: Optional[float] = None) -> Dict[str, List[str]]:
+    def gc(
+        self,
+        keep_days: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[str, List[str]]:
         """Prune dangling rows, unreferenced files, and (optionally) stale rows.
 
         Removes manifest rows whose artifact file is gone, and artifact
@@ -456,7 +460,11 @@ class ArtifactRegistry:
         ``keep_days``, also evicts rows (and their artifact files)
         whose last use — ``last_used_at`` when a hit ever stamped it,
         ``created_at`` otherwise — is more than that many days old,
-        bounding shared cache directories over time.  The manifest is
+        bounding shared cache directories over time.  With
+        ``max_bytes``, additionally evicts least-recently-used rows
+        (same recency key; ties broken by key, deterministically) until
+        the surviving artifact files total at most that many bytes — a
+        size budget for shared cache directories.  The manifest is
         re-read immediately before anything is deleted, so an entry
         recorded by a concurrent writer after the first scan — a
         *newer* manifest row — is never deleted.  A missing or corrupt
@@ -473,6 +481,10 @@ class ArtifactRegistry:
             or keep_days < 0
         ):
             raise CLXError(f"keep_days must be a finite number >= 0, got {keep_days!r}")
+        if max_bytes is not None and (
+            isinstance(max_bytes, bool) or not isinstance(max_bytes, int) or max_bytes < 0
+        ):
+            raise CLXError(f"max_bytes must be an integer >= 0, got {max_bytes!r}")
         cutoff = None if keep_days is None else time.time() - keep_days * 86_400.0
         candidates = {
             path.name
@@ -510,6 +522,30 @@ class ArtifactRegistry:
                             evicted_artifacts.append(entry.artifact)
                     else:
                         kept[key] = entry
+                if max_bytes is not None:
+                    # Size-budget LRU: evict coldest rows (oldest
+                    # effective last use; key breaks ties so the order
+                    # is deterministic) until the surviving artifacts
+                    # fit the budget.  Rows without an on-disk artifact
+                    # occupy no bytes and are never evicted here.
+                    sizes: Dict[str, int] = {}
+                    for key, entry in kept.items():
+                        if not entry.artifact:
+                            continue
+                        try:
+                            sizes[key] = (self._directory / entry.artifact).stat().st_size
+                        except OSError:
+                            continue
+                    total = sum(sizes.values())
+                    for key in sorted(
+                        sizes, key=lambda k: (kept[k].effective_last_used, k)
+                    ):
+                        if total <= max_bytes:
+                            break
+                        entry = kept.pop(key)
+                        total -= sizes[key]
+                        removed_entries.append(key)
+                        evicted_artifacts.append(entry.artifact)
                 if removed_entries:
                     self._write_entries(kept)
             for name in evicted_artifacts:

@@ -210,6 +210,7 @@ class TransformEngine:
         max_retries: int = 0,
         resume: bool = False,
         adaptive_target_ms: Optional[int] = None,
+        assume_csv: bool = False,
     ) -> "DatasetApplyResult":
         """Apply this engine's program across a partitioned dataset.
 
@@ -232,7 +233,9 @@ class TransformEngine:
                 preserving partition names (final extension follows
                 ``out_format``).
             stream: Splice into an open text stream instead of a file.
-            out_format: ``"csv"`` (default) or ``"jsonl"``.
+            out_format: Any sink format the backend registry exposes:
+                ``"csv"`` (default), ``"jsonl"``, or — with the
+                pyarrow extra installed — ``"parquet"``/``"arrow"``.
             delimiter: CSV delimiter (parse and encode).
             in_place: Overwrite the source columns instead of adding
                 ``<column>_transformed`` ones.
@@ -258,6 +261,9 @@ class TransformEngine:
             adaptive_target_ms: When set, chunk/shard sizes adapt
                 toward this per-task latency target instead of staying
                 at the static knobs (sink bytes are unaffected).
+            assume_csv: Treat extensionless partition files as CSV
+                instead of refusing them (only used when ``dataset``
+                arrives as unresolved specs).
 
         Returns:
             The :class:`~repro.engine.parallel.DatasetApplyResult`
@@ -271,7 +277,7 @@ class TransformEngine:
         from repro.util.csvio import resolve_column
 
         if not isinstance(dataset, Dataset):
-            dataset = Dataset.resolve(dataset)
+            dataset = Dataset.resolve(dataset, assume_csv=assume_csv)
         names = [columns] if isinstance(columns, str) else list(columns)
         if not names:
             raise ValidationError("apply_dataset needs at least one column name")

@@ -37,7 +37,6 @@ hang — see :mod:`repro.util.pools`):
 
 from __future__ import annotations
 
-import csv
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -60,6 +59,12 @@ from typing import (
 )
 
 from repro.core.result import TransformReport
+from repro.dataset.backends import (
+    backend_by_name,
+    input_format_names,
+    open_locator,
+    sink_format_names,
+)
 from repro.dsl.interpreter import TransformOutcome
 from repro.engine.compiled import CompiledProgram
 from repro.engine.executor import TransformEngine
@@ -69,7 +74,6 @@ from repro.engine.resilience import (
     RunManifest,
     resynthesis_hint,
 )
-from repro.engine.serialize import encode_rows_csv, encode_rows_jsonl
 from repro.patterns.pattern import Pattern
 from repro.util.csvio import iter_record_cut_points, record_open_after, resolve_column
 from repro.util.errors import CLXError, ValidationError
@@ -100,12 +104,6 @@ DEFAULT_TABLE_CHUNK_LINES = 4096
 #: than this split into several record-aligned byte ranges, so one huge
 #: partition cannot serialize the whole dataset behind a single worker.
 DEFAULT_APPLY_SHARD_BYTES = 1 << 20
-
-#: Sink formats the table executor can encode worker-side.
-TABLE_FORMATS = ("csv", "jsonl")
-
-#: Input formats the table executor can parse worker-side.
-INPUT_FORMATS = ("csv", "jsonl")
 
 #: Error modes for record-level failures during a table apply.
 ERROR_MODES = ("abort", "quarantine")
@@ -412,84 +410,11 @@ class TableSpec:
     on_error: str = "abort"
 
 
-def _rows_from_jsonl_lines(
-    spec: TableSpec, first_line: int, lines: List[str], label: str
-) -> List[List[str]]:
-    """Parse one chunk of JSON Lines into padded row lists, in field order.
-
-    One physical line is one record (a literal newline cannot occur
-    inside a JSON string), so every failure names its exact file and
-    line and can never corrupt a neighboring record.  Key
-    reconciliation against the dataset field order mirrors the CSV
-    ragged-row rules: a missing key (or ``null``) contributes ``""``
-    and values stringify JSON-faithfully
-    (:func:`~repro.dataset.readers.jsonl_cell` — the profiler's own
-    ingestion rule), while an unknown key fails fast — silently
-    dropping it would lose data in a CSV sink.
-    """
-    from repro.dataset.readers import jsonl_cell, parse_jsonl_row
-
-    width = len(spec.fieldnames)
-    out_width = len(spec.output_fields)
-    known = set(spec.fieldnames)
-    rows: List[List[str]] = []
-    for offset, line in enumerate(lines):
-        if not line.strip():
-            continue  # blank line, as the JSONL readers skip them
-        number = first_line + offset
-        payload = parse_jsonl_row(line, label, number)
-        unknown = [key for key in payload if key not in known]
-        if unknown:
-            raise CLXError(
-                f"{label} line {number}: key(s) {', '.join(map(repr, unknown))} "
-                f"not in the dataset field order ({', '.join(spec.fieldnames)}); "
-                "partitions of one dataset must share a schema"
-            )
-        row = [jsonl_cell(payload.get(name)) for name in spec.fieldnames]
-        row.extend([""] * (out_width - width))
-        rows.append(row)
-    return rows
-
-
-def _rows_from_csv_lines(
-    spec: TableSpec, first_line: int, lines: List[str], label: str
-) -> List[List[str]]:
-    """Parse one chunk of physical CSV lines into padded row lists.
-
-    Parse failures the csv module raises itself (e.g. a bare ``\\r`` in
-    an unquoted cell) are rewrapped so every malformed input surfaces
-    as a :class:`CLXError` naming the file and line, never a raw
-    ``_csv.Error`` traceback.
-    """
-    width = len(spec.fieldnames)
-    out_width = len(spec.output_fields)
-    reader = csv.reader(lines, delimiter=spec.delimiter)
-    rows: List[List[str]] = []
-    try:
-        for row in reader:
-            if not row:
-                continue  # csv.DictReader skips blank lines; so do we
-            if len(row) > width:
-                line = first_line + reader.line_num - 1
-                raise CLXError(
-                    f"{label} line {line}: row has {len(row)} cells "
-                    f"but the header has {width} columns; fix the row or "
-                    "re-export the CSV"
-                )
-            if len(row) < width:
-                row.extend([""] * (width - len(row)))
-            row.extend([""] * (out_width - width))
-            rows.append(row)
-    except csv.Error as error:
-        line = first_line + max(reader.line_num, 1) - 1
-        raise CLXError(f"{label} line {line}: invalid CSV: {error}") from None
-    return rows
-
-
 def _encode_rows(spec: TableSpec, rows: List[List[str]]) -> str:
-    if spec.out_format == "jsonl":
-        return encode_rows_jsonl(spec.output_fields, rows)
-    return encode_rows_csv(rows, delimiter=spec.delimiter)
+    """Encode transformed rows through the sink format's backend."""
+    return backend_by_name(spec.out_format).encode_rows(
+        spec.output_fields, rows, spec.delimiter
+    )
 
 
 def _transform_lines_strict(
@@ -501,10 +426,7 @@ def _transform_lines_strict(
     in_format: str,
 ) -> TableChunk:
     """The fast whole-chunk pipeline: first bad record raises."""
-    if in_format == "jsonl":
-        rows = _rows_from_jsonl_lines(spec, first_line, lines, label)
-    else:
-        rows = _rows_from_csv_lines(spec, first_line, lines, label)
+    rows = backend_by_name(in_format).parse_rows(spec, first_line, lines, label)
 
     flagged = 0
     for (input_index, output_index), compiled in zip(spec.transforms, engines):
@@ -572,17 +494,15 @@ def _transform_lines_salvage(
     every clean record lands in the sink bytes exactly as the strict
     path would have emitted it.
     """
+    backend = backend_by_name(in_format)
     good: List[List[str]] = []
     flagged = 0
     quarantined: List[QuarantinedRecord] = []
     for number, record_lines in _iter_records(
-        lines, first_line, spec.delimiter, csv_quoting=in_format == "csv"
+        lines, first_line, spec.delimiter, csv_quoting=backend.csv_quoting
     ):
         try:
-            if in_format == "jsonl":
-                rows = _rows_from_jsonl_lines(spec, number, record_lines, label)
-            else:
-                rows = _rows_from_csv_lines(spec, number, record_lines, label)
+            rows = backend.parse_rows(spec, number, record_lines, label)
             record_flagged = 0
             for (input_index, output_index), compiled in zip(spec.transforms, engines):
                 for row in rows:
@@ -614,8 +534,8 @@ def _transform_lines(
     (``workers=1``) and inside a pool worker, so the serial and sharded
     paths cannot drift apart.  ``source`` overrides ``spec.source`` in
     error messages when one executor streams several partition files;
-    ``in_format`` picks the parse side (``"csv"`` or ``"jsonl"``) per
-    chunk, so one executor applies a mixed-format dataset.
+    ``in_format`` names the input backend that parses the chunk, so one
+    executor applies a mixed-format dataset.
 
     In quarantine mode a chunk with at least one bad record falls back
     to a record-by-record salvage pass; since chunk boundaries depend
@@ -707,10 +627,13 @@ def _record_aligned_chunks(
 class _ApplyShard:
     """One picklable unit of cross-partition apply work.
 
-    Both bounds are exact record boundaries (the planner aligns them
-    with a quote-parity scan), so the worker owns precisely the lines
-    beginning in ``[start, end)`` and ``first_line`` is the true
-    physical line number at ``start`` — error messages stay exact at
+    For line-record backends both bounds are exact byte offsets at
+    record boundaries (the planner aligns them with a quote-parity
+    scan), so the worker owns precisely the lines beginning in
+    ``[start, end)`` and ``first_line`` is the true physical line number
+    at ``start``.  For rowgroup backends (parquet/arrow) the bounds are
+    **row-group index ranges** and ``first_line`` is the 1-based index
+    of the span's first row — either way, error messages stay exact at
     any shard geometry.
     """
 
@@ -722,45 +645,37 @@ class _ApplyShard:
     source: str
 
 
-def _read_shard_lines(
-    path: str, start: int, end: int, encoding: str = "utf-8"
-) -> Iterator[str]:
-    """Decoded physical lines beginning in the exact byte range [start, end)."""
-    with open(path, "rb") as handle:
-        handle.seek(start)
-        position = start
-        while position < end:
-            raw = handle.readline()
-            if not raw:
-                return
-            position += len(raw)
-            yield raw.decode(encoding)
-
-
 def _transform_shard(
     spec: TableSpec,
     engines: Sequence[CompiledProgram],
     chunk_size: int,
     shard: _ApplyShard,
 ) -> TableChunk:
-    """Run one byte-range shard through the per-chunk pipeline.
+    """Run one shard through the per-chunk pipeline.
 
-    The shard's lines stream through :func:`_record_aligned_chunks` at
-    ``chunk_size`` lines per transform batch — the same knob the
+    The shard's wire lines stream through :func:`_record_aligned_chunks`
+    at ``chunk_size`` lines per transform batch — the same knob the
     parent-fed paths honor — so a byte-planned shard never materializes
     more than one batch of parsed rows at a time.
     """
+    backend = backend_by_name(shard.in_format)
     pieces: List[str] = []
     rows = 0
     flagged = 0
     quarantined: List[QuarantinedRecord] = []
-    lines = _read_shard_lines(shard.path, shard.start, shard.end)
+    lines = backend.read_shard_lines(
+        shard.path,
+        shard.start,
+        shard.end,
+        collect_bad=spec.on_error == "quarantine",
+        first_line=shard.first_line,
+    )
     for start, chunk in _record_aligned_chunks(
         lines,
         chunk_size,
         shard.first_line,
         spec.delimiter,
-        csv_quoting=shard.in_format == "csv",
+        csv_quoting=backend.csv_quoting,
     ):
         piece = _transform_lines(spec, engines, start, chunk, shard.source, shard.in_format)
         pieces.append(piece.text)
@@ -835,10 +750,14 @@ class ShardedTableExecutor:
     ) -> None:
         if not programs:
             raise ValidationError("ShardedTableExecutor needs at least one column program")
-        if out_format not in TABLE_FORMATS:
+        if out_format not in sink_format_names():
             raise ValidationError(
-                f"unsupported output format {out_format!r}; choose from {', '.join(TABLE_FORMATS)}"
+                f"unsupported output format {out_format!r}; "
+                f"choose from {', '.join(sink_format_names())}"
             )
+        # Fail at construction when the sink format needs an extra the
+        # parent process cannot import (e.g. parquet without pyarrow).
+        backend_by_name(out_format).require_sink()
         if on_error not in ERROR_MODES:
             raise ValidationError(
                 f"unsupported error mode {on_error!r}; choose from {', '.join(ERROR_MODES)}"
@@ -998,7 +917,10 @@ class ShardedTableExecutor:
         records = tuple(
             QuarantinedRecord(label, number, error, _record_raw(record_lines))
             for number, record_lines in _iter_records(
-                lines, first_line, self._spec.delimiter, csv_quoting=in_format == "csv"
+                lines,
+                first_line,
+                self._spec.delimiter,
+                csv_quoting=backend_by_name(in_format).csv_quoting,
             )
         )
         return TableChunk("", 0, 0, records)
@@ -1021,7 +943,15 @@ class ShardedTableExecutor:
     ) -> TableChunk:
         reason = self._fault_reason(kind, attempts)
         if self._spec.on_error == "quarantine":
-            lines = list(_read_shard_lines(shard.path, shard.start, shard.end))
+            lines = list(
+                backend_by_name(shard.in_format).read_shard_lines(
+                    shard.path,
+                    shard.start,
+                    shard.end,
+                    collect_bad=True,
+                    first_line=shard.first_line,
+                )
+            )
             return self._quarantine_whole(
                 shard.first_line, lines, shard.source, shard.in_format, reason
             )
@@ -1035,10 +965,10 @@ class ShardedTableExecutor:
     # Execution
     # ------------------------------------------------------------------
     def header_text(self) -> str:
-        """The encoded sink header (empty for JSONL, which has none)."""
-        if self._spec.out_format == "jsonl":
-            return ""
-        return encode_rows_csv([list(self._spec.output_fields)], delimiter=self._spec.delimiter)
+        """The encoded sink header ("" for formats without one)."""
+        return backend_by_name(self._spec.out_format).header_text(
+            self._spec.output_fields, self._spec.delimiter
+        )
 
     def run_chunks(
         self,
@@ -1056,18 +986,19 @@ class ShardedTableExecutor:
                 line in the source file, for error messages.
             source: Input name for error messages, overriding the
                 spec's (used when one executor streams several files).
-            in_format: How workers parse the lines — ``"csv"``
-                (default) or ``"jsonl"`` (one JSON object per line).
+            in_format: The input backend that parses the lines —
+                ``"csv"`` (default), ``"jsonl"``, or a rowgroup backend
+                name when the lines are its JSONL wire rendering.
 
         Yields:
             One :class:`TableChunk` per chunk (encoded sink text, row
             and flagged counts, quarantined records if in quarantine
             mode).
         """
-        if in_format not in INPUT_FORMATS:
+        if in_format not in input_format_names():
             raise ValidationError(
                 f"unsupported input format {in_format!r}; "
-                f"choose from {', '.join(INPUT_FORMATS)}"
+                f"choose from {', '.join(input_format_names())}"
             )
         sizer = self._line_sizer
         tasks = (
@@ -1077,7 +1008,7 @@ class ShardedTableExecutor:
                 sizer if sizer is not None else self._chunk_size,
                 first_line,
                 self._spec.delimiter,
-                csv_quoting=in_format == "csv",
+                csv_quoting=backend_by_name(in_format).csv_quoting,
             )
         )
         if not self._use_pool:
@@ -1101,34 +1032,49 @@ class ShardedTableExecutor:
                 sizer.observe(time.perf_counter() - key[1])
             yield result
 
+    def _run_file(self, locator: str, in_format: str) -> Iterator[TableChunk]:
+        """Stream one partition file through the pipeline via its backend.
+
+        Line backends read their data region (checking the header, when
+        the format has one, against the spec so two partitions with
+        drifted schemas cannot be spliced into one sink silently);
+        rowgroup backends render every row group as JSONL wire lines.
+        Either way the lines split exactly like the byte-range shard
+        reader's, so ``run_part`` and ``run_dataset`` agree on every
+        file.
+        """
+        backend = backend_by_name(in_format)
+        backend.require()
+        data_start, first_line = 0, 1
+        if backend.line_records:
+            header, data_start, first_line = backend.data_region(
+                locator, self._spec.delimiter
+            )
+            if header is not None:
+                self._check_part_header(locator, header)
+        lines = backend.read_shard_lines(
+            locator,
+            data_start,
+            None,
+            collect_bad=self._spec.on_error == "quarantine",
+            first_line=first_line,
+        )
+        yield from self.run_chunks(
+            lines, first_line=first_line, source=locator, in_format=in_format
+        )
+
     def run_csv_file(self, path: Union[str, Path]) -> Iterator[TableChunk]:
         """Stream one CSV file through the pipeline, checking its header.
 
         The partition-aware entry point: the executor (and its worker
         pool) is built once and reused across every part of a
-        partitioned dataset, each part's header verified against the
-        spec so two partitions with drifted schemas cannot be spliced
-        into one sink silently.
+        partitioned dataset.
 
         Raises:
             CLXError: If ``path`` has no header row or its header does
                 not match the executor's fieldnames.
         """
-        source = Path(path)
-        # newline="\n": physical lines split exactly like the byte-range
-        # shard reader (a bare "\r" is cell data for the parser to judge,
-        # not a line break), so run_part and run_dataset agree on every
-        # file.  csv.reader still handles "\r\n" terminators itself.
-        with source.open(newline="\n", encoding="utf-8") as handle:
-            reader = csv.reader(handle, delimiter=self._spec.delimiter)
-            try:
-                header = next(reader)
-            except StopIteration:
-                raise CLXError(f"{source} has no header row") from None
-            self._check_part_header(source, header)
-            yield from self.run_chunks(
-                handle, first_line=reader.line_num + 1, source=str(source)
-            )
+        yield from self._run_file(str(Path(path)), "csv")
 
     def run_jsonl_file(self, path: Union[str, Path]) -> Iterator[TableChunk]:
         """Stream one JSON Lines file through the pipeline.
@@ -1138,23 +1084,15 @@ class ShardedTableExecutor:
         workers (missing key or ``null`` → ``""``, unknown key →
         :class:`~repro.util.errors.CLXError` naming the file and line).
         """
-        source = Path(path)
-        # newline="\n": split physical lines exactly like the byte-range
-        # shard reader does (a lone "\r" is data, not a line break), so
-        # run_part and run_dataset see identical records.
-        with source.open("r", encoding="utf-8", newline="\n") as handle:
-            yield from self.run_chunks(
-                handle, first_line=1, source=str(source), in_format="jsonl"
-            )
+        yield from self._run_file(str(Path(path)), "jsonl")
 
     def run_part(self, part: "DatasetPart") -> Iterator[TableChunk]:
         """Stream one resolved dataset partition, dispatching on format."""
-        if part.format == "jsonl":
-            yield from self.run_jsonl_file(part.path)
-        else:
-            yield from self.run_csv_file(part.path)
+        yield from self._run_file(part.locator, part.format)
 
-    def _check_part_header(self, source: Path, header: Sequence[str]) -> None:
+    def _check_part_header(
+        self, source: Union[str, Path], header: Sequence[str]
+    ) -> None:
         if tuple(header) != self._spec.fieldnames:
             raise CLXError(
                 f"{source} header ({', '.join(header)}) does not match the "
@@ -1168,44 +1106,49 @@ class ShardedTableExecutor:
     def _plan_part_shards(
         self, part: "DatasetPart", shard_bytes: int
     ) -> Iterator[_ApplyShard]:
-        """Split one partition into record-aligned byte-range shards.
+        """Split one partition into record-aligned shards via its backend.
 
         Small parts become one whole-part shard — the parent reads
         nothing but a CSV header, so dispatching many small files
-        overlaps their open/parse latencies.  Parts larger than
-        ``shard_bytes`` are split with one
+        overlaps their open/parse latencies.  Line-record parts larger
+        than ``shard_bytes`` are split with one
         :func:`~repro.util.csvio.iter_record_cut_points` scan, which
         also yields the exact first line number of every shard, so
         error messages stay precise however the bytes were divided.
         Shards are **yielded as cuts are found**: on a huge single
         file, workers start transforming the head while the parent is
         still scanning the tail — no cold-start bubble proportional to
-        file size.
+        file size.  Rowgroup parts (parquet/arrow) shard on their own
+        record-aligned cut points instead: row-group index ranges sized
+        so each span covers roughly ``shard_bytes`` of storage.
         """
-        from repro.dataset.readers import csv_data_region
-
-        path = Path(part.path)
-        size = path.stat().st_size
-        if part.format == "jsonl":
-            data_start, first_line, csv_quoting = 0, 1, False
-        else:
-            header, data_start, first_line = csv_data_region(
-                path, self._spec.delimiter
-            )
-            self._check_part_header(path, header)
-            csv_quoting = True
-        if size <= data_start:
-            return
+        backend = backend_by_name(part.format)
+        backend.require()
+        locator = part.locator
 
         def shard(start: int, line: int, end: int) -> _ApplyShard:
             return _ApplyShard(
-                path=str(path),
+                path=locator,
                 in_format=part.format,
                 start=start,
                 end=end,
                 first_line=line,
-                source=str(path),
+                source=locator,
             )
+
+        if not backend.line_records:
+            for start, end, first_row in backend.plan_shards(locator, shard_bytes):
+                yield shard(start, first_row, end)
+            return
+
+        size = part.size
+        header, data_start, first_line = backend.data_region(
+            locator, self._spec.delimiter
+        )
+        if header is not None:
+            self._check_part_header(locator, header)
+        if size <= data_start:
+            return
 
         span = size - data_start
         pieces = (span + shard_bytes - 1) // shard_bytes
@@ -1214,13 +1157,14 @@ class ShardedTableExecutor:
             step = (span + pieces - 1) // pieces
             targets = list(range(data_start + step, size, step))
             for cut, line in iter_record_cut_points(
-                str(path),
+                locator,
                 data_start,
                 size,
                 targets,
                 delimiter=self._spec.delimiter,
                 first_line=first_line,
-                csv_quoting=csv_quoting,
+                csv_quoting=backend.csv_quoting,
+                opener=open_locator,
             ):
                 if previous[0] < cut:
                     yield shard(previous[0], previous[1], cut)
@@ -1312,7 +1256,45 @@ def partition_output_name(part: "DatasetPart", out_format: str) -> str:
     ``part.2024.csv`` keeps its dotted stem (``part.2024.jsonl`` under a
     JSONL sink), and an extensionless partition gains the sink suffix.
     """
-    return part.path.stem + (".jsonl" if out_format == "jsonl" else ".csv")
+    return part.path.stem + backend_by_name(out_format).sink_suffix
+
+
+class _PartSink:
+    """One output file behind a uniform write/commit/abort surface.
+
+    Text sink formats write straight into an :class:`AtomicSink` (the
+    header first); binary sink formats (parquet/arrow) route the worker
+    wire text through the backend's
+    :class:`~repro.dataset.backends.base.SinkWriter` onto a binary
+    :class:`AtomicSink`, whose atomic rename still only happens after
+    the format's own footer is written.
+    """
+
+    def __init__(self, target: Path, executor: ShardedTableExecutor) -> None:
+        backend = backend_by_name(executor.spec.out_format)
+        self.path = target
+        self._atomic = AtomicSink(target, binary=backend.binary_sink).open()
+        self._writer = None
+        if backend.binary_sink:
+            self._writer = backend.open_sink_writer(
+                self._atomic.handle, executor.spec.output_fields
+            )
+        else:
+            self._atomic.write(executor.header_text())
+
+    def write(self, text: str) -> None:
+        if self._writer is not None:
+            self._writer.write(text)
+        else:
+            self._atomic.write(text)
+
+    def commit(self) -> None:
+        if self._writer is not None:
+            self._writer.finish()
+        self._atomic.commit()
+
+    def abort(self) -> None:
+        self._atomic.abort()
 
 
 @dataclass
@@ -1395,6 +1377,12 @@ def apply_dataset(
         raise ValidationError(
             "apply_dataset needs exactly one of output, output_dir, or stream"
         )
+    out_backend = backend_by_name(executor.spec.out_format)
+    if stream is not None and out_backend.binary_sink:
+        raise ValidationError(
+            f"{executor.spec.out_format} output is a binary format and cannot "
+            "be spliced into a text stream; use output or output_dir"
+        )
     quarantining = executor.spec.on_error == "quarantine"
     if quarantining and quarantine_dir is None:
         raise ValidationError(
@@ -1414,7 +1402,7 @@ def apply_dataset(
 
     def record_quarantined(part: "DatasetPart", chunk: TableChunk) -> None:
         if quarantine is not None and chunk.quarantined:
-            quarantine.add(part.name, str(part.path), chunk.quarantined)
+            quarantine.add(part.name, part.locator, chunk.quarantined)
 
     def finish_quarantine() -> None:
         if quarantine is not None:
@@ -1436,7 +1424,7 @@ def apply_dataset(
                     "rename the partitions or apply them separately"
                 )
             names.add(name)
-            if (directory / name).resolve() == part.path.resolve():
+            if part.url is None and (directory / name).resolve() == part.path.resolve():
                 raise CLXError(
                     f"--output-dir would overwrite input partition {part.path}; "
                     "choose a different directory"
@@ -1445,12 +1433,18 @@ def apply_dataset(
         pending: List["DatasetPart"] = []
         for part in parts:
             name = partition_output_name(part, executor.spec.out_format)
-            if resume and manifest.completed(name, str(part.path), part.size) is not None:
+            if (
+                resume
+                and manifest.completed(
+                    name, part.locator, part.size, backend=part.format
+                )
+                is not None
+            ):
                 result.skipped_parts += 1
                 continue
             pending.append(part)
 
-        sink: Optional[AtomicSink] = None
+        sink: Optional[_PartSink] = None
         open_through = -1  # highest pending-part index whose sink is open
         part_rows = part_flagged = part_quarantined = 0
 
@@ -1465,16 +1459,17 @@ def apply_dataset(
             sink = None
             manifest.mark(
                 partition_output_name(part, executor.spec.out_format),
-                str(part.path),
+                part.locator,
                 part.size,
                 part_rows,
                 part_flagged,
                 part_quarantined,
+                backend=part.format,
             )
             if quarantine is not None:
                 quarantine.finish_part(part.name)
 
-        def advance_to(index: int) -> AtomicSink:
+        def advance_to(index: int) -> _PartSink:
             # Open sinks for every part up to `index`, so a partition
             # with no data rows still produces its (header-only) file.
             nonlocal sink, open_through, part_rows, part_flagged, part_quarantined
@@ -1486,8 +1481,7 @@ def apply_dataset(
                 target = directory / partition_output_name(
                     part, executor.spec.out_format
                 )
-                sink = AtomicSink(target).open()
-                sink.write(executor.header_text())
+                sink = _PartSink(target, executor)
                 result.outputs.append(target)
                 part_rows = part_flagged = part_quarantined = 0
             assert sink is not None
@@ -1524,38 +1518,39 @@ def apply_dataset(
         # covers the destination, e.g. re-running the same command).
         resolved = destination.resolve()
         for part in parts:
-            if resolved == part.path.resolve():
+            if part.url is None and resolved == part.path.resolve():
                 raise CLXError(
                     f"--output {destination} is also an input partition; "
                     "writing would destroy the source — choose a different "
                     "output path"
                 )
-    atomic = AtomicSink(destination).open() if destination is not None else None
-    if atomic is not None:
-        sink_handle: IO[str] = atomic.handle
-    else:
-        assert stream is not None
-        sink_handle = stream
+    file_sink = _PartSink(destination, executor) if destination is not None else None
     try:
-        sink_handle.write(executor.header_text())
+        if file_sink is None:
+            assert stream is not None
+            stream.write(executor.header_text())
         for part_index, chunk in executor.run_dataset(
             dataset, shard_bytes=shard_bytes
         ):
             maybe_fire("sink.write", key=parts[part_index].name)
-            sink_handle.write(chunk.text)
+            if file_sink is not None:
+                file_sink.write(chunk.text)
+            else:
+                assert stream is not None
+                stream.write(chunk.text)
             result.rows += chunk.rows
             result.flagged += chunk.flagged
             record_quarantined(parts[part_index], chunk)
     except BaseException:
         # A failed spliced run must never leave a partial output file:
         # the temp is unlinked and the final path stays untouched.
-        if atomic is not None:
-            atomic.abort()
+        if file_sink is not None:
+            file_sink.abort()
         if quarantine is not None:
             quarantine.abort()
         raise
-    if atomic is not None:
-        atomic.commit()
+    if file_sink is not None:
+        file_sink.commit()
         assert destination is not None
         result.outputs.append(destination)
     finish_quarantine()

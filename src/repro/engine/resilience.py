@@ -172,12 +172,22 @@ class RunManifest:
             ):
                 self._entries = payload["parts"]
 
-    def completed(self, output_name: str, source: str, size: int) -> Optional[Dict[str, Any]]:
-        """The matching completion entry for a partition, if trustworthy."""
+    def completed(
+        self, output_name: str, source: str, size: int, backend: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The matching completion entry for a partition, if trustworthy.
+
+        ``backend`` is the part's resolved input backend name; an entry
+        written under a different backend (the same bytes re-resolved as
+        another format, e.g. after an ``--assume-csv`` rename) is not
+        trusted — the output would have been parsed differently.
+        """
         entry = self._entries.get(output_name)
         if not isinstance(entry, dict):
             return None
         if entry.get("source") != source or entry.get("size") != size:
+            return None
+        if backend is not None and entry.get("backend") != backend:
             return None
         if not (self.directory / output_name).exists():
             return None
@@ -191,11 +201,13 @@ class RunManifest:
         rows: int,
         flagged: int,
         quarantined: int,
+        backend: Optional[str] = None,
     ) -> None:
         """Record one finished partition and atomically rewrite the file."""
         self._entries[output_name] = {
             "source": source,
             "size": size,
+            "backend": backend,
             "rows": rows,
             "flagged": flagged,
             "quarantined": quarantined,

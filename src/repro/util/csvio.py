@@ -20,12 +20,16 @@ embedded newlines.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple, Union
+from typing import IO, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.util.errors import ValidationError
 
 QUOTE = '"'
 _QUOTE_BYTE = b'"'
+
+
+def _open_local(path: str) -> IO[bytes]:
+    return open(path, "rb")
 
 
 def resolve_column(header: Sequence[str], column: Union[str, int]) -> str:
@@ -100,6 +104,7 @@ def record_aligned_offsets(
     targets: Sequence[int],
     delimiter: str = ",",
     encoding: str = "utf-8",
+    opener: Optional[Callable[[str], IO[bytes]]] = None,
 ) -> List[int]:
     """Map byte ``targets`` to the record boundaries at or past them.
 
@@ -127,7 +132,8 @@ def record_aligned_offsets(
     return [
         offset
         for offset, _ in record_cut_points(
-            path, start, end, targets, delimiter=delimiter, encoding=encoding
+            path, start, end, targets, delimiter=delimiter, encoding=encoding,
+            opener=opener,
         )
     ]
 
@@ -141,6 +147,7 @@ def record_cut_points(
     encoding: str = "utf-8",
     first_line: int = 1,
     csv_quoting: bool = True,
+    opener: Optional[Callable[[str], IO[bytes]]] = None,
 ) -> List[Tuple[int, int]]:
     """Like :func:`record_aligned_offsets`, also tracking line numbers.
 
@@ -148,7 +155,8 @@ def record_cut_points(
     """
     return list(
         iter_record_cut_points(
-            path, start, end, targets, delimiter, encoding, first_line, csv_quoting
+            path, start, end, targets, delimiter, encoding, first_line,
+            csv_quoting, opener,
         )
     )
 
@@ -162,6 +170,7 @@ def iter_record_cut_points(
     encoding: str = "utf-8",
     first_line: int = 1,
     csv_quoting: bool = True,
+    opener: Optional[Callable[[str], IO[bytes]]] = None,
 ) -> Iterator[Tuple[int, int]]:
     """Stream record-aligned cuts with their line numbers, one per target.
 
@@ -184,12 +193,20 @@ def iter_record_cut_points(
     * ``csv_quoting=False`` — every physical line is a record (JSON
       Lines: a literal newline cannot appear inside a JSON string), so
       alignment is pure newline alignment plus line counting.
+
+    ``opener`` substitutes the binary open (remote partitions hand in
+    :func:`~repro.dataset.backends.remote.open_locator`); the default is
+    the builtin local open.  Scanned lines decode with
+    ``errors="replace"``: a quote is an ASCII byte no invalid sequence
+    can swallow, so alignment stays exact over undecodable bytes and
+    the *reader* of the shard owns reporting (or quarantining) them.
     """
     remaining = list(targets)
     if any(later < earlier for earlier, later in zip(remaining, remaining[1:])):
         raise ValidationError("record cut-point targets must be ascending")
     line_number = first_line
-    with open(path, "rb") as handle:
+    open_binary = opener if opener is not None else _open_local
+    with open_binary(path) as handle:
         handle.seek(start)
         position = start
         record_open = False
@@ -203,7 +220,7 @@ def iter_record_cut_points(
                 break
             if csv_quoting and (record_open or _QUOTE_BYTE in line):
                 record_open = record_open_after(
-                    line.decode(encoding), delimiter, record_open
+                    line.decode(encoding, errors="replace"), delimiter, record_open
                 )
             line_number += 1
             position = handle.tell()

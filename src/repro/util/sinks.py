@@ -35,25 +35,35 @@ def fsync_dir(directory: Path) -> None:
 
 
 class AtomicSink:
-    """A text-file writer whose final path appears only on commit.
+    """A file writer whose final path appears only on commit.
 
-    Usable as a context manager (commit on clean exit, abort on
-    exception) or driven manually via :meth:`open` / :meth:`commit` /
-    :meth:`abort` when one orchestrator juggles several sinks.
+    Text by default; ``binary=True`` opens the temp file in ``"wb"``
+    mode for format writers (parquet/arrow sinks) that own the byte
+    stream through :attr:`handle`.  Usable as a context manager (commit
+    on clean exit, abort on exception) or driven manually via
+    :meth:`open` / :meth:`commit` / :meth:`abort` when one orchestrator
+    juggles several sinks.
     """
 
-    def __init__(self, path: Path, encoding: str = "utf-8", newline: str = "") -> None:
+    def __init__(
+        self,
+        path: Path,
+        encoding: str = "utf-8",
+        newline: str = "",
+        binary: bool = False,
+    ) -> None:
         self.path = Path(path)
         self._tmp = self.path.parent / (
             f".{self.path.name}.clx-tmp.{os.getpid()}.{next(_SINK_COUNTER)}"
         )
         self._encoding = encoding
         self._newline = newline
-        self._handle: Optional[IO[str]] = None
+        self._binary = binary
+        self._handle: Optional[IO[Any]] = None
         self._done = False
 
     @property
-    def handle(self) -> IO[str]:
+    def handle(self) -> IO[Any]:
         if self._handle is None:
             if self._done:
                 raise ValueError(
@@ -79,9 +89,14 @@ class AtomicSink:
                 f"create a new AtomicSink to write again"
             )
         if self._handle is None:
-            self._handle = open(
-                self._tmp, "w", encoding=self._encoding, newline=self._newline
-            )
+            if self._binary:
+                # Columnar sink writers (parquet/arrow footers) own the
+                # byte stream; text knobs do not apply.
+                self._handle = open(self._tmp, "wb")
+            else:
+                self._handle = open(
+                    self._tmp, "w", encoding=self._encoding, newline=self._newline
+                )
         return self
 
     def write(self, text: str) -> None:
@@ -93,9 +108,10 @@ class AtomicSink:
             return
         self.open()  # an empty commit still produces the (empty) file
         handle = self.handle
-        handle.flush()
-        os.fsync(handle.fileno())
-        handle.close()
+        if not handle.closed:  # a format writer may have closed its stream
+            handle.flush()
+            os.fsync(handle.fileno())
+            handle.close()
         self._handle = None
         os.replace(self._tmp, self.path)
         fsync_dir(self.path.parent)

@@ -207,7 +207,7 @@ class TestRunPart:
     def test_rejects_unknown_input_format(self, phone_engine):
         with ShardedTableExecutor({"phone": phone_engine}, ["id", "phone"]) as executor:
             with pytest.raises(ValidationError, match="input format"):
-                list(executor.run_chunks([], in_format="parquet"))
+                list(executor.run_chunks([], in_format="xml"))
 
 
 class TestRunDataset:

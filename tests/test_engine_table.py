@@ -250,7 +250,7 @@ class TestShardedTableExecutor:
                 {"a": phone_engine}, ["a", "b"], output_columns={"a": "b"}
             )
         with pytest.raises(ValidationError):
-            ShardedTableExecutor({"a": phone_engine}, ["a"], out_format="parquet")
+            ShardedTableExecutor({"a": phone_engine}, ["a"], out_format="xml")
         with pytest.raises(ValidationError):
             ShardedTableExecutor({"a": phone_engine}, ["a"], workers=0)
         with pytest.raises(ValidationError):

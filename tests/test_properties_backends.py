@@ -1,0 +1,175 @@
+"""Cross-backend differential properties for the IO registry.
+
+Every ``(input, sink)`` pair in ``{csv, jsonl, parquet}²`` applies to
+the same values the serial stdlib/pyarrow oracle produces — at worker
+counts 1/2/3 and randomized ``--shard-bytes`` — and the sink bytes are
+identical at every worker count.  Parquet legs skip cleanly when the
+optional ``pyarrow`` dependency is absent.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.phone import phone_dataset
+from repro.core.session import CLXSession
+from repro.dataset import Dataset
+from repro.dataset.backends import pyarrow_available
+from repro.engine.parallel import ShardedTableExecutor, apply_dataset
+
+FORMATS = ("csv", "jsonl", "parquet")
+WORKER_COUNTS = (1, 2, 3)
+
+needs_pyarrow = pytest.mark.skipif(
+    not pyarrow_available(), reason="pyarrow not installed (arrow extra)"
+)
+
+
+def _pair_params():
+    for in_format in FORMATS:
+        for out_format in FORMATS:
+            marks = (
+                [needs_pyarrow] if "parquet" in (in_format, out_format) else []
+            )
+            yield pytest.param(
+                in_format, out_format, marks=marks, id=f"{in_format}-to-{out_format}"
+            )
+
+
+@pytest.fixture(scope="module")
+def phone_engine():
+    raw, _ = phone_dataset(count=120, format_count=4, seed=13)
+    session = CLXSession(raw)
+    session.label_target_from_notation("<D>3'-'<D>3'-'<D>4")
+    return session.engine()
+
+
+def _write_part(path, fmt, rows):
+    """Write ``rows`` (list of (id, phone) string pairs) as one partition."""
+    if fmt == "csv":
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", "phone"])
+            writer.writerows(rows)
+    elif fmt == "jsonl":
+        with path.open("w", encoding="utf-8") as handle:
+            for row_id, phone in rows:
+                handle.write(
+                    json.dumps({"id": row_id, "phone": phone}, ensure_ascii=False)
+                    + "\n"
+                )
+    else:
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+
+        table = pa.table(
+            {
+                "id": [row_id for row_id, _ in rows],
+                "phone": [phone for _, phone in rows],
+            }
+        )
+        # Several row groups so row-group shard planning has cuts to make.
+        pq.write_table(table, path, row_group_size=4)
+    return path
+
+
+def _read_sink(path, fmt):
+    """The (id, phone_transformed) pairs of one sink file, oracle-decoded."""
+    if fmt == "csv":
+        with path.open(newline="", encoding="utf-8") as handle:
+            return [
+                (row["id"], row["phone_transformed"])
+                for row in csv.DictReader(handle)
+            ]
+    if fmt == "jsonl":
+        with path.open(encoding="utf-8") as handle:
+            return [
+                (str(record["id"]), str(record["phone_transformed"]))
+                for record in (json.loads(line) for line in handle)
+            ]
+    import pyarrow.parquet as pq
+
+    table = pq.read_table(path)
+    return list(
+        zip(
+            (str(v) for v in table.column("id").to_pylist()),
+            (str(v) for v in table.column("phone_transformed").to_pylist()),
+        )
+    )
+
+
+def _apply(engine, dataset, target, out_format, workers, shard_bytes):
+    with ShardedTableExecutor(
+        {"phone": engine},
+        ["id", "phone"],
+        workers=workers,
+        out_format=out_format,
+    ) as executor:
+        result = apply_dataset(
+            executor, dataset, output=target, shard_bytes=shard_bytes
+        )
+    return result
+
+
+@pytest.mark.parametrize("in_format,out_format", _pair_params())
+def test_every_pair_matches_the_serial_oracle(
+    phone_engine, tmp_path, property_rng, in_format, out_format
+):
+    values, _ = phone_dataset(
+        count=37, format_count=4, seed=property_rng.randrange(2**16)
+    )
+    rows = [(str(index), value) for index, value in enumerate(values)]
+    suffix = {"csv": ".csv", "jsonl": ".jsonl", "parquet": ".parquet"}[in_format]
+    part = _write_part(tmp_path / f"part-0{suffix}", in_format, rows)
+    dataset = Dataset.resolve(str(part))
+    expected = [
+        (row_id, phone_engine.run_one(value).output) for row_id, value in rows
+    ]
+
+    sink_bytes = []
+    for workers in WORKER_COUNTS:
+        shard_bytes = property_rng.randrange(16, 4096)
+        target = tmp_path / f"out-w{workers}.{out_format}"
+        result = _apply(
+            phone_engine, dataset, target, out_format, workers, shard_bytes
+        )
+        assert result.rows == len(rows)
+        assert _read_sink(target, out_format) == expected
+        sink_bytes.append(target.read_bytes())
+    assert all(blob == sink_bytes[0] for blob in sink_bytes[1:])
+
+
+@pytest.mark.parametrize("out_format", ["csv", "jsonl"])
+def test_mixed_backend_dataset_matches_the_oracle(
+    phone_engine, tmp_path, property_rng, out_format
+):
+    """csv+jsonl(+parquet) partitions splice into one value-exact sink."""
+    values, _ = phone_dataset(
+        count=30, format_count=4, seed=property_rng.randrange(2**16)
+    )
+    formats = ["csv", "jsonl"] + (["parquet"] if pyarrow_available() else [])
+    chunk = len(values) // len(formats)
+    parts, expected = [], []
+    for slot, fmt in enumerate(formats):
+        piece = values[slot * chunk : (slot + 1) * chunk]
+        rows = [
+            (str(slot * chunk + index), value) for index, value in enumerate(piece)
+        ]
+        suffix = {"csv": ".csv", "jsonl": ".jsonl", "parquet": ".parquet"}[fmt]
+        parts.append(_write_part(tmp_path / f"part-{slot}{suffix}", fmt, rows))
+        expected.extend(
+            (row_id, phone_engine.run_one(value).output) for row_id, value in rows
+        )
+    dataset = Dataset.resolve([str(path) for path in parts])
+
+    outputs = []
+    for workers in WORKER_COUNTS:
+        shard_bytes = property_rng.randrange(16, 2048)
+        target = tmp_path / f"mixed-w{workers}.{out_format}"
+        _apply(phone_engine, dataset, target, out_format, workers, shard_bytes)
+        assert _read_sink(target, out_format) == expected
+        outputs.append(target.read_bytes())
+    assert all(blob == outputs[0] for blob in outputs[1:])
